@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation: contribution of individual composable transformations to
+ * SpMM/SDDMM performance (DESIGN.md ablation index). Uses
+ * google-benchmark for the host-side compilation cost and the
+ * simulator for kernel quality.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "autotune/search.h"
+#include "baselines/vendor_constants.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "graph/datasets.h"
+
+using namespace sparsetir;
+
+namespace {
+
+format::Csr &
+testGraph()
+{
+    static format::Csr g = [] {
+        graph::DatasetSpec spec = graph::datasetSpec("pubmed");
+        return graph::generateDataset(spec);
+    }();
+    return g;
+}
+
+/** Host cost of the full compile pipeline (lower + schedule). */
+void
+BM_CompileSpmmCsr(benchmark::State &state)
+{
+    format::Csr &g = testGraph();
+    for (auto _ : state) {
+        auto shared = std::make_shared<core::BindingSet>();
+        auto kernel = core::compileSpmmCsr(g, 64, shared);
+        benchmark::DoNotOptimize(kernel);
+    }
+}
+BENCHMARK(BM_CompileSpmmCsr);
+
+/** Host cost of hyb decomposition + per-bucket scheduling. */
+void
+BM_CompileSpmmHyb(benchmark::State &state)
+{
+    format::Csr &g = testGraph();
+    for (auto _ : state) {
+        auto shared = std::make_shared<core::BindingSet>();
+        auto compiled = core::compileSpmmHyb(
+            g, 64, static_cast<int>(state.range(0)), -1, shared);
+        benchmark::DoNotOptimize(compiled);
+    }
+}
+BENCHMARK(BM_CompileSpmmHyb)->Arg(1)->Arg(4);
+
+/** Simulated kernel quality of schedule variants (custom counters). */
+void
+BM_ScheduleAblation(benchmark::State &state)
+{
+    format::Csr &g = testGraph();
+    gpusim::Device device(gpusim::GpuSpec::v100());
+    gpusim::SimOptions opts;
+    opts.efficiency = baselines::kSparseTirEfficiency;
+    int64_t feat = 64;
+
+    runtime::NDArray b({g.cols * feat}, ir::DataType::float32());
+    runtime::NDArray c({g.rows * feat}, ir::DataType::float32());
+
+    // Variant A: thread binding only (threadX = 1 disables the
+    // coalesced feature mapping).
+    core::SpmmSchedule narrow;
+    narrow.threadX = 1;
+    auto sa = std::make_shared<core::BindingSet>();
+    sa->external("B_data", &b);
+    sa->external("C_data", &c);
+    auto k_narrow = core::compileSpmmCsr(g, feat, sa, narrow);
+    double narrow_ms =
+        device.launch(k_narrow->simKernel(), opts).timeMs;
+
+    // Variant B: + coalesced threadIdx.x over features.
+    auto sb = std::make_shared<core::BindingSet>();
+    sb->external("B_data", &b);
+    sb->external("C_data", &c);
+    auto k_coalesced = core::compileSpmmCsr(g, feat, sb);
+    double coalesced_ms =
+        device.launch(k_coalesced->simKernel(), opts).timeMs;
+
+    // Variant C: + composable format (tuned hyb).
+    autotune::HybTuneResult tuned =
+        autotune::tuneSpmmHyb(g, feat, device, {1, 2, 4});
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(narrow_ms);
+    }
+    state.counters["scalar_ms"] = narrow_ms;
+    state.counters["coalesced_ms"] = coalesced_ms;
+    state.counters["hyb_ms"] = tuned.best.timeMs;
+    state.counters["coalesce_gain"] = narrow_ms / coalesced_ms;
+    state.counters["format_gain"] = coalesced_ms / tuned.best.timeMs;
+}
+BENCHMARK(BM_ScheduleAblation)->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: table
+ * printing, geometric means and the paper-reported values that each
+ * bench prints next to the reproduced numbers.
+ */
+
+#ifndef SPARSETIR_BENCH_BENCH_UTIL_H_
+#define SPARSETIR_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (double v : values) {
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** True when FAST=1 is set: shrink sweeps for smoke runs. */
+inline bool
+fastMode()
+{
+    const char *fast = std::getenv("FAST");
+    return fast != nullptr && std::string(fast) == "1";
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n==================================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("====================================================="
+                "===================\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &values,
+         const char *fmt = "%8.2f")
+{
+    std::printf("%-22s", name.c_str());
+    for (double v : values) {
+        std::printf(fmt, v);
+    }
+    std::printf("\n");
+}
+
+inline void
+printColumns(const std::vector<std::string> &columns)
+{
+    std::printf("%-22s", "");
+    for (const auto &c : columns) {
+        std::printf("%8s", c.c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace benchutil
+
+#endif // SPARSETIR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Reproduces Figure 13: normalized SpMM speedup against cuSPARSE for
+ * {Sputnik, dgSPARSE, TACO, SparseTIR(no-hyb), SparseTIR(hyb)} on the
+ * seven Table 1 graphs, on the V100 and RTX3070 device models.
+ * Geometric mean over the feature-size sweep.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "autotune/search.h"
+#include "baselines/cusparse.h"
+#include "baselines/dgsparse.h"
+#include "baselines/sputnik.h"
+#include "baselines/taco.h"
+#include "baselines/vendor_constants.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "graph/datasets.h"
+
+using namespace sparsetir;
+
+namespace {
+
+struct Row
+{
+    std::string graph;
+    std::map<std::string, double> speedup;
+};
+
+std::vector<Row>
+runDevice(const gpusim::GpuSpec &spec, const std::vector<int64_t> &feats)
+{
+    std::vector<Row> rows;
+    gpusim::Device device(spec);
+    for (const auto &dataset : graph::table1Datasets()) {
+        graph::DatasetSpec ds = dataset;
+        if (benchutil::fastMode()) {
+            ds.nodes = std::min<int64_t>(ds.nodes, 20000);
+            ds.edges = std::min<int64_t>(ds.edges, 300000);
+        }
+        format::Csr g = graph::generateDataset(ds);
+        Row row;
+        row.graph = ds.name;
+        std::map<std::string, std::vector<double>> ratios;
+
+        for (int64_t feat : feats) {
+            gpusim::SimOptions opts;
+
+            auto cusparse = baselines::cusparseSpmm(g, feat);
+            opts.efficiency = baselines::kCusparseEfficiency;
+            double base = device.launch(*cusparse, opts).timeMs;
+
+            auto sputnik = baselines::sputnikSpmm(g, feat);
+            opts.efficiency = baselines::kSputnikEfficiency;
+            ratios["Sputnik"].push_back(
+                base / device.launch(*sputnik, opts).timeMs);
+
+            auto dgsparse = baselines::dgsparseSpmm(g, feat);
+            opts.efficiency = baselines::kDgsparseEfficiency;
+            ratios["dgSPARSE"].push_back(
+                base / device.launch(*dgsparse, opts).timeMs);
+
+            auto taco = baselines::tacoSpmm(g, feat);
+            opts.efficiency = baselines::kTacoEfficiency;
+            ratios["TACO"].push_back(
+                base / device.launch(*taco, opts).timeMs);
+
+            // SparseTIR without format decomposition.
+            runtime::NDArray b({g.cols * feat},
+                               ir::DataType::float32());
+            runtime::NDArray c({g.rows * feat},
+                               ir::DataType::float32());
+            auto csr_shared = std::make_shared<core::BindingSet>();
+            csr_shared->external("B_data", &b);
+            csr_shared->external("C_data", &c);
+            auto no_hyb = core::compileSpmmCsr(g, feat, csr_shared);
+            opts.efficiency = baselines::kSparseTirEfficiency;
+            ratios["ST(no-hyb)"].push_back(
+                base /
+                device.launch(no_hyb->simKernel(), opts).timeMs);
+
+            // SparseTIR with the tuned hyb(c, k) format.
+            autotune::HybTuneResult tuned = autotune::tuneSpmmHyb(
+                g, feat, device,
+                benchutil::fastMode()
+                    ? std::vector<int>{1, 4}
+                    : std::vector<int>{1, 2, 4, 8, 16});
+            ratios["ST(hyb)"].push_back(base / tuned.best.timeMs);
+        }
+        for (auto &[name, values] : ratios) {
+            row.speedup[name] = benchutil::geomean(values);
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+printTable(const char *device_name, const std::vector<Row> &rows)
+{
+    std::printf("\n--- %s ---\n", device_name);
+    std::vector<std::string> impls = {"Sputnik", "dgSPARSE", "TACO",
+                                      "ST(no-hyb)", "ST(hyb)"};
+    std::printf("%-15s %9s", "graph", "cuSPARSE");
+    for (const auto &impl : impls) {
+        std::printf("%11s", impl.c_str());
+    }
+    std::printf("\n");
+    for (const auto &row : rows) {
+        std::printf("%-15s %9.2f", row.graph.c_str(), 1.0);
+        for (const auto &impl : impls) {
+            std::printf("%11.2f", row.speedup.at(impl));
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Figure 13: normalized SpMM speedup vs cuSPARSE (geomean over "
+        "feature sizes)");
+    std::vector<int64_t> feats =
+        benchutil::fastMode() ? std::vector<int64_t>{32}
+                              : std::vector<int64_t>{32, 64, 128};
+    std::printf("feature sizes:");
+    for (int64_t f : feats) {
+        std::printf(" %lld", static_cast<long long>(f));
+    }
+    std::printf("  (paper sweeps 32..512)\n");
+
+    printTable("V100", runDevice(gpusim::GpuSpec::v100(), feats));
+    printTable("RTX3070", runDevice(gpusim::GpuSpec::rtx3070(), feats));
+
+    std::printf(
+        "\nPaper (V100): SparseTIR(hyb) 1.2-2.3x vs cuSPARSE on all "
+        "graphs; SparseTIR(no-hyb)\nloses on power-law graphs "
+        "(ogbn-arxiv 0.4x) and hyb recovers it; TACO < 1x "
+        "everywhere.\nExpected shape: hyb >= no-hyb, hyb > vendor "
+        "libraries, TACO slowest.\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reproduces Figure 14: normalized SDDMM speedup against the DGL
+ * (FeatGraph) baseline for {cuSPARSE, Sputnik, dgSPARSE-csr,
+ * dgSPARSE-coo, TACO, SparseTIR} on the Table 1 graphs.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "autotune/search.h"
+#include "baselines/cusparse.h"
+#include "baselines/dgsparse.h"
+#include "baselines/frameworks.h"
+#include "baselines/sputnik.h"
+#include "baselines/taco.h"
+#include "baselines/vendor_constants.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "graph/datasets.h"
+
+using namespace sparsetir;
+
+namespace {
+
+void
+runDevice(const gpusim::GpuSpec &spec, const std::vector<int64_t> &feats)
+{
+    gpusim::Device device(spec);
+    std::vector<std::string> impls = {"cuSPARSE", "Sputnik",
+                                      "dgSP-csr", "dgSP-coo", "TACO",
+                                      "SparseTIR"};
+    std::printf("\n--- %s ---\n", spec.name.c_str());
+    std::printf("%-15s %9s", "graph", "dgl");
+    for (const auto &impl : impls) {
+        std::printf("%11s", impl.c_str());
+    }
+    std::printf("\n");
+
+    for (const auto &dataset : graph::table1Datasets()) {
+        graph::DatasetSpec ds = dataset;
+        if (benchutil::fastMode()) {
+            ds.nodes = std::min<int64_t>(ds.nodes, 20000);
+            ds.edges = std::min<int64_t>(ds.edges, 300000);
+        }
+        format::Csr g = graph::generateDataset(ds);
+        std::map<std::string, std::vector<double>> ratios;
+        for (int64_t feat : feats) {
+            gpusim::SimOptions opts;
+            auto dgl = baselines::dglSddmm(g, feat);
+            opts.efficiency = baselines::kFrameworkEfficiency;
+            double base = device.launch(*dgl, opts).timeMs;
+
+            auto record = [&](const std::string &name,
+                              gpusim::Kernel &kernel,
+                              double efficiency) {
+                gpusim::SimOptions o;
+                o.efficiency = efficiency;
+                ratios[name].push_back(
+                    base / device.launch(kernel, o).timeMs);
+            };
+            auto cus = baselines::cusparseSddmm(g, feat);
+            record("cuSPARSE", *cus, baselines::kCusparseEfficiency);
+            auto spk = baselines::sputnikSddmm(g, feat);
+            record("Sputnik", *spk, baselines::kSputnikEfficiency);
+            auto dgc = baselines::dgsparseSddmmCsr(g, feat);
+            record("dgSP-csr", *dgc, baselines::kDgsparseEfficiency);
+            auto dgo = baselines::dgsparseSddmmCoo(g, feat);
+            record("dgSP-coo", *dgo, baselines::kDgsparseEfficiency);
+            auto tac = baselines::tacoSddmm(g, feat);
+            record("TACO", *tac, baselines::kTacoEfficiency);
+
+            // SparseTIR: fused iteration + rfactor two-stage
+            // reduction. Schedule parameters are tuned on graphs
+            // small enough to sweep; the large graphs reuse the
+            // default (which the sweep selects there anyway).
+            double st_ms;
+            if (g.nnz() < 1500000) {
+                st_ms = autotune::tuneSddmm(g, feat, device).timeMs;
+            } else {
+                auto shared = std::make_shared<core::BindingSet>();
+                runtime::NDArray x({g.rows * feat},
+                                   ir::DataType::float32());
+                runtime::NDArray y({feat * g.cols},
+                                   ir::DataType::float32());
+                runtime::NDArray nz({g.nnz()},
+                                    ir::DataType::float32());
+                shared->external("X_data", &x);
+                shared->external("Y_data", &y);
+                shared->external("B_data", &nz);
+                auto kernel = core::compileSddmm(g, feat, shared);
+                gpusim::SimOptions o;
+                o.efficiency = baselines::kSparseTirEfficiency;
+                st_ms = device.launch(kernel->simKernel(), o).timeMs;
+            }
+            ratios["SparseTIR"].push_back(base / st_ms);
+        }
+        std::printf("%-15s %9.2f", ds.name.c_str(), 1.0);
+        for (const auto &impl : impls) {
+            std::printf("%11.2f", benchutil::geomean(ratios[impl]));
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Figure 14: normalized SDDMM speedup vs DGL/FeatGraph "
+        "(geomean over feature sizes)");
+    std::vector<int64_t> feats =
+        benchutil::fastMode() ? std::vector<int64_t>{32}
+                              : std::vector<int64_t>{32, 64, 128};
+    runDevice(gpusim::GpuSpec::v100(), feats);
+    runDevice(gpusim::GpuSpec::rtx3070(), feats);
+    std::printf(
+        "\nPaper (V100): SparseTIR 1.4-2.3x vs dgl; dgSPARSE-coo "
+        "1.0-2.0x; cuSPARSE and Sputnik\ncollapse to ~0.0-0.2x on "
+        "graph sparsity; TACO 0.3-1.0x.\nExpected shape: SparseTIR >= "
+        "dgSPARSE > dgl >> cuSPARSE/Sputnik.\n");
+    return 0;
+}

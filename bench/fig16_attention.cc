@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 16: sparse-attention operators (multi-head SpMM
+ * and SDDMM) on Longformer band and Pixelated Butterfly masks,
+ * normalized against Triton's block-sparse kernels.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/attention_masks.h"
+#include "model/attention.h"
+
+using namespace sparsetir;
+
+namespace {
+
+void
+runDevice(const gpusim::GpuSpec &spec, const model::AttentionConfig &cfg)
+{
+    gpusim::Device device(spec);
+    std::printf("\n--- %s ---\n", spec.name.c_str());
+    std::printf("%-12s %-12s %8s %10s %10s\n", "op", "pattern",
+                "Triton", "ST-CSR", "ST-BSR");
+
+    format::Csr butterfly =
+        graph::butterflyMask(cfg.seqLen, cfg.blockSize);
+    format::Csr band = graph::bandMask(cfg.seqLen, 256);
+
+    auto report = [&](const char *op, const char *pattern,
+                      const model::AttentionTimes &t) {
+        std::printf("%-12s %-12s %8.2f %10.2f %10.2f\n", op, pattern,
+                    1.0, t.tritonMs / t.sparsetirCsrMs,
+                    t.tritonMs / t.sparsetirBsrMs);
+    };
+    report("SpMM", "Butterfly",
+           model::attentionSpmm(butterfly, cfg, device));
+    report("SpMM", "Longformer",
+           model::attentionSpmm(band, cfg, device));
+    report("SDDMM", "Butterfly",
+           model::attentionSddmm(butterfly, cfg, device));
+    report("SDDMM", "Longformer",
+           model::attentionSddmm(band, cfg, device));
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Figure 16: sparse transformer operators vs Triton "
+        "(4096x4096, 12 heads, band 256, head dim 64)");
+    model::AttentionConfig cfg;
+    if (benchutil::fastMode()) {
+        cfg.seqLen = 1024;
+        cfg.heads = 2;
+    }
+    runDevice(gpusim::GpuSpec::v100(), cfg);
+    runDevice(gpusim::GpuSpec::rtx3070(), cfg);
+    std::printf(
+        "\nPaper: SparseTIR-BSR 1.05-1.6x (SpMM) and 1.5-3.0x (SDDMM) "
+        "vs Triton; SparseTIR-CSR\ncollapses to 0.04-0.08x because "
+        "scalar CSR kernels cannot use Tensor Cores.\nExpected shape: "
+        "BSR > Triton >> CSR.\n");
+    return 0;
+}

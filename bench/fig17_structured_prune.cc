@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reproduces Figure 17: SpMM over block-pruned transformer weights
+ * (block 32) across weight densities, normalized against cuBLAS
+ * dense GEMM. Compares SparseTIR(BSR), SparseTIR(DBSR) and Triton.
+ */
+
+#include <cstdio>
+
+#include "baselines/cublas.h"
+#include "baselines/triton.h"
+#include "baselines/vendor_constants.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "format/dcsr.h"
+#include "graph/pruned_weights.h"
+
+using namespace sparsetir;
+
+namespace {
+
+void
+runDevice(const gpusim::GpuSpec &spec)
+{
+    gpusim::Device device(spec);
+    // Weight: 4096x1024 (BERT FFN-sized), activations seq 512.
+    int64_t rows = benchutil::fastMode() ? 1024 : 4096;
+    int64_t cols = 1024;
+    int64_t seq = 512;
+    std::printf("\n--- %s ---\n", spec.name.c_str());
+    std::printf("%-10s %8s %10s %10s %10s %12s\n", "density",
+                "cuBLAS", "ST(BSR)", "ST(DBSR)", "Triton",
+                "zero-brows%");
+    for (int exp = 7; exp >= 1; --exp) {
+        double density = 1.0 / static_cast<double>(1 << exp);
+        // Block-pruned models keep survivors clustered in a subset of
+        // block rows (paper: "many all-zero rows").
+        double keep = std::min(1.0, 0.25 + density * 6.0);
+        format::Csr w = graph::blockPrunedWeight(rows, cols, 32,
+                                                 density, keep, 99);
+        format::Bsr bsr = format::bsrFromCsr(w, 32);
+        format::Dbsr dbsr = format::dbsrFromBsr(bsr);
+        double zero_rows =
+            1.0 - static_cast<double>(dbsr.numStoredBlockRows()) /
+                      static_cast<double>(bsr.blockRows);
+
+        gpusim::SimOptions opts;
+        opts.efficiency = baselines::kCublasEfficiency;
+        auto gemm = baselines::cublasGemm(rows, seq, cols, true);
+        double base = device.launch(*gemm, opts).timeMs;
+
+        opts.efficiency = baselines::kTritonEfficiency;
+        auto triton = baselines::tritonBlockSpmm(bsr, seq);
+        double triton_ms = device.launch(*triton, opts).timeMs;
+
+        opts.efficiency = baselines::kSparseTirEfficiency;
+        auto bsr_shared = std::make_shared<core::BindingSet>();
+        runtime::NDArray b({bsr.blockCols * 32 * seq},
+                           ir::DataType::float32());
+        runtime::NDArray c({bsr.blockRows * 32 * seq},
+                           ir::DataType::float32());
+        bsr_shared->external("B_data", &b);
+        bsr_shared->external("C_data", &c);
+        auto st_bsr = core::compileBsrSpmm(bsr, seq, bsr_shared, true);
+        double st_bsr_ms =
+            device.launch(st_bsr->simKernel(), opts).timeMs;
+
+        // DBSR: identical kernel on the compacted block rows; model
+        // by re-running BSR on a matrix with empty rows dropped.
+        format::Csr compact = format::csrFromDcsr(
+            format::dcsrFromCsr(w));
+        compact.rows = dbsr.numStoredBlockRows() * 32;
+        compact.indptr.resize(compact.rows + 1,
+                              compact.indptr.back());
+        format::Bsr bsr_compact = format::bsrFromCsr(compact, 32);
+        auto dbsr_shared = std::make_shared<core::BindingSet>();
+        runtime::NDArray b2({bsr_compact.blockCols * 32 * seq},
+                            ir::DataType::float32());
+        runtime::NDArray c2({bsr_compact.blockRows * 32 * seq},
+                            ir::DataType::float32());
+        dbsr_shared->external("B_data", &b2);
+        dbsr_shared->external("C_data", &c2);
+        auto st_dbsr =
+            core::compileBsrSpmm(bsr_compact, seq, dbsr_shared, true);
+        double st_dbsr_ms =
+            device.launch(st_dbsr->simKernel(), opts).timeMs;
+
+        std::printf("2^-%-7d %8.2f %10.2f %10.2f %10.2f %11.0f%%\n",
+                    exp, 1.0, base / st_bsr_ms, base / st_dbsr_ms,
+                    base / triton_ms, zero_rows * 100.0);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Figure 17: block-pruned transformer SpMM vs cuBLAS "
+        "(block 32, batch 1, seq 512)");
+    runDevice(gpusim::GpuSpec::v100());
+    runDevice(gpusim::GpuSpec::rtx3070());
+    std::printf(
+        "\nPaper: DBSR consistently above BSR (skips all-zero block "
+        "rows), both above Triton at\nlow density; speedups vs cuBLAS "
+        "grow as density falls (up to ~30x at 2^-7).\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Figure 19: SpMM over unstructured (movement) pruned
+ * weights across densities — SparseTIR(SR-BCRS), SparseTIR(BSR),
+ * cuSPARSE and cuBLAS — plus the right panel: stored density of the
+ * transformed formats vs original weight density.
+ */
+
+#include <cstdio>
+
+#include "baselines/cublas.h"
+#include "baselines/cusparse.h"
+#include "baselines/vendor_constants.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "graph/pruned_weights.h"
+
+using namespace sparsetir;
+
+namespace {
+
+void
+runDevice(const gpusim::GpuSpec &spec)
+{
+    gpusim::Device device(spec);
+    int64_t rows = benchutil::fastMode() ? 1024 : 4096;
+    int64_t cols = 1024;
+    int64_t seq = 512;
+    std::printf("\n--- %s ---\n", spec.name.c_str());
+    std::printf("%-10s %8s %12s %10s %10s | %12s %10s\n", "density",
+                "cuBLAS", "ST(SR-BCRS)", "ST(BSR)", "cuSPARSE",
+                "srbcrs-dens", "bsr-dens");
+    for (int exp = 7; exp >= 3; --exp) {
+        double density = 1.0 / static_cast<double>(1 << exp);
+        format::Csr w =
+            graph::unstructuredPrunedWeight(rows, cols, density, 77);
+        format::SrBcrs sr = format::srbcrsFromCsr(w, 8, 32);
+        format::Bsr bsr = format::bsrFromCsr(w, 32);
+        double bsr_density =
+            bsr.values.empty()
+                ? 0.0
+                : static_cast<double>(w.nnz()) /
+                      static_cast<double>(bsr.values.size());
+
+        gpusim::SimOptions opts;
+        opts.efficiency = baselines::kCublasEfficiency;
+        auto gemm = baselines::cublasGemm(rows, seq, cols, true);
+        double base = device.launch(*gemm, opts).timeMs;
+
+        opts.efficiency = baselines::kCusparseEfficiency;
+        auto cus = baselines::cusparseSpmm(w, seq);
+        double cus_ms = device.launch(*cus, opts).timeMs;
+
+        opts.efficiency = baselines::kSparseTirEfficiency;
+        auto sr_shared = std::make_shared<core::BindingSet>();
+        runtime::NDArray b({w.cols * seq}, ir::DataType::float32());
+        runtime::NDArray c({sr.stripes * sr.tileHeight * seq},
+                           ir::DataType::float32());
+        sr_shared->external("B_data", &b);
+        sr_shared->external("C_data", &c);
+        auto st_sr = core::compileSrbcrsSpmm(sr, seq, sr_shared);
+        double sr_ms = device.launch(st_sr->simKernel(), opts).timeMs;
+
+        auto bsr_shared = std::make_shared<core::BindingSet>();
+        runtime::NDArray b2({bsr.blockCols * 32 * seq},
+                            ir::DataType::float32());
+        runtime::NDArray c2({bsr.blockRows * 32 * seq},
+                            ir::DataType::float32());
+        bsr_shared->external("B_data", &b2);
+        bsr_shared->external("C_data", &c2);
+        auto st_bsr = core::compileBsrSpmm(bsr, seq, bsr_shared, true);
+        double bsr_ms =
+            device.launch(st_bsr->simKernel(), opts).timeMs;
+
+        std::printf("2^-%-7d %8.2f %12.2f %10.2f %10.2f | %12.3f "
+                    "%10.3f\n",
+                    exp, 1.0, base / sr_ms, base / bsr_ms,
+                    base / cus_ms, sr.storedDensity(), bsr_density);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Figure 19: unstructured-pruned transformer SpMM vs cuBLAS "
+        "(SR-BCRS(8,32) vs BSR(32))");
+    runDevice(gpusim::GpuSpec::v100());
+    runDevice(gpusim::GpuSpec::rtx3070());
+    std::printf(
+        "\nPaper: SR-BCRS beats BSR except near density 2^-3 (both "
+        "transformed formats saturate); cuSPARSE\nonly beats cuBLAS "
+        "below ~2^-6. Right panel: SR-BCRS stored density well above "
+        "BSR's.\n");
+    return 0;
+}

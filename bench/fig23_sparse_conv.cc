@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Figure 23: 3-D sparse convolution (MinkowskiNet-style
+ * layers on a synthetic LiDAR scene) — SparseTIR's fused RGMS with
+ * Tensor Cores vs TorchSparse's gather-GEMM-scatter, across channel
+ * sizes.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/torchsparse.h"
+#include "baselines/vendor_constants.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "format/ell.h"
+#include "graph/point_cloud.h"
+
+using namespace sparsetir;
+
+namespace {
+
+void
+runDevice(const gpusim::GpuSpec &spec,
+          const format::RelationalCsr &maps)
+{
+    gpusim::Device device(spec);
+    std::printf("\n--- %s ---\n", spec.name.c_str());
+    std::printf("%-18s %14s %16s %10s\n", "sqrt(Cin*Cout)",
+                "TorchSparse(ms)", "SparseTIR-TC(ms)", "speedup");
+    for (int64_t channels : {16, 32, 64, 128, 256}) {
+        if (benchutil::fastMode() && channels > 64) {
+            continue;
+        }
+        // TorchSparse: explicit gather + cuBLAS GEMM + scatter.
+        baselines::TorchSparseConv ts =
+            baselines::torchsparseConv(maps, channels, channels);
+        gpusim::SimOptions ts_opts;
+        ts_opts.efficiency = baselines::kTorchSparseEfficiency;
+        gpusim::SimOptions gemm_opts;
+        gemm_opts.efficiency = baselines::kCublasEfficiency;
+        double ts_ms = 0.0;
+        for (const auto &kernel : ts.kernels) {
+            bool is_gemm =
+                kernel->name().find("gemm") != std::string::npos;
+            ts_ms += device
+                         .launch(*kernel,
+                                 is_gemm ? gemm_opts : ts_opts)
+                         .timeMs;
+        }
+
+        // SparseTIR: fused RGMS, one ELL(1) kernel per offset,
+        // horizontally fused.
+        auto shared = std::make_shared<core::BindingSet>();
+        runtime::NDArray x({maps.cols * channels},
+                           ir::DataType::float32());
+        runtime::NDArray w({channels * channels},
+                           ir::DataType::float32());
+        runtime::NDArray y({maps.rows * channels},
+                           ir::DataType::float32());
+        shared->external("X_data", &x);
+        shared->external("W_data", &w);
+        shared->external("Y_data", &y);
+        shared->scalar("m", maps.rows);
+        shared->scalar("n", maps.cols);
+        std::vector<std::shared_ptr<core::BoundKernel>> kernels;
+        std::vector<const gpusim::Kernel *> sims;
+        for (size_t r = 0; r < maps.relations.size(); ++r) {
+            const format::Csr &rel = maps.relations[r];
+            if (rel.nnz() == 0) {
+                continue;
+            }
+            // Each relation is already ELL(1): rows with one entry.
+            std::vector<int32_t> rows;
+            for (int64_t row = 0; row < rel.rows; ++row) {
+                if (rel.rowLength(row) > 0) {
+                    rows.push_back(static_cast<int32_t>(row));
+                }
+            }
+            format::Ell ell = format::ellFromCsrRows(rel, rows, 1);
+            auto kernel = core::compileEllRgms(
+                ell, channels, channels, shared,
+                "c" + std::to_string(r), true, 16);
+            kernels.push_back(kernel);
+            sims.push_back(&kernel->simKernel());
+        }
+        gpusim::SimOptions opts;
+        opts.efficiency = baselines::kSparseTirEfficiency;
+        double st_ms = device.launchFused(sims, opts).timeMs;
+
+        std::printf("%-18lld %14.3f %16.3f %9.2fx\n",
+                    static_cast<long long>(channels), ts_ms, st_ms,
+                    ts_ms / st_ms);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Figure 23: sparse convolution vs TorchSparse (synthetic "
+        "LiDAR scene, 3^3 kernel)");
+    int64_t voxels = benchutil::fastMode() ? 8000 : 60000;
+    graph::VoxelScene scene = graph::syntheticLidarScene(voxels, 23);
+    format::KernelMap map = graph::buildKernelMap(scene);
+    std::printf("scene voxels: %zu, kernel map ELL(1): %s\n",
+                scene.voxels.size(), map.isEll1() ? "yes" : "no");
+    runDevice(gpusim::GpuSpec::v100(), map.maps);
+    runDevice(gpusim::GpuSpec::rtx3070(), map.maps);
+    std::printf(
+        "\nPaper: SparseTIR wins (up to ~7x) at small/medium channels "
+        "by avoiding the HBM round trip\nfor T; TorchSparse (cuBLAS) "
+        "catches up and wins above sqrt(Cin*Cout) ~= 128-256 where "
+        "GEMM\nflops dominate. Expected shape: speedup decreasing in "
+        "channel size, crossover near the top.\n");
+    return 0;
+}

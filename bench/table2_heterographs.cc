@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Table 2: heterogeneous graph statistics and the %padding
+ * of the 3-D hyb decomposition used by the RGCN kernels.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "format/relational.h"
+#include "graph/hetero.h"
+
+int
+main()
+{
+    using namespace sparsetir;
+    benchutil::printHeader(
+        "Table 2: heterogeneous graphs used in RGCN (synthetic "
+        "stand-ins)");
+    std::printf("%-12s %10s %12s %8s %10s | %10s\n", "graph", "#nodes",
+                "#edges", "#etypes", "%padding", "paper-%pad");
+    for (const auto &spec : graph::table2Heterographs()) {
+        graph::HeteroSpec hs = spec;
+        if (benchutil::fastMode()) {
+            hs.nodes = std::min<int64_t>(hs.nodes, 10000);
+            hs.edges = std::min<int64_t>(hs.edges, 100000);
+        }
+        format::RelationalCsr g = graph::generateHetero(hs);
+        format::RelationalHyb hyb = format::relationalHyb(g, 1, 5);
+        std::printf("%-12s %10lld %12lld %8d %10.1f | %10.1f",
+                    hs.name.c_str(), static_cast<long long>(hs.nodes),
+                    static_cast<long long>(g.totalNnz()), hs.numEtypes,
+                    hyb.paddingRatio() * 100.0, spec.paperPaddingPct);
+        if (hs.nodes != spec.paperNodes) {
+            std::printf("   (scaled from %lld/%lld)",
+                        static_cast<long long>(spec.paperNodes),
+                        static_cast<long long>(spec.paperEdges));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

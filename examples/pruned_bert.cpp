@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Pruned-transformer SpMM (paper §4.3.2): block-pruned weights in
+ * BSR vs DBSR, movement-pruned weights in SR-BCRS, functionally
+ * verified and simulated — Figures 17-19 in miniature.
+ *
+ * Build & run:  ./build/examples/pruned_bert
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "format/dcsr.h"
+#include "format/srbcrs.h"
+#include "graph/pruned_weights.h"
+#include "support/rng.h"
+
+using namespace sparsetir;
+
+int
+main()
+{
+    int64_t rows = 1024;
+    int64_t cols = 768;
+    int64_t seq = 128;
+
+    // ---- Structured (block) pruning: BSR vs DBSR. ----
+    format::Csr blocked =
+        graph::blockPrunedWeight(rows, cols, 32, 0.05, 0.4, 5);
+    format::Bsr bsr = format::bsrFromCsr(blocked, 32);
+    format::Dbsr dbsr = format::dbsrFromBsr(bsr);
+    std::printf("block-pruned weight: %lld nnz, %lld blocks, "
+                "%lld/%lld block rows empty\n",
+                static_cast<long long>(blocked.nnz()),
+                static_cast<long long>(bsr.nnzBlocks()),
+                static_cast<long long>(bsr.blockRows -
+                                       dbsr.numStoredBlockRows()),
+                static_cast<long long>(bsr.blockRows));
+
+    // Functional check of the tensorized BSR SpMM.
+    Rng rng(7);
+    std::vector<float> b_host(bsr.blockCols * 32 * seq);
+    for (auto &v : b_host) {
+        v = static_cast<float>(rng.uniformReal() - 0.5);
+    }
+    auto shared = std::make_shared<core::BindingSet>();
+    runtime::NDArray b = runtime::NDArray::fromFloat(b_host);
+    runtime::NDArray c({bsr.blockRows * 32 * seq},
+                       ir::DataType::float32());
+    shared->external("B_data", &b);
+    shared->external("C_data", &c);
+    auto kernel = core::compileBsrSpmm(bsr, seq, shared, true);
+    kernel->execute();
+    auto dense = format::bsrToDense(bsr);
+    double worst = 0.0;
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t k = 0; k < seq; ++k) {
+            float expect = 0.0f;
+            for (int64_t col = 0; col < cols; ++col) {
+                expect += dense[r * cols + col] *
+                          b_host[col * seq + k];
+            }
+            worst = std::max(worst, static_cast<double>(std::abs(
+                                        expect -
+                                        (float)c.floatAt(r * seq + k))));
+        }
+    }
+    std::printf("BSR SpMM functional check: max |err| = %g (%s)\n",
+                worst, worst < 1e-2 ? "PASS" : "FAIL");
+
+    // ---- Unstructured pruning: SR-BCRS. ----
+    format::Csr unstructured =
+        graph::unstructuredPrunedWeight(rows, cols, 0.06, 9);
+    format::SrBcrs sr = format::srbcrsFromCsr(unstructured, 8, 32);
+    format::Bsr bsr_u = format::bsrFromCsr(unstructured, 32);
+    double bsr_density =
+        static_cast<double>(unstructured.nnz()) /
+        static_cast<double>(bsr_u.values.size());
+    std::printf("\nmovement-pruned weight at density 0.06:\n");
+    std::printf("  SR-BCRS(8,32) stored density: %.3f\n",
+                sr.storedDensity());
+    std::printf("  BSR(32)      stored density: %.3f\n", bsr_density);
+    std::printf("SR-BCRS keeps %0.1fx less fragmentation than "
+                "BSR(32) (paper Figure 19 right panel;\nlower bound "
+                "1/t vs 1/b^2, §4.3.2).\n",
+                sr.storedDensity() / std::max(bsr_density, 1e-9));
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quickstart: define SpMM in SparseTIR (the paper's Figure 3), walk
+ * it through all three IR stages, schedule it for a GPU, print the
+ * generated CUDA-like source, execute it functionally and simulate
+ * its performance.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "codegen/cuda_codegen.h"
+#include "core/ops.h"
+#include "core/pipeline.h"
+#include "gpusim/simulator.h"
+#include "ir/printer.h"
+#include "schedule/schedule.h"
+#include "transform/lower_sparse_buffer.h"
+#include "transform/lower_sparse_iter.h"
+
+using namespace sparsetir;
+
+int
+main()
+{
+    // ---- Stage I: coordinate-space computation (Figure 3). ----
+    ir::PrimFunc stage1 = core::buildSpmm();
+    std::printf("================ Stage I ================\n%s\n",
+                ir::funcToString(stage1).c_str());
+
+    // ---- Stage II: sparse iteration lowering (Section 3.3). ----
+    ir::PrimFunc stage2 = transform::lowerSparseIterations(stage1);
+    std::printf("================ Stage II ===============\n%s\n",
+                ir::funcToString(stage2).c_str());
+
+    // ---- Composable transformations (Section 3.3.2). ----
+    schedule::Schedule sch(stage2);
+    auto loops = sch.getLoops("spmm");  // i, j, k
+    sch.reorder({loops[2], loops[1]});
+    auto [k_o, k_i] = sch.split(loops[2], 32);
+    sch.bind(loops[0], "blockIdx.x");
+    sch.bind(k_i, "threadIdx.x");
+    sch.cacheWrite("spmm", "C");
+
+    // ---- Stage III: sparse buffer lowering (Section 3.4). ----
+    ir::PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+    std::printf("================ Stage III ==============\n%s\n",
+                ir::funcToString(stage3).c_str());
+
+    // ---- Target-specific code generation (Section 3.5). ----
+    std::printf("================ CUDA ===================\n%s\n",
+                codegen::emitCuda(stage3).c_str());
+
+    // ---- Execute on a small CSR matrix and verify. ----
+    format::Csr a;
+    a.rows = 4;
+    a.cols = 5;
+    a.indptr = {0, 2, 3, 3, 7};
+    a.indices = {1, 3, 0, 0, 2, 3, 4};
+    a.values = {1, 2, 3, 4, 5, 6, 7};
+    int64_t feat = 4;
+    std::vector<float> b_host(a.cols * feat);
+    for (size_t i = 0; i < b_host.size(); ++i) {
+        b_host[i] = 0.25f * static_cast<float>(i % 7);
+    }
+
+    auto shared = std::make_shared<core::BindingSet>();
+    auto kernel = core::compileSpmmCsr(a, feat, shared);
+    runtime::NDArray b = runtime::NDArray::fromFloat(b_host);
+    runtime::NDArray c({a.rows * feat}, ir::DataType::float32());
+    shared->external("B_data", &b);
+    shared->external("C_data", &c);
+    kernel->execute();
+
+    auto expected = core::referenceSpmm(a, b_host, feat);
+    double worst = 0.0;
+    for (int64_t i = 0; i < c.numel(); ++i) {
+        worst = std::max(worst,
+                         std::abs(expected[i] - c.floatAt(i)));
+    }
+    std::printf("functional check: max |err| = %g (%s)\n", worst,
+                worst < 1e-5 ? "PASS" : "FAIL");
+
+    // ---- Simulate on the V100 model. ----
+    gpusim::Device device(gpusim::GpuSpec::v100());
+    gpusim::KernelStats stats = device.launch(kernel->simKernel());
+    std::printf("simulated: %.4f ms, %lld blocks, L1 %.0f%%, "
+                "DRAM %lld bytes\n",
+                stats.timeMs,
+                static_cast<long long>(stats.numBlocks),
+                stats.l1HitRate * 100.0,
+                static_cast<long long>(stats.dramBytes));
+    return 0;
+}

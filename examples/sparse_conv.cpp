@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 3-D sparse convolution on a synthetic LiDAR scene (paper §4.4.2):
+ * the kernel map is 27 ELL(1) relations, and the fused RGMS kernel
+ * avoids materializing the gather/scatter intermediate.
+ *
+ * Build & run:  ./build/examples/sparse_conv
+ */
+
+#include <cstdio>
+
+#include "baselines/torchsparse.h"
+#include "core/pipeline.h"
+#include "format/ell.h"
+#include "graph/point_cloud.h"
+
+using namespace sparsetir;
+
+int
+main()
+{
+    graph::VoxelScene scene = graph::syntheticLidarScene(20000, 3);
+    format::KernelMap map = graph::buildKernelMap(scene);
+    std::printf("voxelized scene: %zu occupied voxels\n",
+                scene.voxels.size());
+    std::printf("kernel map: %zu relations, %lld in/out pairs, "
+                "ELL(1): %s\n",
+                map.maps.relations.size(),
+                static_cast<long long>(map.maps.totalNnz()),
+                map.isEll1() ? "yes" : "no");
+
+    int64_t channels = 64;
+    gpusim::Device device(gpusim::GpuSpec::v100());
+
+    // TorchSparse-style: gather -> GEMM -> scatter with T in HBM.
+    baselines::TorchSparseConv ts =
+        baselines::torchsparseConv(map.maps, channels, channels);
+    double ts_ms = 0.0;
+    for (const auto &kernel : ts.kernels) {
+        ts_ms += device.launch(*kernel).timeMs;
+    }
+    std::printf("\nTorchSparse-style: %.3f ms, intermediate T = "
+                "%.1f MB in HBM\n",
+                ts_ms, ts.intermediateBytes / (1024.0 * 1024.0));
+
+    // SparseTIR: fused RGMS, one kernel per offset, fused launch.
+    auto shared = std::make_shared<core::BindingSet>();
+    runtime::NDArray x({map.maps.cols * channels},
+                       ir::DataType::float32());
+    runtime::NDArray w({channels * channels},
+                       ir::DataType::float32());
+    runtime::NDArray y({map.maps.rows * channels},
+                       ir::DataType::float32());
+    shared->external("X_data", &x);
+    shared->external("W_data", &w);
+    shared->external("Y_data", &y);
+    shared->scalar("m", map.maps.rows);
+    shared->scalar("n", map.maps.cols);
+    std::vector<std::shared_ptr<core::BoundKernel>> kernels;
+    std::vector<const gpusim::Kernel *> sims;
+    for (size_t r = 0; r < map.maps.relations.size(); ++r) {
+        const format::Csr &rel = map.maps.relations[r];
+        if (rel.nnz() == 0) {
+            continue;
+        }
+        std::vector<int32_t> rows;
+        for (int64_t row = 0; row < rel.rows; ++row) {
+            if (rel.rowLength(row) > 0) {
+                rows.push_back(static_cast<int32_t>(row));
+            }
+        }
+        format::Ell ell = format::ellFromCsrRows(rel, rows, 1);
+        auto kernel = core::compileEllRgms(
+            ell, channels, channels, shared,
+            "c" + std::to_string(r), true, 16);
+        kernels.push_back(kernel);
+        sims.push_back(&kernel->simKernel());
+    }
+    double st_ms = device.launchFused(sims).timeMs;
+    std::printf("SparseTIR fused RGMS: %.3f ms (%.2fx), no HBM "
+                "intermediate\n",
+                st_ms, ts_ms / st_ms);
+    return 0;
+}

@@ -1,0 +1,14 @@
+#include "baselines/cublas.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel>
+cublasGemm(int64_t m, int64_t n, int64_t k, bool tensor_cores)
+{
+    return std::make_unique<DenseGemmKernel>("cublas_gemm", m, n, k,
+                                             tensor_cores);
+}
+
+} // namespace baselines
+} // namespace sparsetir

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * cuBLAS stand-in: dense GEMM treating the sparse weight as dense
+ * (baseline of Figures 17/19).
+ */
+
+#ifndef SPARSETIR_BASELINES_CUBLAS_H_
+#define SPARSETIR_BASELINES_CUBLAS_H_
+
+#include <memory>
+
+#include "baselines/models.h"
+
+namespace sparsetir {
+namespace baselines {
+
+/** C[m x n] = A[m x k] @ B[k x n]; fp16 Tensor-Core path optional. */
+std::unique_ptr<gpusim::Kernel> cublasGemm(int64_t m, int64_t n,
+                                           int64_t k, bool tensor_cores);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_CUBLAS_H_

@@ -1,0 +1,31 @@
+#include "baselines/cusparse.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel>
+cusparseSpmm(const format::Csr &a, int64_t feat)
+{
+    RowSplitParams params;
+    params.rowsPerBlock = 32;
+    params.sortRows = false;
+    params.registerAccum = true;
+    params.vectorWidth = 4;
+    params.unrollDiscount = 0.25;
+    return std::make_unique<RowSplitSpmmKernel>("cusparse_spmm", a, feat,
+                                                params);
+}
+
+std::unique_ptr<gpusim::Kernel>
+cusparseSddmm(const format::Csr &a, int64_t feat)
+{
+    SddmmParams params;
+    params.nnzPerBlock = 4;
+    params.vectorWidth = 1;       // scalar loads
+    params.twoStageReduction = false;
+    return std::make_unique<SddmmKernel>("cusparse_sddmm", a, feat,
+                                         params);
+}
+
+} // namespace baselines
+} // namespace sparsetir

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * cuSPARSE stand-ins: CSR SpMM (csrmm) and SDDMM (constrained GEMM).
+ */
+
+#ifndef SPARSETIR_BASELINES_CUSPARSE_H_
+#define SPARSETIR_BASELINES_CUSPARSE_H_
+
+#include <memory>
+
+#include "baselines/models.h"
+
+namespace sparsetir {
+namespace baselines {
+
+/** cuSPARSE CSR SpMM: warp-per-row row split, register accumulation. */
+std::unique_ptr<gpusim::Kernel> cusparseSpmm(const format::Csr &a,
+                                             int64_t feat);
+
+/**
+ * cuSPARSE SDDMM: dense-oriented sampled GEMM; scalar loads and no
+ * two-stage reduction make it slow on highly sparse graph patterns
+ * (paper Figure 14).
+ */
+std::unique_ptr<gpusim::Kernel> cusparseSddmm(const format::Csr &a,
+                                              int64_t feat);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_CUSPARSE_H_

@@ -1,0 +1,43 @@
+#include "baselines/dgsparse.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel>
+dgsparseSpmm(const format::Csr &a, int64_t feat)
+{
+    RowSplitParams params;
+    params.rowsPerBlock = 8;      // finer granularity than cuSPARSE
+    params.sortRows = false;
+    params.registerAccum = true;
+    params.vectorWidth = 4;
+    params.unrollDiscount = 0.4;
+    return std::make_unique<RowSplitSpmmKernel>("dgsparse_spmm", a, feat,
+                                                params);
+}
+
+std::unique_ptr<gpusim::Kernel>
+dgsparseSddmmCsr(const format::Csr &a, int64_t feat)
+{
+    SddmmParams params;
+    params.rowParallel = true;
+    params.vectorWidth = 4;
+    params.twoStageReduction = true;
+    return std::make_unique<SddmmKernel>("dgsparse_sddmm_csr", a, feat,
+                                         params);
+}
+
+std::unique_ptr<gpusim::Kernel>
+dgsparseSddmmCoo(const format::Csr &a, int64_t feat)
+{
+    SddmmParams params;
+    params.rowParallel = false;
+    params.nnzPerBlock = 16;
+    params.vectorWidth = 4;
+    params.twoStageReduction = true;
+    return std::make_unique<SddmmKernel>("dgsparse_sddmm_coo", a, feat,
+                                         params);
+}
+
+} // namespace baselines
+} // namespace sparsetir

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * dgSPARSE stand-ins: GE-SpMM / DA-SpMM SpMM and the PRedS SDDMM
+ * (CSR- and COO-parallel variants, paper Figure 14).
+ */
+
+#ifndef SPARSETIR_BASELINES_DGSPARSE_H_
+#define SPARSETIR_BASELINES_DGSPARSE_H_
+
+#include <memory>
+
+#include "baselines/models.h"
+
+namespace sparsetir {
+namespace baselines {
+
+/** GE-SpMM: coalesced row caching, warp per row group. */
+std::unique_ptr<gpusim::Kernel> dgsparseSpmm(const format::Csr &a,
+                                             int64_t feat);
+
+/** PRedS SDDMM, CSR (row-parallel) dispatch. */
+std::unique_ptr<gpusim::Kernel> dgsparseSddmmCsr(const format::Csr &a,
+                                                 int64_t feat);
+
+/** PRedS SDDMM, COO (non-zero-parallel) dispatch. */
+std::unique_ptr<gpusim::Kernel> dgsparseSddmmCoo(const format::Csr &a,
+                                                 int64_t feat);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_DGSPARSE_H_

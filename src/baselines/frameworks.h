@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Framework-level stand-ins: DGL/FeatGraph SDDMM (the Figure 14
+ * baseline), and the DGL / PyG / Graphiler RGCN execution plans of
+ * Figure 20 (per-relation two-stage gather-matmul-scatter with the
+ * intermediate T materialized in HBM).
+ */
+
+#ifndef SPARSETIR_BASELINES_FRAMEWORKS_H_
+#define SPARSETIR_BASELINES_FRAMEWORKS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/models.h"
+#include "format/relational.h"
+#include "gpusim/simulator.h"
+
+namespace sparsetir {
+namespace baselines {
+
+/** DGL's SDDMM (FeatGraph schedule): row-parallel, vectorized. */
+std::unique_ptr<gpusim::Kernel> dglSddmm(const format::Csr &a,
+                                         int64_t feat);
+
+/** DGL's SpMM dispatch (cuSPARSE-backed). */
+std::unique_ptr<gpusim::Kernel> dglSpmm(const format::Csr &a,
+                                        int64_t feat);
+
+/** An RGCN inference execution plan: a kernel sequence + footprint. */
+struct RgcnPlan
+{
+    std::vector<std::unique_ptr<gpusim::Kernel>> kernels;
+    /** Extra launches charged (framework dispatch overhead). */
+    int extraLaunches = 0;
+    /** Bytes of materialized intermediates. */
+    int64_t intermediateBytes = 0;
+};
+
+/**
+ * DGL RGCN: per relation, dense GEMM T_r = X @ W_r over all source
+ * nodes, then SpMM-style scatter of T_r (two-stage, T in HBM).
+ */
+RgcnPlan dglRgcn(const format::RelationalCsr &graph, int64_t feat_in,
+                 int64_t feat_out);
+
+/**
+ * PyG RGCN: edge-wise gather of transformed features (higher traffic,
+ * per-edge intermediate).
+ */
+RgcnPlan pygRgcn(const format::RelationalCsr &graph, int64_t feat_in,
+                 int64_t feat_out);
+
+/**
+ * Graphiler RGCN: compiled message passing; single fused pass per
+ * relation without HBM T for messages, but no load-balanced format
+ * and no Tensor Cores.
+ */
+RgcnPlan graphilerRgcn(const format::RelationalCsr &graph,
+                       int64_t feat_in, int64_t feat_out);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_FRAMEWORKS_H_

@@ -1,0 +1,493 @@
+#include "baselines/models.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace baselines {
+
+using format::Bsr;
+using format::Csr;
+using gpusim::BlockWork;
+using gpusim::MemAccess;
+
+namespace {
+
+/** Coalesced warp read of `bytes` contiguous bytes. */
+MemAccess
+contiguous(uint64_t addr, int64_t bytes, bool write = false)
+{
+    MemAccess access;
+    access.addr = addr;
+    access.bytes = static_cast<uint32_t>(
+        std::min<int64_t>(bytes, 1u << 30));
+    access.write = write;
+    return access;
+}
+
+/** Scattered access touching `lines` distinct lines over a span. */
+MemAccess
+scattered(uint64_t addr, int64_t span, int64_t lines,
+          bool write = false)
+{
+    MemAccess access;
+    access.addr = addr;
+    access.bytes = static_cast<uint32_t>(
+        std::min<int64_t>(span, 1u << 30));
+    access.scatteredLines = static_cast<uint32_t>(
+        std::min<int64_t>(lines, 1 << 28));
+    access.write = write;
+    return access;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// RowSplitSpmmKernel
+// ---------------------------------------------------------------------
+
+RowSplitSpmmKernel::RowSplitSpmmKernel(std::string name, const Csr &a,
+                                       int64_t feat,
+                                       RowSplitParams params)
+    : name_(std::move(name)), a_(a), feat_(feat), params_(params)
+{
+    rowOrder_.resize(a.rows);
+    std::iota(rowOrder_.begin(), rowOrder_.end(), 0);
+    if (params_.sortRows) {
+        // Row swizzle: sort by length, then deal the sorted rows out
+        // round-robin so every block receives a mix of long and short
+        // rows (Sputnik's load-balancing trick).
+        std::vector<int32_t> sorted = rowOrder_;
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](int32_t x, int32_t y) {
+                      return a.rowLength(x) > a.rowLength(y);
+                  });
+        int64_t blocks =
+            (a.rows + params_.rowsPerBlock - 1) / params_.rowsPerBlock;
+        size_t cursor = 0;
+        for (int64_t slot_in_block = 0;
+             slot_in_block < params_.rowsPerBlock; ++slot_in_block) {
+            for (int64_t b = 0; b < blocks; ++b) {
+                int64_t slot = b * params_.rowsPerBlock + slot_in_block;
+                if (slot < a.rows && cursor < sorted.size()) {
+                    rowOrder_[slot] = sorted[cursor++];
+                }
+            }
+        }
+    }
+    AddrAllocator alloc;
+    indptrBase_ = alloc.alloc((a.rows + 1) * 4);
+    indicesBase_ = alloc.alloc(a.nnz() * 4);
+    valuesBase_ = alloc.alloc(a.nnz() * 4);
+    bBase_ = alloc.alloc(a.cols * feat * 4);
+    cBase_ = alloc.alloc(a.rows * feat * 4);
+    footprint_ = (a.rows + 1) * 4 + a.nnz() * 8 +
+                 (a.cols + a.rows) * feat * 4;
+}
+
+int64_t
+RowSplitSpmmKernel::numBlocks() const
+{
+    return (a_.rows + params_.rowsPerBlock - 1) / params_.rowsPerBlock;
+}
+
+void
+RowSplitSpmmKernel::blockWork(int64_t block_id, BlockWork *work) const
+{
+    int64_t begin = block_id * params_.rowsPerBlock;
+    int64_t end = std::min<int64_t>(begin + params_.rowsPerBlock,
+                                    a_.rows);
+    double index_cost = 1.0 - params_.unrollDiscount;
+    for (int64_t slot = begin; slot < end; ++slot) {
+        int64_t r = rowOrder_[slot];
+        int32_t lo = a_.indptr[r];
+        int32_t hi = a_.indptr[r + 1];
+        work->accesses.push_back(
+            contiguous(indptrBase_ + r * 4, 8));
+        if (hi > lo) {
+            // Non-zero metadata/value reads are contiguous per row.
+            work->accesses.push_back(
+                contiguous(indicesBase_ + int64_t(lo) * 4,
+                           int64_t(hi - lo) * 4));
+            work->accesses.push_back(
+                contiguous(valuesBase_ + int64_t(lo) * 4,
+                           int64_t(hi - lo) * 4));
+        }
+        for (int32_t p = lo; p < hi; ++p) {
+            // Gather one row of B, warp-coalesced.
+            work->accesses.push_back(contiguous(
+                bBase_ + int64_t(a_.indices[p]) * feat_ * 4,
+                feat_ * 4));
+            work->flops += 2.0 * static_cast<double>(feat_);
+            work->intOps +=
+                index_cost * 4.0 *
+                static_cast<double>(feat_ / params_.vectorWidth);
+            if (!params_.registerAccum) {
+                // Global read-modify-write per non-zero.
+                work->accesses.push_back(
+                    contiguous(cBase_ + r * feat_ * 4, feat_ * 4));
+                work->accesses.push_back(contiguous(
+                    cBase_ + r * feat_ * 4, feat_ * 4, true));
+            }
+        }
+        if (params_.registerAccum) {
+            work->accesses.push_back(
+                contiguous(cBase_ + r * feat_ * 4, feat_ * 4, true));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EdgeSplitSpmmKernel
+// ---------------------------------------------------------------------
+
+EdgeSplitSpmmKernel::EdgeSplitSpmmKernel(std::string name, const Csr &a,
+                                         int64_t feat, int nnz_per_block,
+                                         int vector_width)
+    : name_(std::move(name)), a_(a), feat_(feat),
+      nnzPerBlock_(nnz_per_block), vectorWidth_(vector_width)
+{
+    rowOfNnz_.resize(a.nnz());
+    for (int64_t r = 0; r < a.rows; ++r) {
+        for (int32_t p = a.indptr[r]; p < a.indptr[r + 1]; ++p) {
+            rowOfNnz_[p] = static_cast<int32_t>(r);
+        }
+    }
+    AddrAllocator alloc;
+    alloc.alloc((a.rows + 1) * 4);
+    indicesBase_ = alloc.alloc(a.nnz() * 4);
+    valuesBase_ = alloc.alloc(a.nnz() * 4);
+    bBase_ = alloc.alloc(a.cols * feat * 4);
+    cBase_ = alloc.alloc(a.rows * feat * 4);
+}
+
+int64_t
+EdgeSplitSpmmKernel::numBlocks() const
+{
+    return (a_.nnz() + nnzPerBlock_ - 1) / nnzPerBlock_;
+}
+
+void
+EdgeSplitSpmmKernel::blockWork(int64_t block_id, BlockWork *work) const
+{
+    int64_t begin = block_id * nnzPerBlock_;
+    int64_t end = std::min<int64_t>(begin + nnzPerBlock_, a_.nnz());
+    if (begin >= end) {
+        return;
+    }
+    work->accesses.push_back(
+        contiguous(indicesBase_ + begin * 4, (end - begin) * 4));
+    work->accesses.push_back(
+        contiguous(valuesBase_ + begin * 4, (end - begin) * 4));
+    for (int64_t p = begin; p < end; ++p) {
+        work->accesses.push_back(contiguous(
+            bBase_ + int64_t(a_.indices[p]) * feat_ * 4, feat_ * 4));
+        // Atomic update of the output row.
+        work->accesses.push_back(contiguous(
+            cBase_ + int64_t(rowOfNnz_[p]) * feat_ * 4, feat_ * 4,
+            true));
+        work->flops += 2.0 * static_cast<double>(feat_);
+        work->intOps += 4.0 * static_cast<double>(feat_ /
+                                                  vectorWidth_);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SddmmKernel
+// ---------------------------------------------------------------------
+
+SddmmKernel::SddmmKernel(std::string name, const Csr &a, int64_t feat,
+                         SddmmParams params)
+    : name_(std::move(name)), a_(a), feat_(feat), params_(params)
+{
+    rowOfNnz_.resize(a.nnz());
+    for (int64_t r = 0; r < a.rows; ++r) {
+        for (int32_t p = a.indptr[r]; p < a.indptr[r + 1]; ++p) {
+            rowOfNnz_[p] = static_cast<int32_t>(r);
+        }
+    }
+    AddrAllocator alloc;
+    indptrBase_ = alloc.alloc((a.rows + 1) * 4);
+    indicesBase_ = alloc.alloc(a.nnz() * 4);
+    xBase_ = alloc.alloc(a.rows * feat * 4);
+    yBase_ = alloc.alloc(a.cols * feat * 4);
+    outBase_ = alloc.alloc(a.nnz() * 4);
+}
+
+int64_t
+SddmmKernel::numBlocks() const
+{
+    if (params_.rowParallel) {
+        return a_.rows;
+    }
+    return (a_.nnz() + params_.nnzPerBlock - 1) / params_.nnzPerBlock;
+}
+
+void
+SddmmKernel::blockWork(int64_t block_id, BlockWork *work) const
+{
+    int64_t begin;
+    int64_t end;
+    if (params_.rowParallel) {
+        begin = a_.indptr[block_id];
+        end = a_.indptr[block_id + 1];
+    } else {
+        begin = block_id * params_.nnzPerBlock;
+        end = std::min<int64_t>(begin + params_.nnzPerBlock, a_.nnz());
+    }
+    if (begin >= end) {
+        return;
+    }
+    work->accesses.push_back(
+        contiguous(indicesBase_ + begin * 4, (end - begin) * 4));
+    for (int64_t p = begin; p < end; ++p) {
+        int64_t r = rowOfNnz_[p];
+        int64_t c = a_.indices[p];
+        int vec = std::max(params_.vectorWidth, 1);
+        if (vec >= 4) {
+            // float4 loads: same bytes, 16B granules.
+            work->accesses.push_back(
+                contiguous(xBase_ + r * feat_ * 4, feat_ * 4));
+            work->accesses.push_back(
+                contiguous(yBase_ + c * feat_ * 4, feat_ * 4));
+        } else {
+            // Scalar loads: every element a separate 4B request.
+            work->accesses.push_back(scattered(
+                xBase_ + r * feat_ * 4, feat_ * 4, feat_ / 8 + 1));
+            work->accesses.push_back(scattered(
+                yBase_ + c * feat_ * 4, feat_ * 4, feat_ / 8 + 1));
+        }
+        work->flops += 2.0 * static_cast<double>(feat_);
+        work->intOps += 4.0 * static_cast<double>(feat_) / vec;
+        if (params_.twoStageReduction) {
+            // Intra-group reduction in registers + one inter-group
+            // combine: log-cost shuffle adds.
+            work->flops += 10.0;
+        } else {
+            // Serial reduction chain costs extra dependent adds.
+            work->flops += static_cast<double>(feat_);
+        }
+        work->accesses.push_back(
+            contiguous(outBase_ + p * 4, 4, true));
+    }
+}
+
+// ---------------------------------------------------------------------
+// DenseGemmKernel
+// ---------------------------------------------------------------------
+
+DenseGemmKernel::DenseGemmKernel(std::string name, int64_t m, int64_t n,
+                                 int64_t k, bool tensor_cores)
+    : name_(std::move(name)), m_(m), n_(n), k_(k),
+      tensorCores_(tensor_cores)
+{
+    tilesM_ = (m + 127) / 128;
+    tilesN_ = (n + 127) / 128;
+    AddrAllocator alloc;
+    int elem = tensor_cores ? 2 : 4;
+    aBase_ = alloc.alloc(m * k * elem);
+    bBase_ = alloc.alloc(k * n * elem);
+    cBase_ = alloc.alloc(m * n * 4);
+}
+
+int64_t
+DenseGemmKernel::numBlocks() const
+{
+    return tilesM_ * tilesN_;
+}
+
+void
+DenseGemmKernel::blockWork(int64_t block_id, BlockWork *work) const
+{
+    int64_t tm = block_id / tilesN_;
+    int64_t tn = block_id % tilesN_;
+    int elem = tensorCores_ ? 2 : 4;
+    int64_t rows = std::min<int64_t>(128, m_ - tm * 128);
+    int64_t cols = std::min<int64_t>(128, n_ - tn * 128);
+    // Stream A tile rows and B tile columns once per block; shared
+    // memory reuse within the tile.
+    work->accesses.push_back(
+        contiguous(aBase_ + tm * 128 * k_ * elem, rows * k_ * elem));
+    work->accesses.push_back(
+        contiguous(bBase_ + tn * 128 * k_ * elem, cols * k_ * elem));
+    work->sharedBytes +=
+        static_cast<double>((rows + cols) * k_ * elem);
+    double flops = 2.0 * static_cast<double>(rows) *
+                   static_cast<double>(cols) *
+                   static_cast<double>(k_);
+    if (tensorCores_) {
+        work->tensorFlops += flops;
+    } else {
+        work->flops += flops;
+    }
+    work->accesses.push_back(contiguous(
+        cBase_ + (tm * 128 * n_ + tn * 128) * 4, rows * cols * 4,
+        true));
+}
+
+// ---------------------------------------------------------------------
+// BlockSparseSpmmKernel
+// ---------------------------------------------------------------------
+
+BlockSparseSpmmKernel::BlockSparseSpmmKernel(std::string name,
+                                             const Bsr &a, int64_t feat,
+                                             bool tensor_cores)
+    : name_(std::move(name)), a_(a), feat_(feat),
+      tensorCores_(tensor_cores)
+{
+    featTiles_ = (feat + 63) / 64;
+    AddrAllocator alloc;
+    int elem = tensor_cores ? 2 : 4;
+    indptrBase_ = alloc.alloc((a.blockRows + 1) * 4);
+    indicesBase_ = alloc.alloc(a.nnzBlocks() * 4);
+    valuesBase_ = alloc.alloc(a.values.size() * elem);
+    bBase_ = alloc.alloc(a.cols * feat * elem);
+    cBase_ = alloc.alloc(a.rows * feat * 4);
+}
+
+int64_t
+BlockSparseSpmmKernel::numBlocks() const
+{
+    return a_.blockRows * featTiles_;
+}
+
+void
+BlockSparseSpmmKernel::blockWork(int64_t block_id, BlockWork *work) const
+{
+    int64_t br = block_id / featTiles_;
+    int64_t ft = block_id % featTiles_;
+    int elem = tensorCores_ ? 2 : 4;
+    int64_t bs = a_.blockSize;
+    int64_t tile_cols = std::min<int64_t>(64, feat_ - ft * 64);
+    int32_t lo = a_.indptr[br];
+    int32_t hi = a_.indptr[br + 1];
+    work->accesses.push_back(contiguous(indptrBase_ + br * 4, 8));
+    if (hi > lo) {
+        work->accesses.push_back(contiguous(
+            indicesBase_ + int64_t(lo) * 4, int64_t(hi - lo) * 4));
+    }
+    for (int32_t p = lo; p < hi; ++p) {
+        // A block and the matching B tile.
+        work->accesses.push_back(contiguous(
+            valuesBase_ + int64_t(p) * bs * bs * elem,
+            bs * bs * elem));
+        work->accesses.push_back(contiguous(
+            bBase_ +
+                (int64_t(a_.indices[p]) * bs * feat_ + ft * 64) * elem,
+            bs * tile_cols * elem));
+        double flops = 2.0 * static_cast<double>(bs) *
+                       static_cast<double>(bs) *
+                       static_cast<double>(tile_cols);
+        if (tensorCores_) {
+            work->tensorFlops += flops;
+        } else {
+            work->flops += flops;
+        }
+        work->sharedBytes += static_cast<double>(
+            (bs * bs + bs * tile_cols) * elem);
+    }
+    work->accesses.push_back(contiguous(
+        cBase_ + (br * bs * feat_ + ft * 64) * 4, bs * tile_cols * 4,
+        true));
+}
+
+// ---------------------------------------------------------------------
+// BlockSparseSddmmKernel
+// ---------------------------------------------------------------------
+
+BlockSparseSddmmKernel::BlockSparseSddmmKernel(std::string name,
+                                               const Bsr &a,
+                                               int64_t feat,
+                                               bool tensor_cores)
+    : name_(std::move(name)), a_(a), feat_(feat),
+      tensorCores_(tensor_cores)
+{
+    AddrAllocator alloc;
+    int elem = tensor_cores ? 2 : 4;
+    xBase_ = alloc.alloc(a.rows * feat * elem);
+    yBase_ = alloc.alloc(a.cols * feat * elem);
+    outBase_ = alloc.alloc(a.values.size() * 4);
+}
+
+int64_t
+BlockSparseSddmmKernel::numBlocks() const
+{
+    return a_.nnzBlocks();
+}
+
+void
+BlockSparseSddmmKernel::blockWork(int64_t block_id,
+                                  BlockWork *work) const
+{
+    int elem = tensorCores_ ? 2 : 4;
+    int64_t bs = a_.blockSize;
+    // Locate the block row of this non-zero block.
+    int64_t br = std::upper_bound(a_.indptr.begin(), a_.indptr.end(),
+                                  static_cast<int32_t>(block_id)) -
+                 a_.indptr.begin() - 1;
+    int64_t bc = a_.indices[block_id];
+    work->accesses.push_back(contiguous(
+        xBase_ + br * bs * feat_ * elem, bs * feat_ * elem));
+    work->accesses.push_back(contiguous(
+        yBase_ + bc * bs * feat_ * elem, bs * feat_ * elem));
+    double flops = 2.0 * static_cast<double>(bs) *
+                   static_cast<double>(bs) *
+                   static_cast<double>(feat_);
+    if (tensorCores_) {
+        work->tensorFlops += flops;
+    } else {
+        work->flops += flops;
+    }
+    work->accesses.push_back(contiguous(
+        outBase_ + block_id * bs * bs * 4, bs * bs * 4, true));
+}
+
+// ---------------------------------------------------------------------
+// GatherScatterKernel
+// ---------------------------------------------------------------------
+
+GatherScatterKernel::GatherScatterKernel(std::string name, int64_t rows,
+                                         int64_t feat, bool scatter_add)
+    : name_(std::move(name)), rows_(rows), feat_(feat),
+      scatterAdd_(scatter_add)
+{
+    AddrAllocator alloc;
+    mapBase_ = alloc.alloc(rows * 4);
+    srcBase_ = alloc.alloc(rows * feat * 4);
+    dstBase_ = alloc.alloc(rows * feat * 4);
+}
+
+int64_t
+GatherScatterKernel::numBlocks() const
+{
+    return (rows_ + 31) / 32;
+}
+
+void
+GatherScatterKernel::blockWork(int64_t block_id, BlockWork *work) const
+{
+    int64_t begin = block_id * 32;
+    int64_t end = std::min<int64_t>(begin + 32, rows_);
+    if (begin >= end) {
+        return;
+    }
+    work->accesses.push_back(
+        contiguous(mapBase_ + begin * 4, (end - begin) * 4));
+    for (int64_t r = begin; r < end; ++r) {
+        work->accesses.push_back(
+            contiguous(srcBase_ + r * feat_ * 4, feat_ * 4));
+        if (scatterAdd_) {
+            work->accesses.push_back(
+                contiguous(dstBase_ + r * feat_ * 4, feat_ * 4));
+            work->flops += static_cast<double>(feat_);
+        }
+        work->accesses.push_back(
+            contiguous(dstBase_ + r * feat_ * 4, feat_ * 4, true));
+        work->intOps += 2.0 * static_cast<double>(feat_ / 4);
+    }
+}
+
+} // namespace baselines
+} // namespace sparsetir

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Parameterized kernel models shared by the vendor/framework baseline
+ * stand-ins (DESIGN.md substitution 2).
+ *
+ * Each model reproduces the published algorithm's grid decomposition
+ * and memory-access pattern; per-vendor factories (cusparse.h,
+ * dgsparse.h, sputnik.h, taco.h, triton.h, cublas.h, torchsparse.h,
+ * frameworks.h) configure them with the knobs that distinguish the
+ * libraries: rows-per-block granularity, row sorting, register
+ * accumulation, vector width and pipeline efficiency.
+ */
+
+#ifndef SPARSETIR_BASELINES_MODELS_H_
+#define SPARSETIR_BASELINES_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "format/bsr.h"
+#include "format/csr.h"
+#include "gpusim/simulator.h"
+
+namespace sparsetir {
+namespace baselines {
+
+/** Simulated device address assignment shared by one model. */
+class AddrAllocator
+{
+  public:
+    uint64_t
+    alloc(int64_t bytes)
+    {
+        uint64_t base = next_;
+        next_ += static_cast<uint64_t>(((bytes + 255) / 256) * 256) + 256;
+        return base;
+    }
+
+  private:
+    uint64_t next_ = 1 << 20;
+};
+
+/** Knobs for the row-split SpMM family. */
+struct RowSplitParams
+{
+    /** Rows handled by one thread block. */
+    int rowsPerBlock = 32;
+    /** Sort rows by length before assignment (Sputnik's swizzle). */
+    bool sortRows = false;
+    /** Accumulate in registers (one C store) vs global read-update. */
+    bool registerAccum = true;
+    /** Vector load width in elements (1 = scalar, 4 = float4). */
+    int vectorWidth = 1;
+    /** Loop-unrolling quality: fraction of index overhead removed. */
+    double unrollDiscount = 0.0;
+};
+
+/**
+ * Row-split CSR SpMM model: C[m x feat] = A[m x n] * B[n x feat].
+ * Grid: ceil(rows / rowsPerBlock) blocks; each row walks its
+ * non-zeros, gathering rows of B with warp-coalesced loads.
+ */
+class RowSplitSpmmKernel : public gpusim::Kernel
+{
+  public:
+    RowSplitSpmmKernel(std::string name, const format::Csr &a,
+                       int64_t feat, RowSplitParams params);
+
+    std::string name() const override { return name_; }
+    int64_t numBlocks() const override;
+    void blockWork(int64_t block_id, gpusim::BlockWork *work) const
+        override;
+
+    int64_t
+    footprintBytes() const
+    {
+        return footprint_;
+    }
+
+  private:
+    std::string name_;
+    const format::Csr &a_;
+    int64_t feat_;
+    RowSplitParams params_;
+    std::vector<int32_t> rowOrder_;
+    uint64_t indptrBase_;
+    uint64_t indicesBase_;
+    uint64_t valuesBase_;
+    uint64_t bBase_;
+    uint64_t cBase_;
+    int64_t footprint_ = 0;
+};
+
+/**
+ * Edge-split (COO-style) SpMM: non-zeros evenly divided across blocks,
+ * results combined with atomics. Perfect balance, extra atomic
+ * traffic. dgSPARSE's DA-SpMM picks this for skewed matrices.
+ */
+class EdgeSplitSpmmKernel : public gpusim::Kernel
+{
+  public:
+    EdgeSplitSpmmKernel(std::string name, const format::Csr &a,
+                        int64_t feat, int nnz_per_block,
+                        int vector_width);
+
+    std::string name() const override { return name_; }
+    int64_t numBlocks() const override;
+    void blockWork(int64_t block_id, gpusim::BlockWork *work) const
+        override;
+
+  private:
+    std::string name_;
+    const format::Csr &a_;
+    int64_t feat_;
+    int nnzPerBlock_;
+    int vectorWidth_;
+    std::vector<int32_t> rowOfNnz_;
+    uint64_t indicesBase_;
+    uint64_t valuesBase_;
+    uint64_t bBase_;
+    uint64_t cBase_;
+};
+
+/** Knobs for SDDMM models. */
+struct SddmmParams
+{
+    /** Non-zeros per thread block. */
+    int nnzPerBlock = 8;
+    /** Vector load width (PRedS float4 = 4). */
+    int vectorWidth = 1;
+    /** Two-stage (intra+inter group) reduction (PRedS). */
+    bool twoStageReduction = false;
+    /** Parallelize over rows instead of non-zeros (FeatGraph/DGL). */
+    bool rowParallel = false;
+};
+
+/** SDDMM model: out_nnz = (X @ Y) sampled at A's pattern. */
+class SddmmKernel : public gpusim::Kernel
+{
+  public:
+    SddmmKernel(std::string name, const format::Csr &a, int64_t feat,
+                SddmmParams params);
+
+    std::string name() const override { return name_; }
+    int64_t numBlocks() const override;
+    void blockWork(int64_t block_id, gpusim::BlockWork *work) const
+        override;
+
+  private:
+    std::string name_;
+    const format::Csr &a_;
+    int64_t feat_;
+    SddmmParams params_;
+    std::vector<int32_t> rowOfNnz_;
+    uint64_t indptrBase_;
+    uint64_t indicesBase_;
+    uint64_t xBase_;
+    uint64_t yBase_;
+    uint64_t outBase_;
+};
+
+/**
+ * Dense GEMM model (cuBLAS stand-in): C[M x N] = A[M x K] * B[K x N],
+ * 128x128 output tiles staged through shared memory; optional
+ * Tensor-Core (fp16) path.
+ */
+class DenseGemmKernel : public gpusim::Kernel
+{
+  public:
+    DenseGemmKernel(std::string name, int64_t m, int64_t n, int64_t k,
+                    bool tensor_cores);
+
+    std::string name() const override { return name_; }
+    int64_t numBlocks() const override;
+    void blockWork(int64_t block_id, gpusim::BlockWork *work) const
+        override;
+
+  private:
+    std::string name_;
+    int64_t m_, n_, k_;
+    bool tensorCores_;
+    int64_t tilesM_, tilesN_;
+    uint64_t aBase_, bBase_, cBase_;
+};
+
+/**
+ * Block-sparse SpMM model over BSR blocks with Tensor Cores (Triton
+ * stand-in). Grid: (block rows) x (feat / 64) tiles.
+ */
+class BlockSparseSpmmKernel : public gpusim::Kernel
+{
+  public:
+    BlockSparseSpmmKernel(std::string name, const format::Bsr &a,
+                          int64_t feat, bool tensor_cores);
+
+    std::string name() const override { return name_; }
+    int64_t numBlocks() const override;
+    void blockWork(int64_t block_id, gpusim::BlockWork *work) const
+        override;
+
+  private:
+    std::string name_;
+    const format::Bsr &a_;
+    int64_t feat_;
+    bool tensorCores_;
+    int64_t featTiles_;
+    uint64_t indptrBase_, indicesBase_, valuesBase_, bBase_, cBase_;
+};
+
+/**
+ * Block-sparse SDDMM model (Triton stand-in): one output BSR block per
+ * thread block, X/Y tiles multiplied with Tensor Cores.
+ */
+class BlockSparseSddmmKernel : public gpusim::Kernel
+{
+  public:
+    BlockSparseSddmmKernel(std::string name, const format::Bsr &a,
+                           int64_t feat, bool tensor_cores);
+
+    std::string name() const override { return name_; }
+    int64_t numBlocks() const override;
+    void blockWork(int64_t block_id, gpusim::BlockWork *work) const
+        override;
+
+  private:
+    std::string name_;
+    const format::Bsr &a_;
+    int64_t feat_;
+    bool tensorCores_;
+    uint64_t xBase_, yBase_, outBase_;
+};
+
+/**
+ * Gather or scatter phase of TorchSparse-style sparse conv: moves
+ * `rows` rows of `feat` floats between scattered locations and a
+ * packed intermediate in HBM.
+ */
+class GatherScatterKernel : public gpusim::Kernel
+{
+  public:
+    GatherScatterKernel(std::string name, int64_t rows, int64_t feat,
+                        bool scatter_add);
+
+    std::string name() const override { return name_; }
+    int64_t numBlocks() const override;
+    void blockWork(int64_t block_id, gpusim::BlockWork *work) const
+        override;
+
+  private:
+    std::string name_;
+    int64_t rows_;
+    int64_t feat_;
+    bool scatterAdd_;
+    uint64_t srcBase_, dstBase_, mapBase_;
+};
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_MODELS_H_

@@ -1,0 +1,33 @@
+#include "baselines/sputnik.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel>
+sputnikSpmm(const format::Csr &a, int64_t feat)
+{
+    RowSplitParams params;
+    params.rowsPerBlock = 4;
+    params.sortRows = true;       // row swizzle load balancing
+    params.registerAccum = true;
+    params.vectorWidth = 4;
+    params.unrollDiscount = 0.3;
+    return std::make_unique<RowSplitSpmmKernel>("sputnik_spmm", a, feat,
+                                                params);
+}
+
+std::unique_ptr<gpusim::Kernel>
+sputnikSddmm(const format::Csr &a, int64_t feat)
+{
+    // Sputnik's SDDMM targets pruned-weight densities; on graph
+    // sparsity its 1-D tiling degrades to near-scalar efficiency.
+    SddmmParams params;
+    params.nnzPerBlock = 4;
+    params.vectorWidth = 1;
+    params.twoStageReduction = false;
+    return std::make_unique<SddmmKernel>("sputnik_sddmm", a, feat,
+                                         params);
+}
+
+} // namespace baselines
+} // namespace sparsetir

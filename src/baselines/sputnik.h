@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Sputnik stand-ins: row-swizzled, vector-load SpMM/SDDMM tuned for
+ * moderate deep-learning sparsity.
+ */
+
+#ifndef SPARSETIR_BASELINES_SPUTNIK_H_
+#define SPARSETIR_BASELINES_SPUTNIK_H_
+
+#include <memory>
+
+#include "baselines/models.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel> sputnikSpmm(const format::Csr &a,
+                                            int64_t feat);
+
+std::unique_ptr<gpusim::Kernel> sputnikSddmm(const format::Csr &a,
+                                             int64_t feat);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_SPUTNIK_H_

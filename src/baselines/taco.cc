@@ -1,0 +1,30 @@
+#include "baselines/taco.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel>
+tacoSpmm(const format::Csr &a, int64_t feat)
+{
+    RowSplitParams params;
+    params.rowsPerBlock = 8;
+    params.sortRows = false;
+    params.registerAccum = false;  // global read-modify-write per nnz
+    params.vectorWidth = 1;
+    params.unrollDiscount = 0.0;
+    return std::make_unique<RowSplitSpmmKernel>("taco_spmm", a, feat,
+                                                params);
+}
+
+std::unique_ptr<gpusim::Kernel>
+tacoSddmm(const format::Csr &a, int64_t feat)
+{
+    SddmmParams params;
+    params.nnzPerBlock = 8;
+    params.vectorWidth = 1;
+    params.twoStageReduction = false;  // no rfactor at this level
+    return std::make_unique<SddmmKernel>("taco_sddmm", a, feat, params);
+}
+
+} // namespace baselines
+} // namespace sparsetir

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * TACO stand-ins: auto-scheduled CSR kernels with compile-time load
+ * balancing but no register caching or unrolling (paper §4.2.1: "it
+ * does not support caching the partially aggregated result in
+ * registers ... the irregularity of the CSR format limits the
+ * application of loop unrolling").
+ */
+
+#ifndef SPARSETIR_BASELINES_TACO_H_
+#define SPARSETIR_BASELINES_TACO_H_
+
+#include <memory>
+
+#include "baselines/models.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel> tacoSpmm(const format::Csr &a,
+                                         int64_t feat);
+
+std::unique_ptr<gpusim::Kernel> tacoSddmm(const format::Csr &a,
+                                          int64_t feat);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_TACO_H_

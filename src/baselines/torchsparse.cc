@@ -1,0 +1,30 @@
+#include "baselines/torchsparse.h"
+
+namespace sparsetir {
+namespace baselines {
+
+TorchSparseConv
+torchsparseConv(const format::RelationalCsr &maps, int64_t feat_in,
+                int64_t feat_out)
+{
+    TorchSparseConv conv;
+    for (size_t r = 0; r < maps.relations.size(); ++r) {
+        const format::Csr &rel = maps.relations[r];
+        int64_t pairs = rel.nnz();
+        if (pairs == 0) {
+            continue;
+        }
+        std::string tag = "_r" + std::to_string(r);
+        conv.kernels.push_back(std::make_unique<GatherScatterKernel>(
+            "ts_gather" + tag, pairs, feat_in, false));
+        conv.kernels.push_back(std::make_unique<DenseGemmKernel>(
+            "ts_gemm" + tag, pairs, feat_out, feat_in, false));
+        conv.kernels.push_back(std::make_unique<GatherScatterKernel>(
+            "ts_scatter" + tag, pairs, feat_out, true));
+        conv.intermediateBytes += pairs * (feat_in + feat_out) * 4;
+    }
+    return conv;
+}
+
+} // namespace baselines
+} // namespace sparsetir

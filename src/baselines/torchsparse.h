@@ -1,0 +1,39 @@
+/**
+ * @file
+ * TorchSparse stand-in (paper §4.4.2): sparse convolution as explicit
+ * gather -> cuBLAS GEMM -> scatter with the intermediate matrix T
+ * materialized in HBM (no on-chip fusion).
+ */
+
+#ifndef SPARSETIR_BASELINES_TORCHSPARSE_H_
+#define SPARSETIR_BASELINES_TORCHSPARSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/models.h"
+#include "format/relational.h"
+#include "gpusim/simulator.h"
+
+namespace sparsetir {
+namespace baselines {
+
+/** One relation's phase kernels plus T footprint. */
+struct TorchSparseConv
+{
+    std::vector<std::unique_ptr<gpusim::Kernel>> kernels;
+    /** Bytes of materialized intermediates (footprint accounting). */
+    int64_t intermediateBytes = 0;
+};
+
+/**
+ * Build the kernel sequence for one sparse-conv layer over a kernel
+ * map: per relation gather + GEMM + scatter-add.
+ */
+TorchSparseConv torchsparseConv(const format::RelationalCsr &maps,
+                                int64_t feat_in, int64_t feat_out);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_TORCHSPARSE_H_

@@ -1,0 +1,21 @@
+#include "baselines/triton.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel>
+tritonBlockSpmm(const format::Bsr &a, int64_t feat)
+{
+    return std::make_unique<BlockSparseSpmmKernel>("triton_bsrmm", a,
+                                                   feat, true);
+}
+
+std::unique_ptr<gpusim::Kernel>
+tritonBlockSddmm(const format::Bsr &a, int64_t feat)
+{
+    return std::make_unique<BlockSparseSddmmKernel>("triton_bsddmm", a,
+                                                    feat, true);
+}
+
+} // namespace baselines
+} // namespace sparsetir

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Triton block-sparse stand-ins (paper §4.3): BSR SpMM/SDDMM with
+ * Tensor Cores, the baseline of Figures 16 and 17.
+ */
+
+#ifndef SPARSETIR_BASELINES_TRITON_H_
+#define SPARSETIR_BASELINES_TRITON_H_
+
+#include <memory>
+
+#include "baselines/models.h"
+
+namespace sparsetir {
+namespace baselines {
+
+std::unique_ptr<gpusim::Kernel> tritonBlockSpmm(const format::Bsr &a,
+                                                int64_t feat);
+
+std::unique_ptr<gpusim::Kernel> tritonBlockSddmm(const format::Bsr &a,
+                                                 int64_t feat);
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_TRITON_H_

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Documented pipeline-efficiency constants for vendor baselines.
+ *
+ * The simulator models mechanisms (balance, caching, coalescing,
+ * launches, Tensor Cores); what it cannot derive is how close each
+ * closed-source library runs to the hardware roofline. These factors
+ * encode that calibration: > 1 means better-than-our-default
+ * instruction scheduling. They are the only "magic numbers" in the
+ * baseline stand-ins and every value is used through SimOptions::
+ * efficiency so it is visible at the call site.
+ */
+
+#ifndef SPARSETIR_BASELINES_VENDOR_CONSTANTS_H_
+#define SPARSETIR_BASELINES_VENDOR_CONSTANTS_H_
+
+namespace sparsetir {
+namespace baselines {
+
+/** cuBLAS dense GEMM: heavily tuned, near-roofline. */
+inline constexpr double kCublasEfficiency = 1.25;
+
+/** cuSPARSE: well-tuned generic kernels. */
+inline constexpr double kCusparseEfficiency = 1.0;
+
+/** dgSPARSE (GE-SpMM / DA-SpMM / PRedS): research-tuned. */
+inline constexpr double kDgsparseEfficiency = 1.05;
+
+/** Sputnik: tuned for moderate (DL) sparsity. */
+inline constexpr double kSputnikEfficiency = 1.0;
+
+/** TACO-generated code: portable, no register-level tuning. */
+inline constexpr double kTacoEfficiency = 0.8;
+
+/** Triton block-sparse: tile-level tuned. */
+inline constexpr double kTritonEfficiency = 1.1;
+
+/** TorchSparse: tuned gather/scatter + cuBLAS GEMM. */
+inline constexpr double kTorchSparseEfficiency = 1.0;
+
+/** Framework-dispatched kernels (DGL/PyG): framework overhead folded
+ *  into per-launch costs instead; kernels themselves near cuSPARSE. */
+inline constexpr double kFrameworkEfficiency = 0.95;
+
+/** SparseTIR-generated kernels (ours). */
+inline constexpr double kSparseTirEfficiency = 1.0;
+
+} // namespace baselines
+} // namespace sparsetir
+
+#endif // SPARSETIR_BASELINES_VENDOR_CONSTANTS_H_

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CUDA-like source emission from Stage III functions (paper §3.5).
+ *
+ * There is no NVCC in this environment, so the emitted source is for
+ * inspection and golden testing; functional semantics come from the
+ * interpreter and timing from the GPU simulator (see DESIGN.md,
+ * substitution 5).
+ */
+
+#ifndef SPARSETIR_CODEGEN_CUDA_CODEGEN_H_
+#define SPARSETIR_CODEGEN_CUDA_CODEGEN_H_
+
+#include <string>
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace codegen {
+
+/** Emit a CUDA __global__ kernel for a Stage III function. */
+std::string emitCuda(const ir::PrimFunc &func);
+
+} // namespace codegen
+} // namespace sparsetir
+
+#endif // SPARSETIR_CODEGEN_CUDA_CODEGEN_H_

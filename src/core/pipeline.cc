@@ -1,0 +1,414 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "core/ops.h"
+#include "schedule/schedule.h"
+#include "support/logging.h"
+#include "transform/format_decompose.h"
+#include "transform/lower_sparse_buffer.h"
+#include "transform/lower_sparse_iter.h"
+
+namespace sparsetir {
+namespace core {
+
+using namespace ir;
+using format::Csr;
+using runtime::NDArray;
+
+// ---------------------------------------------------------------------
+// BindingSet / BoundKernel
+// ---------------------------------------------------------------------
+
+NDArray *
+BindingSet::own(const std::string &param, NDArray arr)
+{
+    storage_.push_back(std::move(arr));
+    NDArray *ptr = &storage_.back();
+    bindings_.arrays[param] = ptr;
+    return ptr;
+}
+
+void
+BindingSet::external(const std::string &param, NDArray *arr)
+{
+    bindings_.arrays[param] = arr;
+}
+
+void
+BindingSet::scalar(const std::string &param, int64_t value)
+{
+    bindings_.scalars[param] = value;
+}
+
+NDArray *
+BindingSet::find(const std::string &param) const
+{
+    auto it = bindings_.arrays.find(param);
+    return it == bindings_.arrays.end() ? nullptr : it->second;
+}
+
+BoundKernel::BoundKernel(PrimFunc stage3,
+                         std::shared_ptr<BindingSet> bindings)
+    : func_(std::move(stage3)), bindings_(std::move(bindings))
+{}
+
+void
+BoundKernel::execute() const
+{
+    runtime::run(func_, bindings_->view());
+}
+
+gpusim::IrKernel &
+BoundKernel::simKernel()
+{
+    if (sim_ == nullptr) {
+        sim_ = std::make_unique<gpusim::IrKernel>(func_,
+                                                  bindings_->view());
+    }
+    return *sim_;
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Lower a Stage I function all the way to Stage III. */
+PrimFunc
+lowerToStage2(const PrimFunc &stage1)
+{
+    return transform::lowerSparseIterations(stage1);
+}
+
+int
+clampThreadX(int64_t feat, int want)
+{
+    int tx = static_cast<int>(std::min<int64_t>(want, feat));
+    // Round down to a power of two for clean splits.
+    int p = 1;
+    while (p * 2 <= tx) {
+        p *= 2;
+    }
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CSR SpMM
+// ---------------------------------------------------------------------
+
+std::shared_ptr<BoundKernel>
+compileSpmmCsr(const Csr &a, int64_t feat,
+               const std::shared_ptr<BindingSet> &shared,
+               const SpmmSchedule &params)
+{
+    PrimFunc stage2 = lowerToStage2(buildSpmm());
+    schedule::Schedule sch(stage2);
+    auto loops = sch.getLoops("spmm");  // i, j, k
+    const std::string i = loops[0];
+    const std::string j = loops[1];
+    const std::string k = loops[2];
+    sch.reorder({k, j});
+    int tx = clampThreadX(feat, params.threadX);
+    auto [k_o, k_i] = sch.split(k, tx);
+    sch.bind(i, "blockIdx.x");
+    sch.bind(k_i, "threadIdx.x");
+    sch.cacheWrite("spmm", "C");
+    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+
+    shared->scalar("m", a.rows);
+    shared->scalar("n", a.cols);
+    shared->scalar("nnz", a.nnz());
+    shared->scalar("feat_size", feat);
+    shared->own("J_indptr", NDArray::fromInt32(a.indptr));
+    shared->own("J_indices", NDArray::fromInt32(a.indices));
+    shared->own("A_data", NDArray::fromFloat(a.values));
+    return std::make_shared<BoundKernel>(stage3, shared);
+}
+
+// ---------------------------------------------------------------------
+// hyb(c, k) SpMM through format decomposition
+// ---------------------------------------------------------------------
+
+HybSpmm
+compileSpmmHyb(const Csr &a, int64_t feat, int c, int k,
+               const std::shared_ptr<BindingSet> &shared, int threadX)
+{
+    HybSpmm result;
+    result.bindings = shared;
+    result.hyb = format::hybFromCsr(a, c, k);
+    const format::Hyb &hyb = result.hyb;
+
+    // One ELL rewrite rule per non-empty (partition, bucket).
+    std::vector<transform::FormatRewriteRule> rules;
+    struct BucketRef
+    {
+        int partition;
+        int bucket;
+        const format::Ell *ell;
+        std::string suffix;
+    };
+    std::vector<BucketRef> refs;
+    for (int p = 0; p < hyb.numPartitions; ++p) {
+        for (size_t b = 0; b < hyb.buckets[p].size(); ++b) {
+            const format::Ell &ell = hyb.buckets[p][b];
+            if (ell.numRows() == 0) {
+                continue;
+            }
+            std::string suffix =
+                "p" + std::to_string(p) + "b" + std::to_string(b);
+            rules.push_back(ellRule(suffix, a.rows, a.cols,
+                                    ell.numRows(), ell.width));
+            refs.push_back({p, static_cast<int>(b), &ell, suffix});
+        }
+    }
+    USER_CHECK(!rules.empty()) << "matrix has no non-zeros";
+
+    PrimFunc stage1 = buildSpmm();
+    transform::DecomposeResult decomposed =
+        transform::decomposeFormat(stage1, rules);
+    auto [pre, compute] = transform::splitPreprocess(
+        decomposed.func, decomposed.copyIterNames);
+
+    // Shared scalars and the original CSR arrays (the copy kernels
+    // reference them; compute kernels only touch bucket data).
+    shared->scalar("m", a.rows);
+    shared->scalar("n", a.cols);
+    shared->scalar("nnz", a.nnz());
+    shared->scalar("feat_size", feat);
+    shared->own("J_indptr", NDArray::fromInt32(a.indptr));
+    shared->own("J_indices", NDArray::fromInt32(a.indices));
+    shared->own("A_data", NDArray::fromFloat(a.values));
+
+    // Bucket structure + values, prepared by the format library (the
+    // pre-processing path; equivalent to running the generated copy
+    // iterations once).
+    for (const BucketRef &ref : refs) {
+        const format::Ell &ell = *ref.ell;
+        shared->own("I" + ref.suffix + "_indices",
+                    NDArray::fromInt32(ell.rowIndices));
+        shared->own("J" + ref.suffix + "_indices",
+                    NDArray::fromInt32(ell.colIndices));
+        shared->own("A_ell_" + ref.suffix + "_data",
+                    NDArray::fromFloat(ell.values));
+    }
+
+    // Per-bucket kernels: lower + GE-SpMM-style schedule.
+    std::vector<PrimFunc> pieces = splitIterations(compute);
+    ICHECK_EQ(pieces.size(), refs.size());
+    int tx = clampThreadX(feat, threadX);
+    for (size_t idx = 0; idx < pieces.size(); ++idx) {
+        const BucketRef &ref = refs[idx];
+        const std::string block_name = "spmm_ell_" + ref.suffix;
+        PrimFunc stage2 = lowerToStage2(pieces[idx]);
+        schedule::Schedule sch(stage2);
+        auto loops = sch.getLoops(block_name);  // o, i, j, k
+        std::string fused = sch.fuse(loops[0], loops[1]);
+        // Bucket b groups 2^(k - b) rows so each block covers ~2^k
+        // non-zeros (compile-time load balancing, §4.2.1).
+        int width = ref.ell->width;
+        int rows_per_block = std::max<int64_t>(
+            1, (1 << hyb.maxWidthLog2) / std::max(width, 1));
+        rows_per_block = static_cast<int>(std::min<int64_t>(
+            rows_per_block, ref.ell->numRows()));
+        auto [f_o, f_i] = sch.split(fused, rows_per_block);
+        auto [k_o, k_i] = sch.split(loops[3], tx);
+        sch.reorder({k_o, k_i, loops[2]});
+        sch.bind(f_o, "blockIdx.x");
+        sch.bind(f_i, "threadIdx.y");
+        sch.bind(k_i, "threadIdx.x");
+        // Buckets contribute partial sums to a zero-initialized C.
+        sch.cacheWrite(block_name, "C", /*accumulate=*/true);
+        PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+        result.kernels.push_back(
+            std::make_shared<BoundKernel>(stage3, shared));
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// SDDMM
+// ---------------------------------------------------------------------
+
+std::shared_ptr<BoundKernel>
+compileSddmm(const Csr &a, int64_t feat,
+             const std::shared_ptr<BindingSet> &shared,
+             const SddmmSchedule &params)
+{
+    PrimFunc stage2 = lowerToStage2(buildSddmm(/*fuse_ij=*/true));
+    schedule::Schedule sch(stage2);
+    auto loops = sch.getLoops("sddmm");  // ij, k
+    auto [ij_o, ij_i] = sch.split(loops[0], params.workloadsPerBlock);
+    int group = clampThreadX(feat, params.groupSize);
+    auto [k_o, k_i] = sch.split(loops[1], group);
+    sch.reorder({k_i, k_o});
+    // Two-stage reduction (PRedS): factor the lane dimension out of
+    // the reduction, then parallelize it over threadIdx.x.
+    sch.rfactor("sddmm", k_i);
+    sch.bind(ij_o, "blockIdx.x");
+    sch.bind(ij_i, "threadIdx.y");
+    sch.bind(k_i, "threadIdx.x");
+    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+
+    shared->scalar("m", a.rows);
+    shared->scalar("n", a.cols);
+    shared->scalar("nnz", a.nnz());
+    shared->scalar("feat_size", feat);
+    shared->own("J_indptr", NDArray::fromInt32(a.indptr));
+    shared->own("J_indices", NDArray::fromInt32(a.indices));
+    shared->own("A_data", NDArray::fromFloat(a.values));
+    return std::make_shared<BoundKernel>(stage3, shared);
+}
+
+// ---------------------------------------------------------------------
+// BSR SpMM
+// ---------------------------------------------------------------------
+
+std::shared_ptr<BoundKernel>
+compileBsrSpmm(const format::Bsr &a, int64_t feat,
+               const std::shared_ptr<BindingSet> &shared,
+               bool tensor_cores)
+{
+    PrimFunc stage2 = lowerToStage2(buildBsrSpmm(a.blockSize));
+    schedule::Schedule sch(stage2);
+    auto loops = sch.getLoops("bsr_spmm");  // io, jo, k, ii, ji
+    int tx = clampThreadX(feat, 32);
+    auto [k_o, k_i] = sch.split(loops[2], tx);
+    sch.bind(loops[0], "blockIdx.x");
+    sch.bind(k_i, "threadIdx.x");
+    if (tensor_cores) {
+        sch.tensorize("bsr_spmm", "m16n16k16");
+    }
+    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+
+    shared->scalar("mb", a.blockRows);
+    shared->scalar("nb", a.blockCols);
+    shared->scalar("nnzb", a.nnzBlocks());
+    shared->scalar("feat_size", feat);
+    shared->own("JO_indptr", NDArray::fromInt32(a.indptr));
+    shared->own("JO_indices", NDArray::fromInt32(a.indices));
+    shared->own("A_data", NDArray::fromFloat(a.values));
+    return std::make_shared<BoundKernel>(stage3, shared);
+}
+
+// ---------------------------------------------------------------------
+// SR-BCRS SpMM
+// ---------------------------------------------------------------------
+
+std::shared_ptr<BoundKernel>
+compileSrbcrsSpmm(const format::SrBcrs &a, int64_t feat,
+                  const std::shared_ptr<BindingSet> &shared)
+{
+    PrimFunc stage2 = lowerToStage2(
+        buildSrbcrsSpmm(a.tileHeight, a.groupSize));
+    schedule::Schedule sch(stage2);
+    auto loops = sch.getLoops("srbcrs_spmm");  // s, g, t, v, k
+    int tx = clampThreadX(feat, 32);
+    auto [k_o, k_i] = sch.split(loops[4], tx);
+    sch.reorder({k_o, k_i, loops[3], loops[2]});
+    sch.bind(loops[0], "blockIdx.x");
+    sch.bind(k_i, "threadIdx.x");
+    sch.tensorize("srbcrs_spmm", "m8n32k16");
+    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+
+    shared->scalar("stripes", a.stripes);
+    shared->scalar("n", a.cols);
+    shared->scalar("total_groups", a.numGroups());
+    shared->scalar("feat_size", feat);
+    shared->own("G_indptr", NDArray::fromInt32(a.groupIndptr));
+    shared->own("T_indices", NDArray::fromInt32(a.tileCols));
+    shared->own("A_data", NDArray::fromFloat(a.values));
+    return std::make_shared<BoundKernel>(stage3, shared);
+}
+
+// ---------------------------------------------------------------------
+// ELL RGMS (fused gather-matmul-scatter)
+// ---------------------------------------------------------------------
+
+std::shared_ptr<BoundKernel>
+compileEllRgms(const format::Ell &bucket, int64_t feat_in,
+               int64_t feat_out,
+               const std::shared_ptr<BindingSet> &shared,
+               const std::string &suffix, bool tensor_cores,
+               int rows_per_block)
+{
+    const std::string block_name = "rgms_" + suffix;
+    PrimFunc stage2 = lowerToStage2(buildEllRgms(
+        bucket.numRows(), bucket.width, feat_in, feat_out, suffix));
+    schedule::Schedule sch(stage2);
+    auto loops = sch.getLoops(block_name);  // o, i, j, k, l
+    std::string fused = sch.fuse(loops[0], loops[1]);
+    int rpb = static_cast<int>(std::min<int64_t>(
+        std::max(rows_per_block, 1), bucket.numRows()));
+    auto [f_o, f_i] = sch.split(fused, rpb);
+    int tx = clampThreadX(feat_out, 32);
+    auto [l_o, l_i] = sch.split(loops[4], tx);
+    sch.reorder({l_o, l_i, loops[2], loops[3]});
+    sch.bind(f_o, "blockIdx.x");
+    sch.bind(f_i, "threadIdx.y");
+    sch.bind(l_i, "threadIdx.x");
+    // Pin the relation's weight matrix in shared memory (Figure 21).
+    sch.cacheRead(f_i, "W", MemScope::kShared);
+    sch.cacheWrite(block_name, "Y", /*accumulate=*/true);
+    if (tensor_cores) {
+        sch.tensorize(block_name, "m16n16k16");
+    }
+    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+
+    shared->scalar("feat_in", feat_in);
+    shared->scalar("feat_out", feat_out);
+    shared->own("I" + suffix + "_indices",
+                NDArray::fromInt32(bucket.rowIndices));
+    shared->own("J" + suffix + "_indices",
+                NDArray::fromInt32(bucket.colIndices));
+    shared->own("A" + suffix + "_data",
+                NDArray::fromFloat(bucket.values));
+    return std::make_shared<BoundKernel>(stage3, shared);
+}
+
+// ---------------------------------------------------------------------
+// References
+// ---------------------------------------------------------------------
+
+std::vector<float>
+referenceSpmm(const Csr &a, const std::vector<float> &b, int64_t feat)
+{
+    ICHECK_EQ(static_cast<int64_t>(b.size()), a.cols * feat);
+    std::vector<float> out(a.rows * feat, 0.0f);
+    for (int64_t r = 0; r < a.rows; ++r) {
+        for (int32_t p = a.indptr[r]; p < a.indptr[r + 1]; ++p) {
+            float v = a.values[p];
+            const float *brow = &b[static_cast<int64_t>(a.indices[p]) *
+                                   feat];
+            float *crow = &out[r * feat];
+            for (int64_t k = 0; k < feat; ++k) {
+                crow[k] += v * brow[k];
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+referenceSddmm(const Csr &a, const std::vector<float> &x,
+               const std::vector<float> &y, int64_t feat)
+{
+    std::vector<float> out(a.nnz(), 0.0f);
+    for (int64_t r = 0; r < a.rows; ++r) {
+        for (int32_t p = a.indptr[r]; p < a.indptr[r + 1]; ++p) {
+            int64_t c = a.indices[p];
+            float acc = 0.0f;
+            for (int64_t k = 0; k < feat; ++k) {
+                acc += x[r * feat + k] * y[k * a.cols + c];
+            }
+            out[p] = a.values[p] * acc;
+        }
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace sparsetir

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * End-to-end compile pipelines: Stage I op -> (format decomposition)
+ * -> lowering -> Stage II schedules -> Stage III -> bound, runnable,
+ * simulatable kernels.
+ *
+ * This is the public API a downstream user programs against; the
+ * bench harness and examples are built on it.
+ */
+
+#ifndef SPARSETIR_CORE_PIPELINE_H_
+#define SPARSETIR_CORE_PIPELINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "format/bsr.h"
+#include "format/csr.h"
+#include "format/ell.h"
+#include "format/hyb.h"
+#include "format/srbcrs.h"
+#include "gpusim/ir_kernel.h"
+#include "ir/prim_func.h"
+#include "runtime/interpreter.h"
+
+namespace sparsetir {
+namespace core {
+
+/** Owned + external arrays/scalars shared by a group of kernels. */
+class BindingSet
+{
+  public:
+    /** Own an array under a parameter name; returns a stable pointer. */
+    runtime::NDArray *own(const std::string &param, runtime::NDArray arr);
+    /** Bind an external array (caller keeps ownership). */
+    void external(const std::string &param, runtime::NDArray *arr);
+    /** Bind a scalar. */
+    void scalar(const std::string &param, int64_t value);
+
+    const runtime::Bindings &view() const { return bindings_; }
+    runtime::NDArray *find(const std::string &param) const;
+
+  private:
+    runtime::Bindings bindings_;
+    std::deque<runtime::NDArray> storage_;
+};
+
+/** A Stage III function bound to data: executable and simulatable. */
+class BoundKernel
+{
+  public:
+    BoundKernel(ir::PrimFunc stage3,
+                std::shared_ptr<BindingSet> bindings);
+
+    const ir::PrimFunc &func() const { return func_; }
+    const std::shared_ptr<BindingSet> &bindings() const
+    {
+        return bindings_;
+    }
+
+    /** Functional execution on the host interpreter. */
+    void execute() const;
+
+    /** Simulator adapter (built lazily, cached). */
+    gpusim::IrKernel &simKernel();
+
+  private:
+    ir::PrimFunc func_;
+    std::shared_ptr<BindingSet> bindings_;
+    std::unique_ptr<gpusim::IrKernel> sim_;
+};
+
+/** Tunable schedule parameters for SpMM-family kernels. */
+struct SpmmSchedule
+{
+    /** threadIdx.x width over the feature dimension. */
+    int threadX = 32;
+    /** Rows grouped into one thread block (hyb buckets override). */
+    int rowsPerBlock = 1;
+};
+
+/** Tunable schedule parameters for SDDMM. */
+struct SddmmSchedule
+{
+    /** Non-zeros per thread block. */
+    int workloadsPerBlock = 8;
+    /** Reduction lanes (rfactor width). */
+    int groupSize = 32;
+};
+
+/** CSR SpMM (SparseTIR no-hyb): C = A @ B. */
+std::shared_ptr<BoundKernel> compileSpmmCsr(
+    const format::Csr &a, int64_t feat,
+    const std::shared_ptr<BindingSet> &shared,
+    const SpmmSchedule &params = SpmmSchedule());
+
+/** Result of a hyb(c, k) SpMM compilation. */
+struct HybSpmm
+{
+    format::Hyb hyb;
+    /** One kernel per non-empty (partition, bucket). */
+    std::vector<std::shared_ptr<BoundKernel>> kernels;
+    std::shared_ptr<BindingSet> bindings;
+};
+
+/**
+ * SpMM through the composable-format pipeline: decomposeFormat with
+ * one ELL rule per non-empty (partition, bucket), per-bucket GE-SpMM
+ * style schedules, bucket data prepared by format::hybFromCsr.
+ * The paper's Figure 11/13 "SparseTIR(hyb)" configuration.
+ */
+HybSpmm compileSpmmHyb(const format::Csr &a, int64_t feat, int c, int k,
+                       const std::shared_ptr<BindingSet> &shared,
+                       int threadX = 32);
+
+/** Fused SDDMM with two-stage (rfactor) reduction, PRedS-style. */
+std::shared_ptr<BoundKernel> compileSddmm(
+    const format::Csr &a, int64_t feat,
+    const std::shared_ptr<BindingSet> &shared,
+    const SddmmSchedule &params = SddmmSchedule());
+
+/** BSR SpMM; `tensor_cores` routes the MMA to the TC pipe (fp16). */
+std::shared_ptr<BoundKernel> compileBsrSpmm(
+    const format::Bsr &a, int64_t feat,
+    const std::shared_ptr<BindingSet> &shared, bool tensor_cores);
+
+/** SR-BCRS(t, g) SpMM with Tensor-Core MMA (m8n32k16). */
+std::shared_ptr<BoundKernel> compileSrbcrsSpmm(
+    const format::SrBcrs &a, int64_t feat,
+    const std::shared_ptr<BindingSet> &shared);
+
+/**
+ * One fused gather-matmul-scatter kernel for an ELL bucket of one
+ * relation (paper Figure 21): Y += scatter(A_ell @ X @ W_r).
+ * X/W/Y are bound externally in `shared` as "X_data"/"W_data"/
+ * "Y_data" by the caller. Suffix keeps kernels distinct.
+ */
+std::shared_ptr<BoundKernel> compileEllRgms(
+    const format::Ell &bucket, int64_t feat_in, int64_t feat_out,
+    const std::shared_ptr<BindingSet> &shared, const std::string &suffix,
+    bool tensor_cores, int rows_per_block = 4);
+
+/** Dense reference SpMM for verification: C = A_dense @ B. */
+std::vector<float> referenceSpmm(const format::Csr &a,
+                                 const std::vector<float> &b,
+                                 int64_t feat);
+
+/** Dense reference SDDMM: out_nnz = (X @ Y) masked to A's pattern. */
+std::vector<float> referenceSddmm(const format::Csr &a,
+                                  const std::vector<float> &x,
+                                  const std::vector<float> &y,
+                                  int64_t feat);
+
+} // namespace core
+} // namespace sparsetir
+
+#endif // SPARSETIR_CORE_PIPELINE_H_

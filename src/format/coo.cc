@@ -1,0 +1,82 @@
+#include "format/coo.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace format {
+
+void
+cooCanonicalize(Coo &m)
+{
+    std::vector<size_t> order(m.row.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (m.row[a] != m.row[b]) {
+            return m.row[a] < m.row[b];
+        }
+        return m.col[a] < m.col[b];
+    });
+    std::vector<int32_t> row;
+    std::vector<int32_t> col;
+    std::vector<float> val;
+    row.reserve(order.size());
+    col.reserve(order.size());
+    val.reserve(order.size());
+    for (size_t idx : order) {
+        if (!row.empty() && row.back() == m.row[idx] &&
+            col.back() == m.col[idx]) {
+            val.back() += m.val[idx];
+        } else {
+            row.push_back(m.row[idx]);
+            col.push_back(m.col[idx]);
+            val.push_back(m.val[idx]);
+        }
+    }
+    m.row = std::move(row);
+    m.col = std::move(col);
+    m.val = std::move(val);
+}
+
+Csr
+csrFromCoo(Coo m)
+{
+    cooCanonicalize(m);
+    Csr out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.indptr.assign(m.rows + 1, 0);
+    for (int32_t r : m.row) {
+        ICHECK_GE(r, 0);
+        ICHECK_LT(r, m.rows);
+        ++out.indptr[r + 1];
+    }
+    for (int64_t r = 0; r < m.rows; ++r) {
+        out.indptr[r + 1] += out.indptr[r];
+    }
+    out.indices = std::move(m.col);
+    out.values = std::move(m.val);
+    return out;
+}
+
+Coo
+cooFromCsr(const Csr &m)
+{
+    Coo out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.row.reserve(m.nnz());
+    for (int64_t r = 0; r < m.rows; ++r) {
+        for (int32_t p = m.indptr[r]; p < m.indptr[r + 1]; ++p) {
+            out.row.push_back(static_cast<int32_t>(r));
+        }
+    }
+    out.col = m.indices;
+    out.val = m.values;
+    return out;
+}
+
+} // namespace format
+} // namespace sparsetir

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Coordinate (COO) storage and conversions.
+ */
+
+#ifndef SPARSETIR_FORMAT_COO_H_
+#define SPARSETIR_FORMAT_COO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace format {
+
+/** COO triples; canonical form is row-major sorted and deduplicated. */
+struct Coo
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<int32_t> row;
+    std::vector<int32_t> col;
+    std::vector<float> val;
+
+    int64_t nnz() const { return static_cast<int64_t>(row.size()); }
+};
+
+/** Sort row-major and merge duplicate coordinates (values add). */
+void cooCanonicalize(Coo &m);
+
+/** COO -> CSR (canonicalizes first). */
+Csr csrFromCoo(Coo m);
+
+/** CSR -> COO. */
+Coo cooFromCsr(const Csr &m);
+
+} // namespace format
+} // namespace sparsetir
+
+#endif // SPARSETIR_FORMAT_COO_H_

@@ -1,0 +1,100 @@
+#include "format/dcsr.h"
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace format {
+
+Dcsr
+dcsrFromCsr(const Csr &m)
+{
+    Dcsr out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.indptr.push_back(0);
+    for (int64_t r = 0; r < m.rows; ++r) {
+        if (m.rowLength(r) == 0) {
+            continue;
+        }
+        out.rowIndices.push_back(static_cast<int32_t>(r));
+        for (int32_t p = m.indptr[r]; p < m.indptr[r + 1]; ++p) {
+            out.indices.push_back(m.indices[p]);
+            out.values.push_back(m.values[p]);
+        }
+        out.indptr.push_back(static_cast<int32_t>(out.indices.size()));
+    }
+    return out;
+}
+
+Csr
+csrFromDcsr(const Dcsr &m)
+{
+    Csr out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.indptr.assign(m.rows + 1, 0);
+    for (int64_t sr = 0; sr < m.numStoredRows(); ++sr) {
+        out.indptr[m.rowIndices[sr] + 1] =
+            m.indptr[sr + 1] - m.indptr[sr];
+    }
+    for (int64_t r = 0; r < m.rows; ++r) {
+        out.indptr[r + 1] += out.indptr[r];
+    }
+    out.indices = m.indices;
+    out.values = m.values;
+    return out;
+}
+
+Dbsr
+dbsrFromBsr(const Bsr &m)
+{
+    Dbsr out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.blockSize = m.blockSize;
+    out.blockRows = m.blockRows;
+    out.blockCols = m.blockCols;
+    out.indptr.push_back(0);
+    int64_t bs2 = static_cast<int64_t>(m.blockSize) * m.blockSize;
+    for (int64_t br = 0; br < m.blockRows; ++br) {
+        if (m.indptr[br] == m.indptr[br + 1]) {
+            continue;
+        }
+        out.blockRowIndices.push_back(static_cast<int32_t>(br));
+        for (int32_t p = m.indptr[br]; p < m.indptr[br + 1]; ++p) {
+            out.indices.push_back(m.indices[p]);
+            out.values.insert(out.values.end(),
+                              m.values.begin() + int64_t(p) * bs2,
+                              m.values.begin() + int64_t(p + 1) * bs2);
+        }
+        out.indptr.push_back(static_cast<int32_t>(out.indices.size()));
+    }
+    return out;
+}
+
+std::vector<float>
+dbsrToDense(const Dbsr &m)
+{
+    std::vector<float> dense(m.rows * m.cols, 0.0f);
+    int64_t bs = m.blockSize;
+    for (int64_t sr = 0; sr < m.numStoredBlockRows(); ++sr) {
+        int64_t br = m.blockRowIndices[sr];
+        for (int32_t p = m.indptr[sr]; p < m.indptr[sr + 1]; ++p) {
+            int64_t bc = m.indices[p];
+            const float *block = &m.values[int64_t(p) * bs * bs];
+            for (int64_t ii = 0; ii < bs; ++ii) {
+                for (int64_t ji = 0; ji < bs; ++ji) {
+                    int64_t r = br * bs + ii;
+                    int64_t c = bc * bs + ji;
+                    if (r < m.rows && c < m.cols) {
+                        dense[r * m.cols + c] = block[ii * bs + ji];
+                    }
+                }
+            }
+        }
+    }
+    return dense;
+}
+
+} // namespace format
+} // namespace sparsetir

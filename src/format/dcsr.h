@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Doubly compressed formats: DCSR (Buluc & Gilbert) and the paper's
+ * DBSR (doubly compressed BSR, §4.3.2) which additionally skips
+ * all-zero block rows of block-pruned transformer weights.
+ */
+
+#ifndef SPARSETIR_FORMAT_DCSR_H_
+#define SPARSETIR_FORMAT_DCSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/bsr.h"
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace format {
+
+/** DCSR: CSR restricted to non-empty rows. */
+struct Dcsr
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<int32_t> rowIndices;  // non-empty rows
+    std::vector<int32_t> indptr;      // rowIndices.size() + 1
+    std::vector<int32_t> indices;
+    std::vector<float> values;
+
+    int64_t
+    numStoredRows() const
+    {
+        return static_cast<int64_t>(rowIndices.size());
+    }
+};
+
+/** Drop empty rows of a CSR matrix. */
+Dcsr dcsrFromCsr(const Csr &m);
+
+/** Expand back to a full CSR (empty rows restored). */
+Csr csrFromDcsr(const Dcsr &m);
+
+/** DBSR: BSR restricted to non-empty block rows. */
+struct Dbsr
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int32_t blockSize = 1;
+    int64_t blockRows = 0;
+    int64_t blockCols = 0;
+    std::vector<int32_t> blockRowIndices;  // non-empty block rows
+    std::vector<int32_t> indptr;           // stored block rows + 1
+    std::vector<int32_t> indices;
+    std::vector<float> values;
+
+    int64_t
+    numStoredBlockRows() const
+    {
+        return static_cast<int64_t>(blockRowIndices.size());
+    }
+
+    int64_t
+    nnzBlocks() const
+    {
+        return static_cast<int64_t>(indices.size());
+    }
+};
+
+/** Drop all-zero block rows of a BSR matrix. */
+Dbsr dbsrFromBsr(const Bsr &m);
+
+/** Expand to row-major dense. */
+std::vector<float> dbsrToDense(const Dbsr &m);
+
+} // namespace format
+} // namespace sparsetir
+
+#endif // SPARSETIR_FORMAT_DCSR_H_

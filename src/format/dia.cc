@@ -1,0 +1,55 @@
+#include "format/dia.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace format {
+
+Dia
+diaFromCsr(const Csr &m)
+{
+    Dia out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    std::map<int32_t, int64_t> diag_slot;
+    for (int64_t r = 0; r < m.rows; ++r) {
+        for (int32_t p = m.indptr[r]; p < m.indptr[r + 1]; ++p) {
+            diag_slot.emplace(m.indices[p] - static_cast<int32_t>(r), 0);
+        }
+    }
+    int64_t slot = 0;
+    for (auto &[offset, index] : diag_slot) {
+        out.offsets.push_back(offset);
+        index = slot++;
+    }
+    out.data.assign(out.numDiagonals() * m.rows, 0.0f);
+    for (int64_t r = 0; r < m.rows; ++r) {
+        for (int32_t p = m.indptr[r]; p < m.indptr[r + 1]; ++p) {
+            int32_t offset = m.indices[p] - static_cast<int32_t>(r);
+            out.data[diag_slot[offset] * m.rows + r] = m.values[p];
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+diaToDense(const Dia &m)
+{
+    std::vector<float> dense(m.rows * m.cols, 0.0f);
+    for (int64_t d = 0; d < m.numDiagonals(); ++d) {
+        int32_t offset = m.offsets[d];
+        for (int64_t r = 0; r < m.rows; ++r) {
+            int64_t c = r + offset;
+            if (c >= 0 && c < m.cols) {
+                dense[r * m.cols + c] = m.data[d * m.rows + r];
+            }
+        }
+    }
+    return dense;
+}
+
+} // namespace format
+} // namespace sparsetir

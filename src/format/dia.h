@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Diagonal (DIA) storage, used for band matrices such as the
+ * Longformer attention mask (paper §4.3.1).
+ */
+
+#ifndef SPARSETIR_FORMAT_DIA_H_
+#define SPARSETIR_FORMAT_DIA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace format {
+
+/** DIA matrix: one dense row of length `rows` per stored diagonal. */
+struct Dia
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    /** Diagonal offsets (col - row), ascending. */
+    std::vector<int32_t> offsets;
+    /** offsets.size() * rows values, indexed [diag][row]. */
+    std::vector<float> data;
+
+    int64_t numDiagonals() const
+    {
+        return static_cast<int64_t>(offsets.size());
+    }
+};
+
+/** Convert CSR to DIA (stores every non-empty diagonal). */
+Dia diaFromCsr(const Csr &m);
+
+/** Expand to row-major dense. */
+std::vector<float> diaToDense(const Dia &m);
+
+} // namespace format
+} // namespace sparsetir
+
+#endif // SPARSETIR_FORMAT_DIA_H_

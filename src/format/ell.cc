@@ -1,0 +1,73 @@
+#include "format/ell.h"
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace format {
+
+int64_t
+Ell::paddedZeros() const
+{
+    int64_t zeros = 0;
+    for (float v : values) {
+        if (v == 0.0f) {
+            ++zeros;
+        }
+    }
+    return zeros;
+}
+
+Ell
+ellFromCsrRows(const Csr &m, const std::vector<int32_t> &rows,
+               int32_t width)
+{
+    ICHECK_GT(width, 0);
+    Ell out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.width = width;
+    out.rowIndices = rows;
+    out.colIndices.reserve(rows.size() * width);
+    out.values.reserve(rows.size() * width);
+    for (int32_t r : rows) {
+        ICHECK_GE(r, 0);
+        ICHECK_LT(r, m.rows);
+        int32_t len = m.rowLength(r);
+        ICHECK_LE(len, width)
+            << "row " << r << " has " << len
+            << " non-zeros; does not fit ELL width " << width;
+        int32_t last_index = 0;
+        for (int32_t k = 0; k < width; ++k) {
+            if (k < len) {
+                int32_t p = m.indptr[r] + k;
+                last_index = m.indices[p];
+                out.colIndices.push_back(m.indices[p]);
+                out.values.push_back(m.values[p]);
+            } else {
+                // Repeat the last valid index so per-row indices stay
+                // sorted; padded value is zero.
+                out.colIndices.push_back(last_index);
+                out.values.push_back(0.0f);
+            }
+        }
+    }
+    return out;
+}
+
+void
+ellAddToDense(const Ell &m, std::vector<float> *dense)
+{
+    ICHECK_EQ(static_cast<int64_t>(dense->size()), m.rows * m.cols);
+    for (int64_t er = 0; er < m.numRows(); ++er) {
+        int64_t r = m.rowIndices[er];
+        for (int32_t k = 0; k < m.width; ++k) {
+            float v = m.values[er * m.width + k];
+            if (v != 0.0f) {
+                (*dense)[r * m.cols + m.colIndices[er * m.width + k]] += v;
+            }
+        }
+    }
+}
+
+} // namespace format
+} // namespace sparsetir

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ELLPACK storage with a row-index list, the building block of the
+ * composable hyb(c, k) format (paper §4.2.1, Figure 11).
+ */
+
+#ifndef SPARSETIR_FORMAT_ELL_H_
+#define SPARSETIR_FORMAT_ELL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace format {
+
+/**
+ * ELL sub-matrix: a subset of rows (rowIndices) each storing exactly
+ * `width` column entries, padded with zero values. Padded slots repeat
+ * the last valid column index (keeping per-row indices sorted) or 0
+ * for empty rows.
+ */
+struct Ell
+{
+    int64_t rows = 0;  // rows in the original matrix
+    int64_t cols = 0;
+    int32_t width = 0;              // stored entries per row
+    std::vector<int32_t> rowIndices;  // original row of each ELL row
+    std::vector<int32_t> colIndices;  // numRows() * width
+    std::vector<float> values;        // numRows() * width
+
+    int64_t
+    numRows() const
+    {
+        return static_cast<int64_t>(rowIndices.size());
+    }
+
+    /** Stored padding zeros. */
+    int64_t paddedZeros() const;
+};
+
+/**
+ * Build an ELL sub-matrix from selected rows of a CSR matrix; each
+ * selected row must have length <= width.
+ */
+Ell ellFromCsrRows(const Csr &m, const std::vector<int32_t> &rows,
+                   int32_t width);
+
+/** Scatter back to a dense (rows x cols) matrix. */
+void ellAddToDense(const Ell &m, std::vector<float> *dense);
+
+} // namespace format
+} // namespace sparsetir
+
+#endif // SPARSETIR_FORMAT_ELL_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The composable hyb(c, k) format of paper §4.2.1 (Figure 11).
+ *
+ * Columns are split into c partitions. Within each partition, rows are
+ * bucketed by length: bucket i holds rows with 2^(i-1) < len <= 2^i,
+ * padded to width 2^i. Rows longer than 2^k are split into multiple
+ * ELL rows of the widest bucket (compile-time load balancing). Each
+ * (partition, bucket) pair is an ELL sub-matrix.
+ */
+
+#ifndef SPARSETIR_FORMAT_HYB_H_
+#define SPARSETIR_FORMAT_HYB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/csr.h"
+#include "format/ell.h"
+
+namespace sparsetir {
+namespace format {
+
+/** hyb(c, k) decomposition of a CSR matrix. */
+struct Hyb
+{
+    int32_t numPartitions = 1;  // c
+    int32_t maxWidthLog2 = 0;   // k
+    int64_t rows = 0;
+    int64_t cols = 0;
+    /** buckets[p][b] has width 2^b; may have zero rows. */
+    std::vector<std::vector<Ell>> buckets;
+
+    /** Stored entries including padding. */
+    int64_t storedEntries() const;
+    /** Padding zeros across all buckets. */
+    int64_t paddedZeros() const;
+    /**
+     * %padding as reported in Tables 1/2: padded zeros over stored
+     * entries.
+     */
+    double paddingRatio() const;
+};
+
+/**
+ * Decompose a CSR matrix into hyb(c, k). When k < 0 it defaults to the
+ * paper's heuristic k = ceil(log2(nnz / rows)) (clamped to >= 0).
+ */
+Hyb hybFromCsr(const Csr &m, int32_t c, int32_t k = -1);
+
+/** The paper's default bucket cap: ceil(log2(avg row length)). */
+int32_t hybDefaultK(const Csr &m);
+
+/** Reassemble to dense for validation. */
+std::vector<float> hybToDense(const Hyb &m);
+
+} // namespace format
+} // namespace sparsetir
+
+#endif // SPARSETIR_FORMAT_HYB_H_

@@ -1,0 +1,73 @@
+#include "format/relational.h"
+
+namespace sparsetir {
+namespace format {
+
+int64_t
+RelationalCsr::totalNnz() const
+{
+    int64_t total = 0;
+    for (const auto &rel : relations) {
+        total += rel.nnz();
+    }
+    return total;
+}
+
+int64_t
+RelationalHyb::storedEntries() const
+{
+    int64_t total = 0;
+    for (const auto &rel : relations) {
+        total += rel.storedEntries();
+    }
+    return total;
+}
+
+int64_t
+RelationalHyb::paddedZeros() const
+{
+    int64_t total = 0;
+    for (const auto &rel : relations) {
+        total += rel.paddedZeros();
+    }
+    return total;
+}
+
+double
+RelationalHyb::paddingRatio() const
+{
+    int64_t stored = storedEntries();
+    return stored == 0
+               ? 0.0
+               : static_cast<double>(paddedZeros()) /
+                     static_cast<double>(stored);
+}
+
+RelationalHyb
+relationalHyb(const RelationalCsr &m, int32_t c, int32_t k)
+{
+    RelationalHyb out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.relations.reserve(m.relations.size());
+    for (const auto &rel : m.relations) {
+        out.relations.push_back(hybFromCsr(rel, c, k));
+    }
+    return out;
+}
+
+bool
+KernelMap::isEll1() const
+{
+    for (const auto &rel : maps.relations) {
+        for (int64_t r = 0; r < rel.rows; ++r) {
+            if (rel.rowLength(r) > 1) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace format
+} // namespace sparsetir

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Relational (3-D) sparse structures for RGMS (paper §4.4): one 2-D
+ * sparse matrix per relation, and the 3-D generalization of hyb used
+ * by the fused RGCN kernel.
+ */
+
+#ifndef SPARSETIR_FORMAT_RELATIONAL_H_
+#define SPARSETIR_FORMAT_RELATIONAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/csr.h"
+#include "format/ell.h"
+#include "format/hyb.h"
+
+namespace sparsetir {
+namespace format {
+
+/** A_r per relation r (adjacency of the subgraph with edge type r). */
+struct RelationalCsr
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<Csr> relations;
+
+    int64_t numRelations() const
+    {
+        return static_cast<int64_t>(relations.size());
+    }
+
+    int64_t totalNnz() const;
+};
+
+/**
+ * 3-D hyb: each relation decomposed to hyb(c, k) (paper uses
+ * hyb(1, 5) for RGCN).
+ */
+struct RelationalHyb
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<Hyb> relations;
+
+    int64_t storedEntries() const;
+    int64_t paddedZeros() const;
+    /** %padding reported in Table 2. */
+    double paddingRatio() const;
+};
+
+/** Decompose every relation with hyb(c, k). */
+RelationalHyb relationalHyb(const RelationalCsr &m, int32_t c, int32_t k);
+
+/**
+ * Sparse-convolution kernel map: one relation per kernel offset; every
+ * row has at most one non-zero (the paper's ELL(1) observation, §4.4.2
+ * Figure 22).
+ */
+struct KernelMap
+{
+    /** outputs x inputs bipartite maps, one per kernel offset. */
+    RelationalCsr maps;
+    /** True when every row of every relation has <= 1 entry. */
+    bool isEll1() const;
+};
+
+} // namespace format
+} // namespace sparsetir
+
+#endif // SPARSETIR_FORMAT_RELATIONAL_H_

@@ -1,0 +1,97 @@
+#include "format/srbcrs.h"
+
+#include <map>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace format {
+
+double
+SrBcrs::storedDensity() const
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    int64_t nonzero = 0;
+    for (float v : values) {
+        if (v != 0.0f) {
+            ++nonzero;
+        }
+    }
+    return static_cast<double>(nonzero) /
+           static_cast<double>(values.size());
+}
+
+SrBcrs
+srbcrsFromCsr(const Csr &m, int32_t t, int32_t g)
+{
+    ICHECK_GT(t, 0);
+    ICHECK_GT(g, 0);
+    SrBcrs out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.tileHeight = t;
+    out.groupSize = g;
+    out.stripes = (m.rows + t - 1) / t;
+    out.groupIndptr.push_back(0);
+
+    for (int64_t s = 0; s < out.stripes; ++s) {
+        // Collect non-zero tiles of this stripe: column -> t values.
+        std::map<int32_t, std::vector<float>> tiles;
+        for (int64_t r = s * t; r < std::min<int64_t>((s + 1) * t, m.rows);
+             ++r) {
+            for (int32_t p = m.indptr[r]; p < m.indptr[r + 1]; ++p) {
+                auto &tile = tiles[m.indices[p]];
+                if (tile.empty()) {
+                    tile.assign(t, 0.0f);
+                }
+                tile[r - s * t] = m.values[p];
+            }
+        }
+        int64_t tile_count = static_cast<int64_t>(tiles.size());
+        int64_t groups = (tile_count + g - 1) / g;
+        int64_t emitted = 0;
+        for (const auto &[col, tile] : tiles) {
+            out.tileCols.push_back(col);
+            out.values.insert(out.values.end(), tile.begin(), tile.end());
+            ++emitted;
+        }
+        // Pad the tail group with zero tiles (column repeats last).
+        int32_t pad_col = tiles.empty() ? 0 : out.tileCols.back();
+        while (emitted < groups * g) {
+            out.tileCols.push_back(pad_col);
+            out.values.insert(out.values.end(), t, 0.0f);
+            ++emitted;
+        }
+        out.groupIndptr.push_back(out.groupIndptr.back() +
+                                  static_cast<int32_t>(groups));
+    }
+    return out;
+}
+
+std::vector<float>
+srbcrsToDense(const SrBcrs &m)
+{
+    std::vector<float> dense(m.rows * m.cols, 0.0f);
+    int32_t t = m.tileHeight;
+    int32_t g = m.groupSize;
+    for (int64_t s = 0; s < m.stripes; ++s) {
+        int64_t tile_begin = static_cast<int64_t>(m.groupIndptr[s]) * g;
+        int64_t tile_end = static_cast<int64_t>(m.groupIndptr[s + 1]) * g;
+        for (int64_t tile = tile_begin; tile < tile_end; ++tile) {
+            int32_t c = m.tileCols[tile];
+            for (int32_t ii = 0; ii < t; ++ii) {
+                int64_t r = s * t + ii;
+                float v = m.values[tile * t + ii];
+                if (r < m.rows && v != 0.0f) {
+                    dense[r * m.cols + c] = v;
+                }
+            }
+        }
+    }
+    return dense;
+}
+
+} // namespace format
+} // namespace sparsetir

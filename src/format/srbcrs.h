@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SR-BCRS(t, g): the Magicube-style stripe format the paper uses for
+ * unstructured-pruned weights (§4.3.2, Figure 18).
+ *
+ * The matrix is divided into t x 1 tiles (t rows tall, one column
+ * wide); all-zero tiles are omitted. Non-zero tiles of one tile-stripe
+ * (t consecutive rows) are grouped by a factor g, padding the tail
+ * group with zero tiles. The non-zero ratio lower bound is 1/t versus
+ * 1/b^2 for BSR(b), which is what lets it beat BSR on fragmented
+ * pruned weights.
+ */
+
+#ifndef SPARSETIR_FORMAT_SRBCRS_H_
+#define SPARSETIR_FORMAT_SRBCRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace format {
+
+/** SR-BCRS matrix. */
+struct SrBcrs
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int32_t tileHeight = 1;  // t
+    int32_t groupSize = 1;   // g
+    int64_t stripes = 0;     // ceil(rows / t)
+    /** Groups per stripe prefix sum (stripes + 1). */
+    std::vector<int32_t> groupIndptr;
+    /** Column of each stored tile (numGroups * g, padded). */
+    std::vector<int32_t> tileCols;
+    /** Values: one t-vector per stored tile. */
+    std::vector<float> values;
+
+    int64_t
+    numGroups() const
+    {
+        return groupIndptr.empty() ? 0 : groupIndptr.back();
+    }
+
+    int64_t
+    storedTiles() const
+    {
+        return static_cast<int64_t>(tileCols.size());
+    }
+
+    /** Density of the stored representation (non-zeros / stored). */
+    double storedDensity() const;
+};
+
+/** Convert CSR to SR-BCRS(t, g). */
+SrBcrs srbcrsFromCsr(const Csr &m, int32_t t, int32_t g);
+
+/** Expand to row-major dense. */
+std::vector<float> srbcrsToDense(const SrBcrs &m);
+
+} // namespace format
+} // namespace sparsetir
+
+#endif // SPARSETIR_FORMAT_SRBCRS_H_

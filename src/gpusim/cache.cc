@@ -1,0 +1,58 @@
+#include "gpusim/cache.h"
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace gpusim {
+
+CacheModel::CacheModel(int64_t size_bytes, int line_bytes, int assoc)
+    : lineBytes_(line_bytes), assoc_(assoc)
+{
+    ICHECK_GT(line_bytes, 0);
+    ICHECK_GT(assoc, 0);
+    numSets_ = size_bytes / (static_cast<int64_t>(line_bytes) * assoc);
+    ICHECK_GT(numSets_, 0) << "cache too small for geometry";
+    tags_.assign(numSets_ * assoc, 0);
+}
+
+bool
+CacheModel::access(uint64_t addr)
+{
+    return accessLine(addr / lineBytes_);
+}
+
+bool
+CacheModel::accessLine(uint64_t line)
+{
+    // Tag 0 marks an empty way; shift stored tags by one.
+    uint64_t tag = line + 1;
+    int64_t set = static_cast<int64_t>(line % numSets_);
+    uint64_t *ways = &tags_[set * assoc_];
+    for (int w = 0; w < assoc_; ++w) {
+        if (ways[w] == tag) {
+            // Move to front (LRU order).
+            for (int k = w; k > 0; --k) {
+                ways[k] = ways[k - 1];
+            }
+            ways[0] = tag;
+            ++hits_;
+            return true;
+        }
+    }
+    // Miss: evict the LRU way.
+    for (int k = assoc_ - 1; k > 0; --k) {
+        ways[k] = ways[k - 1];
+    }
+    ways[0] = tag;
+    ++misses_;
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    std::fill(tags_.begin(), tags_.end(), 0);
+}
+
+} // namespace gpusim
+} // namespace sparsetir

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Set-associative LRU cache model used for L1 (per SM) and L2
+ * (device-wide) hit-rate simulation. Cache behaviour drives the
+ * column-partitioning ablation of paper Figure 12.
+ */
+
+#ifndef SPARSETIR_GPUSIM_CACHE_H_
+#define SPARSETIR_GPUSIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sparsetir {
+namespace gpusim {
+
+/** Set-associative LRU cache over line addresses. */
+class CacheModel
+{
+  public:
+    CacheModel(int64_t size_bytes, int line_bytes, int assoc);
+
+    /**
+     * Access one byte address; allocates on miss. Returns true on
+     * hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Access a whole line by line index (addr / lineBytes). */
+    bool accessLine(uint64_t line);
+
+    /** Forget all contents (the paper's FLUSH_L2 protocol). */
+    void flush();
+
+    int64_t hits() const { return hits_; }
+    int64_t misses() const { return misses_; }
+
+    double
+    hitRate() const
+    {
+        int64_t total = hits_ + misses_;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(total);
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+    int lineBytes() const { return lineBytes_; }
+
+  private:
+    int lineBytes_;
+    int assoc_;
+    int64_t numSets_;
+    /** ways per set, most recently used first; 0 = empty. */
+    std::vector<uint64_t> tags_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+};
+
+} // namespace gpusim
+} // namespace sparsetir
+
+#endif // SPARSETIR_GPUSIM_CACHE_H_

@@ -1,0 +1,705 @@
+#include "gpusim/ir_kernel.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/analysis.h"
+#include "ir/functor.h"
+#include "ir/simplify.h"
+
+namespace sparsetir {
+namespace gpusim {
+
+using namespace ir;
+using runtime::NDArray;
+
+namespace {
+
+/** Aggregated-loop record for stride sampling. */
+struct AggVar
+{
+    const VarNode *var;
+    int64_t extent;
+};
+
+/** Walk context (see header). */
+struct WalkCtx
+{
+    int64_t multiplier = 1;
+    const VarNode *laneVar = nullptr;
+    int laneWidth = 1;
+    bool tensorized = false;
+    std::vector<AggVar> aggVars;
+};
+
+} // namespace
+
+struct IrKernel::Impl
+{
+    PrimFunc func;
+    /** Handle var -> bound array. */
+    std::unordered_map<const VarNode *, NDArray *> arrays;
+    /** Scalar var -> value. */
+    std::unordered_map<const VarNode *, int64_t> scalars;
+    /** Buffer data var -> simulated base address. */
+    std::unordered_map<const VarNode *, uint64_t> baseAddr;
+    /** Buffer data var -> non-global scope (shared/local). */
+    std::unordered_map<const VarNode *, MemScope> scratchScope;
+    /** Grid loops, outermost first. */
+    std::vector<const ForNode *> gridLoops;
+    std::vector<int64_t> gridExtents;
+    int64_t totalBlocks = 1;
+    int64_t totalGlobalBytes = 0;
+
+    // ---------------- integer expression evaluation ----------------
+
+    mutable std::unordered_map<const VarNode *, int64_t> env;
+
+    int64_t
+    evalInt(const Expr &e) const
+    {
+        switch (e->kind) {
+          case ExprKind::kIntImm:
+            return static_cast<const IntImmNode *>(e.get())->value;
+          case ExprKind::kFloatImm:
+            return static_cast<int64_t>(
+                static_cast<const FloatImmNode *>(e.get())->value);
+          case ExprKind::kVar: {
+            auto v = static_cast<const VarNode *>(e.get());
+            auto scalar_it = scalars.find(v);
+            if (scalar_it != scalars.end()) {
+                return scalar_it->second;
+            }
+            auto it = env.find(v);
+            ICHECK(it != env.end())
+                << "unbound variable '" << v->name
+                << "' during kernel replay";
+            return it->second;
+          }
+          case ExprKind::kCast:
+            return evalInt(static_cast<const CastNode *>(e.get())->value);
+          case ExprKind::kSelect: {
+            auto op = static_cast<const SelectNode *>(e.get());
+            return evalInt(op->cond) != 0 ? evalInt(op->trueValue)
+                                          : evalInt(op->falseValue);
+          }
+          case ExprKind::kNot:
+            return evalInt(static_cast<const NotNode *>(e.get())->a) == 0
+                       ? 1
+                       : 0;
+          case ExprKind::kBufferLoad: {
+            auto op = static_cast<const BufferLoadNode *>(e.get());
+            NDArray *array = arrayOf(op->buffer);
+            int64_t idx = evalInt(op->indices[0]);
+            ICHECK_GE(idx, 0);
+            ICHECK_LT(idx, array->numel());
+            return array->intAt(idx);
+          }
+          case ExprKind::kCall: {
+            auto op = static_cast<const CallNode *>(e.get());
+            if (op->op == Builtin::kLowerBound ||
+                op->op == Builtin::kUpperBound) {
+                NDArray *array = arrayOf(op->bufferArg);
+                int64_t lo = evalInt(op->args[0]);
+                int64_t hi = evalInt(op->args[1]);
+                int64_t val = evalInt(op->args[2]);
+                bool upper = op->op == Builtin::kUpperBound;
+                while (lo < hi) {
+                    int64_t mid = lo + (hi - lo) / 2;
+                    int64_t elem = array->intAt(mid);
+                    bool right = upper ? elem <= val : elem < val;
+                    if (right) {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                return lo;
+            }
+            ICHECK(false) << "cannot evaluate builtin in replay";
+            return 0;
+          }
+          default: {
+            auto op = static_cast<const BinaryNode *>(e.get());
+            int64_t a = evalInt(op->a);
+            // Short-circuit logic ops.
+            if (op->kind == ExprKind::kAnd) {
+                return a != 0 && evalInt(op->b) != 0 ? 1 : 0;
+            }
+            if (op->kind == ExprKind::kOr) {
+                return a != 0 || evalInt(op->b) != 0 ? 1 : 0;
+            }
+            int64_t b = evalInt(op->b);
+            switch (op->kind) {
+              case ExprKind::kAdd:
+                return a + b;
+              case ExprKind::kSub:
+                return a - b;
+              case ExprKind::kMul:
+                return a * b;
+              case ExprKind::kFloorDiv: {
+                int64_t q = a / b;
+                if ((a % b != 0) && ((a < 0) != (b < 0))) {
+                    --q;
+                }
+                return q;
+              }
+              case ExprKind::kFloorMod: {
+                int64_t q = a / b;
+                if ((a % b != 0) && ((a < 0) != (b < 0))) {
+                    --q;
+                }
+                return a - q * b;
+              }
+              case ExprKind::kMin:
+                return std::min(a, b);
+              case ExprKind::kMax:
+                return std::max(a, b);
+              case ExprKind::kEQ:
+                return a == b;
+              case ExprKind::kNE:
+                return a != b;
+              case ExprKind::kLT:
+                return a < b;
+              case ExprKind::kLE:
+                return a <= b;
+              case ExprKind::kGT:
+                return a > b;
+              case ExprKind::kGE:
+                return a >= b;
+              default:
+                ICHECK(false) << "unhandled binary op in replay";
+            }
+          }
+        }
+        return 0;
+    }
+
+    NDArray *
+    arrayOf(const Buffer &buffer) const
+    {
+        auto it = arrays.find(buffer->data.get());
+        ICHECK(it != arrays.end())
+            << "buffer '" << buffer->name << "' not bound for replay";
+        return it->second;
+    }
+
+    bool
+    isGlobal(const Buffer &buffer) const
+    {
+        return scratchScope.find(buffer->data.get()) ==
+               scratchScope.end();
+    }
+
+    // ------------------------- access emission ----------------------
+
+    /**
+     * Evaluate the flat index of an access under overridden special
+     * variables.
+     */
+    int64_t
+    indexWith(const Expr &index,
+              const std::vector<std::pair<const VarNode *, int64_t>>
+                  &overrides) const
+    {
+        std::vector<std::pair<const VarNode *, int64_t>> saved;
+        saved.reserve(overrides.size());
+        for (const auto &[v, value] : overrides) {
+            auto it = env.find(v);
+            saved.emplace_back(v, it != env.end() ? it->second : 0);
+            env[v] = value;
+        }
+        int64_t result = evalInt(index);
+        for (const auto &[v, value] : saved) {
+            env[v] = value;
+        }
+        return result;
+    }
+
+    /** True if expr references `v`. */
+    static bool
+    dependsOn(const Expr &e, const VarNode *v)
+    {
+        auto vars = collectVars(e);
+        return vars.count(v) > 0;
+    }
+
+    void
+    emitAccess(const Buffer &buffer, const Expr &index, bool write,
+               const WalkCtx &ctx, BlockWork *work) const
+    {
+        int elem = buffer->dtype.bytes();
+        if (ctx.tensorized && buffer->dtype.isFloat()) {
+            elem = 2;  // fp16 operands on the Tensor-Core path
+        }
+        if (!isGlobal(buffer)) {
+            // Shared/local traffic.
+            auto scope = scratchScope.at(buffer->data.get());
+            if (scope == MemScope::kShared) {
+                work->sharedBytes +=
+                    static_cast<double>(elem) * ctx.laneWidth *
+                    static_cast<double>(ctx.multiplier);
+            }
+            return;
+        }
+
+        // Base address with lane and aggregated vars at 0.
+        std::vector<std::pair<const VarNode *, int64_t>> base_override;
+        if (ctx.laneVar != nullptr) {
+            base_override.emplace_back(ctx.laneVar, env.at(ctx.laneVar));
+        }
+        int64_t base_idx = evalInt(index);
+        uint64_t base =
+            baseAddr.at(buffer->data.get()) +
+            static_cast<uint64_t>(base_idx) * buffer->dtype.bytes();
+
+        // Warp-level unit from the lane stride.
+        int64_t unit_bytes = elem;
+        int64_t unit_count = 1;
+        int64_t unit_span = elem;
+        if (ctx.laneVar != nullptr && dependsOn(index, ctx.laneVar)) {
+            int64_t lane0 = env.at(ctx.laneVar);
+            int64_t idx1 =
+                indexWith(index, {{ctx.laneVar, lane0 + 1}});
+            int64_t stride = (idx1 - base_idx) * buffer->dtype.bytes();
+            if (stride == elem || stride == buffer->dtype.bytes()) {
+                unit_bytes = elem * ctx.laneWidth;
+                unit_span = unit_bytes;
+            } else if (stride == 0) {
+                // Broadcast.
+            } else {
+                unit_count = ctx.laneWidth;
+                unit_span =
+                    std::abs(stride) * (ctx.laneWidth - 1) + elem;
+            }
+        }
+
+        // Fold aggregated dense loops, innermost first.
+        for (auto it = ctx.aggVars.rbegin(); it != ctx.aggVars.rend();
+             ++it) {
+            if (!dependsOn(index, it->var)) {
+                continue;
+            }
+            int64_t idx1 = indexWith(index, {{it->var, 1}});
+            int64_t stride = (idx1 - base_idx) * buffer->dtype.bytes();
+            if (stride < 0) {
+                stride = -stride;
+            }
+            if (unit_count == 1 && stride == unit_bytes) {
+                unit_bytes *= it->extent;
+                unit_span = unit_bytes;
+            } else if (stride == 0) {
+                // Loop-invariant under this var.
+            } else {
+                unit_count = std::max<int64_t>(unit_count, 1) *
+                             it->extent;
+                unit_span = stride * (it->extent - 1) + unit_span;
+            }
+        }
+
+        MemAccess access;
+        access.addr = base;
+        access.write = write;
+        if (unit_count == 1) {
+            access.bytes = static_cast<uint32_t>(
+                std::min<int64_t>(unit_bytes, 1u << 30));
+        } else {
+            access.bytes = static_cast<uint32_t>(
+                std::min<int64_t>(unit_span, 1u << 30));
+            // Distinct lines: each unit touches ceil(unit/128) lines.
+            int64_t lines_per_unit = (unit_bytes / unit_count <= 128)
+                                         ? 1
+                                         : (unit_bytes / unit_count +
+                                            127) /
+                                               128;
+            access.scatteredLines = static_cast<uint32_t>(
+                std::min<int64_t>(unit_count * lines_per_unit,
+                                  1 << 28));
+        }
+        work->accesses.push_back(access);
+    }
+
+    // -------------------------- op counting -------------------------
+
+    /** Count arithmetic in an expression tree; emit loads it makes. */
+    void
+    countExpr(const Expr &e, const WalkCtx &ctx, BlockWork *work) const
+    {
+        switch (e->kind) {
+          case ExprKind::kIntImm:
+          case ExprKind::kFloatImm:
+          case ExprKind::kStringImm:
+          case ExprKind::kVar:
+            return;
+          case ExprKind::kCast:
+            countExpr(static_cast<const CastNode *>(e.get())->value, ctx,
+                      work);
+            return;
+          case ExprKind::kNot:
+            countExpr(static_cast<const NotNode *>(e.get())->a, ctx,
+                      work);
+            work->intOps += static_cast<double>(ctx.multiplier);
+            return;
+          case ExprKind::kSelect: {
+            auto op = static_cast<const SelectNode *>(e.get());
+            countExpr(op->cond, ctx, work);
+            // Both arms contribute potential work; count the taken arm
+            // (evaluated) to avoid double counting guarded zeros.
+            if (evalSafe(op->cond) != 0) {
+                countExpr(op->trueValue, ctx, work);
+            } else {
+                countExpr(op->falseValue, ctx, work);
+            }
+            return;
+          }
+          case ExprKind::kBufferLoad: {
+            auto op = static_cast<const BufferLoadNode *>(e.get());
+            countExpr(op->indices[0], ctx, work);
+            emitAccess(op->buffer, op->indices[0], false, ctx, work);
+            return;
+          }
+          case ExprKind::kCall: {
+            auto op = static_cast<const CallNode *>(e.get());
+            for (const auto &arg : op->args) {
+                countExpr(arg, ctx, work);
+            }
+            if (op->op == Builtin::kLowerBound ||
+                op->op == Builtin::kUpperBound) {
+                // log2(range) probes of the indices array.
+                int64_t lo = evalSafe(op->args[0]);
+                int64_t hi = evalSafe(op->args[1]);
+                double probes = 1.0;
+                int64_t range = std::max<int64_t>(hi - lo, 1);
+                while (range > 1) {
+                    range >>= 1;
+                    probes += 1.0;
+                }
+                work->intOps +=
+                    probes * 4.0 * static_cast<double>(ctx.multiplier) *
+                    ctx.laneWidth;
+                MemAccess access;
+                access.addr =
+                    baseAddr.at(op->bufferArg->data.get()) +
+                    static_cast<uint64_t>(std::max<int64_t>(lo, 0)) *
+                        op->bufferArg->dtype.bytes();
+                access.bytes = op->bufferArg->dtype.bytes();
+                access.scatteredLines = static_cast<uint32_t>(probes);
+                work->accesses.push_back(access);
+            } else if (op->op == Builtin::kAtomicAdd) {
+                emitAccess(op->bufferArg, op->args[0], true, ctx, work);
+                work->flops += static_cast<double>(ctx.multiplier) *
+                               ctx.laneWidth;
+            } else {
+                work->flops += 4.0 * static_cast<double>(ctx.multiplier) *
+                               ctx.laneWidth;
+            }
+            return;
+          }
+          default: {
+            auto op = static_cast<const BinaryNode *>(e.get());
+            countExpr(op->a, ctx, work);
+            countExpr(op->b, ctx, work);
+            double ops = static_cast<double>(ctx.multiplier) *
+                         ctx.laneWidth;
+            if (op->dtype.isFloat()) {
+                if (ctx.tensorized) {
+                    work->tensorFlops += ops;
+                } else {
+                    work->flops += ops;
+                }
+            } else {
+                work->intOps += ops;
+            }
+            return;
+          }
+        }
+    }
+
+    /** Evaluate ints, tolerating lane-var dependence (lane 0 view). */
+    int64_t
+    evalSafe(const Expr &e) const
+    {
+        return evalInt(e);
+    }
+
+    // --------------------------- statements -------------------------
+
+    /** Does the subtree contain loads whose index uses `v` under an
+     *  int-array (data-dependent addressing)? */
+    static bool
+    dataDependentOn(const Stmt &s, const VarNode *v)
+    {
+        class Scanner : public StmtVisitor
+        {
+          public:
+            const VarNode *v = nullptr;
+            bool found = false;
+
+          protected:
+            void
+            visitBufferLoad(const BufferLoadNode *op) override
+            {
+                if (!op->buffer->dtype.isFloat()) {
+                    for (const auto &idx : op->indices) {
+                        if (collectVars(idx).count(v)) {
+                            found = true;
+                        }
+                    }
+                }
+                ExprVisitor::visitBufferLoad(op);
+            }
+
+            void
+            visitCall(const CallNode *op) override
+            {
+                // Searches under the loop are data-dependent.
+                for (const auto &arg : op->args) {
+                    if (collectVars(arg).count(v)) {
+                        found = true;
+                    }
+                }
+                ExprVisitor::visitCall(op);
+            }
+        } scanner;
+        scanner.v = v;
+        scanner.visitStmt(s);
+        return scanner.found;
+    }
+
+    void
+    walk(const Stmt &s, WalkCtx ctx, BlockWork *work) const
+    {
+        switch (s->kind) {
+          case StmtKind::kSeq: {
+            auto op = static_cast<const SeqStmtNode *>(s.get());
+            for (const auto &child : op->seq) {
+                walk(child, ctx, work);
+            }
+            return;
+          }
+          case StmtKind::kFor: {
+            auto op = static_cast<const ForNode *>(s.get());
+            if (op->forKind == ForKind::kThreadBinding &&
+                op->threadTag.rfind("blockIdx", 0) == 0) {
+                // Grid loops are fixed by blockWork; body only.
+                walk(op->body, ctx, work);
+                return;
+            }
+            if (op->forKind == ForKind::kThreadBinding &&
+                op->threadTag == "threadIdx.x") {
+                int64_t extent = evalInt(op->extent);
+                ICHECK(ctx.laneVar == nullptr)
+                    << "nested threadIdx.x loops unsupported";
+                for (int64_t base = 0; base < extent; base += 32) {
+                    WalkCtx warp_ctx = ctx;
+                    warp_ctx.laneVar = op->loopVar.get();
+                    warp_ctx.laneWidth = static_cast<int>(
+                        std::min<int64_t>(32, extent - base));
+                    env[op->loopVar.get()] = base;
+                    walk(op->body, warp_ctx, work);
+                }
+                env.erase(op->loopVar.get());
+                return;
+            }
+            // threadIdx.y / serial / unrolled / vectorized.
+            int64_t extent = evalInt(op->extent);
+            int64_t min_v = evalInt(op->minValue);
+            if (extent <= 0) {
+                return;
+            }
+            bool aggregate =
+                (op->forKind == ForKind::kVectorized ||
+                 op->forKind == ForKind::kSerial ||
+                 op->forKind == ForKind::kUnrolled) &&
+                min_v == 0 && extent >= 4 &&
+                !dataDependentOn(op->body, op->loopVar.get()) &&
+                !containsStmtKind(op->body, StmtKind::kFor) &&
+                !containsStmtKind(op->body, StmtKind::kIfThenElse);
+            if (aggregate) {
+                WalkCtx agg_ctx = ctx;
+                agg_ctx.multiplier *= extent;
+                agg_ctx.aggVars.push_back({op->loopVar.get(), extent});
+                env[op->loopVar.get()] = 0;
+                walk(op->body, agg_ctx, work);
+                env.erase(op->loopVar.get());
+                return;
+            }
+            for (int64_t v = min_v; v < min_v + extent; ++v) {
+                env[op->loopVar.get()] = v;
+                walk(op->body, ctx, work);
+            }
+            env.erase(op->loopVar.get());
+            return;
+          }
+          case StmtKind::kBlock: {
+            auto op = static_cast<const BlockNode *>(s.get());
+            WalkCtx block_ctx = ctx;
+            if (op->annotations.count("tensorize")) {
+                block_ctx.tensorized = true;
+            }
+            if (op->init != nullptr) {
+                bool fire = true;
+                for (const auto &rv : op->reduceVars) {
+                    auto it = env.find(rv.get());
+                    if (it != env.end() && it->second != 0) {
+                        fire = false;
+                        break;
+                    }
+                }
+                if (fire) {
+                    walk(op->init, block_ctx, work);
+                }
+            }
+            walk(op->body, block_ctx, work);
+            return;
+          }
+          case StmtKind::kBufferStore: {
+            auto op = static_cast<const BufferStoreNode *>(s.get());
+            countExpr(op->value, ctx, work);
+            countExpr(op->indices[0], ctx, work);
+            emitAccess(op->buffer, op->indices[0], true, ctx, work);
+            return;
+          }
+          case StmtKind::kIfThenElse: {
+            auto op = static_cast<const IfThenElseNode *>(s.get());
+            if (evalInt(op->cond) != 0) {
+                walk(op->thenBody, ctx, work);
+            } else if (op->elseBody != nullptr) {
+                walk(op->elseBody, ctx, work);
+            }
+            return;
+          }
+          case StmtKind::kLetStmt: {
+            auto op = static_cast<const LetStmtNode *>(s.get());
+            countExpr(op->value, ctx, work);
+            env[op->letVar.get()] = evalInt(op->value);
+            walk(op->body, ctx, work);
+            env.erase(op->letVar.get());
+            return;
+          }
+          case StmtKind::kAllocate: {
+            auto op = static_cast<const AllocateNode *>(s.get());
+            const_cast<Impl *>(this)->scratchScope[op->buffer->data
+                                                       .get()] =
+                op->buffer->scope;
+            walk(op->body, ctx, work);
+            return;
+          }
+          case StmtKind::kEvaluate:
+            countExpr(static_cast<const EvaluateNode *>(s.get())->value,
+                      ctx, work);
+            return;
+          default:
+            ICHECK(false) << "cannot replay statement kind";
+        }
+    }
+};
+
+IrKernel::IrKernel(PrimFunc func, const runtime::Bindings &bindings)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->func = std::move(func);
+    USER_CHECK(impl_->func->stage == IrStage::kStage3)
+        << "IrKernel replays Stage III functions";
+
+    for (const auto &param : impl_->func->params) {
+        if (param->dtype.isHandle()) {
+            auto it = bindings.arrays.find(param->name);
+            USER_CHECK(it != bindings.arrays.end())
+                << "missing array binding '" << param->name << "'";
+            impl_->arrays[param.get()] = it->second;
+        } else {
+            auto it = bindings.scalars.find(param->name);
+            USER_CHECK(it != bindings.scalars.end())
+                << "missing scalar binding '" << param->name << "'";
+            impl_->scalars[param.get()] = it->second;
+        }
+    }
+
+    // Assign disjoint simulated address ranges per bound buffer.
+    uint64_t next = 4096;
+    for (const auto &[param, buffer] : impl_->func->bufferMap) {
+        NDArray *array = impl_->arrays.count(buffer->data.get())
+                             ? impl_->arrays[buffer->data.get()]
+                             : nullptr;
+        int64_t bytes = array != nullptr
+                            ? array->numel() * buffer->dtype.bytes()
+                            : 0;
+        impl_->baseAddr[buffer->data.get()] = next;
+        next += static_cast<uint64_t>(((bytes + 255) / 256) * 256) + 256;
+        impl_->totalGlobalBytes += bytes;
+    }
+
+    // Identify the grid: outermost blockIdx.* thread bindings.
+    const Stmt *cursor = &impl_->func->body;
+    while (true) {
+        const StmtNode *node = cursor->get();
+        if (node->kind == StmtKind::kFor) {
+            auto loop = static_cast<const ForNode *>(node);
+            if (loop->forKind == ForKind::kThreadBinding &&
+                loop->threadTag.rfind("blockIdx", 0) == 0) {
+                impl_->gridLoops.push_back(loop);
+                int64_t extent = 0;
+                // Grid extents may reference scalar params only.
+                for (const VarNode *v : collectVars(loop->extent)) {
+                    USER_CHECK(impl_->scalars.count(v))
+                        << "grid extent depends on non-scalar '"
+                        << v->name << "'";
+                }
+                for (const auto &[v, value] : impl_->scalars) {
+                    impl_->env[v] = value;
+                }
+                extent = impl_->evalInt(loop->extent);
+                impl_->env.clear();
+                impl_->gridExtents.push_back(extent);
+                impl_->totalBlocks *= std::max<int64_t>(extent, 0);
+                cursor = &loop->body;
+                continue;
+            }
+        }
+        break;
+    }
+    if (impl_->gridLoops.empty()) {
+        impl_->totalBlocks = 1;
+    }
+}
+
+IrKernel::~IrKernel() = default;
+
+std::string
+IrKernel::name() const
+{
+    return impl_->func->name;
+}
+
+int64_t
+IrKernel::numBlocks() const
+{
+    return impl_->totalBlocks;
+}
+
+int64_t
+IrKernel::globalBytes() const
+{
+    return impl_->totalGlobalBytes;
+}
+
+void
+IrKernel::blockWork(int64_t block_id, BlockWork *work) const
+{
+    impl_->env.clear();
+    // Decompose block id over the grid loops (innermost fastest).
+    int64_t rest = block_id;
+    for (size_t g = impl_->gridLoops.size(); g-- > 0;) {
+        int64_t extent = std::max<int64_t>(impl_->gridExtents[g], 1);
+        impl_->env[impl_->gridLoops[g]->loopVar.get()] = rest % extent;
+        rest /= extent;
+    }
+    WalkCtx ctx;
+    impl_->walk(impl_->func->body, ctx, work);
+    impl_->env.clear();
+}
+
+} // namespace gpusim
+} // namespace sparsetir

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Transaction-level GPU kernel simulator.
+ *
+ * A kernel is a grid of thread blocks; each block reports its
+ * aggregate work (CUDA-core flops, Tensor-Core flops, integer ops,
+ * coalesced global-memory transactions, shared-memory traffic). The
+ * simulator streams transactions through per-SM L1 caches and the
+ * shared L2, schedules blocks across SMs greedily (earliest finish)
+ * and reports execution time and cache statistics.
+ *
+ * Six mechanisms carry the paper's comparisons: (a) SM load balance
+ * (power-law rows vs bucketed ELL), (b) L1/L2 locality (column
+ * partitioning, Fig. 12), (c) transaction coalescing (vectorized vs
+ * scalar loads), (d) Tensor-Core vs CUDA-core throughput, (e)
+ * per-kernel launch overhead (composable formats, horizontal fusion),
+ * (f) DRAM traffic of materialized intermediates (RGCN, Fig. 20).
+ */
+
+#ifndef SPARSETIR_GPUSIM_SIMULATOR_H_
+#define SPARSETIR_GPUSIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/cache.h"
+#include "gpusim/spec.h"
+
+namespace sparsetir {
+namespace gpusim {
+
+/** One coalesced global-memory transaction group. */
+struct MemAccess
+{
+    /** Base byte address (buffers get disjoint address ranges). */
+    uint64_t addr = 0;
+    /** Contiguous bytes covered (one warp transaction group). */
+    uint32_t bytes = 0;
+    /**
+     * Number of distinct cache lines the warp touches when the access
+     * is scattered (0 = derive from addr/bytes contiguously).
+     */
+    uint32_t scatteredLines = 0;
+    bool write = false;
+};
+
+/** Aggregate work of one thread block. */
+struct BlockWork
+{
+    double flops = 0.0;        // CUDA-core floating ops
+    double tensorFlops = 0.0;  // Tensor-Core floating ops
+    double intOps = 0.0;       // index/address arithmetic
+    double sharedBytes = 0.0;  // shared-memory traffic
+    std::vector<MemAccess> accesses;
+
+    void
+    merge(const BlockWork &other)
+    {
+        flops += other.flops;
+        tensorFlops += other.tensorFlops;
+        intOps += other.intOps;
+        sharedBytes += other.sharedBytes;
+        accesses.insert(accesses.end(), other.accesses.begin(),
+                        other.accesses.end());
+    }
+};
+
+/** A simulatable kernel: a grid of blocks with enumerable work. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    virtual std::string name() const = 0;
+    virtual int64_t numBlocks() const = 0;
+    /** Fill `work` with the aggregate work of block `block_id`. */
+    virtual void blockWork(int64_t block_id, BlockWork *work) const = 0;
+    /** Static shared-memory request per block (occupancy limiter). */
+    virtual int64_t sharedMemBytes() const { return 0; }
+};
+
+/** Result of simulating one kernel (or a fused group). */
+struct KernelStats
+{
+    double timeMs = 0.0;
+    double l1HitRate = 0.0;
+    double l2HitRate = 0.0;
+    int64_t dramBytes = 0;
+    int64_t l1Accesses = 0;
+    double flops = 0.0;
+    double tensorFlops = 0.0;
+    int64_t numBlocks = 0;
+    /** max over SMs / mean over SMs of busy cycles (load imbalance). */
+    double imbalance = 1.0;
+};
+
+/** Options shared by a simulation session. */
+struct SimOptions
+{
+    /** Flush L2 between kernels (paper's FLUSH_L2=ON protocol). */
+    bool flushL2BetweenKernels = true;
+    /**
+     * Pipeline efficiency factor (vendor-tuned kernels get > ours;
+     * see baselines/vendor_constants.h).
+     */
+    double efficiency = 1.0;
+};
+
+/** A simulated device: owns L1s and L2 across kernel launches. */
+class Device
+{
+  public:
+    explicit Device(GpuSpec spec);
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /** Simulate one kernel launch. */
+    KernelStats launch(const Kernel &kernel,
+                       const SimOptions &options = SimOptions());
+
+    /**
+     * Simulate a sequence of kernels as one horizontally fused launch
+     * (single launch overhead, shared wave scheduling).
+     */
+    KernelStats launchFused(const std::vector<const Kernel *> &kernels,
+                            const SimOptions &options = SimOptions());
+
+    /** Peak simulated memory footprint tracker (bytes). */
+    void noteMemoryFootprint(int64_t bytes);
+    int64_t peakMemoryFootprint() const { return peakFootprint_; }
+    void resetMemoryFootprint() { peakFootprint_ = 0; }
+
+  private:
+    KernelStats run(const std::vector<const Kernel *> &kernels,
+                    const SimOptions &options, int launches);
+
+    GpuSpec spec_;
+    std::vector<CacheModel> l1_;
+    CacheModel l2_;
+    int64_t peakFootprint_ = 0;
+};
+
+} // namespace gpusim
+} // namespace sparsetir
+
+#endif // SPARSETIR_GPUSIM_SIMULATOR_H_

@@ -1,0 +1,43 @@
+#include "gpusim/spec.h"
+
+namespace sparsetir {
+namespace gpusim {
+
+GpuSpec
+GpuSpec::v100()
+{
+    GpuSpec spec;
+    spec.name = "V100";
+    spec.numSms = 80;
+    spec.clockGhz = 1.38;
+    spec.dramBandwidthGBs = 900.0;
+    spec.l1SizeBytes = 128 << 10;
+    spec.l2SizeBytes = 6 << 20;
+    spec.fp32FlopsPerSmPerCycle = 128.0;   // 64 FP32 cores x FMA
+    spec.tensorFlopsPerSmPerCycle = 1024.0;  // 8 TCs x 64 FMA x 2
+    spec.intOpsPerSmPerCycle = 64.0;
+    spec.sharedMemPerSmBytes = 96 << 10;
+    spec.launchOverheadUs = 4.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::rtx3070()
+{
+    GpuSpec spec;
+    spec.name = "RTX3070";
+    spec.numSms = 46;
+    spec.clockGhz = 1.73;
+    spec.dramBandwidthGBs = 448.0;
+    spec.l1SizeBytes = 128 << 10;
+    spec.l2SizeBytes = 4 << 20;
+    spec.fp32FlopsPerSmPerCycle = 256.0;   // Ampere dual FP32 datapath
+    spec.tensorFlopsPerSmPerCycle = 512.0;   // 4 3rd-gen TCs (fp16 acc)
+    spec.intOpsPerSmPerCycle = 64.0;
+    spec.sharedMemPerSmBytes = 100 << 10;
+    spec.launchOverheadUs = 3.0;
+    return spec;
+}
+
+} // namespace gpusim
+} // namespace sparsetir

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GPU hardware descriptions for the transaction-level simulator.
+ *
+ * Substitutes for the paper's NVIDIA Tesla V100 and GeForce RTX 3070
+ * testbeds (see DESIGN.md, substitution 1). Numbers are public
+ * datasheet values; the simulator consumes them as throughput and
+ * capacity parameters, so only relative magnitudes matter for the
+ * reproduced comparisons.
+ */
+
+#ifndef SPARSETIR_GPUSIM_SPEC_H_
+#define SPARSETIR_GPUSIM_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sparsetir {
+namespace gpusim {
+
+/** Throughput/capacity description of one GPU. */
+struct GpuSpec
+{
+    std::string name;
+    int numSms = 80;
+    int warpSize = 32;
+    double clockGhz = 1.4;
+    /** HBM/GDDR bandwidth. */
+    double dramBandwidthGBs = 900.0;
+    /** Private per-SM L1/texture cache. */
+    int64_t l1SizeBytes = 128 << 10;
+    int l1LineBytes = 128;
+    int l1Assoc = 4;
+    /** Device-wide L2. */
+    int64_t l2SizeBytes = 6 << 20;
+    int l2LineBytes = 128;
+    int l2Assoc = 16;
+    /** FP32 FMA throughput per SM per cycle (flops, FMA = 2). */
+    double fp32FlopsPerSmPerCycle = 128.0;
+    /** FP16 Tensor-Core throughput per SM per cycle (flops). */
+    double tensorFlopsPerSmPerCycle = 1024.0;
+    /** Integer/address ALU ops per SM per cycle. */
+    double intOpsPerSmPerCycle = 64.0;
+    /** Shared-memory bandwidth per SM (bytes/cycle). */
+    double sharedBytesPerSmPerCycle = 128.0;
+    int64_t sharedMemPerSmBytes = 96 << 10;
+    /** Per-kernel launch overhead. */
+    double launchOverheadUs = 4.0;
+    /** Fixed per-thread-block scheduling overhead (cycles). */
+    double blockOverheadCycles = 600.0;
+
+    /** DRAM bytes per core cycle (whole device). */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramBandwidthGBs / clockGhz;
+    }
+
+    /** Tesla V100 (SXM2, 16 GB). */
+    static GpuSpec v100();
+    /** GeForce RTX 3070. */
+    static GpuSpec rtx3070();
+};
+
+} // namespace gpusim
+} // namespace sparsetir
+
+#endif // SPARSETIR_GPUSIM_SPEC_H_

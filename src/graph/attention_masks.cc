@@ -1,0 +1,69 @@
+#include "graph/attention_masks.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace graph {
+
+using format::Csr;
+
+Csr
+bandMask(int64_t n, int64_t band)
+{
+    ICHECK_GT(n, 0);
+    int64_t half = band / 2;
+    Csr m;
+    m.rows = n;
+    m.cols = n;
+    m.indptr.push_back(0);
+    for (int64_t r = 0; r < n; ++r) {
+        int64_t lo = std::max<int64_t>(0, r - half);
+        int64_t hi = std::min<int64_t>(n - 1, r + half);
+        for (int64_t c = lo; c <= hi; ++c) {
+            m.indices.push_back(static_cast<int32_t>(c));
+            m.values.push_back(1.0f);
+        }
+        m.indptr.push_back(static_cast<int32_t>(m.indices.size()));
+    }
+    return m;
+}
+
+Csr
+butterflyMask(int64_t n, int64_t block)
+{
+    ICHECK_GT(block, 0);
+    int64_t blocks = (n + block - 1) / block;
+    Csr m;
+    m.rows = n;
+    m.cols = n;
+    m.indptr.push_back(0);
+    std::set<int64_t> row_blocks;
+    for (int64_t r = 0; r < n; ++r) {
+        int64_t br = r / block;
+        row_blocks.clear();
+        // Butterfly connections: blocks at XOR power-of-two strides.
+        row_blocks.insert(br);
+        for (int64_t stride = 1; stride < blocks; stride <<= 1) {
+            row_blocks.insert(br ^ stride);
+        }
+        for (int64_t bc : row_blocks) {
+            if (bc < 0 || bc >= blocks) {
+                continue;
+            }
+            int64_t lo = bc * block;
+            int64_t hi = std::min(n, lo + block);
+            for (int64_t c = lo; c < hi; ++c) {
+                m.indices.push_back(static_cast<int32_t>(c));
+                m.values.push_back(1.0f);
+            }
+        }
+        m.indptr.push_back(static_cast<int32_t>(m.indices.size()));
+    }
+    return m;
+}
+
+} // namespace graph
+} // namespace sparsetir

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Sparse attention mask generators (paper §4.3.1): the Longformer
+ * band mask and the Pixelated Butterfly mask.
+ */
+
+#ifndef SPARSETIR_GRAPH_ATTENTION_MASKS_H_
+#define SPARSETIR_GRAPH_ATTENTION_MASKS_H_
+
+#include <cstdint>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace graph {
+
+/** Band (sliding-window) mask of total width `band` plus diagonal. */
+format::Csr bandMask(int64_t n, int64_t band);
+
+/**
+ * Block-butterfly mask: block-diagonal unions at power-of-two strides
+ * (the butterfly factor pattern of Pixelated Butterfly), block size
+ * `block`.
+ */
+format::Csr butterflyMask(int64_t n, int64_t block);
+
+} // namespace graph
+} // namespace sparsetir
+
+#endif // SPARSETIR_GRAPH_ATTENTION_MASKS_H_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named synthetic stand-ins for the paper's GNN datasets (Table 1).
+ * Large graphs are scaled down to keep simulation tractable; the
+ * scale factor is recorded so benches can report it.
+ */
+
+#ifndef SPARSETIR_GRAPH_DATASETS_H_
+#define SPARSETIR_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace graph {
+
+/** One Table 1 dataset configuration. */
+struct DatasetSpec
+{
+    std::string name;
+    /** Paper-reported size. */
+    int64_t paperNodes;
+    int64_t paperEdges;
+    /** Synthesized size (scaled when the original is too large). */
+    int64_t nodes;
+    int64_t edges;
+    /** "powerlaw" or "concentrated". */
+    std::string family;
+    double alphaOrSpread;
+    /** Paper-reported %padding for hyb (Table 1). */
+    double paperPaddingPct;
+};
+
+/** The seven Table 1 graphs. */
+std::vector<DatasetSpec> table1Datasets();
+
+/** Look up by name ("cora", ..., "reddit"). */
+DatasetSpec datasetSpec(const std::string &name);
+
+/** Generate the synthetic stand-in. */
+format::Csr generateDataset(const DatasetSpec &spec, uint64_t seed = 42);
+
+} // namespace graph
+} // namespace sparsetir
+
+#endif // SPARSETIR_GRAPH_DATASETS_H_

@@ -1,0 +1,156 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace graph {
+
+using format::Csr;
+
+namespace {
+
+/** Build a CSR graph from a per-row degree sequence. */
+Csr
+fromDegrees(int64_t nodes, std::vector<int64_t> degrees, Rng &rng)
+{
+    Csr m;
+    m.rows = nodes;
+    m.cols = nodes;
+    m.indptr.reserve(nodes + 1);
+    m.indptr.push_back(0);
+    std::unordered_set<int64_t> row_set;
+    for (int64_t r = 0; r < nodes; ++r) {
+        int64_t degree = std::min<int64_t>(degrees[r], nodes);
+        row_set.clear();
+        // Self loop first (GNN adjacency convention), then uniform
+        // neighbours without replacement.
+        if (degree > 0) {
+            row_set.insert(r);
+        }
+        while (static_cast<int64_t>(row_set.size()) < degree) {
+            row_set.insert(
+                static_cast<int64_t>(rng.uniformInt(nodes)));
+        }
+        std::vector<int64_t> cols(row_set.begin(), row_set.end());
+        std::sort(cols.begin(), cols.end());
+        for (int64_t c : cols) {
+            m.indices.push_back(static_cast<int32_t>(c));
+            m.values.push_back(
+                1.0f + 0.1f * static_cast<float>(rng.uniformReal()));
+        }
+        m.indptr.push_back(static_cast<int32_t>(m.indices.size()));
+    }
+    return m;
+}
+
+/** Rescale a degree sequence to sum to the target edge count. */
+void
+rescaleDegrees(std::vector<int64_t> *degrees, int64_t nodes,
+               int64_t edges)
+{
+    int64_t total = std::accumulate(degrees->begin(), degrees->end(),
+                                    int64_t{0});
+    ICHECK_GT(total, 0);
+    double scale = static_cast<double>(edges) /
+                   static_cast<double>(total);
+    int64_t acc = 0;
+    for (auto &d : *degrees) {
+        d = std::max<int64_t>(
+            1, static_cast<int64_t>(std::llround(d * scale)));
+        d = std::min<int64_t>(d, nodes);
+        acc += d;
+    }
+    // Trim or pad round-off. Trimming may push degrees to zero when
+    // the target edge count is below the node count (sparse
+    // relations of a heterograph).
+    int64_t diff = acc - edges;
+    size_t cursor = 0;
+    while (diff != 0 && !degrees->empty()) {
+        auto &d = (*degrees)[cursor % degrees->size()];
+        if (diff > 0 && d > 0) {
+            --d;
+            --diff;
+        } else if (diff < 0 && d < nodes) {
+            ++d;
+            ++diff;
+        }
+        ++cursor;
+    }
+}
+
+} // namespace
+
+Csr
+powerLawGraph(int64_t nodes, int64_t edges, double alpha, uint64_t seed)
+{
+    ICHECK_GT(nodes, 0);
+    Rng rng(seed);
+    std::vector<int64_t> degrees(nodes);
+    int64_t x_max = std::max<int64_t>(2, nodes / 2);
+    for (auto &d : degrees) {
+        d = rng.powerLaw(alpha, x_max);
+    }
+    rescaleDegrees(&degrees, nodes, edges);
+    return fromDegrees(nodes, std::move(degrees), rng);
+}
+
+Csr
+concentratedGraph(int64_t nodes, int64_t edges, double rel_spread,
+                  uint64_t seed)
+{
+    ICHECK_GT(nodes, 0);
+    Rng rng(seed);
+    double mean = static_cast<double>(edges) /
+                  static_cast<double>(nodes);
+    std::vector<int64_t> degrees(nodes);
+    for (auto &d : degrees) {
+        double v = mean * (1.0 + rel_spread * rng.normal());
+        d = std::max<int64_t>(1, static_cast<int64_t>(std::llround(v)));
+    }
+    rescaleDegrees(&degrees, nodes, edges);
+    return fromDegrees(nodes, std::move(degrees), rng);
+}
+
+Csr
+uniformGraph(int64_t nodes, int64_t edges, uint64_t seed)
+{
+    return concentratedGraph(nodes, edges, 0.0, seed);
+}
+
+DegreeStats
+degreeStats(const Csr &m)
+{
+    DegreeStats stats;
+    if (m.rows == 0) {
+        return stats;
+    }
+    std::vector<int64_t> degrees(m.rows);
+    int64_t total = 0;
+    for (int64_t r = 0; r < m.rows; ++r) {
+        degrees[r] = m.rowLength(r);
+        stats.maxDegree = std::max(stats.maxDegree, degrees[r]);
+        total += degrees[r];
+    }
+    stats.meanDegree =
+        static_cast<double>(total) / static_cast<double>(m.rows);
+    std::sort(degrees.begin(), degrees.end());
+    // Gini via the sorted formula.
+    double weighted = 0.0;
+    for (int64_t i = 0; i < m.rows; ++i) {
+        weighted += static_cast<double>(2 * (i + 1) - m.rows - 1) *
+                    static_cast<double>(degrees[i]);
+    }
+    if (total > 0) {
+        stats.gini = weighted / (static_cast<double>(m.rows) *
+                                 static_cast<double>(total));
+    }
+    return stats;
+}
+
+} // namespace graph
+} // namespace sparsetir

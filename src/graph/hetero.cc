@@ -1,0 +1,73 @@
+#include "graph/hetero.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "format/coo.h"
+#include "graph/generator.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace sparsetir {
+namespace graph {
+
+std::vector<HeteroSpec>
+table2Heterographs()
+{
+    // ogbl-biokg and AM scaled down (DESIGN.md substitution 3).
+    return {
+        {"AIFB", 7262, 48810, 45, 7262, 48810, 17.9},
+        {"MUTAG", 27163, 148100, 46, 27163, 148100, 8.0},
+        {"BGS", 94806, 672884, 96, 94806, 672884, 4.3},
+        {"ogbl-biokg", 93773, 4762678, 51, 31258, 1587559, 4.2},
+        {"AM", 1885136, 5668682, 96, 377027, 1133736, 10.8},
+    };
+}
+
+HeteroSpec
+heteroSpec(const std::string &name)
+{
+    for (const auto &spec : table2Heterographs()) {
+        if (spec.name == name) {
+            return spec;
+        }
+    }
+    USER_CHECK(false) << "unknown heterograph '" << name << "'";
+    return {};
+}
+
+format::RelationalCsr
+generateHetero(const HeteroSpec &spec, uint64_t seed)
+{
+    Rng rng(seed);
+    format::RelationalCsr out;
+    out.rows = spec.nodes;
+    out.cols = spec.nodes;
+
+    // Zipf relation popularity.
+    std::vector<double> weight(spec.numEtypes);
+    double total_weight = 0.0;
+    for (int r = 0; r < spec.numEtypes; ++r) {
+        weight[r] = 1.0 / static_cast<double>(r + 1);
+        total_weight += weight[r];
+    }
+
+    int64_t remaining = spec.edges;
+    for (int r = 0; r < spec.numEtypes; ++r) {
+        int64_t rel_edges =
+            r + 1 == spec.numEtypes
+                ? remaining
+                : std::max<int64_t>(
+                      1, static_cast<int64_t>(std::llround(
+                             spec.edges * weight[r] / total_weight)));
+        rel_edges = std::min(rel_edges, remaining);
+        remaining -= rel_edges;
+        out.relations.push_back(powerLawGraph(
+            spec.nodes, std::max<int64_t>(rel_edges, 1), 2.0,
+            seed + 1000 + static_cast<uint64_t>(r)));
+    }
+    return out;
+}
+
+} // namespace graph
+} // namespace sparsetir

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic heterogeneous graphs standing in for the paper's RGCN
+ * datasets (Table 2): multiple edge types, per-relation adjacency.
+ */
+
+#ifndef SPARSETIR_GRAPH_HETERO_H_
+#define SPARSETIR_GRAPH_HETERO_H_
+
+#include <string>
+#include <vector>
+
+#include "format/relational.h"
+
+namespace sparsetir {
+namespace graph {
+
+/** One Table 2 heterograph configuration. */
+struct HeteroSpec
+{
+    std::string name;
+    int64_t paperNodes;
+    int64_t paperEdges;
+    int numEtypes;
+    int64_t nodes;
+    int64_t edges;
+    /** Paper-reported %padding for 3D hyb (Table 2). */
+    double paperPaddingPct;
+};
+
+/** The five Table 2 heterographs. */
+std::vector<HeteroSpec> table2Heterographs();
+
+HeteroSpec heteroSpec(const std::string &name);
+
+/**
+ * Generate the per-relation adjacency: edges are split across
+ * relations with a Zipf-like relation popularity (a few relations
+ * carry most edges, as in real knowledge graphs), power-law rows
+ * within each relation.
+ */
+format::RelationalCsr generateHetero(const HeteroSpec &spec,
+                                     uint64_t seed = 42);
+
+} // namespace graph
+} // namespace sparsetir
+
+#endif // SPARSETIR_GRAPH_HETERO_H_

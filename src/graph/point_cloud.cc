@@ -1,0 +1,117 @@
+#include "graph/point_cloud.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace sparsetir {
+namespace graph {
+
+namespace {
+
+int64_t
+voxelKey(int32_t x, int32_t y, int32_t z)
+{
+    return (static_cast<int64_t>(x) << 42) ^
+           (static_cast<int64_t>(y) << 21) ^ static_cast<int64_t>(z);
+}
+
+} // namespace
+
+VoxelScene
+syntheticLidarScene(int64_t target_voxels, uint64_t seed)
+{
+    Rng rng(seed);
+    VoxelScene scene;
+    std::unordered_map<int64_t, bool> occupied;
+    int32_t extent = static_cast<int32_t>(
+        std::max<int64_t>(32, std::llround(
+                                  std::sqrt(static_cast<double>(
+                                      target_voxels) /
+                                            4.0))));
+
+    auto add = [&](int32_t x, int32_t y, int32_t z) {
+        if (x < 0 || y < 0 || z < 0) {
+            return;
+        }
+        int64_t key = voxelKey(x, y, z);
+        if (occupied.emplace(key, true).second) {
+            scene.voxels.push_back({x, y, z});
+        }
+    };
+
+    // Ground plane with gentle height noise (~60% of voxels).
+    int64_t ground_target = target_voxels * 6 / 10;
+    for (int64_t i = 0; i < ground_target; ++i) {
+        int32_t x = static_cast<int32_t>(rng.uniformInt(extent));
+        int32_t y = static_cast<int32_t>(rng.uniformInt(extent));
+        int32_t z = static_cast<int32_t>(rng.uniformInt(2));
+        add(x, y, z);
+    }
+    // A few vertical walls (~25%).
+    for (int wall = 0; wall < 4; ++wall) {
+        int32_t x0 = static_cast<int32_t>(rng.uniformInt(extent));
+        int64_t wall_target = target_voxels / 16;
+        for (int64_t i = 0; i < wall_target; ++i) {
+            int32_t y = static_cast<int32_t>(rng.uniformInt(extent));
+            int32_t z = static_cast<int32_t>(rng.uniformInt(12));
+            add(x0, y, z);
+        }
+    }
+    // Scattered objects (~15%).
+    int64_t object_target = target_voxels * 15 / 100;
+    for (int64_t i = 0; i < object_target; ++i) {
+        int32_t x = static_cast<int32_t>(rng.uniformInt(extent));
+        int32_t y = static_cast<int32_t>(rng.uniformInt(extent));
+        int32_t z = static_cast<int32_t>(2 + rng.uniformInt(6));
+        add(x, y, z);
+    }
+    return scene;
+}
+
+format::KernelMap
+buildKernelMap(const VoxelScene &scene)
+{
+    // Voxel coordinate -> index.
+    std::unordered_map<int64_t, int32_t> index;
+    index.reserve(scene.voxels.size());
+    for (size_t i = 0; i < scene.voxels.size(); ++i) {
+        const auto &v = scene.voxels[i];
+        index[voxelKey(v[0], v[1], v[2])] = static_cast<int32_t>(i);
+    }
+
+    format::KernelMap map;
+    int64_t n = static_cast<int64_t>(scene.voxels.size());
+    map.maps.rows = n;
+    map.maps.cols = n;
+    for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dz = -1; dz <= 1; ++dz) {
+                format::Csr rel;
+                rel.rows = n;
+                rel.cols = n;
+                rel.indptr.push_back(0);
+                for (int64_t i = 0; i < n; ++i) {
+                    const auto &v = scene.voxels[i];
+                    auto it = index.find(voxelKey(
+                        v[0] + dx, v[1] + dy, v[2] + dz));
+                    if (it != index.end()) {
+                        rel.indices.push_back(it->second);
+                        rel.values.push_back(1.0f);
+                    }
+                    rel.indptr.push_back(static_cast<int32_t>(
+                        rel.indices.size()));
+                }
+                map.maps.relations.push_back(std::move(rel));
+            }
+        }
+    }
+    return map;
+}
+
+} // namespace graph
+} // namespace sparsetir

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Synthetic LiDAR-like point clouds and sparse-convolution kernel
+ * maps, standing in for SemanticKITTI (paper §4.4.2).
+ */
+
+#ifndef SPARSETIR_GRAPH_POINT_CLOUD_H_
+#define SPARSETIR_GRAPH_POINT_CLOUD_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "format/relational.h"
+
+namespace sparsetir {
+namespace graph {
+
+/** One voxelized scene. */
+struct VoxelScene
+{
+    /** Occupied voxel coordinates (x, y, z). */
+    std::vector<std::array<int32_t, 3>> voxels;
+};
+
+/**
+ * Synthetic outdoor scene: a ground plane, a few walls and scattered
+ * objects, voxelized on a grid of the given resolution. Produces on
+ * the order of `target_voxels` occupied voxels.
+ */
+VoxelScene syntheticLidarScene(int64_t target_voxels, uint64_t seed);
+
+/**
+ * Kernel map for a 3^3 sparse convolution (stride 1, submanifold):
+ * one relation per kernel offset; relation r maps output voxel i to
+ * input voxel j when input(i + offset_r) == j. Every row has at most
+ * one entry — the ELL(1) structure of Figure 22.
+ */
+format::KernelMap buildKernelMap(const VoxelScene &scene);
+
+} // namespace graph
+} // namespace sparsetir
+
+#endif // SPARSETIR_GRAPH_POINT_CLOUD_H_

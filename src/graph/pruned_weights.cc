@@ -1,0 +1,100 @@
+#include "graph/pruned_weights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "format/coo.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace sparsetir {
+namespace graph {
+
+using format::Coo;
+using format::Csr;
+
+Csr
+blockPrunedWeight(int64_t rows, int64_t cols, int block, double density,
+                  double row_keep_fraction, uint64_t seed)
+{
+    ICHECK_GT(block, 0);
+    Rng rng(seed);
+    int64_t block_rows = (rows + block - 1) / block;
+    int64_t block_cols = (cols + block - 1) / block;
+    int64_t keep_rows = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(block_rows *
+                                             row_keep_fraction)));
+    int64_t target_blocks = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::llround(density * static_cast<double>(block_rows) *
+                            static_cast<double>(block_cols))));
+
+    // Choose which block rows stay alive.
+    std::vector<int64_t> alive(block_rows);
+    for (int64_t i = 0; i < block_rows; ++i) {
+        alive[i] = i;
+    }
+    rng.shuffle(alive);
+    alive.resize(keep_rows);
+
+    std::set<std::pair<int64_t, int64_t>> blocks;
+    while (static_cast<int64_t>(blocks.size()) < target_blocks) {
+        int64_t br = alive[rng.uniformInt(alive.size())];
+        int64_t bc = static_cast<int64_t>(rng.uniformInt(block_cols));
+        blocks.insert({br, bc});
+    }
+
+    Coo coo;
+    coo.rows = rows;
+    coo.cols = cols;
+    for (const auto &[br, bc] : blocks) {
+        for (int ii = 0; ii < block; ++ii) {
+            for (int ji = 0; ji < block; ++ji) {
+                int64_t r = br * block + ii;
+                int64_t c = bc * block + ji;
+                if (r < rows && c < cols) {
+                    coo.row.push_back(static_cast<int32_t>(r));
+                    coo.col.push_back(static_cast<int32_t>(c));
+                    coo.val.push_back(static_cast<float>(
+                        rng.normal() * 0.05));
+                }
+            }
+        }
+    }
+    return csrFromCoo(std::move(coo));
+}
+
+Csr
+unstructuredPrunedWeight(int64_t rows, int64_t cols, double density,
+                         uint64_t seed)
+{
+    Rng rng(seed);
+    int64_t target = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               density * static_cast<double>(rows) *
+               static_cast<double>(cols))));
+    // Mild column clustering: half the survivors fall into a hot
+    // quarter of the columns.
+    int64_t hot_cols = std::max<int64_t>(1, cols / 4);
+    std::set<std::pair<int64_t, int64_t>> taken;
+    while (static_cast<int64_t>(taken.size()) < target) {
+        int64_t r = static_cast<int64_t>(rng.uniformInt(rows));
+        int64_t c = rng.uniformReal() < 0.5
+                        ? static_cast<int64_t>(rng.uniformInt(hot_cols))
+                        : static_cast<int64_t>(rng.uniformInt(cols));
+        taken.insert({r, c});
+    }
+    Coo coo;
+    coo.rows = rows;
+    coo.cols = cols;
+    for (const auto &[r, c] : taken) {
+        coo.row.push_back(static_cast<int32_t>(r));
+        coo.col.push_back(static_cast<int32_t>(c));
+        coo.val.push_back(static_cast<float>(rng.normal() * 0.05));
+    }
+    return csrFromCoo(std::move(coo));
+}
+
+} // namespace graph
+} // namespace sparsetir

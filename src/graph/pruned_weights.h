@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Synthetic pruned transformer weights (paper §4.3.2), standing in
+ * for the HuggingFace block-pruned and movement-pruned BERT models.
+ */
+
+#ifndef SPARSETIR_GRAPH_PRUNED_WEIGHTS_H_
+#define SPARSETIR_GRAPH_PRUNED_WEIGHTS_H_
+
+#include <cstdint>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace graph {
+
+/**
+ * Block-pruned weight: blocks of `block` x `block` survive with the
+ * given density; surviving blocks cluster into a subset of block rows
+ * so many block rows are entirely zero (the property DBSR exploits).
+ * `row_keep_fraction` controls how many block rows stay non-empty.
+ */
+format::Csr blockPrunedWeight(int64_t rows, int64_t cols, int block,
+                              double density, double row_keep_fraction,
+                              uint64_t seed);
+
+/**
+ * Movement/magnitude-pruned weight: unstructured survivors with mild
+ * column clustering (pruned BERT weights are not uniformly random;
+ * heads concentrate survivors).
+ */
+format::Csr unstructuredPrunedWeight(int64_t rows, int64_t cols,
+                                     double density, uint64_t seed);
+
+} // namespace graph
+} // namespace sparsetir
+
+#endif // SPARSETIR_GRAPH_PRUNED_WEIGHTS_H_

@@ -1,0 +1,450 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+
+#include "ir/simplify.h"
+
+namespace sparsetir {
+namespace ir {
+
+namespace {
+
+class VarCollector : public StmtVisitor
+{
+  public:
+    std::set<const VarNode *> vars;
+
+  protected:
+    void
+    visitVar(const VarNode *op) override
+    {
+        vars.insert(op);
+    }
+};
+
+class AccessCollector : public StmtVisitor
+{
+  public:
+    std::vector<BufferAccess> accesses;
+
+  protected:
+    void
+    visitBufferLoad(const BufferLoadNode *op) override
+    {
+        accesses.push_back({op->buffer, op->indices, false});
+        StmtVisitor::visitBufferLoad(op);
+    }
+
+    void
+    visitBufferStore(const BufferStoreNode *op) override
+    {
+        accesses.push_back({op->buffer, op->indices, true});
+        StmtVisitor::visitBufferStore(op);
+    }
+};
+
+class BufferCollector : public StmtVisitor
+{
+  public:
+    std::vector<Buffer> buffers;
+    std::set<const BufferNode *> seen;
+
+    void
+    add(const Buffer &b)
+    {
+        if (b != nullptr && seen.insert(b.get()).second) {
+            buffers.push_back(b);
+        }
+    }
+
+  protected:
+    void
+    visitBufferLoad(const BufferLoadNode *op) override
+    {
+        add(op->buffer);
+        StmtVisitor::visitBufferLoad(op);
+    }
+
+    void
+    visitBufferStore(const BufferStoreNode *op) override
+    {
+        add(op->buffer);
+        StmtVisitor::visitBufferStore(op);
+    }
+
+    void
+    visitCall(const CallNode *op) override
+    {
+        add(op->bufferArg);
+        StmtVisitor::visitCall(op);
+    }
+
+    void
+    visitAllocate(const AllocateNode *op) override
+    {
+        add(op->buffer);
+        StmtVisitor::visitAllocate(op);
+    }
+};
+
+Interval
+addIntervals(const Interval &a, const Interval &b)
+{
+    Interval r;
+    r.hasLo = a.hasLo && b.hasLo;
+    r.hasHi = a.hasHi && b.hasHi;
+    if (r.hasLo) {
+        r.lo = a.lo + b.lo;
+    }
+    if (r.hasHi) {
+        r.hi = a.hi + b.hi;
+    }
+    return r;
+}
+
+Interval
+negateInterval(const Interval &a)
+{
+    Interval r;
+    r.hasLo = a.hasHi;
+    r.hasHi = a.hasLo;
+    if (r.hasLo) {
+        r.lo = -a.hi;
+    }
+    if (r.hasHi) {
+        r.hi = -a.lo;
+    }
+    return r;
+}
+
+Interval
+mulIntervals(const Interval &a, const Interval &b)
+{
+    if (!a.hasLo || !a.hasHi || !b.hasLo || !b.hasHi) {
+        return Interval::unknown();
+    }
+    int64_t candidates[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                             a.hi * b.hi};
+    Interval r;
+    r.hasLo = r.hasHi = true;
+    r.lo = *std::min_element(candidates, candidates + 4);
+    r.hi = *std::max_element(candidates, candidates + 4);
+    return r;
+}
+
+} // namespace
+
+std::set<const VarNode *>
+collectVars(const Expr &e)
+{
+    VarCollector c;
+    c.visitExpr(e);
+    return std::move(c.vars);
+}
+
+std::set<const VarNode *>
+collectVars(const Stmt &s)
+{
+    VarCollector c;
+    c.visitStmt(s);
+    return std::move(c.vars);
+}
+
+std::vector<BufferAccess>
+collectBufferAccesses(const Stmt &s)
+{
+    AccessCollector c;
+    c.visitStmt(s);
+    return std::move(c.accesses);
+}
+
+std::vector<Buffer>
+collectBuffers(const Stmt &s)
+{
+    BufferCollector c;
+    c.visitStmt(s);
+    return std::move(c.buffers);
+}
+
+Interval
+boundsOf(const Expr &e, const std::map<const VarNode *, Interval> &var_bounds)
+{
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+        return Interval::constant(
+            static_cast<const IntImmNode *>(e.get())->value);
+      case ExprKind::kVar: {
+        auto it = var_bounds.find(static_cast<const VarNode *>(e.get()));
+        return it != var_bounds.end() ? it->second : Interval::unknown();
+      }
+      case ExprKind::kAdd: {
+        auto op = static_cast<const BinaryNode *>(e.get());
+        return addIntervals(boundsOf(op->a, var_bounds),
+                            boundsOf(op->b, var_bounds));
+      }
+      case ExprKind::kSub: {
+        auto op = static_cast<const BinaryNode *>(e.get());
+        return addIntervals(boundsOf(op->a, var_bounds),
+                            negateInterval(boundsOf(op->b, var_bounds)));
+      }
+      case ExprKind::kMul: {
+        auto op = static_cast<const BinaryNode *>(e.get());
+        return mulIntervals(boundsOf(op->a, var_bounds),
+                            boundsOf(op->b, var_bounds));
+      }
+      case ExprKind::kFloorDiv: {
+        auto op = static_cast<const BinaryNode *>(e.get());
+        Interval a = boundsOf(op->a, var_bounds);
+        int64_t d = 0;
+        if (a.hasLo && a.hasHi && tryConstInt(op->b, &d) && d > 0) {
+            Interval r;
+            r.hasLo = r.hasHi = true;
+            int64_t q1 = a.lo >= 0 ? a.lo / d : -((-a.lo + d - 1) / d);
+            int64_t q2 = a.hi >= 0 ? a.hi / d : -((-a.hi + d - 1) / d);
+            r.lo = std::min(q1, q2);
+            r.hi = std::max(q1, q2);
+            return r;
+        }
+        return Interval::unknown();
+      }
+      case ExprKind::kFloorMod: {
+        auto op = static_cast<const BinaryNode *>(e.get());
+        int64_t d = 0;
+        if (tryConstInt(op->b, &d) && d > 0) {
+            return Interval::range(0, d - 1);
+        }
+        return Interval::unknown();
+      }
+      case ExprKind::kMin: {
+        auto op = static_cast<const BinaryNode *>(e.get());
+        Interval a = boundsOf(op->a, var_bounds);
+        Interval b = boundsOf(op->b, var_bounds);
+        Interval r;
+        r.hasLo = a.hasLo && b.hasLo;
+        r.hasHi = a.hasHi || b.hasHi;
+        if (r.hasLo) {
+            r.lo = std::min(a.lo, b.lo);
+        }
+        if (a.hasHi && b.hasHi) {
+            r.hi = std::min(a.hi, b.hi);
+        } else if (a.hasHi) {
+            r.hi = a.hi;
+        } else if (b.hasHi) {
+            r.hi = b.hi;
+        }
+        return r;
+      }
+      case ExprKind::kMax: {
+        auto op = static_cast<const BinaryNode *>(e.get());
+        Interval a = boundsOf(op->a, var_bounds);
+        Interval b = boundsOf(op->b, var_bounds);
+        Interval r;
+        r.hasHi = a.hasHi && b.hasHi;
+        r.hasLo = a.hasLo || b.hasLo;
+        if (r.hasHi) {
+            r.hi = std::max(a.hi, b.hi);
+        }
+        if (a.hasLo && b.hasLo) {
+            r.lo = std::max(a.lo, b.lo);
+        } else if (a.hasLo) {
+            r.lo = a.lo;
+        } else if (b.hasLo) {
+            r.lo = b.lo;
+        }
+        return r;
+      }
+      case ExprKind::kCast:
+        return boundsOf(static_cast<const CastNode *>(e.get())->value,
+                        var_bounds);
+      default:
+        return Interval::unknown();
+    }
+}
+
+void
+inferRegions(const Stmt &body,
+             const std::map<const VarNode *, Interval> &var_bounds,
+             std::vector<BufferRegion> *reads,
+             std::vector<BufferRegion> *writes)
+{
+    auto accesses = collectBufferAccesses(body);
+
+    auto regionFor = [&](const BufferAccess &access) {
+        BufferRegion region;
+        region.buffer = access.buffer;
+        for (size_t d = 0; d < access.indices.size(); ++d) {
+            Interval bounds = boundsOf(access.indices[d], var_bounds);
+            if (bounds.hasLo && bounds.hasHi) {
+                region.region.emplace_back(
+                    intImm(bounds.lo),
+                    intImm(bounds.hi - bounds.lo + 1));
+            } else {
+                // Conservative: whole dimension.
+                region.region.emplace_back(intImm(0),
+                                           access.buffer->dimExtent(d));
+            }
+        }
+        return region;
+    };
+
+    auto mergeInto = [&](std::vector<BufferRegion> *list,
+                         const BufferRegion &region) {
+        for (auto &existing : *list) {
+            if (existing.buffer.get() == region.buffer.get()) {
+                // Union per dimension.
+                for (size_t d = 0; d < existing.region.size(); ++d) {
+                    int64_t lo1 = 0;
+                    int64_t lo2 = 0;
+                    int64_t e1 = 0;
+                    int64_t e2 = 0;
+                    bool ok = tryConstInt(existing.region[d].first, &lo1) &&
+                              tryConstInt(existing.region[d].second, &e1) &&
+                              tryConstInt(region.region[d].first, &lo2) &&
+                              tryConstInt(region.region[d].second, &e2);
+                    if (ok) {
+                        int64_t lo = std::min(lo1, lo2);
+                        int64_t hi = std::max(lo1 + e1, lo2 + e2);
+                        existing.region[d] = {intImm(lo), intImm(hi - lo)};
+                    } else {
+                        existing.region[d] = {
+                            intImm(0), region.buffer->dimExtent(d)};
+                    }
+                }
+                return;
+            }
+        }
+        list->push_back(region);
+    };
+
+    for (const auto &access : accesses) {
+        mergeInto(access.isWrite ? writes : reads, regionFor(access));
+    }
+}
+
+namespace {
+
+class RegionAnnotator : public StmtMutator
+{
+  public:
+    Stmt
+    run(const Stmt &root)
+    {
+        return mutateStmt(root);
+    }
+
+  protected:
+    Stmt
+    mutateFor(const ForNode *op, const Stmt &s) override
+    {
+        Interval bounds = Interval::unknown();
+        int64_t min_v = 0;
+        int64_t ext_v = 0;
+        if (tryConstInt(simplify(op->minValue), &min_v) &&
+            tryConstInt(simplify(op->extent), &ext_v) && ext_v > 0) {
+            bounds = Interval::range(min_v, min_v + ext_v - 1);
+        }
+        varBounds_[op->loopVar.get()] = bounds;
+        Stmt result = StmtMutator::mutateFor(op, s);
+        varBounds_.erase(op->loopVar.get());
+        return result;
+    }
+
+    Stmt
+    mutateBlock(const BlockNode *op, const Stmt &s) override
+    {
+        Stmt inner = StmtMutator::mutateBlock(op, s);
+        auto old_block = static_cast<const BlockNode *>(inner.get());
+        auto node = std::make_shared<BlockNode>(*old_block);
+        node->reads.clear();
+        node->writes.clear();
+        Stmt scan_body = node->init != nullptr
+                             ? seq({node->init, node->body})
+                             : node->body;
+        inferRegions(scan_body, varBounds_, &node->reads, &node->writes);
+        return node;
+    }
+
+  private:
+    std::map<const VarNode *, Interval> varBounds_;
+};
+
+class KindCounter : public StmtVisitor
+{
+  public:
+    explicit KindCounter(StmtKind kind) : kind_(kind) {}
+
+    int count = 0;
+
+    void
+    visitStmt(const Stmt &s) override
+    {
+        if (s->kind == kind_) {
+            ++count;
+        }
+        StmtVisitor::visitStmt(s);
+    }
+
+  private:
+    StmtKind kind_;
+};
+
+class SpIterCollector : public StmtVisitor
+{
+  public:
+    std::vector<SparseIteration> iterations;
+
+  protected:
+    void
+    visitSparseIteration(const SparseIterationNode *op) override
+    {
+        // Re-wrap in shared_ptr aliasing: we need the owning pointer.
+        // StmtVisitor only hands us the raw node, so store via the
+        // owning statement in visitStmt below instead.
+        StmtVisitor::visitSparseIteration(op);
+    }
+
+  public:
+    void
+    visitStmt(const Stmt &s) override
+    {
+        if (s->kind == StmtKind::kSparseIteration) {
+            iterations.push_back(
+                std::static_pointer_cast<const SparseIterationNode>(s));
+        }
+        StmtVisitor::visitStmt(s);
+    }
+};
+
+} // namespace
+
+Stmt
+annotateRegions(const Stmt &root)
+{
+    RegionAnnotator annotator;
+    return annotator.run(root);
+}
+
+bool
+containsStmtKind(const Stmt &s, StmtKind kind)
+{
+    return countStmtKind(s, kind) > 0;
+}
+
+int
+countStmtKind(const Stmt &s, StmtKind kind)
+{
+    KindCounter counter(kind);
+    counter.visitStmt(s);
+    return counter.count;
+}
+
+std::vector<SparseIteration>
+collectSparseIterations(const Stmt &s)
+{
+    SpIterCollector c;
+    c.visitStmt(s);
+    return std::move(c.iterations);
+}
+
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * IR analyses: variable collection, buffer access collection, simple
+ * interval bound analysis and block read/write region inference.
+ */
+
+#ifndef SPARSETIR_IR_ANALYSIS_H_
+#define SPARSETIR_IR_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/functor.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** All variables referenced in an expression/statement. */
+std::set<const VarNode *> collectVars(const Expr &e);
+std::set<const VarNode *> collectVars(const Stmt &s);
+
+/** One buffer access site. */
+struct BufferAccess
+{
+    Buffer buffer;
+    std::vector<Expr> indices;
+    bool isWrite;
+};
+
+/** All buffer loads/stores in a statement, in visit order. */
+std::vector<BufferAccess> collectBufferAccesses(const Stmt &s);
+
+/** All buffers referenced in a statement (loads, stores, calls). */
+std::vector<Buffer> collectBuffers(const Stmt &s);
+
+/** Closed integer interval; may be unbounded on either side. */
+struct Interval
+{
+    int64_t lo = 0;
+    int64_t hi = 0;
+    bool hasLo = false;
+    bool hasHi = false;
+
+    static Interval
+    constant(int64_t v)
+    {
+        return Interval{v, v, true, true};
+    }
+    static Interval
+    range(int64_t lo, int64_t hi)
+    {
+        return Interval{lo, hi, true, true};
+    }
+    static Interval unknown() { return Interval{}; }
+};
+
+/**
+ * Evaluate conservative bounds of an integer expression given bounds
+ * for its variables. Unknown vars yield an unbounded interval.
+ */
+Interval boundsOf(const Expr &e,
+                  const std::map<const VarNode *, Interval> &var_bounds);
+
+/**
+ * Compute block read/write regions (the Read/Write Region Analysis
+ * step of sparse iteration lowering, §3.3.1): for each buffer accessed
+ * under the statement, union the accessed regions per dimension, given
+ * loop-var bounds. Returns conservative whole-dimension ranges when an
+ * index cannot be bounded.
+ */
+void inferRegions(const Stmt &body,
+                  const std::map<const VarNode *, Interval> &var_bounds,
+                  std::vector<BufferRegion> *reads,
+                  std::vector<BufferRegion> *writes);
+
+/** Annotate every Block in the function body with inferred regions. */
+Stmt annotateRegions(const Stmt &root);
+
+/** True if the statement contains a node of the given stmt kind. */
+bool containsStmtKind(const Stmt &s, StmtKind kind);
+
+/** Count nodes of a statement kind. */
+int countStmtKind(const Stmt &s, StmtKind kind);
+
+/** Collect all SparseIteration nodes in order. */
+std::vector<SparseIteration> collectSparseIterations(const Stmt &s);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_ANALYSIS_H_

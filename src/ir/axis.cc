@@ -1,0 +1,81 @@
+#include "ir/axis.h"
+
+#include <algorithm>
+
+namespace sparsetir {
+namespace ir {
+
+Axis
+denseFixed(std::string name, Expr length, DataType idtype)
+{
+    auto node = std::make_shared<AxisNode>();
+    node->name = std::move(name);
+    node->kind = AxisKind::kDenseFixed;
+    node->length = length;
+    node->nnzCols = length;
+    node->idtype = idtype;
+    return node;
+}
+
+Axis
+denseVariable(std::string name, Axis parent, Expr length, Expr nnz,
+              Var indptr, DataType idtype)
+{
+    ICHECK(parent != nullptr) << "variable axis requires a parent";
+    auto node = std::make_shared<AxisNode>();
+    node->name = std::move(name);
+    node->kind = AxisKind::kDenseVariable;
+    node->parent = std::move(parent);
+    node->length = std::move(length);
+    node->nnz = std::move(nnz);
+    node->indptr = std::move(indptr);
+    node->idtype = idtype;
+    return node;
+}
+
+Axis
+sparseFixed(std::string name, Axis parent, Expr length, Expr nnz_cols,
+            Var indices, DataType idtype)
+{
+    ICHECK(parent != nullptr) << "sparse-fixed axis requires a parent";
+    auto node = std::make_shared<AxisNode>();
+    node->name = std::move(name);
+    node->kind = AxisKind::kSparseFixed;
+    node->parent = std::move(parent);
+    node->length = std::move(length);
+    node->nnzCols = std::move(nnz_cols);
+    node->indices = std::move(indices);
+    node->idtype = idtype;
+    return node;
+}
+
+Axis
+sparseVariable(std::string name, Axis parent, Expr length, Expr nnz,
+               Var indptr, Var indices, DataType idtype)
+{
+    ICHECK(parent != nullptr) << "sparse-variable axis requires a parent";
+    auto node = std::make_shared<AxisNode>();
+    node->name = std::move(name);
+    node->kind = AxisKind::kSparseVariable;
+    node->parent = std::move(parent);
+    node->length = std::move(length);
+    node->nnz = std::move(nnz);
+    node->indptr = std::move(indptr);
+    node->indices = std::move(indices);
+    node->idtype = idtype;
+    return node;
+}
+
+std::vector<Axis>
+ancestors(const Axis &axis)
+{
+    std::vector<Axis> chain;
+    for (Axis a = axis; a != nullptr; a = a->parent) {
+        chain.push_back(a);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Axes: the format-defining construct of SparseTIR (paper §3.1).
+ *
+ * Each axis has two orthogonal attributes: dense/sparse (are the
+ * coordinates of non-zero elements contiguous?) and fixed/variable (is
+ * the number of non-zero elements per parent position fixed?).
+ * Variable axes carry an indptr array; sparse axes carry an indices
+ * array. Axes form a dependency tree through their parent links, and
+ * compositions of axes describe CSR, BSR, ELL, DIA, ragged tensors,
+ * CSF and more.
+ */
+
+#ifndef SPARSETIR_IR_AXIS_H_
+#define SPARSETIR_IR_AXIS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** The four axis kinds (dense/sparse x fixed/variable). */
+enum class AxisKind : uint8_t {
+    kDenseFixed,
+    kDenseVariable,
+    kSparseFixed,
+    kSparseVariable,
+};
+
+class AxisNode;
+using Axis = std::shared_ptr<const AxisNode>;
+
+/**
+ * One axis of a sparse iteration space.
+ *
+ * Metadata per the paper: index dtype, maximum length, accumulated
+ * number of non-zeros (variable axes) and non-zeros per row (fixed
+ * sparse axes). indptr/indices fields hold the handle variables that
+ * will be bound to the auxiliary arrays at run time.
+ */
+class AxisNode
+{
+  public:
+    std::string name;
+    AxisKind kind;
+    /** Axis this one depends on; null for root (dense-fixed) axes. */
+    Axis parent;
+    /** Maximum length of the axis (n in the paper). */
+    Expr length;
+    /** Total number of stored elements along this axis (variable). */
+    Expr nnz;
+    /** Stored elements per row (sparse-fixed / dense-fixed). */
+    Expr nnzCols;
+    /** Handle var for the index pointer array (variable axes). */
+    Var indptr;
+    /** Handle var for the indices array (sparse axes). */
+    Var indices;
+    /** Index data type. */
+    DataType idtype = DataType::int32();
+
+    bool
+    isDense() const
+    {
+        return kind == AxisKind::kDenseFixed ||
+               kind == AxisKind::kDenseVariable;
+    }
+    bool isSparse() const { return !isDense(); }
+    bool
+    isVariable() const
+    {
+        return kind == AxisKind::kDenseVariable ||
+               kind == AxisKind::kSparseVariable;
+    }
+    bool isFixed() const { return !isVariable(); }
+
+    /**
+     * Number of stored positions along this axis per parent position:
+     * for fixed axes this is nnzCols (or length for dense-fixed).
+     * Variable axes have no static per-row count.
+     */
+    Expr
+    fixedColumns() const
+    {
+        return kind == AxisKind::kDenseFixed ? length : nnzCols;
+    }
+};
+
+/** Create a root dense-fixed axis of the given length. */
+Axis denseFixed(std::string name, Expr length,
+                DataType idtype = DataType::int32());
+
+/**
+ * Create a dense-variable axis: contiguous coordinates, per-row counts
+ * given by indptr. Used e.g. for ragged tensors and for the
+ * materialized view of indices arrays.
+ */
+Axis denseVariable(std::string name, Axis parent, Expr length, Expr nnz,
+                   Var indptr, DataType idtype = DataType::int32());
+
+/**
+ * Create a sparse-fixed axis: nnz_cols stored coordinates per row,
+ * given by an indices array (the ELL pattern).
+ */
+Axis sparseFixed(std::string name, Axis parent, Expr length, Expr nnz_cols,
+                 Var indices, DataType idtype = DataType::int32());
+
+/**
+ * Create a sparse-variable axis: per-row counts from indptr,
+ * coordinates from indices (the CSR pattern).
+ */
+Axis sparseVariable(std::string name, Axis parent, Expr length, Expr nnz,
+                    Var indptr, Var indices,
+                    DataType idtype = DataType::int32());
+
+/**
+ * Ancestor chain of an axis from the root down to (and including) the
+ * axis itself (the "anc" function of eq. 5).
+ */
+std::vector<Axis> ancestors(const Axis &axis);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_AXIS_H_

@@ -1,0 +1,76 @@
+#include "ir/buffer.h"
+
+namespace sparsetir {
+namespace ir {
+
+std::string
+memScopeName(MemScope scope)
+{
+    switch (scope) {
+      case MemScope::kGlobal:
+        return "global";
+      case MemScope::kShared:
+        return "shared";
+      case MemScope::kLocal:
+        return "local";
+      case MemScope::kWmmaFragment:
+        return "wmma";
+    }
+    return "unknown";
+}
+
+Buffer
+denseBuffer(std::string name, std::vector<Expr> shape, DataType dtype,
+            MemScope scope)
+{
+    auto node = std::make_shared<BufferNode>();
+    node->data = var(name + "_data", DataType::handle());
+    node->name = std::move(name);
+    node->dtype = dtype;
+    node->shape = std::move(shape);
+    node->scope = scope;
+    return node;
+}
+
+Buffer
+matchSparseBuffer(std::string name, std::vector<Axis> axes, DataType dtype)
+{
+    ICHECK(!axes.empty()) << "sparse buffer needs at least one axis";
+    auto node = std::make_shared<BufferNode>();
+    node->data = var(name + "_data", DataType::handle());
+    node->name = std::move(name);
+    node->dtype = dtype;
+    node->axes = std::move(axes);
+    return node;
+}
+
+Buffer
+withScope(const Buffer &buffer, MemScope scope, std::string name)
+{
+    auto node = std::make_shared<BufferNode>(*buffer);
+    node->name = std::move(name);
+    node->data = var(node->name + "_data", DataType::handle());
+    node->scope = scope;
+    return node;
+}
+
+Expr
+bufferLoad(Buffer buffer, std::vector<Expr> indices)
+{
+    ICHECK(buffer != nullptr);
+    ICHECK_EQ(indices.size(), buffer->ndim())
+        << "buffer " << buffer->name << " expects " << buffer->ndim()
+        << " indices";
+    int lanes = 1;
+    for (const auto &idx : indices) {
+        if (idx->dtype.lanes() > lanes) {
+            lanes = idx->dtype.lanes();
+        }
+    }
+    return std::make_shared<BufferLoadNode>(buffer->dtype.withLanes(lanes),
+                                            std::move(buffer),
+                                            std::move(indices));
+}
+
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Buffers: value storage for dense and sparse tensors.
+ *
+ * A sparse buffer (paper §3.1) stores only values; its structure lives
+ * in the composed axes. A dense buffer has an explicit shape. After the
+ * sparse buffer lowering pass (Stage III) only flat dense buffers
+ * remain.
+ */
+
+#ifndef SPARSETIR_IR_BUFFER_H_
+#define SPARSETIR_IR_BUFFER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/axis.h"
+#include "ir/expr.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** Memory scope of a buffer on the target device. */
+enum class MemScope : uint8_t {
+    kGlobal,
+    kShared,
+    kLocal,
+    /** Tensor-core fragment registers. */
+    kWmmaFragment,
+};
+
+/** Render scope name ("global", "shared", ...). */
+std::string memScopeName(MemScope scope);
+
+/**
+ * Value storage for a tensor.
+ *
+ * When axes is non-empty the buffer is sparse and its logical shape is
+ * the composition of those axes; otherwise shape gives a dense
+ * rectangular extent. data is the handle variable bound to the actual
+ * memory at run time; two sparse buffers sharing axes share auxiliary
+ * structure but not values.
+ */
+class BufferNode
+{
+  public:
+    std::string name;
+    /** Handle variable bound to the value array. */
+    Var data;
+    DataType dtype;
+    /** Dense shape; for sparse buffers, empty. */
+    std::vector<Expr> shape;
+    /** Axis composition; empty for dense buffers. */
+    std::vector<Axis> axes;
+    MemScope scope = MemScope::kGlobal;
+
+    bool isSparse() const { return !axes.empty(); }
+
+    /** Number of logical dimensions. */
+    size_t
+    ndim() const
+    {
+        return isSparse() ? axes.size() : shape.size();
+    }
+
+    /** Logical extent of dimension i (axis length for sparse dims). */
+    Expr
+    dimExtent(size_t i) const
+    {
+        ICHECK_LT(i, ndim());
+        return isSparse() ? axes[i]->length : shape[i];
+    }
+};
+
+/** Create a dense buffer. */
+Buffer denseBuffer(std::string name, std::vector<Expr> shape,
+                   DataType dtype = DataType::float32(),
+                   MemScope scope = MemScope::kGlobal);
+
+/**
+ * Create a sparse buffer from an axis composition
+ * (match_sparse_buffer in the paper).
+ */
+Buffer matchSparseBuffer(std::string name, std::vector<Axis> axes,
+                         DataType dtype = DataType::float32());
+
+/** Copy a buffer, replacing its memory scope. */
+Buffer withScope(const Buffer &buffer, MemScope scope, std::string name);
+
+/** Factory for BufferLoad (declared in expr.h, defined here). */
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_BUFFER_H_

@@ -1,0 +1,134 @@
+#include "ir/builder.h"
+
+namespace sparsetir {
+namespace ir {
+
+SparseTirBuilder::SparseTirBuilder(std::string name)
+    : func_(primFunc(std::move(name)))
+{}
+
+Var
+SparseTirBuilder::scalarParam(std::string name, DataType dtype)
+{
+    Var param = var(std::move(name), dtype);
+    func_->params.push_back(param);
+    return param;
+}
+
+Axis
+SparseTirBuilder::addDenseFixed(std::string name, Expr length,
+                                DataType idtype)
+{
+    Axis axis = denseFixed(std::move(name), std::move(length), idtype);
+    func_->axes.push_back(axis);
+    return axis;
+}
+
+Axis
+SparseTirBuilder::addDenseVariable(std::string name, Axis parent,
+                                   Expr length, Expr nnz, DataType idtype)
+{
+    Var indptr = var(name + "_indptr", DataType::handle());
+    func_->params.push_back(indptr);
+    Axis axis = denseVariable(std::move(name), std::move(parent),
+                              std::move(length), std::move(nnz), indptr,
+                              idtype);
+    func_->axes.push_back(axis);
+    return axis;
+}
+
+Axis
+SparseTirBuilder::addSparseFixed(std::string name, Axis parent, Expr length,
+                                 Expr nnz_cols, DataType idtype)
+{
+    Var indices = var(name + "_indices", DataType::handle());
+    func_->params.push_back(indices);
+    Axis axis = sparseFixed(std::move(name), std::move(parent),
+                            std::move(length), std::move(nnz_cols), indices,
+                            idtype);
+    func_->axes.push_back(axis);
+    return axis;
+}
+
+Axis
+SparseTirBuilder::addSparseVariable(std::string name, Axis parent,
+                                    Expr length, Expr nnz, DataType idtype)
+{
+    Var indptr = var(name + "_indptr", DataType::handle());
+    Var indices = var(name + "_indices", DataType::handle());
+    func_->params.push_back(indptr);
+    func_->params.push_back(indices);
+    Axis axis = sparseVariable(std::move(name), std::move(parent),
+                               std::move(length), std::move(nnz), indptr,
+                               indices, idtype);
+    func_->axes.push_back(axis);
+    return axis;
+}
+
+Buffer
+SparseTirBuilder::addSparseBuffer(std::string name, std::vector<Axis> axes,
+                                  DataType dtype)
+{
+    Buffer buffer = matchSparseBuffer(std::move(name), std::move(axes),
+                                      dtype);
+    func_->params.push_back(buffer->data);
+    func_->bufferMap.emplace_back(buffer->data, buffer);
+    return buffer;
+}
+
+void
+SparseTirBuilder::spIter(std::vector<Axis> axes, const std::string &pattern,
+                         std::string name, const BodyBuilder &body,
+                         const BodyBuilder &init)
+{
+    body_.push_back(makeSparseIteration(std::move(name), std::move(axes),
+                                        pattern, body, init));
+}
+
+void
+SparseTirBuilder::append(Stmt stmt)
+{
+    body_.push_back(std::move(stmt));
+}
+
+PrimFunc
+SparseTirBuilder::finish()
+{
+    ICHECK(!finished_) << "finish() called twice";
+    finished_ = true;
+    func_->body = seq(std::move(body_));
+    func_->stage = IrStage::kStage1;
+    return func_;
+}
+
+SparseIteration
+makeSparseIteration(std::string name, std::vector<Axis> axes,
+                    const std::string &pattern,
+                    const SparseTirBuilder::BodyBuilder &body,
+                    const SparseTirBuilder::BodyBuilder &init)
+{
+    USER_CHECK(pattern.size() == axes.size())
+        << "iterator pattern \"" << pattern << "\" must have one "
+        << "character per axis (" << axes.size() << " axes)";
+    std::vector<IterKind> kinds = parseIterKinds(pattern);
+    std::vector<Var> iter_vars;
+    iter_vars.reserve(axes.size());
+    for (const auto &axis : axes) {
+        std::string var_name = axis->name;
+        for (auto &c : var_name) {
+            c = static_cast<char>(std::tolower(c));
+        }
+        iter_vars.push_back(var(var_name, axis->idtype));
+    }
+    Stmt body_stmt = body(iter_vars);
+    auto node = std::make_shared<SparseIterationNode>(
+        std::move(name), std::move(axes), iter_vars, std::move(kinds),
+        std::move(body_stmt));
+    if (init != nullptr) {
+        node->init = init(iter_vars);
+    }
+    return node;
+}
+
+} // namespace ir
+} // namespace sparsetir

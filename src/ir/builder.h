@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Builder DSL for Stage I SparseTIR programs.
+ *
+ * Mirrors the paper's Python front end (Figure 3): declare axes,
+ * match sparse buffers against handle parameters and write sparse
+ * iterations with lambda-built bodies.
+ */
+
+#ifndef SPARSETIR_IR_BUILDER_H_
+#define SPARSETIR_IR_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace ir {
+
+/**
+ * Incrementally builds a Stage I PrimFunc.
+ *
+ * Axis-creating methods also append the indptr/indices handle
+ * parameters to the function signature, and matchSparseBuffer appends
+ * the value handle, so the finished function's parameter order follows
+ * declaration order.
+ */
+class SparseTirBuilder
+{
+  public:
+    explicit SparseTirBuilder(std::string name);
+
+    /** Add a scalar parameter (e.g. m, n, nnz, feat_size). */
+    Var scalarParam(std::string name, DataType dtype = DataType::int32());
+
+    /** Declare a root dense-fixed axis. */
+    Axis addDenseFixed(std::string name, Expr length,
+                       DataType idtype = DataType::int32());
+
+    /** Declare a dense-variable axis (creates an indptr param). */
+    Axis addDenseVariable(std::string name, Axis parent, Expr length,
+                          Expr nnz, DataType idtype = DataType::int32());
+
+    /** Declare a sparse-fixed axis (creates an indices param). */
+    Axis addSparseFixed(std::string name, Axis parent, Expr length,
+                        Expr nnz_cols, DataType idtype = DataType::int32());
+
+    /** Declare a sparse-variable axis (creates indptr+indices params). */
+    Axis addSparseVariable(std::string name, Axis parent, Expr length,
+                           Expr nnz, DataType idtype = DataType::int32());
+
+    /** Bind a sparse buffer to a new handle parameter. */
+    Buffer addSparseBuffer(std::string name, std::vector<Axis> axes,
+                           DataType dtype = DataType::float32());
+
+    /** Builds the loop body given the iteration variables. */
+    using BodyBuilder = std::function<Stmt(const std::vector<Var> &)>;
+
+    /**
+     * Append a sparse iteration over `axes` with the S/R `pattern`
+     * (one char per axis). `body` receives one iteration variable per
+     * axis; `init` (optional) builds the reduction-init statement.
+     */
+    void spIter(std::vector<Axis> axes, const std::string &pattern,
+                std::string name, const BodyBuilder &body,
+                const BodyBuilder &init = nullptr);
+
+    /** Append an arbitrary statement to the function body. */
+    void append(Stmt stmt);
+
+    /** Finalize and return the function. */
+    PrimFunc finish();
+
+  private:
+    PrimFunc func_;
+    std::vector<Stmt> body_;
+    bool finished_ = false;
+};
+
+/**
+ * Build a standalone sparse iteration (not tied to a builder), useful
+ * for transformation passes that synthesize iterations.
+ */
+SparseIteration makeSparseIteration(
+    std::string name, std::vector<Axis> axes, const std::string &pattern,
+    const SparseTirBuilder::BodyBuilder &body,
+    const SparseTirBuilder::BodyBuilder &init = nullptr);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_BUILDER_H_

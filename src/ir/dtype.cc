@@ -1,0 +1,37 @@
+#include "ir/dtype.h"
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace ir {
+
+std::string
+DataType::str() const
+{
+    std::string base;
+    switch (code_) {
+      case kInt:
+        base = "int";
+        break;
+      case kUInt:
+        base = "uint";
+        break;
+      case kFloat:
+        base = "float";
+        break;
+      case kBool:
+        return lanes_ == 1 ? "bool" : "boolx" + std::to_string(lanes_);
+      case kHandle:
+        return "handle";
+      default:
+        ICHECK(false) << "unknown dtype code";
+    }
+    base += std::to_string(bits_);
+    if (lanes_ != 1) {
+        base += "x" + std::to_string(lanes_);
+    }
+    return base;
+}
+
+} // namespace ir
+} // namespace sparsetir

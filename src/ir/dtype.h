@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Scalar data types carried by every SparseTIR expression.
+ */
+
+#ifndef SPARSETIR_IR_DTYPE_H_
+#define SPARSETIR_IR_DTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sparsetir {
+namespace ir {
+
+/**
+ * A scalar (or short-vector) data type: type class, bit width and
+ * vector lane count. Mirrors the DLPack convention used by TVM.
+ */
+class DataType
+{
+  public:
+    enum TypeCode : uint8_t {
+        kInt = 0,
+        kUInt = 1,
+        kFloat = 2,
+        kBool = 3,
+        kHandle = 4,
+    };
+
+    DataType() : code_(kInt), bits_(32), lanes_(1) {}
+    DataType(TypeCode code, int bits, int lanes = 1)
+        : code_(code), bits_(static_cast<uint8_t>(bits)),
+          lanes_(static_cast<uint16_t>(lanes))
+    {}
+
+    TypeCode code() const { return code_; }
+    int bits() const { return bits_; }
+    int lanes() const { return lanes_; }
+
+    bool isInt() const { return code_ == kInt; }
+    bool isUInt() const { return code_ == kUInt; }
+    bool isFloat() const { return code_ == kFloat; }
+    bool isBool() const { return code_ == kBool; }
+    bool isHandle() const { return code_ == kHandle; }
+    bool isScalar() const { return lanes_ == 1; }
+
+    /** Element size in bytes (per lane). */
+    int bytes() const { return (bits_ + 7) / 8; }
+
+    /** Same type with a different lane count. */
+    DataType
+    withLanes(int lanes) const
+    {
+        return DataType(code_, bits_, lanes);
+    }
+
+    bool
+    operator==(const DataType &other) const
+    {
+        return code_ == other.code_ && bits_ == other.bits_ &&
+               lanes_ == other.lanes_;
+    }
+    bool operator!=(const DataType &other) const { return !(*this == other); }
+
+    /** Render as e.g. "float32", "int32x4". */
+    std::string str() const;
+
+    static DataType int32() { return DataType(kInt, 32); }
+    static DataType int64() { return DataType(kInt, 64); }
+    static DataType float16() { return DataType(kFloat, 16); }
+    static DataType float32() { return DataType(kFloat, 32); }
+    static DataType float64() { return DataType(kFloat, 64); }
+    static DataType boolean() { return DataType(kBool, 1); }
+    static DataType handle() { return DataType(kHandle, 64); }
+
+  private:
+    TypeCode code_;
+    uint8_t bits_;
+    uint16_t lanes_;
+};
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_DTYPE_H_

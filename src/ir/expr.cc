@@ -1,0 +1,149 @@
+#include "ir/expr.h"
+
+namespace sparsetir {
+namespace ir {
+
+namespace {
+
+DataType
+binaryResultType(ExprKind kind, const Expr &a, const Expr &b)
+{
+    switch (kind) {
+      case ExprKind::kEQ:
+      case ExprKind::kNE:
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+        return DataType::boolean().withLanes(a->dtype.lanes());
+      default:
+        // Promote to the wider operand type.
+        if (a->dtype.isFloat() || b->dtype.isFloat()) {
+            return a->dtype.isFloat() ? a->dtype : b->dtype;
+        }
+        return a->dtype.bits() >= b->dtype.bits() ? a->dtype : b->dtype;
+    }
+}
+
+Expr
+makeBinary(ExprKind kind, Expr a, Expr b)
+{
+    ICHECK(a != nullptr && b != nullptr);
+    DataType dtype = binaryResultType(kind, a, b);
+    return std::make_shared<BinaryNode>(kind, dtype, std::move(a),
+                                        std::move(b));
+}
+
+} // namespace
+
+Expr
+intImm(int64_t value, DataType dtype)
+{
+    return std::make_shared<IntImmNode>(value, dtype);
+}
+
+Expr
+floatImm(double value, DataType dtype)
+{
+    return std::make_shared<FloatImmNode>(value, dtype);
+}
+
+Expr
+stringImm(std::string value)
+{
+    return std::make_shared<StringImmNode>(std::move(value));
+}
+
+Var
+var(std::string name, DataType dtype)
+{
+    return std::make_shared<VarNode>(std::move(name), dtype);
+}
+
+Expr add(Expr a, Expr b) { return makeBinary(ExprKind::kAdd, a, b); }
+Expr sub(Expr a, Expr b) { return makeBinary(ExprKind::kSub, a, b); }
+Expr mul(Expr a, Expr b) { return makeBinary(ExprKind::kMul, a, b); }
+Expr floorDiv(Expr a, Expr b) { return makeBinary(ExprKind::kFloorDiv, a, b); }
+Expr floorMod(Expr a, Expr b) { return makeBinary(ExprKind::kFloorMod, a, b); }
+Expr div(Expr a, Expr b) { return makeBinary(ExprKind::kDiv, a, b); }
+Expr min(Expr a, Expr b) { return makeBinary(ExprKind::kMin, a, b); }
+Expr max(Expr a, Expr b) { return makeBinary(ExprKind::kMax, a, b); }
+Expr eq(Expr a, Expr b) { return makeBinary(ExprKind::kEQ, a, b); }
+Expr ne(Expr a, Expr b) { return makeBinary(ExprKind::kNE, a, b); }
+Expr lt(Expr a, Expr b) { return makeBinary(ExprKind::kLT, a, b); }
+Expr le(Expr a, Expr b) { return makeBinary(ExprKind::kLE, a, b); }
+Expr gt(Expr a, Expr b) { return makeBinary(ExprKind::kGT, a, b); }
+Expr ge(Expr a, Expr b) { return makeBinary(ExprKind::kGE, a, b); }
+Expr logicalAnd(Expr a, Expr b) { return makeBinary(ExprKind::kAnd, a, b); }
+Expr logicalOr(Expr a, Expr b) { return makeBinary(ExprKind::kOr, a, b); }
+
+Expr
+logicalNot(Expr a)
+{
+    return std::make_shared<NotNode>(std::move(a));
+}
+
+Expr
+select(Expr cond, Expr true_value, Expr false_value)
+{
+    return std::make_shared<SelectNode>(std::move(cond),
+                                        std::move(true_value),
+                                        std::move(false_value));
+}
+
+Expr
+cast(DataType dtype, Expr value)
+{
+    if (value->dtype == dtype) {
+        return value;
+    }
+    return std::make_shared<CastNode>(dtype, std::move(value));
+}
+
+Expr
+ramp(Expr base, Expr stride, int lanes)
+{
+    return std::make_shared<RampNode>(std::move(base), std::move(stride),
+                                      lanes);
+}
+
+Expr
+broadcast(Expr value, int lanes)
+{
+    return std::make_shared<BroadcastNode>(std::move(value), lanes);
+}
+
+Expr
+call(DataType dtype, Builtin op, std::vector<Expr> args, Buffer buffer_arg)
+{
+    auto node = std::make_shared<CallNode>(dtype, op, std::move(args));
+    node->bufferArg = std::move(buffer_arg);
+    return node;
+}
+
+bool
+isConstInt(const Expr &e, int64_t value)
+{
+    if (auto imm = std::dynamic_pointer_cast<const IntImmNode>(e)) {
+        return imm->value == value;
+    }
+    return false;
+}
+
+bool
+tryConstInt(const Expr &e, int64_t *out)
+{
+    if (e == nullptr) {
+        return false;
+    }
+    if (auto imm = std::dynamic_pointer_cast<const IntImmNode>(e)) {
+        *out = imm->value;
+        return true;
+    }
+    return false;
+}
+
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Expression nodes of the SparseTIR IR.
+ *
+ * All IR nodes are immutable after construction and shared via
+ * std::shared_ptr. Transformation passes rebuild nodes functionally
+ * (see ir/functor.h).
+ */
+
+#ifndef SPARSETIR_IR_EXPR_H_
+#define SPARSETIR_IR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/dtype.h"
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace ir {
+
+class BufferNode;
+using Buffer = std::shared_ptr<const BufferNode>;
+
+/** Discriminator for expression nodes. */
+enum class ExprKind : uint8_t {
+    kIntImm,
+    kFloatImm,
+    kStringImm,
+    kVar,
+    // Binary arithmetic.
+    kAdd,
+    kSub,
+    kMul,
+    kFloorDiv,
+    kFloorMod,
+    kDiv,  // float division
+    kMin,
+    kMax,
+    // Comparisons.
+    kEQ,
+    kNE,
+    kLT,
+    kLE,
+    kGT,
+    kGE,
+    // Logic.
+    kAnd,
+    kOr,
+    kNot,
+    // Misc.
+    kSelect,
+    kCast,
+    kBufferLoad,
+    kRamp,
+    kBroadcast,
+    kCall,
+};
+
+/** Base class of all expressions. */
+class ExprNode
+{
+  public:
+    ExprNode(ExprKind kind, DataType dtype) : kind(kind), dtype(dtype) {}
+    virtual ~ExprNode() = default;
+
+    ExprKind kind;
+    DataType dtype;
+};
+
+using Expr = std::shared_ptr<const ExprNode>;
+
+/** Integer immediate. */
+class IntImmNode : public ExprNode
+{
+  public:
+    IntImmNode(int64_t value, DataType dtype)
+        : ExprNode(ExprKind::kIntImm, dtype), value(value)
+    {}
+
+    int64_t value;
+};
+
+/** Floating-point immediate. */
+class FloatImmNode : public ExprNode
+{
+  public:
+    FloatImmNode(double value, DataType dtype)
+        : ExprNode(ExprKind::kFloatImm, dtype), value(value)
+    {}
+
+    double value;
+};
+
+/** String immediate (used for annotations). */
+class StringImmNode : public ExprNode
+{
+  public:
+    explicit StringImmNode(std::string value)
+        : ExprNode(ExprKind::kStringImm, DataType::handle()),
+          value(std::move(value))
+    {}
+
+    std::string value;
+};
+
+/**
+ * A variable. Identity is by node address: two VarNodes with the same
+ * name are distinct variables.
+ */
+class VarNode : public ExprNode
+{
+  public:
+    VarNode(std::string name, DataType dtype)
+        : ExprNode(ExprKind::kVar, dtype), name(std::move(name))
+    {}
+
+    std::string name;
+};
+
+using Var = std::shared_ptr<const VarNode>;
+
+/** Binary operation (arithmetic, comparison or logic). */
+class BinaryNode : public ExprNode
+{
+  public:
+    BinaryNode(ExprKind kind, DataType dtype, Expr a, Expr b)
+        : ExprNode(kind, dtype), a(std::move(a)), b(std::move(b))
+    {}
+
+    Expr a;
+    Expr b;
+};
+
+/** Logical negation. */
+class NotNode : public ExprNode
+{
+  public:
+    explicit NotNode(Expr a)
+        : ExprNode(ExprKind::kNot, DataType::boolean()), a(std::move(a))
+    {}
+
+    Expr a;
+};
+
+/** Ternary select: cond ? trueValue : falseValue. */
+class SelectNode : public ExprNode
+{
+  public:
+    SelectNode(Expr cond, Expr true_value, Expr false_value)
+        : ExprNode(ExprKind::kSelect, true_value->dtype),
+          cond(std::move(cond)), trueValue(std::move(true_value)),
+          falseValue(std::move(false_value))
+    {}
+
+    Expr cond;
+    Expr trueValue;
+    Expr falseValue;
+};
+
+/** Type conversion. */
+class CastNode : public ExprNode
+{
+  public:
+    CastNode(DataType dtype, Expr value)
+        : ExprNode(ExprKind::kCast, dtype), value(std::move(value))
+    {}
+
+    Expr value;
+};
+
+/**
+ * Load from a buffer. In Stage I the indices are coordinates over the
+ * buffer's axes; from Stage II on they are positions; in Stage III the
+ * buffer is flat and there is exactly one index.
+ */
+class BufferLoadNode : public ExprNode
+{
+  public:
+    BufferLoadNode(DataType dtype, Buffer buffer, std::vector<Expr> indices)
+        : ExprNode(ExprKind::kBufferLoad, dtype), buffer(std::move(buffer)),
+          indices(std::move(indices))
+    {}
+
+    Buffer buffer;
+    std::vector<Expr> indices;
+};
+
+/** Vector index expression: base, base+stride, ..., lanes values. */
+class RampNode : public ExprNode
+{
+  public:
+    RampNode(Expr base, Expr stride, int lanes)
+        : ExprNode(ExprKind::kRamp, base->dtype.withLanes(lanes)),
+          base(std::move(base)), stride(std::move(stride)), lanes(lanes)
+    {}
+
+    Expr base;
+    Expr stride;
+    int lanes;
+};
+
+/** Broadcast scalar to vector. */
+class BroadcastNode : public ExprNode
+{
+  public:
+    BroadcastNode(Expr value, int lanes)
+        : ExprNode(ExprKind::kBroadcast, value->dtype.withLanes(lanes)),
+          value(std::move(value)), lanes(lanes)
+    {}
+
+    Expr value;
+    int lanes;
+};
+
+/** Builtin operations available through CallNode. */
+enum class Builtin : uint8_t {
+    /**
+     * binary_search(buf, lo, hi, val): smallest p in [lo, hi) with
+     * buf[p] >= val (lower bound). Emitted by the sparse iteration
+     * lowering pass for coordinate -> position compression (eq. 4).
+     */
+    kLowerBound,
+    /** upper_bound(buf, lo, hi, val): smallest p with buf[p] > val. */
+    kUpperBound,
+    kExp,
+    kLog,
+    kSqrt,
+    kAbs,
+    /** atomic_add(buffer, index, value) -> old value. */
+    kAtomicAdd,
+    /** Opaque extern call, name carried separately. */
+    kExtern,
+};
+
+/** Call to a builtin or extern function. */
+class CallNode : public ExprNode
+{
+  public:
+    CallNode(DataType dtype, Builtin op, std::vector<Expr> args,
+             std::string name = "")
+        : ExprNode(ExprKind::kCall, dtype), op(op), args(std::move(args)),
+          name(std::move(name))
+    {}
+
+    Builtin op;
+    std::vector<Expr> args;
+    /** Target buffer for search/atomic builtins. */
+    Buffer bufferArg;
+    std::string name;
+};
+
+// ---------------------------------------------------------------------
+// Factory helpers
+// ---------------------------------------------------------------------
+
+Expr intImm(int64_t value, DataType dtype = DataType::int32());
+Expr floatImm(double value, DataType dtype = DataType::float32());
+Expr stringImm(std::string value);
+Var var(std::string name, DataType dtype = DataType::int32());
+
+Expr add(Expr a, Expr b);
+Expr sub(Expr a, Expr b);
+Expr mul(Expr a, Expr b);
+Expr floorDiv(Expr a, Expr b);
+Expr floorMod(Expr a, Expr b);
+Expr div(Expr a, Expr b);
+Expr min(Expr a, Expr b);
+Expr max(Expr a, Expr b);
+Expr eq(Expr a, Expr b);
+Expr ne(Expr a, Expr b);
+Expr lt(Expr a, Expr b);
+Expr le(Expr a, Expr b);
+Expr gt(Expr a, Expr b);
+Expr ge(Expr a, Expr b);
+Expr logicalAnd(Expr a, Expr b);
+Expr logicalOr(Expr a, Expr b);
+Expr logicalNot(Expr a);
+Expr select(Expr cond, Expr true_value, Expr false_value);
+Expr cast(DataType dtype, Expr value);
+Expr bufferLoad(Buffer buffer, std::vector<Expr> indices);
+Expr ramp(Expr base, Expr stride, int lanes);
+Expr broadcast(Expr value, int lanes);
+Expr call(DataType dtype, Builtin op, std::vector<Expr> args,
+          Buffer buffer_arg = nullptr);
+
+/** True if e is an IntImm with the given value. */
+bool isConstInt(const Expr &e, int64_t value);
+/** If e is an IntImm, returns its value, else nullopt-like via ok. */
+bool tryConstInt(const Expr &e, int64_t *out);
+
+inline Expr operator+(Expr a, Expr b) { return add(std::move(a), std::move(b)); }
+inline Expr operator-(Expr a, Expr b) { return sub(std::move(a), std::move(b)); }
+inline Expr operator*(Expr a, Expr b) { return mul(std::move(a), std::move(b)); }
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_EXPR_H_

@@ -1,0 +1,629 @@
+#include "ir/functor.h"
+
+namespace sparsetir {
+namespace ir {
+
+namespace {
+
+/** True when the expression kind is a BinaryNode. */
+bool
+isBinaryKind(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::kAdd:
+      case ExprKind::kSub:
+      case ExprKind::kMul:
+      case ExprKind::kFloorDiv:
+      case ExprKind::kFloorMod:
+      case ExprKind::kDiv:
+      case ExprKind::kMin:
+      case ExprKind::kMax:
+      case ExprKind::kEQ:
+      case ExprKind::kNE:
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ExprVisitor
+// ---------------------------------------------------------------------
+
+void
+ExprVisitor::visitExpr(const Expr &e)
+{
+    ICHECK(e != nullptr);
+    if (isBinaryKind(e->kind)) {
+        visitBinary(static_cast<const BinaryNode *>(e.get()));
+        return;
+    }
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+        visitIntImm(static_cast<const IntImmNode *>(e.get()));
+        break;
+      case ExprKind::kFloatImm:
+        visitFloatImm(static_cast<const FloatImmNode *>(e.get()));
+        break;
+      case ExprKind::kStringImm:
+        visitStringImm(static_cast<const StringImmNode *>(e.get()));
+        break;
+      case ExprKind::kVar:
+        visitVar(static_cast<const VarNode *>(e.get()));
+        break;
+      case ExprKind::kNot:
+        visitNot(static_cast<const NotNode *>(e.get()));
+        break;
+      case ExprKind::kSelect:
+        visitSelect(static_cast<const SelectNode *>(e.get()));
+        break;
+      case ExprKind::kCast:
+        visitCast(static_cast<const CastNode *>(e.get()));
+        break;
+      case ExprKind::kBufferLoad:
+        visitBufferLoad(static_cast<const BufferLoadNode *>(e.get()));
+        break;
+      case ExprKind::kRamp:
+        visitRamp(static_cast<const RampNode *>(e.get()));
+        break;
+      case ExprKind::kBroadcast:
+        visitBroadcast(static_cast<const BroadcastNode *>(e.get()));
+        break;
+      case ExprKind::kCall:
+        visitCall(static_cast<const CallNode *>(e.get()));
+        break;
+      default:
+        ICHECK(false) << "unhandled expr kind";
+    }
+}
+
+void
+ExprVisitor::visitBinary(const BinaryNode *op)
+{
+    visitExpr(op->a);
+    visitExpr(op->b);
+}
+
+void
+ExprVisitor::visitNot(const NotNode *op)
+{
+    visitExpr(op->a);
+}
+
+void
+ExprVisitor::visitSelect(const SelectNode *op)
+{
+    visitExpr(op->cond);
+    visitExpr(op->trueValue);
+    visitExpr(op->falseValue);
+}
+
+void
+ExprVisitor::visitCast(const CastNode *op)
+{
+    visitExpr(op->value);
+}
+
+void
+ExprVisitor::visitBufferLoad(const BufferLoadNode *op)
+{
+    for (const auto &idx : op->indices) {
+        visitExpr(idx);
+    }
+}
+
+void
+ExprVisitor::visitRamp(const RampNode *op)
+{
+    visitExpr(op->base);
+    visitExpr(op->stride);
+}
+
+void
+ExprVisitor::visitBroadcast(const BroadcastNode *op)
+{
+    visitExpr(op->value);
+}
+
+void
+ExprVisitor::visitCall(const CallNode *op)
+{
+    for (const auto &arg : op->args) {
+        visitExpr(arg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// StmtVisitor
+// ---------------------------------------------------------------------
+
+void
+StmtVisitor::visitStmt(const Stmt &s)
+{
+    ICHECK(s != nullptr);
+    switch (s->kind) {
+      case StmtKind::kBufferStore:
+        visitBufferStore(static_cast<const BufferStoreNode *>(s.get()));
+        break;
+      case StmtKind::kSeq:
+        visitSeq(static_cast<const SeqStmtNode *>(s.get()));
+        break;
+      case StmtKind::kFor:
+        visitFor(static_cast<const ForNode *>(s.get()));
+        break;
+      case StmtKind::kBlock:
+        visitBlock(static_cast<const BlockNode *>(s.get()));
+        break;
+      case StmtKind::kIfThenElse:
+        visitIfThenElse(static_cast<const IfThenElseNode *>(s.get()));
+        break;
+      case StmtKind::kLetStmt:
+        visitLetStmt(static_cast<const LetStmtNode *>(s.get()));
+        break;
+      case StmtKind::kAllocate:
+        visitAllocate(static_cast<const AllocateNode *>(s.get()));
+        break;
+      case StmtKind::kEvaluate:
+        visitEvaluate(static_cast<const EvaluateNode *>(s.get()));
+        break;
+      case StmtKind::kSparseIteration:
+        visitSparseIteration(
+            static_cast<const SparseIterationNode *>(s.get()));
+        break;
+      default:
+        ICHECK(false) << "unhandled stmt kind";
+    }
+}
+
+void
+StmtVisitor::visitBufferStore(const BufferStoreNode *op)
+{
+    for (const auto &idx : op->indices) {
+        visitExpr(idx);
+    }
+    visitExpr(op->value);
+}
+
+void
+StmtVisitor::visitSeq(const SeqStmtNode *op)
+{
+    for (const auto &s : op->seq) {
+        visitStmt(s);
+    }
+}
+
+void
+StmtVisitor::visitFor(const ForNode *op)
+{
+    visitExpr(op->minValue);
+    visitExpr(op->extent);
+    visitStmt(op->body);
+}
+
+void
+StmtVisitor::visitBlock(const BlockNode *op)
+{
+    if (op->init != nullptr) {
+        visitStmt(op->init);
+    }
+    visitStmt(op->body);
+}
+
+void
+StmtVisitor::visitIfThenElse(const IfThenElseNode *op)
+{
+    visitExpr(op->cond);
+    visitStmt(op->thenBody);
+    if (op->elseBody != nullptr) {
+        visitStmt(op->elseBody);
+    }
+}
+
+void
+StmtVisitor::visitLetStmt(const LetStmtNode *op)
+{
+    visitExpr(op->value);
+    visitStmt(op->body);
+}
+
+void
+StmtVisitor::visitAllocate(const AllocateNode *op)
+{
+    visitStmt(op->body);
+}
+
+void
+StmtVisitor::visitEvaluate(const EvaluateNode *op)
+{
+    visitExpr(op->value);
+}
+
+void
+StmtVisitor::visitSparseIteration(const SparseIterationNode *op)
+{
+    if (op->init != nullptr) {
+        visitStmt(op->init);
+    }
+    visitStmt(op->body);
+}
+
+// ---------------------------------------------------------------------
+// ExprMutator
+// ---------------------------------------------------------------------
+
+Expr
+ExprMutator::mutateExpr(const Expr &e)
+{
+    ICHECK(e != nullptr);
+    if (isBinaryKind(e->kind)) {
+        return mutateBinary(static_cast<const BinaryNode *>(e.get()), e);
+    }
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+        return mutateIntImm(static_cast<const IntImmNode *>(e.get()), e);
+      case ExprKind::kFloatImm:
+        return mutateFloatImm(static_cast<const FloatImmNode *>(e.get()), e);
+      case ExprKind::kStringImm:
+        return mutateStringImm(static_cast<const StringImmNode *>(e.get()),
+                               e);
+      case ExprKind::kVar:
+        return mutateVar(static_cast<const VarNode *>(e.get()), e);
+      case ExprKind::kNot:
+        return mutateNot(static_cast<const NotNode *>(e.get()), e);
+      case ExprKind::kSelect:
+        return mutateSelect(static_cast<const SelectNode *>(e.get()), e);
+      case ExprKind::kCast:
+        return mutateCast(static_cast<const CastNode *>(e.get()), e);
+      case ExprKind::kBufferLoad:
+        return mutateBufferLoad(static_cast<const BufferLoadNode *>(e.get()),
+                                e);
+      case ExprKind::kRamp:
+        return mutateRamp(static_cast<const RampNode *>(e.get()), e);
+      case ExprKind::kBroadcast:
+        return mutateBroadcast(static_cast<const BroadcastNode *>(e.get()),
+                               e);
+      case ExprKind::kCall:
+        return mutateCall(static_cast<const CallNode *>(e.get()), e);
+      default:
+        ICHECK(false) << "unhandled expr kind";
+    }
+    return e;
+}
+
+Expr
+ExprMutator::mutateIntImm(const IntImmNode *op, const Expr &e)
+{
+    return e;
+}
+
+Expr
+ExprMutator::mutateFloatImm(const FloatImmNode *op, const Expr &e)
+{
+    return e;
+}
+
+Expr
+ExprMutator::mutateStringImm(const StringImmNode *op, const Expr &e)
+{
+    return e;
+}
+
+Expr
+ExprMutator::mutateVar(const VarNode *op, const Expr &e)
+{
+    return e;
+}
+
+Expr
+ExprMutator::mutateBinary(const BinaryNode *op, const Expr &e)
+{
+    Expr a = mutateExpr(op->a);
+    Expr b = mutateExpr(op->b);
+    if (a == op->a && b == op->b) {
+        return e;
+    }
+    return std::make_shared<BinaryNode>(op->kind, op->dtype, std::move(a),
+                                        std::move(b));
+}
+
+Expr
+ExprMutator::mutateNot(const NotNode *op, const Expr &e)
+{
+    Expr a = mutateExpr(op->a);
+    if (a == op->a) {
+        return e;
+    }
+    return logicalNot(std::move(a));
+}
+
+Expr
+ExprMutator::mutateSelect(const SelectNode *op, const Expr &e)
+{
+    Expr cond = mutateExpr(op->cond);
+    Expr t = mutateExpr(op->trueValue);
+    Expr f = mutateExpr(op->falseValue);
+    if (cond == op->cond && t == op->trueValue && f == op->falseValue) {
+        return e;
+    }
+    return select(std::move(cond), std::move(t), std::move(f));
+}
+
+Expr
+ExprMutator::mutateCast(const CastNode *op, const Expr &e)
+{
+    Expr value = mutateExpr(op->value);
+    if (value == op->value) {
+        return e;
+    }
+    return std::make_shared<CastNode>(op->dtype, std::move(value));
+}
+
+Expr
+ExprMutator::mutateBufferLoad(const BufferLoadNode *op, const Expr &e)
+{
+    Buffer buffer = mutateBuffer(op->buffer);
+    std::vector<Expr> indices;
+    indices.reserve(op->indices.size());
+    bool changed = buffer != op->buffer;
+    for (const auto &idx : op->indices) {
+        Expr new_idx = mutateExpr(idx);
+        changed |= new_idx != idx;
+        indices.push_back(std::move(new_idx));
+    }
+    if (!changed) {
+        return e;
+    }
+    return std::make_shared<BufferLoadNode>(op->dtype, std::move(buffer),
+                                            std::move(indices));
+}
+
+Expr
+ExprMutator::mutateRamp(const RampNode *op, const Expr &e)
+{
+    Expr base = mutateExpr(op->base);
+    Expr stride = mutateExpr(op->stride);
+    if (base == op->base && stride == op->stride) {
+        return e;
+    }
+    return ramp(std::move(base), std::move(stride), op->lanes);
+}
+
+Expr
+ExprMutator::mutateBroadcast(const BroadcastNode *op, const Expr &e)
+{
+    Expr value = mutateExpr(op->value);
+    if (value == op->value) {
+        return e;
+    }
+    return broadcast(std::move(value), op->lanes);
+}
+
+Expr
+ExprMutator::mutateCall(const CallNode *op, const Expr &e)
+{
+    std::vector<Expr> args;
+    args.reserve(op->args.size());
+    bool changed = false;
+    Buffer buffer;
+    if (op->bufferArg != nullptr) {
+        buffer = mutateBuffer(op->bufferArg);
+        changed |= buffer != op->bufferArg;
+    }
+    for (const auto &arg : op->args) {
+        Expr new_arg = mutateExpr(arg);
+        changed |= new_arg != arg;
+        args.push_back(std::move(new_arg));
+    }
+    if (!changed) {
+        return e;
+    }
+    auto node = std::make_shared<CallNode>(op->dtype, op->op,
+                                           std::move(args), op->name);
+    node->bufferArg = std::move(buffer);
+    return node;
+}
+
+// ---------------------------------------------------------------------
+// StmtMutator
+// ---------------------------------------------------------------------
+
+Stmt
+StmtMutator::mutateStmt(const Stmt &s)
+{
+    ICHECK(s != nullptr);
+    switch (s->kind) {
+      case StmtKind::kBufferStore:
+        return mutateBufferStore(
+            static_cast<const BufferStoreNode *>(s.get()), s);
+      case StmtKind::kSeq:
+        return mutateSeq(static_cast<const SeqStmtNode *>(s.get()), s);
+      case StmtKind::kFor:
+        return mutateFor(static_cast<const ForNode *>(s.get()), s);
+      case StmtKind::kBlock:
+        return mutateBlock(static_cast<const BlockNode *>(s.get()), s);
+      case StmtKind::kIfThenElse:
+        return mutateIfThenElse(
+            static_cast<const IfThenElseNode *>(s.get()), s);
+      case StmtKind::kLetStmt:
+        return mutateLetStmt(static_cast<const LetStmtNode *>(s.get()), s);
+      case StmtKind::kAllocate:
+        return mutateAllocate(static_cast<const AllocateNode *>(s.get()), s);
+      case StmtKind::kEvaluate:
+        return mutateEvaluate(static_cast<const EvaluateNode *>(s.get()), s);
+      case StmtKind::kSparseIteration:
+        return mutateSparseIteration(
+            static_cast<const SparseIterationNode *>(s.get()), s);
+      default:
+        ICHECK(false) << "unhandled stmt kind";
+    }
+    return s;
+}
+
+Stmt
+StmtMutator::mutateBufferStore(const BufferStoreNode *op, const Stmt &s)
+{
+    Buffer buffer = mutateBuffer(op->buffer);
+    std::vector<Expr> indices;
+    indices.reserve(op->indices.size());
+    bool changed = buffer != op->buffer;
+    for (const auto &idx : op->indices) {
+        Expr new_idx = mutateExpr(idx);
+        changed |= new_idx != idx;
+        indices.push_back(std::move(new_idx));
+    }
+    Expr value = mutateExpr(op->value);
+    changed |= value != op->value;
+    if (!changed) {
+        return s;
+    }
+    return std::make_shared<BufferStoreNode>(std::move(buffer),
+                                             std::move(indices),
+                                             std::move(value));
+}
+
+Stmt
+StmtMutator::mutateSeq(const SeqStmtNode *op, const Stmt &s)
+{
+    std::vector<Stmt> stmts;
+    stmts.reserve(op->seq.size());
+    bool changed = false;
+    for (const auto &child : op->seq) {
+        Stmt new_child = mutateStmt(child);
+        changed |= new_child != child;
+        if (new_child != nullptr) {
+            stmts.push_back(std::move(new_child));
+        } else {
+            changed = true;
+        }
+    }
+    if (!changed) {
+        return s;
+    }
+    return seq(std::move(stmts));
+}
+
+Stmt
+StmtMutator::mutateFor(const ForNode *op, const Stmt &s)
+{
+    Expr min_value = mutateExpr(op->minValue);
+    Expr extent = mutateExpr(op->extent);
+    Stmt body = mutateStmt(op->body);
+    if (min_value == op->minValue && extent == op->extent &&
+        body == op->body) {
+        return s;
+    }
+    auto node = std::make_shared<ForNode>(op->loopVar, std::move(min_value),
+                                          std::move(extent), op->forKind,
+                                          std::move(body), op->threadTag);
+    node->annotations = op->annotations;
+    return node;
+}
+
+Stmt
+StmtMutator::mutateBlock(const BlockNode *op, const Stmt &s)
+{
+    Stmt init = op->init != nullptr ? mutateStmt(op->init) : nullptr;
+    Stmt body = mutateStmt(op->body);
+    if (init == op->init && body == op->body) {
+        return s;
+    }
+    auto node = std::make_shared<BlockNode>(op->name, std::move(body));
+    node->init = std::move(init);
+    node->reduceVars = op->reduceVars;
+    node->reads = op->reads;
+    node->writes = op->writes;
+    node->annotations = op->annotations;
+    return node;
+}
+
+Stmt
+StmtMutator::mutateIfThenElse(const IfThenElseNode *op, const Stmt &s)
+{
+    Expr cond = mutateExpr(op->cond);
+    Stmt then_body = mutateStmt(op->thenBody);
+    Stmt else_body =
+        op->elseBody != nullptr ? mutateStmt(op->elseBody) : nullptr;
+    if (cond == op->cond && then_body == op->thenBody &&
+        else_body == op->elseBody) {
+        return s;
+    }
+    return ifThenElse(std::move(cond), std::move(then_body),
+                      std::move(else_body));
+}
+
+Stmt
+StmtMutator::mutateLetStmt(const LetStmtNode *op, const Stmt &s)
+{
+    Expr value = mutateExpr(op->value);
+    Stmt body = mutateStmt(op->body);
+    if (value == op->value && body == op->body) {
+        return s;
+    }
+    return letStmt(op->letVar, std::move(value), std::move(body));
+}
+
+Stmt
+StmtMutator::mutateAllocate(const AllocateNode *op, const Stmt &s)
+{
+    Buffer buffer = mutateBuffer(op->buffer);
+    Stmt body = mutateStmt(op->body);
+    if (body == op->body && buffer == op->buffer) {
+        return s;
+    }
+    return allocate(std::move(buffer), std::move(body));
+}
+
+Stmt
+StmtMutator::mutateEvaluate(const EvaluateNode *op, const Stmt &s)
+{
+    Expr value = mutateExpr(op->value);
+    if (value == op->value) {
+        return s;
+    }
+    return evaluate(std::move(value));
+}
+
+Stmt
+StmtMutator::mutateSparseIteration(const SparseIterationNode *op,
+                                   const Stmt &s)
+{
+    Stmt init = op->init != nullptr ? mutateStmt(op->init) : nullptr;
+    Stmt body = mutateStmt(op->body);
+    if (init == op->init && body == op->body) {
+        return s;
+    }
+    auto node = std::make_shared<SparseIterationNode>(
+        op->name, op->axes, op->iterVars, op->iterKinds, std::move(body));
+    node->init = std::move(init);
+    node->fuseGroups = op->fuseGroups;
+    return node;
+}
+
+// ---------------------------------------------------------------------
+// Substitution helpers
+// ---------------------------------------------------------------------
+
+Expr
+substitute(const Expr &e, const std::map<const VarNode *, Expr> &subst)
+{
+    VarSubstituter sub(subst);
+    return sub.mutateExpr(e);
+}
+
+Stmt
+substitute(const Stmt &s, const std::map<const VarNode *, Expr> &subst)
+{
+    VarSubstituter sub(subst);
+    return sub.mutateStmt(s);
+}
+
+} // namespace ir
+} // namespace sparsetir

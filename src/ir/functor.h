@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Recursive visitors and functional mutators over the SparseTIR AST.
+ *
+ * ExprVisitor/StmtVisitor walk the tree read-only; ExprMutator/
+ * StmtMutator rebuild it, sharing unchanged subtrees. Passes subclass
+ * these and override the node kinds they care about.
+ */
+
+#ifndef SPARSETIR_IR_FUNCTOR_H_
+#define SPARSETIR_IR_FUNCTOR_H_
+
+#include "ir/stmt.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** Read-only traversal over expressions. */
+class ExprVisitor
+{
+  public:
+    virtual ~ExprVisitor() = default;
+
+    /** Dispatch on e's kind. */
+    virtual void visitExpr(const Expr &e);
+
+  protected:
+    virtual void visitIntImm(const IntImmNode *op) {}
+    virtual void visitFloatImm(const FloatImmNode *op) {}
+    virtual void visitStringImm(const StringImmNode *op) {}
+    virtual void visitVar(const VarNode *op) {}
+    virtual void visitBinary(const BinaryNode *op);
+    virtual void visitNot(const NotNode *op);
+    virtual void visitSelect(const SelectNode *op);
+    virtual void visitCast(const CastNode *op);
+    virtual void visitBufferLoad(const BufferLoadNode *op);
+    virtual void visitRamp(const RampNode *op);
+    virtual void visitBroadcast(const BroadcastNode *op);
+    virtual void visitCall(const CallNode *op);
+};
+
+/** Read-only traversal over statements (and their expressions). */
+class StmtVisitor : public ExprVisitor
+{
+  public:
+    /** Dispatch on s's kind. */
+    virtual void visitStmt(const Stmt &s);
+
+  protected:
+    virtual void visitBufferStore(const BufferStoreNode *op);
+    virtual void visitSeq(const SeqStmtNode *op);
+    virtual void visitFor(const ForNode *op);
+    virtual void visitBlock(const BlockNode *op);
+    virtual void visitIfThenElse(const IfThenElseNode *op);
+    virtual void visitLetStmt(const LetStmtNode *op);
+    virtual void visitAllocate(const AllocateNode *op);
+    virtual void visitEvaluate(const EvaluateNode *op);
+    virtual void visitSparseIteration(const SparseIterationNode *op);
+};
+
+/** Functional rewriting over expressions. */
+class ExprMutator
+{
+  public:
+    virtual ~ExprMutator() = default;
+
+    /** Rewrite e; returns e itself when nothing below changed. */
+    virtual Expr mutateExpr(const Expr &e);
+
+  protected:
+    virtual Expr mutateIntImm(const IntImmNode *op, const Expr &e);
+    virtual Expr mutateFloatImm(const FloatImmNode *op, const Expr &e);
+    virtual Expr mutateStringImm(const StringImmNode *op, const Expr &e);
+    virtual Expr mutateVar(const VarNode *op, const Expr &e);
+    virtual Expr mutateBinary(const BinaryNode *op, const Expr &e);
+    virtual Expr mutateNot(const NotNode *op, const Expr &e);
+    virtual Expr mutateSelect(const SelectNode *op, const Expr &e);
+    virtual Expr mutateCast(const CastNode *op, const Expr &e);
+    virtual Expr mutateBufferLoad(const BufferLoadNode *op, const Expr &e);
+    virtual Expr mutateRamp(const RampNode *op, const Expr &e);
+    virtual Expr mutateBroadcast(const BroadcastNode *op, const Expr &e);
+    virtual Expr mutateCall(const CallNode *op, const Expr &e);
+
+    /** Hook for rewriting the buffer referenced by loads/stores. */
+    virtual Buffer mutateBuffer(const Buffer &buffer) { return buffer; }
+};
+
+/** Functional rewriting over statements. */
+class StmtMutator : public ExprMutator
+{
+  public:
+    /** Rewrite s; returns s itself when nothing below changed. */
+    virtual Stmt mutateStmt(const Stmt &s);
+
+  protected:
+    virtual Stmt mutateBufferStore(const BufferStoreNode *op, const Stmt &s);
+    virtual Stmt mutateSeq(const SeqStmtNode *op, const Stmt &s);
+    virtual Stmt mutateFor(const ForNode *op, const Stmt &s);
+    virtual Stmt mutateBlock(const BlockNode *op, const Stmt &s);
+    virtual Stmt mutateIfThenElse(const IfThenElseNode *op, const Stmt &s);
+    virtual Stmt mutateLetStmt(const LetStmtNode *op, const Stmt &s);
+    virtual Stmt mutateAllocate(const AllocateNode *op, const Stmt &s);
+    virtual Stmt mutateEvaluate(const EvaluateNode *op, const Stmt &s);
+    virtual Stmt mutateSparseIteration(const SparseIterationNode *op,
+                                       const Stmt &s);
+};
+
+/**
+ * Substitute variables by expressions throughout an expression or
+ * statement. Keys are VarNode addresses.
+ */
+class VarSubstituter : public StmtMutator
+{
+  public:
+    explicit VarSubstituter(std::map<const VarNode *, Expr> subst)
+        : subst_(std::move(subst))
+    {}
+
+  protected:
+    Expr
+    mutateVar(const VarNode *op, const Expr &e) override
+    {
+        auto it = subst_.find(op);
+        return it != subst_.end() ? it->second : e;
+    }
+
+  private:
+    std::map<const VarNode *, Expr> subst_;
+};
+
+/** Convenience wrappers around VarSubstituter. */
+Expr substitute(const Expr &e, const std::map<const VarNode *, Expr> &subst);
+Stmt substitute(const Stmt &s, const std::map<const VarNode *, Expr> &subst);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_FUNCTOR_H_

@@ -1,0 +1,21 @@
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace ir {
+
+PrimFunc
+primFunc(std::string name)
+{
+    auto func = std::make_shared<PrimFuncNode>();
+    func->name = std::move(name);
+    return func;
+}
+
+PrimFunc
+copyFunc(const PrimFunc &func)
+{
+    return std::make_shared<PrimFuncNode>(*func);
+}
+
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * PrimFunc: a compilable SparseTIR function, plus Module containers.
+ */
+
+#ifndef SPARSETIR_IR_PRIM_FUNC_H_
+#define SPARSETIR_IR_PRIM_FUNC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** Compilation stage of a PrimFunc's body. */
+enum class IrStage : uint8_t {
+    /** Coordinate-space computation (sparse iterations). */
+    kStage1,
+    /** Position-space computation (loops + sparse buffers). */
+    kStage2,
+    /** Loop-level IR (flat dense buffers only). */
+    kStage3,
+};
+
+/**
+ * A function over tensor parameters.
+ *
+ * params are scalar or handle variables in signature order; bufferMap
+ * associates handle params with the buffers they back. Axes used by the
+ * function are reachable from its sparse buffers and sparse iterations;
+ * the `axes` list additionally records declaration order for printing.
+ */
+class PrimFuncNode
+{
+  public:
+    std::string name;
+    std::vector<Var> params;
+    /** Handle param -> buffer bound to it (declaration order). */
+    std::vector<std::pair<Var, Buffer>> bufferMap;
+    /** Declared axes in declaration order (for printing only). */
+    std::vector<Axis> axes;
+    Stmt body;
+    IrStage stage = IrStage::kStage1;
+    std::map<std::string, Expr> attrs;
+
+    /** Look up the buffer bound to a handle param; null if none. */
+    Buffer
+    bufferOf(const Var &param) const
+    {
+        for (const auto &[v, b] : bufferMap) {
+            if (v.get() == param.get()) {
+                return b;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Find a buffer by name; null if absent. */
+    Buffer
+    findBuffer(const std::string &buffer_name) const
+    {
+        for (const auto &[v, b] : bufferMap) {
+            if (b->name == buffer_name) {
+                return b;
+            }
+        }
+        return nullptr;
+    }
+};
+
+using PrimFunc = std::shared_ptr<PrimFuncNode>;
+
+/** Create an empty PrimFunc shell. */
+PrimFunc primFunc(std::string name);
+
+/** Shallow-copy a PrimFunc (body shared until replaced). */
+PrimFunc copyFunc(const PrimFunc &func);
+
+/** A named collection of PrimFuncs (one per kernel after splitting). */
+class ModuleNode
+{
+  public:
+    std::vector<PrimFunc> functions;
+
+    PrimFunc
+    find(const std::string &name) const
+    {
+        for (const auto &f : functions) {
+            if (f->name == name) {
+                return f;
+            }
+        }
+        return nullptr;
+    }
+};
+
+using Module = std::shared_ptr<ModuleNode>;
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_PRIM_FUNC_H_

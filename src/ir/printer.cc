@@ -1,0 +1,506 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace sparsetir {
+namespace ir {
+
+namespace {
+
+const char *
+binaryOpSymbol(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::kAdd:
+        return " + ";
+      case ExprKind::kSub:
+        return " - ";
+      case ExprKind::kMul:
+        return " * ";
+      case ExprKind::kFloorDiv:
+        return " // ";
+      case ExprKind::kFloorMod:
+        return " % ";
+      case ExprKind::kDiv:
+        return " / ";
+      case ExprKind::kEQ:
+        return " == ";
+      case ExprKind::kNE:
+        return " != ";
+      case ExprKind::kLT:
+        return " < ";
+      case ExprKind::kLE:
+        return " <= ";
+      case ExprKind::kGT:
+        return " > ";
+      case ExprKind::kGE:
+        return " >= ";
+      case ExprKind::kAnd:
+        return " and ";
+      case ExprKind::kOr:
+        return " or ";
+      default:
+        return nullptr;
+    }
+}
+
+const char *
+builtinName(Builtin op)
+{
+    switch (op) {
+      case Builtin::kLowerBound:
+        return "lower_bound";
+      case Builtin::kUpperBound:
+        return "upper_bound";
+      case Builtin::kExp:
+        return "exp";
+      case Builtin::kLog:
+        return "log";
+      case Builtin::kSqrt:
+        return "sqrt";
+      case Builtin::kAbs:
+        return "abs";
+      case Builtin::kAtomicAdd:
+        return "atomic_add";
+      case Builtin::kExtern:
+        return "extern";
+    }
+    return "?";
+}
+
+class Printer
+{
+  public:
+    std::string
+    expr(const Expr &e)
+    {
+        std::ostringstream os;
+        printExpr(e, os);
+        return os.str();
+    }
+
+    std::string
+    stmt(const Stmt &s, int indent)
+    {
+        std::ostringstream os;
+        printStmt(s, indent, os);
+        return os.str();
+    }
+
+  private:
+    void
+    indentTo(int indent, std::ostringstream &os)
+    {
+        for (int i = 0; i < indent; ++i) {
+            os << "    ";
+        }
+    }
+
+    void
+    printExpr(const Expr &e, std::ostringstream &os)
+    {
+        if (const char *sym = binaryOpSymbol(e->kind)) {
+            auto op = static_cast<const BinaryNode *>(e.get());
+            os << "(";
+            printExpr(op->a, os);
+            os << sym;
+            printExpr(op->b, os);
+            os << ")";
+            return;
+        }
+        switch (e->kind) {
+          case ExprKind::kIntImm: {
+            auto op = static_cast<const IntImmNode *>(e.get());
+            if (op->dtype.isBool()) {
+                os << (op->value != 0 ? "True" : "False");
+            } else {
+                os << op->value;
+            }
+            break;
+          }
+          case ExprKind::kFloatImm: {
+            auto op = static_cast<const FloatImmNode *>(e.get());
+            std::ostringstream tmp;
+            tmp << op->value;
+            std::string text = tmp.str();
+            os << text;
+            if (text.find('.') == std::string::npos &&
+                text.find('e') == std::string::npos &&
+                text.find("inf") == std::string::npos &&
+                text.find("nan") == std::string::npos) {
+                os << ".0";
+            }
+            break;
+          }
+          case ExprKind::kStringImm:
+            os << '"' << static_cast<const StringImmNode *>(e.get())->value
+               << '"';
+            break;
+          case ExprKind::kVar:
+            os << static_cast<const VarNode *>(e.get())->name;
+            break;
+          case ExprKind::kMin:
+          case ExprKind::kMax: {
+            auto op = static_cast<const BinaryNode *>(e.get());
+            os << (e->kind == ExprKind::kMin ? "min(" : "max(");
+            printExpr(op->a, os);
+            os << ", ";
+            printExpr(op->b, os);
+            os << ")";
+            break;
+          }
+          case ExprKind::kNot: {
+            auto op = static_cast<const NotNode *>(e.get());
+            os << "not ";
+            printExpr(op->a, os);
+            break;
+          }
+          case ExprKind::kSelect: {
+            auto op = static_cast<const SelectNode *>(e.get());
+            os << "select(";
+            printExpr(op->cond, os);
+            os << ", ";
+            printExpr(op->trueValue, os);
+            os << ", ";
+            printExpr(op->falseValue, os);
+            os << ")";
+            break;
+          }
+          case ExprKind::kCast: {
+            auto op = static_cast<const CastNode *>(e.get());
+            os << op->dtype.str() << "(";
+            printExpr(op->value, os);
+            os << ")";
+            break;
+          }
+          case ExprKind::kBufferLoad: {
+            auto op = static_cast<const BufferLoadNode *>(e.get());
+            os << op->buffer->name << "[";
+            for (size_t i = 0; i < op->indices.size(); ++i) {
+                if (i > 0) {
+                    os << ", ";
+                }
+                printExpr(op->indices[i], os);
+            }
+            os << "]";
+            break;
+          }
+          case ExprKind::kRamp: {
+            auto op = static_cast<const RampNode *>(e.get());
+            os << "ramp(";
+            printExpr(op->base, os);
+            os << ", ";
+            printExpr(op->stride, os);
+            os << ", " << op->lanes << ")";
+            break;
+          }
+          case ExprKind::kBroadcast: {
+            auto op = static_cast<const BroadcastNode *>(e.get());
+            os << "broadcast(";
+            printExpr(op->value, os);
+            os << ", " << op->lanes << ")";
+            break;
+          }
+          case ExprKind::kCall: {
+            auto op = static_cast<const CallNode *>(e.get());
+            if (op->op == Builtin::kExtern) {
+                os << op->name << "(";
+            } else {
+                os << builtinName(op->op) << "(";
+            }
+            bool first = true;
+            if (op->bufferArg != nullptr) {
+                os << op->bufferArg->name;
+                first = false;
+            }
+            for (const auto &arg : op->args) {
+                if (!first) {
+                    os << ", ";
+                }
+                first = false;
+                printExpr(arg, os);
+            }
+            os << ")";
+            break;
+          }
+          default:
+            ICHECK(false) << "unhandled expr kind in printer";
+        }
+    }
+
+    void
+    printStmt(const Stmt &s, int indent, std::ostringstream &os)
+    {
+        switch (s->kind) {
+          case StmtKind::kBufferStore: {
+            auto op = static_cast<const BufferStoreNode *>(s.get());
+            indentTo(indent, os);
+            os << op->buffer->name << "[";
+            for (size_t i = 0; i < op->indices.size(); ++i) {
+                if (i > 0) {
+                    os << ", ";
+                }
+                printExpr(op->indices[i], os);
+            }
+            os << "] = ";
+            printExpr(op->value, os);
+            os << "\n";
+            break;
+          }
+          case StmtKind::kSeq: {
+            auto op = static_cast<const SeqStmtNode *>(s.get());
+            if (op->seq.empty()) {
+                indentTo(indent, os);
+                os << "pass\n";
+            }
+            for (const auto &child : op->seq) {
+                printStmt(child, indent, os);
+            }
+            break;
+          }
+          case StmtKind::kFor: {
+            auto op = static_cast<const ForNode *>(s.get());
+            indentTo(indent, os);
+            os << "for " << op->loopVar->name;
+            switch (op->forKind) {
+              case ForKind::kSerial:
+                os << " in range(";
+                break;
+              case ForKind::kParallel:
+                os << " in parallel(";
+                break;
+              case ForKind::kVectorized:
+                os << " in vectorized(";
+                break;
+              case ForKind::kUnrolled:
+                os << " in unrolled(";
+                break;
+              case ForKind::kThreadBinding:
+                os << " in thread_binding(\"" << op->threadTag << "\", ";
+                break;
+            }
+            if (!isConstInt(op->minValue, 0)) {
+                printExpr(op->minValue, os);
+                os << ", ";
+                printExpr(add(op->minValue, op->extent), os);
+            } else {
+                printExpr(op->extent, os);
+            }
+            os << "):\n";
+            printStmt(op->body, indent + 1, os);
+            break;
+          }
+          case StmtKind::kBlock: {
+            auto op = static_cast<const BlockNode *>(s.get());
+            indentTo(indent, os);
+            os << "with block(\"" << op->name << "\"):\n";
+            if (!op->reads.empty() || !op->writes.empty()) {
+                indentTo(indent + 1, os);
+                os << "# reads: [";
+                for (size_t i = 0; i < op->reads.size(); ++i) {
+                    os << (i > 0 ? ", " : "") << op->reads[i].buffer->name;
+                }
+                os << "] writes: [";
+                for (size_t i = 0; i < op->writes.size(); ++i) {
+                    os << (i > 0 ? ", " : "") << op->writes[i].buffer->name;
+                }
+                os << "]\n";
+            }
+            for (const auto &[key, value] : op->annotations) {
+                indentTo(indent + 1, os);
+                os << "# attr: " << key << " = " << expr(value) << "\n";
+            }
+            if (op->init != nullptr) {
+                indentTo(indent + 1, os);
+                os << "with init():\n";
+                printStmt(op->init, indent + 2, os);
+            }
+            printStmt(op->body, indent + 1, os);
+            break;
+          }
+          case StmtKind::kIfThenElse: {
+            auto op = static_cast<const IfThenElseNode *>(s.get());
+            indentTo(indent, os);
+            os << "if ";
+            printExpr(op->cond, os);
+            os << ":\n";
+            printStmt(op->thenBody, indent + 1, os);
+            if (op->elseBody != nullptr) {
+                indentTo(indent, os);
+                os << "else:\n";
+                printStmt(op->elseBody, indent + 1, os);
+            }
+            break;
+          }
+          case StmtKind::kLetStmt: {
+            auto op = static_cast<const LetStmtNode *>(s.get());
+            indentTo(indent, os);
+            os << op->letVar->name << " = ";
+            printExpr(op->value, os);
+            os << "\n";
+            printStmt(op->body, indent, os);
+            break;
+          }
+          case StmtKind::kAllocate: {
+            auto op = static_cast<const AllocateNode *>(s.get());
+            indentTo(indent, os);
+            os << op->buffer->name << " = alloc(["
+               << "";
+            for (size_t i = 0; i < op->buffer->shape.size(); ++i) {
+                os << (i > 0 ? ", " : "");
+                printExpr(op->buffer->shape[i], os);
+            }
+            os << "], \"" << op->buffer->dtype.str() << "\", \""
+               << memScopeName(op->buffer->scope) << "\")\n";
+            printStmt(op->body, indent, os);
+            break;
+          }
+          case StmtKind::kEvaluate: {
+            auto op = static_cast<const EvaluateNode *>(s.get());
+            indentTo(indent, os);
+            printExpr(op->value, os);
+            os << "\n";
+            break;
+          }
+          case StmtKind::kSparseIteration: {
+            auto op = static_cast<const SparseIterationNode *>(s.get());
+            indentTo(indent, os);
+            os << "with sp_iter([";
+            size_t axis_pos = 0;
+            for (size_t g = 0; g < op->fuseGroups.size(); ++g) {
+                if (g > 0) {
+                    os << ", ";
+                }
+                if (op->fuseGroups[g] > 1) {
+                    os << "fuse(";
+                }
+                for (int k = 0; k < op->fuseGroups[g]; ++k) {
+                    if (k > 0) {
+                        os << ", ";
+                    }
+                    os << op->axes[axis_pos++]->name;
+                }
+                if (op->fuseGroups[g] > 1) {
+                    os << ")";
+                }
+            }
+            os << "], \"";
+            for (auto kind : op->iterKinds) {
+                os << (kind == IterKind::kSpatial ? 'S' : 'R');
+            }
+            os << "\", \"" << op->name << "\") as [";
+            for (size_t i = 0; i < op->iterVars.size(); ++i) {
+                os << (i > 0 ? ", " : "") << op->iterVars[i]->name;
+            }
+            os << "]:\n";
+            if (op->init != nullptr) {
+                indentTo(indent + 1, os);
+                os << "with init():\n";
+                printStmt(op->init, indent + 2, os);
+            }
+            printStmt(op->body, indent + 1, os);
+            break;
+          }
+          default:
+            ICHECK(false) << "unhandled stmt kind in printer";
+        }
+    }
+};
+
+} // namespace
+
+std::string
+exprToString(const Expr &e)
+{
+    Printer p;
+    return p.expr(e);
+}
+
+std::string
+stmtToString(const Stmt &s, int indent)
+{
+    Printer p;
+    return p.stmt(s, indent);
+}
+
+std::string
+axisToString(const Axis &axis)
+{
+    std::ostringstream os;
+    os << axis->name << " = ";
+    switch (axis->kind) {
+      case AxisKind::kDenseFixed:
+        os << "dense_fixed(" << exprToString(axis->length) << ")";
+        break;
+      case AxisKind::kDenseVariable:
+        os << "dense_variable(" << axis->parent->name << ", ("
+           << exprToString(axis->length) << ", " << exprToString(axis->nnz)
+           << "), " << axis->indptr->name << ")";
+        break;
+      case AxisKind::kSparseFixed:
+        os << "sparse_fixed(" << axis->parent->name << ", ("
+           << exprToString(axis->length) << ", "
+           << exprToString(axis->nnzCols) << "), " << axis->indices->name
+           << ")";
+        break;
+      case AxisKind::kSparseVariable:
+        os << "sparse_variable(" << axis->parent->name << ", ("
+           << exprToString(axis->length) << ", " << exprToString(axis->nnz)
+           << "), (" << axis->indptr->name << ", " << axis->indices->name
+           << "))";
+        break;
+    }
+    os << ", \"" << axis->idtype.str() << "\"";
+    return os.str();
+}
+
+std::string
+funcToString(const PrimFunc &func)
+{
+    std::ostringstream os;
+    os << "@prim_func";
+    switch (func->stage) {
+      case IrStage::kStage1:
+        os << "  # stage I (coordinate space)";
+        break;
+      case IrStage::kStage2:
+        os << "  # stage II (position space)";
+        break;
+      case IrStage::kStage3:
+        os << "  # stage III (loop-level)";
+        break;
+    }
+    os << "\ndef " << func->name << "(";
+    for (size_t i = 0; i < func->params.size(); ++i) {
+        os << (i > 0 ? ", " : "") << func->params[i]->name << ": "
+           << func->params[i]->dtype.str();
+    }
+    os << "):\n";
+    for (const auto &axis : func->axes) {
+        os << "    " << axisToString(axis) << "\n";
+    }
+    for (const auto &[param, buffer] : func->bufferMap) {
+        os << "    " << buffer->name << " = ";
+        if (buffer->isSparse()) {
+            os << "match_sparse_buffer(" << param->name << ", (";
+            for (size_t i = 0; i < buffer->axes.size(); ++i) {
+                os << (i > 0 ? ", " : "") << buffer->axes[i]->name;
+            }
+            os << ")";
+        } else {
+            os << "match_buffer(" << param->name << ", (";
+            for (size_t i = 0; i < buffer->shape.size(); ++i) {
+                os << (i > 0 ? ", " : "") << exprToString(buffer->shape[i]);
+            }
+            os << ")";
+        }
+        os << ", \"" << buffer->dtype.str() << "\")\n";
+    }
+    if (func->body != nullptr) {
+        os << stmtToString(func->body, 1);
+    }
+    return os.str();
+}
+
+} // namespace ir
+} // namespace sparsetir

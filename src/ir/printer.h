@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Text rendering of SparseTIR programs in a Python-like script form,
+ * mirroring the notation used in the paper's figures.
+ */
+
+#ifndef SPARSETIR_IR_PRINTER_H_
+#define SPARSETIR_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** Render an expression on one line. */
+std::string exprToString(const Expr &e);
+
+/** Render a statement as an indented script. */
+std::string stmtToString(const Stmt &s, int indent = 0);
+
+/** Render a whole function: axes, buffers, params and body. */
+std::string funcToString(const PrimFunc &func);
+
+/** Render an axis declaration. */
+std::string axisToString(const Axis &axis);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_PRINTER_H_

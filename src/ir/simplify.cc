@@ -1,0 +1,284 @@
+#include "ir/simplify.h"
+
+#include <cmath>
+
+namespace sparsetir {
+namespace ir {
+
+namespace {
+
+int64_t
+floordiv(int64_t a, int64_t b)
+{
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) {
+        --q;
+    }
+    return q;
+}
+
+int64_t
+floormod(int64_t a, int64_t b)
+{
+    return a - floordiv(a, b) * b;
+}
+
+/** Fold a binary op over two integer constants. */
+Expr
+foldIntBinary(ExprKind kind, int64_t a, int64_t b, DataType dtype)
+{
+    auto boolean = [](bool v) {
+        return intImm(v ? 1 : 0, DataType::boolean());
+    };
+    switch (kind) {
+      case ExprKind::kAdd:
+        return intImm(a + b, dtype);
+      case ExprKind::kSub:
+        return intImm(a - b, dtype);
+      case ExprKind::kMul:
+        return intImm(a * b, dtype);
+      case ExprKind::kFloorDiv:
+        return b == 0 ? nullptr : intImm(floordiv(a, b), dtype);
+      case ExprKind::kFloorMod:
+        return b == 0 ? nullptr : intImm(floormod(a, b), dtype);
+      case ExprKind::kMin:
+        return intImm(std::min(a, b), dtype);
+      case ExprKind::kMax:
+        return intImm(std::max(a, b), dtype);
+      case ExprKind::kEQ:
+        return boolean(a == b);
+      case ExprKind::kNE:
+        return boolean(a != b);
+      case ExprKind::kLT:
+        return boolean(a < b);
+      case ExprKind::kLE:
+        return boolean(a <= b);
+      case ExprKind::kGT:
+        return boolean(a > b);
+      case ExprKind::kGE:
+        return boolean(a >= b);
+      case ExprKind::kAnd:
+        return boolean(a != 0 && b != 0);
+      case ExprKind::kOr:
+        return boolean(a != 0 || b != 0);
+      default:
+        return nullptr;
+    }
+}
+
+/** Fold a binary op over two float constants. */
+Expr
+foldFloatBinary(ExprKind kind, double a, double b, DataType dtype)
+{
+    switch (kind) {
+      case ExprKind::kAdd:
+        return floatImm(a + b, dtype);
+      case ExprKind::kSub:
+        return floatImm(a - b, dtype);
+      case ExprKind::kMul:
+        return floatImm(a * b, dtype);
+      case ExprKind::kDiv:
+        return floatImm(a / b, dtype);
+      case ExprKind::kMin:
+        return floatImm(std::min(a, b), dtype);
+      case ExprKind::kMax:
+        return floatImm(std::max(a, b), dtype);
+      default:
+        return nullptr;
+    }
+}
+
+class Simplifier : public StmtMutator
+{
+  protected:
+    Expr
+    mutateBinary(const BinaryNode *op, const Expr &e) override
+    {
+        Expr a = mutateExpr(op->a);
+        Expr b = mutateExpr(op->b);
+
+        int64_t ia = 0;
+        int64_t ib = 0;
+        bool ca = tryConstInt(a, &ia);
+        bool cb = tryConstInt(b, &ib);
+        if (ca && cb) {
+            if (Expr folded = foldIntBinary(op->kind, ia, ib, op->dtype)) {
+                return folded;
+            }
+        }
+        auto fa = std::dynamic_pointer_cast<const FloatImmNode>(a);
+        auto fb = std::dynamic_pointer_cast<const FloatImmNode>(b);
+        if (fa && fb) {
+            if (Expr folded = foldFloatBinary(op->kind, fa->value, fb->value,
+                                              op->dtype)) {
+                return folded;
+            }
+        }
+
+        // Identity rules.
+        switch (op->kind) {
+          case ExprKind::kAdd:
+            if (ca && ia == 0) {
+                return b;
+            }
+            if (cb && ib == 0) {
+                return a;
+            }
+            break;
+          case ExprKind::kSub:
+            if (cb && ib == 0) {
+                return a;
+            }
+            if (a == b) {
+                return intImm(0, op->dtype);
+            }
+            break;
+          case ExprKind::kMul:
+            if ((ca && ia == 0) || (cb && ib == 0)) {
+                return intImm(0, op->dtype);
+            }
+            if (ca && ia == 1) {
+                return b;
+            }
+            if (cb && ib == 1) {
+                return a;
+            }
+            if (fa && fa->value == 1.0) {
+                return b;
+            }
+            if (fb && fb->value == 1.0) {
+                return a;
+            }
+            break;
+          case ExprKind::kFloorDiv:
+            if (cb && ib == 1) {
+                return a;
+            }
+            if (ca && ia == 0) {
+                return intImm(0, op->dtype);
+            }
+            break;
+          case ExprKind::kFloorMod:
+            if (cb && ib == 1) {
+                return intImm(0, op->dtype);
+            }
+            break;
+          case ExprKind::kMin:
+          case ExprKind::kMax:
+            if (a == b) {
+                return a;
+            }
+            break;
+          case ExprKind::kAnd:
+            if (ca) {
+                return ia != 0 ? b : intImm(0, DataType::boolean());
+            }
+            if (cb) {
+                return ib != 0 ? a : intImm(0, DataType::boolean());
+            }
+            break;
+          case ExprKind::kOr:
+            if (ca) {
+                return ia != 0 ? intImm(1, DataType::boolean()) : b;
+            }
+            if (cb) {
+                return ib != 0 ? intImm(1, DataType::boolean()) : a;
+            }
+            break;
+          default:
+            break;
+        }
+
+        // (x + c1) + c2 -> x + (c1+c2); (x * c1) * c2 -> x * (c1*c2)
+        if (cb && (op->kind == ExprKind::kAdd ||
+                   op->kind == ExprKind::kMul)) {
+            if (auto inner = std::dynamic_pointer_cast<const BinaryNode>(a)) {
+                int64_t ic = 0;
+                if (inner->kind == op->kind && tryConstInt(inner->b, &ic)) {
+                    int64_t combined = op->kind == ExprKind::kAdd
+                                           ? ic + ib
+                                           : ic * ib;
+                    return mutateExpr(std::make_shared<BinaryNode>(
+                        op->kind, op->dtype, inner->a,
+                        intImm(combined, op->dtype)));
+                }
+            }
+        }
+
+        if (a == op->a && b == op->b) {
+            return e;
+        }
+        return std::make_shared<BinaryNode>(op->kind, op->dtype,
+                                            std::move(a), std::move(b));
+    }
+
+    Expr
+    mutateSelect(const SelectNode *op, const Expr &e) override
+    {
+        Expr cond = mutateExpr(op->cond);
+        Expr t = mutateExpr(op->trueValue);
+        Expr f = mutateExpr(op->falseValue);
+        int64_t c = 0;
+        if (tryConstInt(cond, &c)) {
+            return c != 0 ? t : f;
+        }
+        if (cond == op->cond && t == op->trueValue && f == op->falseValue) {
+            return e;
+        }
+        return select(std::move(cond), std::move(t), std::move(f));
+    }
+
+    Expr
+    mutateCast(const CastNode *op, const Expr &e) override
+    {
+        Expr value = mutateExpr(op->value);
+        int64_t iv = 0;
+        if (op->dtype.isInt() && tryConstInt(value, &iv)) {
+            return intImm(iv, op->dtype);
+        }
+        if (auto fv = std::dynamic_pointer_cast<const FloatImmNode>(value)) {
+            if (op->dtype.isFloat()) {
+                return floatImm(fv->value, op->dtype);
+            }
+        }
+        if (value == op->value) {
+            return e;
+        }
+        return std::make_shared<CastNode>(op->dtype, std::move(value));
+    }
+
+  public:
+    Stmt
+    mutateIfThenElse(const IfThenElseNode *op, const Stmt &s) override
+    {
+        Expr cond = mutateExpr(op->cond);
+        int64_t c = 0;
+        if (tryConstInt(cond, &c)) {
+            if (c != 0) {
+                return mutateStmt(op->thenBody);
+            }
+            return op->elseBody != nullptr ? mutateStmt(op->elseBody)
+                                           : seq({});
+        }
+        return StmtMutator::mutateIfThenElse(op, s);
+    }
+};
+
+} // namespace
+
+Expr
+simplify(const Expr &e)
+{
+    Simplifier s;
+    return s.mutateExpr(e);
+}
+
+Stmt
+simplifyStmt(const Stmt &s)
+{
+    Simplifier simp;
+    return simp.mutateStmt(s);
+}
+
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Algebraic simplifier: constant folding plus identity rules.
+ *
+ * Keeps lowered IR readable and lets the scheduler reason about loop
+ * extents (e.g. recognizing that a split of extent 32 by factor 8 has
+ * no tail iteration).
+ */
+
+#ifndef SPARSETIR_IR_SIMPLIFY_H_
+#define SPARSETIR_IR_SIMPLIFY_H_
+
+#include "ir/functor.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** Simplify an expression bottom-up. */
+Expr simplify(const Expr &e);
+
+/** Simplify every expression inside a statement. */
+Stmt simplifyStmt(const Stmt &s);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_SIMPLIFY_H_

@@ -1,0 +1,105 @@
+#include "ir/stmt.h"
+
+namespace sparsetir {
+namespace ir {
+
+Stmt
+bufferStore(Buffer buffer, std::vector<Expr> indices, Expr value)
+{
+    ICHECK(buffer != nullptr);
+    ICHECK_EQ(indices.size(), buffer->ndim())
+        << "buffer " << buffer->name << " expects " << buffer->ndim()
+        << " indices";
+    return std::make_shared<BufferStoreNode>(std::move(buffer),
+                                             std::move(indices),
+                                             std::move(value));
+}
+
+Stmt
+seq(std::vector<Stmt> stmts)
+{
+    // Flatten nested sequences and drop nulls for canonical form.
+    std::vector<Stmt> flat;
+    for (auto &s : stmts) {
+        if (s == nullptr) {
+            continue;
+        }
+        if (s->kind == StmtKind::kSeq) {
+            auto inner = std::static_pointer_cast<const SeqStmtNode>(s);
+            flat.insert(flat.end(), inner->seq.begin(), inner->seq.end());
+        } else {
+            flat.push_back(std::move(s));
+        }
+    }
+    if (flat.size() == 1) {
+        return flat[0];
+    }
+    return std::make_shared<SeqStmtNode>(std::move(flat));
+}
+
+Stmt
+forLoop(Var loop_var, Expr min_value, Expr extent, Stmt body, ForKind kind,
+        std::string thread_tag)
+{
+    return std::make_shared<ForNode>(std::move(loop_var),
+                                     std::move(min_value), std::move(extent),
+                                     kind, std::move(body),
+                                     std::move(thread_tag));
+}
+
+Stmt
+block(std::string name, Stmt body, Stmt init)
+{
+    auto node = std::make_shared<BlockNode>(std::move(name), std::move(body));
+    node->init = std::move(init);
+    return node;
+}
+
+Stmt
+ifThenElse(Expr cond, Stmt then_body, Stmt else_body)
+{
+    return std::make_shared<IfThenElseNode>(std::move(cond),
+                                            std::move(then_body),
+                                            std::move(else_body));
+}
+
+Stmt
+letStmt(Var let_var, Expr value, Stmt body)
+{
+    return std::make_shared<LetStmtNode>(std::move(let_var),
+                                         std::move(value), std::move(body));
+}
+
+Stmt
+allocate(Buffer buffer, Stmt body)
+{
+    return std::make_shared<AllocateNode>(std::move(buffer),
+                                          std::move(body));
+}
+
+Stmt
+evaluate(Expr value)
+{
+    return std::make_shared<EvaluateNode>(std::move(value));
+}
+
+std::vector<IterKind>
+parseIterKinds(const std::string &pattern)
+{
+    std::vector<IterKind> kinds;
+    kinds.reserve(pattern.size());
+    for (char c : pattern) {
+        if (c == 'S') {
+            kinds.push_back(IterKind::kSpatial);
+        } else if (c == 'R') {
+            kinds.push_back(IterKind::kReduction);
+        } else {
+            USER_CHECK(false) << "iterator kind must be 'S' or 'R', got '"
+                              << c << "'";
+        }
+    }
+    return kinds;
+}
+
+} // namespace ir
+} // namespace sparsetir

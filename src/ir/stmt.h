@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Statement nodes of the SparseTIR IR.
+ *
+ * Stage I programs contain SparseIteration statements; the sparse
+ * iteration lowering pass rewrites them into For/Block nests (Stage
+ * II); the sparse buffer lowering pass removes all sparse constructs
+ * (Stage III).
+ */
+
+#ifndef SPARSETIR_IR_STMT_H_
+#define SPARSETIR_IR_STMT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/buffer.h"
+#include "ir/expr.h"
+
+namespace sparsetir {
+namespace ir {
+
+/** Discriminator for statement nodes. */
+enum class StmtKind : uint8_t {
+    kBufferStore,
+    kSeq,
+    kFor,
+    kBlock,
+    kIfThenElse,
+    kLetStmt,
+    kAllocate,
+    kEvaluate,
+    kSparseIteration,
+};
+
+/** Base class of all statements. */
+class StmtNode
+{
+  public:
+    explicit StmtNode(StmtKind kind) : kind(kind) {}
+    virtual ~StmtNode() = default;
+
+    StmtKind kind;
+};
+
+using Stmt = std::shared_ptr<const StmtNode>;
+
+/** Store a value into a buffer element. */
+class BufferStoreNode : public StmtNode
+{
+  public:
+    BufferStoreNode(Buffer buffer, std::vector<Expr> indices, Expr value)
+        : StmtNode(StmtKind::kBufferStore), buffer(std::move(buffer)),
+          indices(std::move(indices)), value(std::move(value))
+    {}
+
+    Buffer buffer;
+    std::vector<Expr> indices;
+    Expr value;
+};
+
+/** Statement sequence. */
+class SeqStmtNode : public StmtNode
+{
+  public:
+    explicit SeqStmtNode(std::vector<Stmt> seq)
+        : StmtNode(StmtKind::kSeq), seq(std::move(seq))
+    {}
+
+    std::vector<Stmt> seq;
+};
+
+/** Loop kinds, matching TVM's For annotations. */
+enum class ForKind : uint8_t {
+    kSerial,
+    kParallel,
+    kVectorized,
+    kUnrolled,
+    /** Bound to a GPU thread axis; threadTag names it. */
+    kThreadBinding,
+};
+
+/** A loop over [min, min+extent). */
+class ForNode : public StmtNode
+{
+  public:
+    ForNode(Var loop_var, Expr min_value, Expr extent, ForKind for_kind,
+            Stmt body, std::string thread_tag = "")
+        : StmtNode(StmtKind::kFor), loopVar(std::move(loop_var)),
+          minValue(std::move(min_value)), extent(std::move(extent)),
+          forKind(for_kind), body(std::move(body)),
+          threadTag(std::move(thread_tag))
+    {}
+
+    Var loopVar;
+    Expr minValue;
+    Expr extent;
+    ForKind forKind;
+    Stmt body;
+    /** "blockIdx.x", "threadIdx.x", ... for kThreadBinding. */
+    std::string threadTag;
+    std::map<std::string, Expr> annotations;
+};
+
+/** A (buffer, per-dimension range) access region. */
+struct BufferRegion
+{
+    Buffer buffer;
+    /** Pairs of (min, extent) per dimension. */
+    std::vector<std::pair<Expr, Expr>> region;
+};
+
+/**
+ * TensorIR-style block: an isolation boundary for scheduling.
+ * Loops may not be reordered across block boundaries. Blocks carry
+ * read/write region annotations (filled by the region analysis step of
+ * sparse iteration lowering) and an optional reduction init statement.
+ */
+class BlockNode : public StmtNode
+{
+  public:
+    BlockNode(std::string name, Stmt body)
+        : StmtNode(StmtKind::kBlock), name(std::move(name)),
+          body(std::move(body))
+    {}
+
+    std::string name;
+    Stmt body;
+    /** Executed before the first reduction update along reduce axes. */
+    Stmt init;
+    /**
+     * Reduction loop variables governing init: init runs on the
+     * iteration where every listed var equals zero (generated loops
+     * are normalized to start at 0).
+     */
+    std::vector<Var> reduceVars;
+    std::vector<BufferRegion> reads;
+    std::vector<BufferRegion> writes;
+    std::map<std::string, Expr> annotations;
+};
+
+/** Two-armed conditional; elseBody may be null. */
+class IfThenElseNode : public StmtNode
+{
+  public:
+    IfThenElseNode(Expr cond, Stmt then_body, Stmt else_body = nullptr)
+        : StmtNode(StmtKind::kIfThenElse), cond(std::move(cond)),
+          thenBody(std::move(then_body)), elseBody(std::move(else_body))
+    {}
+
+    Expr cond;
+    Stmt thenBody;
+    Stmt elseBody;
+};
+
+/** Bind a value to a variable in scope of body. */
+class LetStmtNode : public StmtNode
+{
+  public:
+    LetStmtNode(Var let_var, Expr value, Stmt body)
+        : StmtNode(StmtKind::kLetStmt), letVar(std::move(let_var)),
+          value(std::move(value)), body(std::move(body))
+    {}
+
+    Var letVar;
+    Expr value;
+    Stmt body;
+};
+
+/** Allocate a scratch buffer (shared/local) in scope of body. */
+class AllocateNode : public StmtNode
+{
+  public:
+    AllocateNode(Buffer buffer, Stmt body)
+        : StmtNode(StmtKind::kAllocate), buffer(std::move(buffer)),
+          body(std::move(body))
+    {}
+
+    Buffer buffer;
+    Stmt body;
+};
+
+/** Evaluate an expression for side effects. */
+class EvaluateNode : public StmtNode
+{
+  public:
+    explicit EvaluateNode(Expr value)
+        : StmtNode(StmtKind::kEvaluate), value(std::move(value))
+    {}
+
+    Expr value;
+};
+
+/** Spatial vs reduction iterator (the "S"/"R" string of sp_iter). */
+enum class IterKind : uint8_t {
+    kSpatial,
+    kReduction,
+};
+
+/**
+ * Stage I sparse iteration (paper §3.1): iterate the space composed by
+ * `axes`, binding `iterVars`, with optional reduction init. Groups of
+ * iterators can be fused (sparse_fuse schedule); fuseGroups records,
+ * for each emitted loop, how many consecutive axes it covers (all 1s
+ * when unfused).
+ */
+class SparseIterationNode : public StmtNode
+{
+  public:
+    SparseIterationNode(std::string name, std::vector<Axis> axes,
+                        std::vector<Var> iter_vars,
+                        std::vector<IterKind> iter_kinds, Stmt body)
+        : StmtNode(StmtKind::kSparseIteration), name(std::move(name)),
+          axes(std::move(axes)), iterVars(std::move(iter_vars)),
+          iterKinds(std::move(iter_kinds)), body(std::move(body))
+    {
+        fuseGroups.assign(this->axes.size(), 1);
+    }
+
+    std::string name;
+    std::vector<Axis> axes;
+    std::vector<Var> iterVars;
+    std::vector<IterKind> iterKinds;
+    Stmt body;
+    Stmt init;
+    /**
+     * Loop fusion structure: fuseGroups[g] = number of consecutive
+     * axes fused into emitted loop g; sums to axes.size().
+     */
+    std::vector<int> fuseGroups;
+};
+
+using SparseIteration = std::shared_ptr<const SparseIterationNode>;
+
+// ---------------------------------------------------------------------
+// Factory helpers
+// ---------------------------------------------------------------------
+
+Stmt bufferStore(Buffer buffer, std::vector<Expr> indices, Expr value);
+Stmt seq(std::vector<Stmt> stmts);
+Stmt forLoop(Var loop_var, Expr min_value, Expr extent, Stmt body,
+             ForKind kind = ForKind::kSerial, std::string thread_tag = "");
+Stmt block(std::string name, Stmt body, Stmt init = nullptr);
+Stmt ifThenElse(Expr cond, Stmt then_body, Stmt else_body = nullptr);
+Stmt letStmt(Var let_var, Expr value, Stmt body);
+Stmt allocate(Buffer buffer, Stmt body);
+Stmt evaluate(Expr value);
+
+/** Parse iterator kinds from the paper's "SRS"-style string. */
+std::vector<IterKind> parseIterKinds(const std::string &pattern);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_STMT_H_

@@ -1,0 +1,284 @@
+#include "ir/structural_equal.h"
+
+#include <map>
+
+namespace sparsetir {
+namespace ir {
+
+namespace {
+
+class EqualChecker
+{
+  public:
+    bool
+    exprEqual(const Expr &a, const Expr &b)
+    {
+        if (a == b) {
+            return true;
+        }
+        if (a == nullptr || b == nullptr) {
+            return false;
+        }
+        if (a->kind != b->kind || a->dtype != b->dtype) {
+            return false;
+        }
+        switch (a->kind) {
+          case ExprKind::kIntImm:
+            return static_cast<const IntImmNode *>(a.get())->value ==
+                   static_cast<const IntImmNode *>(b.get())->value;
+          case ExprKind::kFloatImm:
+            return static_cast<const FloatImmNode *>(a.get())->value ==
+                   static_cast<const FloatImmNode *>(b.get())->value;
+          case ExprKind::kStringImm:
+            return static_cast<const StringImmNode *>(a.get())->value ==
+                   static_cast<const StringImmNode *>(b.get())->value;
+          case ExprKind::kVar: {
+            auto va = static_cast<const VarNode *>(a.get());
+            auto vb = static_cast<const VarNode *>(b.get());
+            auto it = varMap_.find(va);
+            if (it != varMap_.end()) {
+                return it->second == vb;
+            }
+            return va == vb;
+          }
+          case ExprKind::kNot: {
+            auto na = static_cast<const NotNode *>(a.get());
+            auto nb = static_cast<const NotNode *>(b.get());
+            return exprEqual(na->a, nb->a);
+          }
+          case ExprKind::kSelect: {
+            auto sa = static_cast<const SelectNode *>(a.get());
+            auto sb = static_cast<const SelectNode *>(b.get());
+            return exprEqual(sa->cond, sb->cond) &&
+                   exprEqual(sa->trueValue, sb->trueValue) &&
+                   exprEqual(sa->falseValue, sb->falseValue);
+          }
+          case ExprKind::kCast: {
+            auto ca = static_cast<const CastNode *>(a.get());
+            auto cb = static_cast<const CastNode *>(b.get());
+            return exprEqual(ca->value, cb->value);
+          }
+          case ExprKind::kBufferLoad: {
+            auto la = static_cast<const BufferLoadNode *>(a.get());
+            auto lb = static_cast<const BufferLoadNode *>(b.get());
+            return bufferEqual(la->buffer, lb->buffer) &&
+                   exprListEqual(la->indices, lb->indices);
+          }
+          case ExprKind::kRamp: {
+            auto ra = static_cast<const RampNode *>(a.get());
+            auto rb = static_cast<const RampNode *>(b.get());
+            return ra->lanes == rb->lanes && exprEqual(ra->base, rb->base) &&
+                   exprEqual(ra->stride, rb->stride);
+          }
+          case ExprKind::kBroadcast: {
+            auto ba = static_cast<const BroadcastNode *>(a.get());
+            auto bb = static_cast<const BroadcastNode *>(b.get());
+            return ba->lanes == bb->lanes &&
+                   exprEqual(ba->value, bb->value);
+          }
+          case ExprKind::kCall: {
+            auto ca = static_cast<const CallNode *>(a.get());
+            auto cb = static_cast<const CallNode *>(b.get());
+            return ca->op == cb->op && ca->name == cb->name &&
+                   bufferEqual(ca->bufferArg, cb->bufferArg) &&
+                   exprListEqual(ca->args, cb->args);
+          }
+          default: {
+            // Binary nodes.
+            auto ba = static_cast<const BinaryNode *>(a.get());
+            auto bb = static_cast<const BinaryNode *>(b.get());
+            return exprEqual(ba->a, bb->a) && exprEqual(ba->b, bb->b);
+          }
+        }
+    }
+
+    bool
+    stmtEqual(const Stmt &a, const Stmt &b)
+    {
+        if (a == b) {
+            return true;
+        }
+        if (a == nullptr || b == nullptr) {
+            return false;
+        }
+        if (a->kind != b->kind) {
+            return false;
+        }
+        switch (a->kind) {
+          case StmtKind::kBufferStore: {
+            auto sa = static_cast<const BufferStoreNode *>(a.get());
+            auto sb = static_cast<const BufferStoreNode *>(b.get());
+            return bufferEqual(sa->buffer, sb->buffer) &&
+                   exprListEqual(sa->indices, sb->indices) &&
+                   exprEqual(sa->value, sb->value);
+          }
+          case StmtKind::kSeq: {
+            auto sa = static_cast<const SeqStmtNode *>(a.get());
+            auto sb = static_cast<const SeqStmtNode *>(b.get());
+            if (sa->seq.size() != sb->seq.size()) {
+                return false;
+            }
+            for (size_t i = 0; i < sa->seq.size(); ++i) {
+                if (!stmtEqual(sa->seq[i], sb->seq[i])) {
+                    return false;
+                }
+            }
+            return true;
+          }
+          case StmtKind::kFor: {
+            auto fa = static_cast<const ForNode *>(a.get());
+            auto fb = static_cast<const ForNode *>(b.get());
+            if (fa->forKind != fb->forKind ||
+                fa->threadTag != fb->threadTag) {
+                return false;
+            }
+            if (!exprEqual(fa->minValue, fb->minValue) ||
+                !exprEqual(fa->extent, fb->extent)) {
+                return false;
+            }
+            varMap_[fa->loopVar.get()] = fb->loopVar.get();
+            bool ok = stmtEqual(fa->body, fb->body);
+            varMap_.erase(fa->loopVar.get());
+            return ok;
+          }
+          case StmtKind::kBlock: {
+            auto ba = static_cast<const BlockNode *>(a.get());
+            auto bb = static_cast<const BlockNode *>(b.get());
+            if (ba->name != bb->name) {
+                return false;
+            }
+            if ((ba->init == nullptr) != (bb->init == nullptr)) {
+                return false;
+            }
+            if (ba->init != nullptr && !stmtEqual(ba->init, bb->init)) {
+                return false;
+            }
+            return stmtEqual(ba->body, bb->body);
+          }
+          case StmtKind::kIfThenElse: {
+            auto ia = static_cast<const IfThenElseNode *>(a.get());
+            auto ib = static_cast<const IfThenElseNode *>(b.get());
+            if (!exprEqual(ia->cond, ib->cond) ||
+                !stmtEqual(ia->thenBody, ib->thenBody)) {
+                return false;
+            }
+            if ((ia->elseBody == nullptr) != (ib->elseBody == nullptr)) {
+                return false;
+            }
+            return ia->elseBody == nullptr ||
+                   stmtEqual(ia->elseBody, ib->elseBody);
+          }
+          case StmtKind::kLetStmt: {
+            auto la = static_cast<const LetStmtNode *>(a.get());
+            auto lb = static_cast<const LetStmtNode *>(b.get());
+            if (!exprEqual(la->value, lb->value)) {
+                return false;
+            }
+            varMap_[la->letVar.get()] = lb->letVar.get();
+            bool ok = stmtEqual(la->body, lb->body);
+            varMap_.erase(la->letVar.get());
+            return ok;
+          }
+          case StmtKind::kAllocate: {
+            auto aa = static_cast<const AllocateNode *>(a.get());
+            auto ab = static_cast<const AllocateNode *>(b.get());
+            bufferMap_[aa->buffer.get()] = ab->buffer.get();
+            bool ok = stmtEqual(aa->body, ab->body);
+            bufferMap_.erase(aa->buffer.get());
+            return ok;
+          }
+          case StmtKind::kEvaluate: {
+            auto ea = static_cast<const EvaluateNode *>(a.get());
+            auto eb = static_cast<const EvaluateNode *>(b.get());
+            return exprEqual(ea->value, eb->value);
+          }
+          case StmtKind::kSparseIteration: {
+            auto ia = static_cast<const SparseIterationNode *>(a.get());
+            auto ib = static_cast<const SparseIterationNode *>(b.get());
+            if (ia->name != ib->name ||
+                ia->axes.size() != ib->axes.size() ||
+                ia->iterKinds != ib->iterKinds ||
+                ia->fuseGroups != ib->fuseGroups) {
+                return false;
+            }
+            for (size_t i = 0; i < ia->axes.size(); ++i) {
+                if (ia->axes[i] != ib->axes[i]) {
+                    return false;
+                }
+            }
+            for (size_t i = 0; i < ia->iterVars.size(); ++i) {
+                varMap_[ia->iterVars[i].get()] = ib->iterVars[i].get();
+            }
+            bool ok = true;
+            if ((ia->init == nullptr) != (ib->init == nullptr)) {
+                ok = false;
+            } else if (ia->init != nullptr) {
+                ok = stmtEqual(ia->init, ib->init);
+            }
+            ok = ok && stmtEqual(ia->body, ib->body);
+            for (size_t i = 0; i < ia->iterVars.size(); ++i) {
+                varMap_.erase(ia->iterVars[i].get());
+            }
+            return ok;
+          }
+          default:
+            return false;
+        }
+    }
+
+  private:
+    bool
+    bufferEqual(const Buffer &a, const Buffer &b)
+    {
+        if (a == b) {
+            return true;
+        }
+        if (a == nullptr || b == nullptr) {
+            return false;
+        }
+        auto it = bufferMap_.find(a.get());
+        if (it != bufferMap_.end()) {
+            return it->second == b.get();
+        }
+        // Distinct buffer objects compare by name + dtype + rank, which
+        // suffices for cross-function comparisons in tests.
+        return a->name == b->name && a->dtype == b->dtype &&
+               a->ndim() == b->ndim();
+    }
+
+    bool
+    exprListEqual(const std::vector<Expr> &a, const std::vector<Expr> &b)
+    {
+        if (a.size() != b.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (!exprEqual(a[i], b[i])) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    std::map<const VarNode *, const VarNode *> varMap_;
+    std::map<const BufferNode *, const BufferNode *> bufferMap_;
+};
+
+} // namespace
+
+bool
+structuralEqual(const Expr &a, const Expr &b)
+{
+    EqualChecker checker;
+    return checker.exprEqual(a, b);
+}
+
+bool
+structuralEqual(const Stmt &a, const Stmt &b)
+{
+    EqualChecker checker;
+    return checker.stmtEqual(a, b);
+}
+
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Structural equality of IR fragments, with alpha-renaming of bound
+ * variables. Used by tests and by the tensorize pattern matcher.
+ */
+
+#ifndef SPARSETIR_IR_STRUCTURAL_EQUAL_H_
+#define SPARSETIR_IR_STRUCTURAL_EQUAL_H_
+
+#include "ir/stmt.h"
+
+namespace sparsetir {
+namespace ir {
+
+/**
+ * Structural comparison of expressions. Free variables must be
+ * pointer-identical; variables bound inside compared statements (loop
+ * vars, let vars) are matched positionally.
+ */
+bool structuralEqual(const Expr &a, const Expr &b);
+
+/** Structural comparison of statements. */
+bool structuralEqual(const Stmt &a, const Stmt &b);
+
+} // namespace ir
+} // namespace sparsetir
+
+#endif // SPARSETIR_IR_STRUCTURAL_EQUAL_H_

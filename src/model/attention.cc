@@ -1,0 +1,163 @@
+#include "model/attention.h"
+
+#include "baselines/triton.h"
+#include "baselines/vendor_constants.h"
+#include "core/pipeline.h"
+#include "format/bsr.h"
+
+namespace sparsetir {
+namespace model {
+
+using namespace baselines;
+
+namespace {
+
+gpusim::SimOptions
+oursOpts()
+{
+    gpusim::SimOptions opts;
+    opts.efficiency = kSparseTirEfficiency;
+    return opts;
+}
+
+gpusim::SimOptions
+tritonOpts()
+{
+    gpusim::SimOptions opts;
+    opts.efficiency = kTritonEfficiency;
+    return opts;
+}
+
+} // namespace
+
+AttentionTimes
+attentionSpmm(const format::Csr &mask, const AttentionConfig &config,
+              gpusim::Device &device)
+{
+    AttentionTimes times;
+    format::Bsr bsr = format::bsrFromCsr(mask, config.blockSize);
+
+    auto triton = tritonBlockSpmm(bsr, config.headDim);
+    times.tritonMs =
+        device.launch(*triton, tritonOpts()).timeMs * config.heads;
+
+    auto csr_shared = std::make_shared<core::BindingSet>();
+    auto csr_kernel = core::compileSpmmCsr(mask, config.headDim,
+                                           csr_shared);
+    runtime::NDArray b({mask.cols * config.headDim},
+                       ir::DataType::float32());
+    runtime::NDArray c({mask.rows * config.headDim},
+                       ir::DataType::float32());
+    csr_shared->external("B_data", &b);
+    csr_shared->external("C_data", &c);
+    times.sparsetirCsrMs =
+        device.launch(csr_kernel->simKernel(), oursOpts()).timeMs *
+        config.heads;
+
+    auto bsr_shared = std::make_shared<core::BindingSet>();
+    auto bsr_kernel = core::compileBsrSpmm(bsr, config.headDim,
+                                           bsr_shared, true);
+    runtime::NDArray b2(
+        {bsr.blockCols * config.blockSize * config.headDim},
+        ir::DataType::float32());
+    runtime::NDArray c2(
+        {bsr.blockRows * config.blockSize * config.headDim},
+        ir::DataType::float32());
+    bsr_shared->external("B_data", &b2);
+    bsr_shared->external("C_data", &c2);
+    times.sparsetirBsrMs =
+        device.launch(bsr_kernel->simKernel(), oursOpts()).timeMs *
+        config.heads;
+    return times;
+}
+
+AttentionTimes
+attentionSddmm(const format::Csr &mask, const AttentionConfig &config,
+               gpusim::Device &device)
+{
+    AttentionTimes times;
+    format::Bsr bsr = format::bsrFromCsr(mask, config.blockSize);
+
+    auto triton = tritonBlockSddmm(bsr, config.headDim);
+    times.tritonMs =
+        device.launch(*triton, tritonOpts()).timeMs * config.heads;
+
+    auto csr_shared = std::make_shared<core::BindingSet>();
+    auto csr_kernel = core::compileSddmm(mask, config.headDim,
+                                         csr_shared);
+    runtime::NDArray x({mask.rows * config.headDim},
+                       ir::DataType::float32());
+    runtime::NDArray y({config.headDim * mask.cols},
+                       ir::DataType::float32());
+    runtime::NDArray out({mask.nnz()}, ir::DataType::float32());
+    csr_shared->external("X_data", &x);
+    csr_shared->external("Y_data", &y);
+    csr_shared->external("B_data", &out);
+    times.sparsetirCsrMs =
+        device.launch(csr_kernel->simKernel(), oursOpts()).timeMs *
+        config.heads;
+
+    // SparseTIR BSR SDDMM: one thread block per block row; the X tile
+    // is staged once (cache_read to shared) and reused across every
+    // non-zero block of the row, unlike Triton's per-block reload.
+    class RowPanelBsddmm : public gpusim::Kernel
+    {
+      public:
+        RowPanelBsddmm(const format::Bsr &a, int64_t feat)
+            : a_(a), feat_(feat)
+        {
+            baselines::AddrAllocator alloc;
+            xBase_ = alloc.alloc(a.rows * feat * 2);
+            yBase_ = alloc.alloc(a.cols * feat * 2);
+            outBase_ = alloc.alloc(
+                static_cast<int64_t>(a.values.size()) * 4);
+        }
+
+        std::string name() const override
+        {
+            return "sparsetir_bsddmm";
+        }
+        int64_t numBlocks() const override { return a_.blockRows; }
+
+        void
+        blockWork(int64_t br, gpusim::BlockWork *work) const override
+        {
+            int64_t bs = a_.blockSize;
+            int32_t lo = a_.indptr[br];
+            int32_t hi = a_.indptr[br + 1];
+            if (lo == hi) {
+                return;
+            }
+            // Stage the X panel once per block row.
+            work->accesses.push_back(gpusim::MemAccess{
+                xBase_ + static_cast<uint64_t>(br * bs * feat_ * 2),
+                static_cast<uint32_t>(bs * feat_ * 2), 0, false});
+            work->sharedBytes += static_cast<double>(bs * feat_ * 2);
+            for (int32_t p = lo; p < hi; ++p) {
+                int64_t bc = a_.indices[p];
+                work->accesses.push_back(gpusim::MemAccess{
+                    yBase_ + static_cast<uint64_t>(bc * bs * feat_ * 2),
+                    static_cast<uint32_t>(bs * feat_ * 2), 0, false});
+                work->tensorFlops += 2.0 * static_cast<double>(bs) *
+                                     static_cast<double>(bs) *
+                                     static_cast<double>(feat_);
+                work->accesses.push_back(gpusim::MemAccess{
+                    outBase_ + static_cast<uint64_t>(p) * bs * bs * 4,
+                    static_cast<uint32_t>(bs * bs * 4), 0, true});
+            }
+        }
+
+      private:
+        const format::Bsr &a_;
+        int64_t feat_;
+        uint64_t xBase_, yBase_, outBase_;
+    };
+
+    RowPanelBsddmm ours(bsr, config.headDim);
+    times.sparsetirBsrMs =
+        device.launch(ours, oursOpts()).timeMs * config.heads;
+    return times;
+}
+
+} // namespace model
+} // namespace sparsetir

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sparse attention operators (paper §4.3.1, Figure 16): batched
+ * multi-head SpMM and SDDMM on band (Longformer) and butterfly
+ * (Pixelated Butterfly) masks, in CSR and BSR variants.
+ */
+
+#ifndef SPARSETIR_MODEL_ATTENTION_H_
+#define SPARSETIR_MODEL_ATTENTION_H_
+
+#include <cstdint>
+
+#include "format/csr.h"
+#include "gpusim/simulator.h"
+
+namespace sparsetir {
+namespace model {
+
+struct AttentionConfig
+{
+    int64_t seqLen = 4096;
+    int heads = 12;
+    int64_t headDim = 64;
+    int blockSize = 32;
+};
+
+struct AttentionTimes
+{
+    double tritonMs = 0.0;
+    double sparsetirCsrMs = 0.0;
+    double sparsetirBsrMs = 0.0;
+};
+
+/** Multi-head SpMM times on the given mask. */
+AttentionTimes attentionSpmm(const format::Csr &mask,
+                             const AttentionConfig &config,
+                             gpusim::Device &device);
+
+/** Multi-head SDDMM times on the given mask. */
+AttentionTimes attentionSddmm(const format::Csr &mask,
+                              const AttentionConfig &config,
+                              gpusim::Device &device);
+
+} // namespace model
+} // namespace sparsetir
+
+#endif // SPARSETIR_MODEL_ATTENTION_H_

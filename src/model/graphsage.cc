@@ -1,0 +1,81 @@
+#include "model/graphsage.h"
+
+#include "baselines/cublas.h"
+#include "baselines/frameworks.h"
+#include "baselines/vendor_constants.h"
+#include "core/pipeline.h"
+
+namespace sparsetir {
+namespace model {
+
+using namespace baselines;
+
+GraphSageResult
+graphSageEpoch(const format::Csr &graph, const GraphSageConfig &config,
+               gpusim::Device &device, int hyb_partitions)
+{
+    GraphSageResult result;
+    gpusim::SimOptions framework_opts;
+    framework_opts.efficiency = kFrameworkEfficiency;
+    gpusim::SimOptions cublas_opts;
+    cublas_opts.efficiency = kCublasEfficiency;
+    gpusim::SimOptions ours_opts;
+    ours_opts.efficiency = kSparseTirEfficiency;
+
+    format::Csr transposed = format::csrTranspose(graph);
+
+    // SparseTIR hyb kernels (forward adjacency + transposed for the
+    // backward pass), compiled once and reused across layers.
+    auto fwd_shared = std::make_shared<core::BindingSet>();
+    core::HybSpmm fwd = core::compileSpmmHyb(
+        graph, config.featHidden, hyb_partitions, -1, fwd_shared);
+    auto bwd_shared = std::make_shared<core::BindingSet>();
+    core::HybSpmm bwd = core::compileSpmmHyb(
+        transposed, config.featHidden, hyb_partitions, -1, bwd_shared);
+
+    // External feature/output arrays for the simulator bindings.
+    runtime::NDArray b_fwd({graph.cols * config.featHidden},
+                           ir::DataType::float32());
+    runtime::NDArray c_fwd({graph.rows * config.featHidden},
+                           ir::DataType::float32());
+    fwd_shared->external("B_data", &b_fwd);
+    fwd_shared->external("C_data", &c_fwd);
+    bwd_shared->external("B_data", &c_fwd);
+    bwd_shared->external("C_data", &b_fwd);
+
+    for (int layer = 0; layer < config.numLayers; ++layer) {
+        int64_t fin = layer == 0 ? config.featIn : config.featHidden;
+        // Dense transforms (self + neighbour), identical in both
+        // stacks: cuBLAS.
+        auto gemm = cublasGemm(graph.rows, config.featHidden, fin,
+                               false);
+        double gemm_ms =
+            2.0 * device.launch(*gemm, cublas_opts).timeMs;
+
+        // --- DGL: cuSPARSE-style SpMM fwd + transposed bwd. ---
+        auto dgl_fwd = dglSpmm(graph, config.featHidden);
+        auto dgl_bwd = dglSpmm(transposed, config.featHidden);
+        double dgl_ms = device.launch(*dgl_fwd, framework_opts).timeMs +
+                        device.launch(*dgl_bwd, framework_opts).timeMs;
+        // Backward GEMMs (dW, dX).
+        result.dglMs += dgl_ms + 2.0 * gemm_ms;
+
+        // --- PyTorch + SparseTIR: tuned hyb kernels. ---
+        double st_ms = 0.0;
+        std::vector<const gpusim::Kernel *> fwd_kernels;
+        for (auto &kernel : fwd.kernels) {
+            fwd_kernels.push_back(&kernel->simKernel());
+        }
+        st_ms += device.launchFused(fwd_kernels, ours_opts).timeMs;
+        std::vector<const gpusim::Kernel *> bwd_kernels;
+        for (auto &kernel : bwd.kernels) {
+            bwd_kernels.push_back(&kernel->simKernel());
+        }
+        st_ms += device.launchFused(bwd_kernels, ours_opts).timeMs;
+        result.sparsetirMs += st_ms + 2.0 * gemm_ms;
+    }
+    return result;
+}
+
+} // namespace model
+} // namespace sparsetir

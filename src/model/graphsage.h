@@ -1,0 +1,45 @@
+/**
+ * @file
+ * End-to-end GraphSAGE training cost model (paper §4.2.3, Figure 15).
+ *
+ * A GraphSAGE layer is mean-aggregate (SpMM) + two dense transforms;
+ * training time per epoch = forward + backward (the backward pass
+ * repeats the SpMM with the transposed adjacency plus GEMM gradients).
+ * The DGL variant dispatches cuSPARSE-style SpMM; the
+ * PyTorch+SparseTIR variant plugs in the tuned hyb SpMM kernels.
+ */
+
+#ifndef SPARSETIR_MODEL_GRAPHSAGE_H_
+#define SPARSETIR_MODEL_GRAPHSAGE_H_
+
+#include <cstdint>
+
+#include "format/csr.h"
+#include "gpusim/simulator.h"
+
+namespace sparsetir {
+namespace model {
+
+struct GraphSageConfig
+{
+    int64_t featIn = 128;
+    int64_t featHidden = 128;
+    int numLayers = 2;
+};
+
+struct GraphSageResult
+{
+    double dglMs = 0.0;
+    double sparsetirMs = 0.0;
+};
+
+/** Simulate one training epoch under both frameworks. */
+GraphSageResult graphSageEpoch(const format::Csr &graph,
+                               const GraphSageConfig &config,
+                               gpusim::Device &device,
+                               int hyb_partitions);
+
+} // namespace model
+} // namespace sparsetir
+
+#endif // SPARSETIR_MODEL_GRAPHSAGE_H_

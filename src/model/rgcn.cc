@@ -1,0 +1,111 @@
+#include "model/rgcn.h"
+
+#include "baselines/cublas.h"
+#include "baselines/models.h"
+#include "baselines/vendor_constants.h"
+#include "core/pipeline.h"
+#include "format/hyb.h"
+
+namespace sparsetir {
+namespace model {
+
+using namespace baselines;
+
+RgcnResult
+rgcnSparseTirNaive(const format::RelationalCsr &graph, int64_t feat,
+                   gpusim::Device &device)
+{
+    RgcnResult result;
+    gpusim::SimOptions opts;
+    opts.efficiency = kSparseTirEfficiency;
+    int64_t footprint =
+        graph.cols * feat * 4 + graph.rows * feat * 4;  // X and Y
+    for (size_t r = 0; r < graph.relations.size(); ++r) {
+        const format::Csr &rel = graph.relations[r];
+        if (rel.nnz() == 0) {
+            continue;
+        }
+        DenseGemmKernel gemm("st_naive_gemm", graph.cols, feat, feat,
+                             false);
+        result.timeMs += device.launch(gemm, opts).timeMs;
+        RowSplitParams spmm_params;
+        spmm_params.rowsPerBlock = 16;
+        spmm_params.vectorWidth = 4;
+        spmm_params.unrollDiscount = 0.4;
+        RowSplitSpmmKernel spmm("st_naive_spmm", rel, feat,
+                                spmm_params);
+        result.timeMs += device.launch(spmm, opts).timeMs;
+        footprint += graph.cols * feat * 4;  // T_r in HBM
+        footprint += rel.nnz() * 8 + (rel.rows + 1) * 4;
+    }
+    footprint += static_cast<int64_t>(graph.relations.size()) * feat *
+                 feat * 4;  // W
+    result.footprintBytes = footprint;
+    return result;
+}
+
+RgcnResult
+rgcnSparseTirHyb(const format::RelationalCsr &graph, int64_t feat,
+                 gpusim::Device &device, bool tensor_cores,
+                 int bucket_cap_log2)
+{
+    RgcnResult result;
+    gpusim::SimOptions opts;
+    opts.efficiency = kSparseTirEfficiency;
+
+    // Shared feature/weight/output arrays (no T: fused kernel).
+    auto shared = std::make_shared<core::BindingSet>();
+    runtime::NDArray x({graph.cols * feat}, ir::DataType::float32());
+    runtime::NDArray w({feat * feat}, ir::DataType::float32());
+    runtime::NDArray y({graph.rows * feat}, ir::DataType::float32());
+    shared->external("X_data", &x);
+    shared->external("W_data", &w);
+    shared->external("Y_data", &y);
+    shared->scalar("m", graph.rows);
+    shared->scalar("n", graph.cols);
+
+    int64_t footprint = (graph.cols + graph.rows) * feat * 4 +
+                        static_cast<int64_t>(graph.relations.size()) *
+                            feat * feat * 4;
+    if (tensor_cores) {
+        // Half-precision copies of operands (paper: extra footprint
+        // from fp16/fp32 conversion).
+        footprint += (graph.cols + graph.rows) * feat * 2;
+    }
+
+    std::vector<std::shared_ptr<core::BoundKernel>> kernels;
+    std::vector<const gpusim::Kernel *> sims;
+    for (size_t r = 0; r < graph.relations.size(); ++r) {
+        const format::Csr &rel = graph.relations[r];
+        if (rel.nnz() == 0) {
+            continue;
+        }
+        format::Hyb hyb = format::hybFromCsr(
+            rel, 1, std::min(bucket_cap_log2,
+                             format::hybDefaultK(rel) + 1));
+        for (size_t b = 0; b < hyb.buckets[0].size(); ++b) {
+            const format::Ell &bucket = hyb.buckets[0][b];
+            if (bucket.numRows() == 0) {
+                continue;
+            }
+            std::string suffix =
+                "r" + std::to_string(r) + "b" + std::to_string(b);
+            int rows_per_block = std::max<int64_t>(
+                1, 32 / std::max(bucket.width, 1));
+            auto kernel = core::compileEllRgms(
+                bucket, feat, feat, shared, suffix, tensor_cores,
+                rows_per_block);
+            kernels.push_back(kernel);
+            sims.push_back(&kernel->simKernel());
+            footprint += bucket.numRows() *
+                         (4 + bucket.width * (tensor_cores ? 6 : 8));
+        }
+    }
+    // Horizontally fused launch: one overhead for all buckets.
+    result.timeMs = device.launchFused(sims, opts).timeMs;
+    result.footprintBytes = footprint;
+    return result;
+}
+
+} // namespace model
+} // namespace sparsetir

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * RGCN inference execution variants (paper §4.4.1, Figure 20):
+ * SparseTIR(naive) — per-relation two-stage with T in HBM;
+ * SparseTIR(hyb) — fused RGMS over 3-D hyb, CUDA cores;
+ * SparseTIR(hyb+TC) — the same with Tensor-Core MMA.
+ */
+
+#ifndef SPARSETIR_MODEL_RGCN_H_
+#define SPARSETIR_MODEL_RGCN_H_
+
+#include <cstdint>
+
+#include "format/relational.h"
+#include "gpusim/simulator.h"
+
+namespace sparsetir {
+namespace model {
+
+struct RgcnResult
+{
+    double timeMs = 0.0;
+    /** Simulated GPU memory footprint (bytes). */
+    int64_t footprintBytes = 0;
+};
+
+/** SparseTIR(naive): per-relation GEMM + CSR SpMM, T materialized. */
+RgcnResult rgcnSparseTirNaive(const format::RelationalCsr &graph,
+                              int64_t feat, gpusim::Device &device);
+
+/** SparseTIR(hyb) / SparseTIR(hyb+TC): fused RGMS over bucketed ELL. */
+RgcnResult rgcnSparseTirHyb(const format::RelationalCsr &graph,
+                            int64_t feat, gpusim::Device &device,
+                            bool tensor_cores, int bucket_cap_log2 = 5);
+
+} // namespace model
+} // namespace sparsetir
+
+#endif // SPARSETIR_MODEL_RGCN_H_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Functional execution of lowered SparseTIR programs.
+ *
+ * The interpreter walks Stage II/III IR and executes it on the host:
+ * GPU thread-binding loops run as plain serial loops (the lowering
+ * keeps per-thread work disjoint or reduction-local, so serial
+ * emulation is exact). It is the reference semantics against which
+ * every schedule primitive must be meaning-preserving, and the source
+ * of numerical ground truth for the benchmark suite.
+ */
+
+#ifndef SPARSETIR_RUNTIME_INTERPRETER_H_
+#define SPARSETIR_RUNTIME_INTERPRETER_H_
+
+#include <map>
+#include <string>
+
+#include "ir/prim_func.h"
+#include "runtime/ndarray.h"
+
+namespace sparsetir {
+namespace runtime {
+
+/** Bindings from function parameter names to arrays/scalars. */
+struct Bindings
+{
+    /** Handle params (buffer data, indptr, indices) by param name. */
+    std::map<std::string, NDArray *> arrays;
+    /** Scalar int params by name. */
+    std::map<std::string, int64_t> scalars;
+};
+
+/**
+ * Execute a PrimFunc over the given bindings. Buffers are updated in
+ * place. Throws UserError when a parameter binding is missing and
+ * InternalError on IR-level inconsistencies (e.g. out-of-bounds
+ * access, which indicates a lowering bug).
+ */
+void run(const ir::PrimFunc &func, const Bindings &bindings);
+
+/** Execute every function in a module, in order. */
+void runModule(const ir::Module &mod, const Bindings &bindings);
+
+} // namespace runtime
+} // namespace sparsetir
+
+#endif // SPARSETIR_RUNTIME_INTERPRETER_H_

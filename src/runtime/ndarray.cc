@@ -1,0 +1,181 @@
+#include "runtime/ndarray.h"
+
+#include <cmath>
+
+namespace sparsetir {
+namespace runtime {
+
+NDArray::NDArray(std::vector<int64_t> shape, DataType dtype)
+    : shape_(std::move(shape)), dtype_(dtype)
+{
+    numel_ = 1;
+    for (int64_t dim : shape_) {
+        ICHECK_GE(dim, 0);
+        numel_ *= dim;
+    }
+    data_.assign(static_cast<size_t>(numel_) * elemBytes(), 0);
+}
+
+NDArray
+NDArray::fromInt32(const std::vector<int32_t> &values)
+{
+    NDArray arr({static_cast<int64_t>(values.size())}, DataType::int32());
+    std::memcpy(arr.rawData(), values.data(),
+                values.size() * sizeof(int32_t));
+    return arr;
+}
+
+NDArray
+NDArray::fromFloat(const std::vector<float> &values)
+{
+    NDArray arr({static_cast<int64_t>(values.size())}, DataType::float32());
+    std::memcpy(arr.rawData(), values.data(),
+                values.size() * sizeof(float));
+    return arr;
+}
+
+int
+NDArray::elemBytes() const
+{
+    // float16 is stored widened to float32 on the host.
+    if (dtype_.isFloat() && dtype_.bits() == 16) {
+        return 4;
+    }
+    if (dtype_.isBool()) {
+        return 1;
+    }
+    return dtype_.bytes();
+}
+
+int64_t
+NDArray::intAt(int64_t offset) const
+{
+    ICHECK_GE(offset, 0);
+    ICHECK_LT(offset, numel_);
+    const unsigned char *p = data_.data() +
+                             static_cast<size_t>(offset) * elemBytes();
+    if (dtype_.isBool()) {
+        return *p != 0;
+    }
+    ICHECK(dtype_.isInt() || dtype_.isUInt())
+        << "intAt on non-int array of dtype " << dtype_.str();
+    switch (dtype_.bits()) {
+      case 8: {
+        int8_t v;
+        std::memcpy(&v, p, 1);
+        return v;
+      }
+      case 16: {
+        int16_t v;
+        std::memcpy(&v, p, 2);
+        return v;
+      }
+      case 32: {
+        int32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      }
+      case 64: {
+        int64_t v;
+        std::memcpy(&v, p, 8);
+        return v;
+      }
+      default:
+        ICHECK(false) << "unsupported int width " << dtype_.bits();
+    }
+    return 0;
+}
+
+void
+NDArray::setInt(int64_t offset, int64_t value)
+{
+    ICHECK_GE(offset, 0);
+    ICHECK_LT(offset, numel_);
+    unsigned char *p = data_.data() + static_cast<size_t>(offset) *
+                                          elemBytes();
+    if (dtype_.isBool()) {
+        *p = value != 0 ? 1 : 0;
+        return;
+    }
+    ICHECK(dtype_.isInt() || dtype_.isUInt());
+    switch (dtype_.bits()) {
+      case 8: {
+        int8_t v = static_cast<int8_t>(value);
+        std::memcpy(p, &v, 1);
+        break;
+      }
+      case 16: {
+        int16_t v = static_cast<int16_t>(value);
+        std::memcpy(p, &v, 2);
+        break;
+      }
+      case 32: {
+        int32_t v = static_cast<int32_t>(value);
+        std::memcpy(p, &v, 4);
+        break;
+      }
+      case 64:
+        std::memcpy(p, &value, 8);
+        break;
+      default:
+        ICHECK(false) << "unsupported int width " << dtype_.bits();
+    }
+}
+
+double
+NDArray::floatAt(int64_t offset) const
+{
+    ICHECK_GE(offset, 0);
+    ICHECK_LT(offset, numel_);
+    ICHECK(dtype_.isFloat())
+        << "floatAt on non-float array of dtype " << dtype_.str();
+    const unsigned char *p = data_.data() +
+                             static_cast<size_t>(offset) * elemBytes();
+    if (dtype_.bits() == 64) {
+        double v;
+        std::memcpy(&v, p, 8);
+        return v;
+    }
+    float v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+void
+NDArray::setFloat(int64_t offset, double value)
+{
+    ICHECK_GE(offset, 0);
+    ICHECK_LT(offset, numel_);
+    ICHECK(dtype_.isFloat());
+    unsigned char *p = data_.data() + static_cast<size_t>(offset) *
+                                          elemBytes();
+    if (dtype_.bits() == 64) {
+        std::memcpy(p, &value, 8);
+        return;
+    }
+    float v = static_cast<float>(value);
+    std::memcpy(p, &v, 4);
+}
+
+void
+NDArray::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+}
+
+double
+maxAbsDiff(const NDArray &a, const NDArray &b)
+{
+    ICHECK_EQ(a.numel(), b.numel());
+    double worst = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        double d = std::fabs(a.floatAt(i) - b.floatAt(i));
+        if (d > worst) {
+            worst = d;
+        }
+    }
+    return worst;
+}
+
+} // namespace runtime
+} // namespace sparsetir

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Host tensor container used to bind data to PrimFunc parameters.
+ */
+
+#ifndef SPARSETIR_RUNTIME_NDARRAY_H_
+#define SPARSETIR_RUNTIME_NDARRAY_H_
+
+#include <cstring>
+#include <vector>
+
+#include "ir/dtype.h"
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace runtime {
+
+using ir::DataType;
+
+/**
+ * A dense row-major tensor on the host.
+ *
+ * Integer types are stored at declared width; float16 values are kept
+ * in float storage (precision of fp16 arithmetic is not modelled, only
+ * its memory traffic — see DESIGN.md substitution notes).
+ */
+class NDArray
+{
+  public:
+    NDArray() = default;
+
+    NDArray(std::vector<int64_t> shape, DataType dtype);
+
+    /** Convenience: 1-D int32 array from values. */
+    static NDArray fromInt32(const std::vector<int32_t> &values);
+    /** Convenience: 1-D float32 array from values. */
+    static NDArray fromFloat(const std::vector<float> &values);
+
+    const std::vector<int64_t> &shape() const { return shape_; }
+    DataType dtype() const { return dtype_; }
+
+    int64_t numel() const { return numel_; }
+
+    /** Storage element width in bytes. */
+    int elemBytes() const;
+
+    /** Flat integer read (int-typed arrays). */
+    int64_t intAt(int64_t offset) const;
+    /** Flat integer write. */
+    void setInt(int64_t offset, int64_t value);
+
+    /** Flat float read (float-typed arrays). */
+    double floatAt(int64_t offset) const;
+    /** Flat float write. */
+    void setFloat(int64_t offset, double value);
+
+    /** Row-major offset of a multi-dim index. */
+    int64_t
+    offsetOf(const std::vector<int64_t> &index) const
+    {
+        ICHECK_EQ(index.size(), shape_.size());
+        int64_t offset = 0;
+        for (size_t d = 0; d < shape_.size(); ++d) {
+            ICHECK_GE(index[d], 0);
+            ICHECK_LT(index[d], shape_[d]);
+            offset = offset * shape_[d] + index[d];
+        }
+        return offset;
+    }
+
+    /** Fill with zeros. */
+    void zero();
+
+    /** Raw storage for bulk initialization. */
+    void *rawData() { return data_.data(); }
+    const void *rawData() const { return data_.data(); }
+
+  private:
+    std::vector<int64_t> shape_;
+    DataType dtype_;
+    int64_t numel_ = 0;
+    std::vector<unsigned char> data_;
+};
+
+/** Max |a-b| over two float arrays of identical shape. */
+double maxAbsDiff(const NDArray &a, const NDArray &b);
+
+} // namespace runtime
+} // namespace sparsetir
+
+#endif // SPARSETIR_RUNTIME_NDARRAY_H_

@@ -1,0 +1,19 @@
+#include "support/logging.h"
+
+#include <iostream>
+
+namespace sparsetir {
+namespace detail {
+
+LogMessage::LogMessage(const char *file, int line)
+{
+    stream_ << "[" << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage()
+{
+    std::cerr << stream_.str() << std::endl;
+}
+
+} // namespace detail
+} // namespace sparsetir

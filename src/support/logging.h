@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Error handling and logging utilities for SparseTIR.
+ *
+ * Follows the gem5 convention of separating internal invariant failures
+ * (ICHECK, analogous to panic) from user-facing errors (userError,
+ * analogous to fatal).
+ */
+
+#ifndef SPARSETIR_SUPPORT_LOGGING_H_
+#define SPARSETIR_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sparsetir {
+
+/** Exception thrown when an internal invariant is violated. */
+class InternalError : public std::runtime_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown for user-level misuse of the API. */
+class UserError : public std::runtime_error
+{
+  public:
+    explicit UserError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+/**
+ * Accumulates a message and throws on destruction of the holder.
+ * Used by the ICHECK family of macros.
+ */
+class LogFatal
+{
+  public:
+    LogFatal(const char *file, int line, bool internal)
+        : internal_(internal)
+    {
+        stream_ << file << ":" << line << ": ";
+    }
+
+    [[noreturn]] ~LogFatal() noexcept(false)
+    {
+        if (internal_) {
+            throw InternalError(stream_.str());
+        }
+        throw UserError(stream_.str());
+    }
+
+    std::ostringstream &stream() { return stream_; }
+
+  private:
+    std::ostringstream stream_;
+    bool internal_;
+};
+
+/** Sink for LOG(INFO)-style messages; writes to stderr on destruction. */
+class LogMessage
+{
+  public:
+    LogMessage(const char *file, int line);
+    ~LogMessage();
+    std::ostringstream &stream() { return stream_; }
+
+  private:
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+/** Internal invariant check; throws InternalError with message. */
+#define ICHECK(cond)                                                        \
+    if (!(cond))                                                            \
+    ::sparsetir::detail::LogFatal(__FILE__, __LINE__, true).stream()        \
+        << "Internal check failed: (" #cond ") "
+
+#define ICHECK_EQ(a, b) ICHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ICHECK_NE(a, b) ICHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ICHECK_LT(a, b) ICHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ICHECK_LE(a, b) ICHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ICHECK_GT(a, b) ICHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ICHECK_GE(a, b) ICHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/** User-facing error; throws UserError with message. */
+#define USER_CHECK(cond)                                                    \
+    if (!(cond))                                                            \
+    ::sparsetir::detail::LogFatal(__FILE__, __LINE__, false).stream()       \
+        << "Error: "
+
+/** Informational logging to stderr. */
+#define LOG_INFO ::sparsetir::detail::LogMessage(__FILE__, __LINE__).stream()
+
+} // namespace sparsetir
+
+#endif // SPARSETIR_SUPPORT_LOGGING_H_

@@ -1,0 +1,110 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &w : state_) {
+        w = splitmix64(s);
+    }
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniformInt(uint64_t bound)
+{
+    ICHECK_GT(bound, 0u);
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+int64_t
+Rng::uniformRange(int64_t lo, int64_t hi)
+{
+    ICHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+        uniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::uniformReal()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::normal()
+{
+    double u1 = uniformReal();
+    double u2 = uniformReal();
+    if (u1 < 1e-300) {
+        u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+int64_t
+Rng::powerLaw(double alpha, int64_t x_max)
+{
+    ICHECK_GT(alpha, 1.0);
+    ICHECK_GE(x_max, 1);
+    // Inverse CDF of continuous Pareto on [1, x_max], truncated.
+    double u = uniformReal();
+    double exponent = 1.0 - alpha;
+    double x_max_pow = std::pow(static_cast<double>(x_max), exponent);
+    double value = std::pow(1.0 - u * (1.0 - x_max_pow), 1.0 / exponent);
+    int64_t result = static_cast<int64_t>(value);
+    if (result < 1) {
+        result = 1;
+    }
+    if (result > x_max) {
+        result = x_max;
+    }
+    return result;
+}
+
+} // namespace sparsetir

@@ -1,0 +1,78 @@
+#include "transform/horizontal_fusion.h"
+
+#include <map>
+#include <set>
+
+#include "ir/functor.h"
+#include "ir/simplify.h"
+
+namespace sparsetir {
+namespace transform {
+
+using namespace ir;
+
+PrimFunc
+horizontalFuse(const std::vector<PrimFunc> &kernels,
+               const std::string &name)
+{
+    USER_CHECK(!kernels.empty()) << "nothing to fuse";
+    Var fused_block = var("blk", DataType::int32());
+    std::vector<Stmt> guarded;
+    int64_t offset = 0;
+    PrimFunc out = primFunc(name);
+    out->stage = IrStage::kStage3;
+    std::set<const VarNode *> seen_params;
+
+    for (const auto &kernel : kernels) {
+        USER_CHECK(kernel->stage == IrStage::kStage3)
+            << "horizontal fusion expects Stage III kernels";
+        USER_CHECK(kernel->body->kind == StmtKind::kFor)
+            << "kernel '" << kernel->name
+            << "' must start with a blockIdx.x loop";
+        auto loop = static_cast<const ForNode *>(kernel->body.get());
+        USER_CHECK(loop->forKind == ForKind::kThreadBinding &&
+                   loop->threadTag == "blockIdx.x")
+            << "kernel '" << kernel->name
+            << "' must start with a blockIdx.x loop";
+        int64_t extent = 0;
+        USER_CHECK(tryConstInt(simplify(loop->extent), &extent))
+            << "fusable kernels need constant grid sizes";
+
+        // Body with blockIdx rebased: var = blk - offset.
+        std::map<const VarNode *, Expr> subst{
+            {loop->loopVar.get(),
+             simplify(sub(fused_block, intImm(offset)))}};
+        Stmt body = substitute(loop->body, subst);
+        Expr in_range = logicalAnd(
+            ge(fused_block, intImm(offset)),
+            lt(fused_block, intImm(offset + extent)));
+        guarded.push_back(ifThenElse(simplify(in_range), body));
+        offset += extent;
+
+        for (const auto &param : kernel->params) {
+            if (seen_params.insert(param.get()).second) {
+                out->params.push_back(param);
+            }
+        }
+        for (const auto &[param, buffer] : kernel->bufferMap) {
+            bool present = false;
+            for (const auto &[p2, b2] : out->bufferMap) {
+                if (p2.get() == param.get()) {
+                    present = true;
+                    break;
+                }
+            }
+            if (!present) {
+                out->bufferMap.emplace_back(param, buffer);
+            }
+        }
+    }
+
+    out->body = forLoop(fused_block, intImm(0), intImm(offset),
+                        seq(std::move(guarded)),
+                        ForKind::kThreadBinding, "blockIdx.x");
+    return out;
+}
+
+} // namespace transform
+} // namespace sparsetir

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Horizontal fusion (paper §3.5): merge several Stage III kernels into
+ * one launch to amortize kernel-launch overhead of composable formats.
+ * The fused kernel dispatches on blockIdx.x ranges.
+ */
+
+#ifndef SPARSETIR_TRANSFORM_HORIZONTAL_FUSION_H_
+#define SPARSETIR_TRANSFORM_HORIZONTAL_FUSION_H_
+
+#include <vector>
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace transform {
+
+/**
+ * Fuse Stage III kernels whose outermost loop is bound to blockIdx.x
+ * with a constant grid size. The result has one blockIdx.x loop of the
+ * summed extent and guards selecting the original bodies. Parameters
+ * and buffer maps are concatenated (deduplicated by handle).
+ */
+ir::PrimFunc horizontalFuse(const std::vector<ir::PrimFunc> &kernels,
+                            const std::string &name);
+
+} // namespace transform
+} // namespace sparsetir
+
+#endif // SPARSETIR_TRANSFORM_HORIZONTAL_FUSION_H_

@@ -1,0 +1,283 @@
+#include "transform/lower_sparse_buffer.h"
+
+#include <map>
+
+#include "ir/analysis.h"
+#include "ir/functor.h"
+#include "ir/simplify.h"
+#include "transform/lower_sparse_iter.h"
+
+namespace sparsetir {
+namespace transform {
+
+using namespace ir;
+
+namespace {
+
+/** Child of `axis` among the buffer's axes (chain assumption). */
+int
+childIndexOf(const Buffer &buffer, size_t axis_index)
+{
+    const Axis &axis = buffer->axes[axis_index];
+    int child = -1;
+    for (size_t j = 0; j < buffer->axes.size(); ++j) {
+        if (buffer->axes[j]->parent.get() == axis.get()) {
+            ICHECK_EQ(child, -1)
+                << "buffer " << buffer->name
+                << " has a branching axis tree; expected chains";
+            child = static_cast<int>(j);
+        }
+    }
+    return child;
+}
+
+/**
+ * nnz(Tree(A_i)) of eq. 8: stored slots of the subtree rooted at the
+ * axis, restricted to the buffer's axes.
+ */
+Expr
+nnzTree(const Buffer &buffer, size_t axis_index)
+{
+    // Walk the chain downward, remembering the deepest variable axis.
+    std::vector<size_t> chain;
+    int cur = static_cast<int>(axis_index);
+    while (cur >= 0) {
+        chain.push_back(static_cast<size_t>(cur));
+        cur = childIndexOf(buffer, static_cast<size_t>(cur));
+    }
+    int last_variable = -1;
+    for (size_t k = 0; k < chain.size(); ++k) {
+        if (buffer->axes[chain[k]]->isVariable()) {
+            last_variable = static_cast<int>(k);
+        }
+    }
+    Expr slots;
+    size_t start = 0;
+    if (last_variable >= 0) {
+        slots = buffer->axes[chain[last_variable]]->nnz;
+        start = static_cast<size_t>(last_variable) + 1;
+    } else {
+        slots = intImm(1);
+    }
+    for (size_t k = start; k < chain.size(); ++k) {
+        const Axis &axis = buffer->axes[chain[k]];
+        if (!axis->isVariable()) {
+            slots = mul(slots, axis->fixedColumns());
+        }
+    }
+    return simplify(slots);
+}
+
+/** offset(i) of eq. 7: absolute storage position along axis i. */
+Expr
+axisOffset(const Buffer &buffer, size_t axis_index,
+           const std::vector<Expr> &indices,
+           std::map<size_t, Expr> &memo)
+{
+    auto it = memo.find(axis_index);
+    if (it != memo.end()) {
+        return it->second;
+    }
+    const Axis &axis = buffer->axes[axis_index];
+    Expr result;
+    if (axis->parent == nullptr) {
+        result = indices[axis_index];
+    } else {
+        // Locate the parent among the buffer axes.
+        int parent_index = -1;
+        for (size_t j = 0; j < buffer->axes.size(); ++j) {
+            if (buffer->axes[j].get() == axis->parent.get()) {
+                parent_index = static_cast<int>(j);
+                break;
+            }
+        }
+        ICHECK_GE(parent_index, 0)
+            << "buffer " << buffer->name << ": axis " << axis->name
+            << " depends on " << axis->parent->name
+            << " which is not part of the buffer";
+        Expr parent_offset = axisOffset(
+            buffer, static_cast<size_t>(parent_index), indices, memo);
+        if (axis->isVariable()) {
+            result = add(bufferLoad(indptrBufferOf(axis), {parent_offset}),
+                         indices[axis_index]);
+        } else {
+            // Sparse-fixed: k slots per parent position.
+            result = add(mul(parent_offset, axis->nnzCols),
+                         indices[axis_index]);
+        }
+    }
+    memo[axis_index] = result;
+    return result;
+}
+
+/** Full flattened offset per eq. 6. */
+Expr
+flattenSparseAccess(const Buffer &buffer, const std::vector<Expr> &indices)
+{
+    size_t n = buffer->axes.size();
+    // stride(i) per eq. 8, computed right-to-left.
+    std::vector<Expr> stride(n + 1);
+    stride[n] = intImm(1);
+    for (size_t i = n; i-- > 0;) {
+        if (buffer->axes[i]->parent == nullptr) {
+            stride[i] = mul(nnzTree(buffer, i), stride[i + 1]);
+        } else {
+            stride[i] = stride[i + 1];
+        }
+    }
+    std::map<size_t, Expr> memo;
+    Expr flat = intImm(0);
+    for (size_t i = 0; i < n; ++i) {
+        if (childIndexOf(buffer, i) >= 0) {
+            continue;  // not a leaf
+        }
+        flat = add(flat, mul(axisOffset(buffer, i, indices, memo),
+                             stride[i + 1]));
+    }
+    return simplify(flat);
+}
+
+/** Row-major flattening of a dense multi-dim access. */
+Expr
+flattenDenseAccess(const Buffer &buffer, const std::vector<Expr> &indices)
+{
+    Expr flat = indices[0];
+    for (size_t d = 1; d < indices.size(); ++d) {
+        flat = add(mul(flat, buffer->shape[d]), indices[d]);
+    }
+    return simplify(flat);
+}
+
+class BufferFlattener : public StmtMutator
+{
+  public:
+    Buffer
+    flatBuffer(const Buffer &buffer)
+    {
+        auto it = cache_.find(buffer.get());
+        if (it != cache_.end()) {
+            return it->second;
+        }
+        Expr slots;
+        if (buffer->isSparse()) {
+            slots = intImm(1);
+            for (size_t i = 0; i < buffer->axes.size(); ++i) {
+                if (buffer->axes[i]->parent == nullptr) {
+                    slots = mul(slots, nnzTree(buffer, i));
+                }
+            }
+        } else {
+            slots = intImm(1);
+            for (const auto &dim : buffer->shape) {
+                slots = mul(slots, dim);
+            }
+        }
+        auto node = std::make_shared<BufferNode>();
+        node->name = buffer->name;
+        node->data = buffer->data;
+        node->dtype = buffer->dtype;
+        node->shape = {simplify(slots)};
+        node->scope = buffer->scope;
+        Buffer flat = node;
+        cache_[buffer.get()] = flat;
+        return flat;
+    }
+
+  protected:
+    Expr
+    mutateBufferLoad(const BufferLoadNode *op, const Expr &e) override
+    {
+        std::vector<Expr> indices;
+        indices.reserve(op->indices.size());
+        for (const auto &idx : op->indices) {
+            indices.push_back(mutateExpr(idx));
+        }
+        return std::make_shared<BufferLoadNode>(
+            op->dtype, flatBuffer(op->buffer),
+            std::vector<Expr>{flatten(op->buffer, indices)});
+    }
+
+    Stmt
+    mutateBufferStore(const BufferStoreNode *op, const Stmt &s) override
+    {
+        std::vector<Expr> indices;
+        indices.reserve(op->indices.size());
+        for (const auto &idx : op->indices) {
+            indices.push_back(mutateExpr(idx));
+        }
+        Expr value = mutateExpr(op->value);
+        return bufferStore(flatBuffer(op->buffer),
+                           {flatten(op->buffer, indices)},
+                           std::move(value));
+    }
+
+    Stmt
+    mutateAllocate(const AllocateNode *op, const Stmt &s) override
+    {
+        Stmt body = mutateStmt(op->body);
+        return allocate(flatBuffer(op->buffer), std::move(body));
+    }
+
+    Buffer
+    mutateBuffer(const Buffer &buffer) override
+    {
+        // Covers Call bufferArg (aux buffers are already flat).
+        return buffer->ndim() == 1 && !buffer->isSparse()
+                   ? buffer
+                   : flatBuffer(buffer);
+    }
+
+  private:
+    Expr
+    flatten(const Buffer &buffer, const std::vector<Expr> &indices)
+    {
+        if (!buffer->isSparse()) {
+            if (indices.size() == 1) {
+                return indices[0];
+            }
+            return flattenDenseAccess(buffer, indices);
+        }
+        return flattenSparseAccess(buffer, indices);
+    }
+
+    std::map<const BufferNode *, Buffer> cache_;
+};
+
+} // namespace
+
+Expr
+sparseBufferSlots(const Buffer &buffer)
+{
+    ICHECK(buffer->isSparse());
+    Expr slots = intImm(1);
+    for (size_t i = 0; i < buffer->axes.size(); ++i) {
+        if (buffer->axes[i]->parent == nullptr) {
+            slots = mul(slots, nnzTree(buffer, i));
+        }
+    }
+    return simplify(slots);
+}
+
+PrimFunc
+lowerSparseBuffers(const PrimFunc &func)
+{
+    USER_CHECK(func->stage == IrStage::kStage2)
+        << "lowerSparseBuffers expects a Stage II function";
+    PrimFunc result = copyFunc(func);
+    BufferFlattener flattener;
+    Stmt body = flattener.mutateStmt(func->body);
+    result->body = annotateRegions(simplifyStmt(body));
+    result->stage = IrStage::kStage3;
+    // Rebind the buffer map to the flat views.
+    std::vector<std::pair<Var, Buffer>> new_map;
+    new_map.reserve(func->bufferMap.size());
+    for (const auto &[param, buffer] : func->bufferMap) {
+        new_map.emplace_back(param, flattener.flatBuffer(buffer));
+    }
+    result->bufferMap = std::move(new_map);
+    result->axes.clear();
+    return result;
+}
+
+} // namespace transform
+} // namespace sparsetir

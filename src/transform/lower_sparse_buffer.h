@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Sparse buffer lowering: Stage II -> Stage III (paper §3.4.1).
+ *
+ * Removes all sparse constructs: every multi-dimensional buffer access
+ * (sparse or dense) is rewritten to a flat 1-D access. Sparse buffer
+ * offsets follow eqs. 6-8: per-axis offsets chain through indptr
+ * lookups and strides multiply the non-zero counts of dependent
+ * subtrees.
+ */
+
+#ifndef SPARSETIR_TRANSFORM_LOWER_SPARSE_BUFFER_H_
+#define SPARSETIR_TRANSFORM_LOWER_SPARSE_BUFFER_H_
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace transform {
+
+/**
+ * Flatten all buffers of a Stage II function, producing Stage III.
+ * The input function is not modified.
+ */
+ir::PrimFunc lowerSparseBuffers(const ir::PrimFunc &func);
+
+/** Total storage slots of a sparse buffer (product form of eq. 8). */
+ir::Expr sparseBufferSlots(const ir::Buffer &buffer);
+
+} // namespace transform
+} // namespace sparsetir
+
+#endif // SPARSETIR_TRANSFORM_LOWER_SPARSE_BUFFER_H_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sparse iteration lowering: Stage I -> Stage II (paper §3.3.1).
+ *
+ * Four steps:
+ *  1. Auxiliary buffer materialization — indptr/indices handles become
+ *     explicit 1-D int buffers with domain hints.
+ *  2. Nested loop generation — one loop per (possibly fused) axis,
+ *     separated by TensorIR blocks whenever a loop's extent is
+ *     data-dependent, so schedules cannot illegally reorder across.
+ *  3. Coordinate translation — rewrites sparse buffer accesses from
+ *     coordinate space to position space (eqs. 1-5), emitting binary
+ *     searches for coordinate->position compression when the access
+ *     does not ride an iteration axis.
+ *  4. Read/write region analysis — annotates every block.
+ */
+
+#ifndef SPARSETIR_TRANSFORM_LOWER_SPARSE_ITER_H_
+#define SPARSETIR_TRANSFORM_LOWER_SPARSE_ITER_H_
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace transform {
+
+/**
+ * Lower every sparse iteration in `func` to nested loops in position
+ * space. Returns a new Stage II function; the input is not modified.
+ */
+ir::PrimFunc lowerSparseIterations(const ir::PrimFunc &func);
+
+/**
+ * Total number of storage positions along an axis (used for aux buffer
+ * extents and flattening strides): length for dense-fixed, nnz for
+ * variable, parentSlots * nnzCols for sparse-fixed.
+ */
+ir::Expr axisSlots(const ir::Axis &axis);
+
+/** The materialized indptr buffer of a variable axis. */
+ir::Buffer indptrBufferOf(const ir::Axis &axis);
+
+/** The materialized indices buffer of a sparse axis. */
+ir::Buffer indicesBufferOf(const ir::Axis &axis);
+
+} // namespace transform
+} // namespace sparsetir
+
+#endif // SPARSETIR_TRANSFORM_LOWER_SPARSE_ITER_H_

@@ -1,0 +1,188 @@
+#include "transform/stage1_schedule.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "ir/functor.h"
+
+namespace sparsetir {
+namespace transform {
+
+using namespace ir;
+
+namespace {
+
+/** Apply fn to the named iteration; error if absent. */
+PrimFunc
+rewriteIteration(
+    const PrimFunc &func, const std::string &iter_name,
+    const std::function<Stmt(const SparseIterationNode *)> &fn)
+{
+    class Rewriter : public StmtMutator
+    {
+      public:
+        Rewriter(const std::string &name,
+                 const std::function<Stmt(const SparseIterationNode *)> &fn)
+            : name_(name), fn_(fn)
+        {}
+
+        bool found = false;
+
+      protected:
+        Stmt
+        mutateSparseIteration(const SparseIterationNode *op,
+                              const Stmt &s) override
+        {
+            if (op->name != name_) {
+                return s;
+            }
+            found = true;
+            return fn_(op);
+        }
+
+      private:
+        const std::string &name_;
+        const std::function<Stmt(const SparseIterationNode *)> &fn_;
+    };
+
+    Rewriter rewriter(iter_name, fn);
+    PrimFunc result = copyFunc(func);
+    result->body = rewriter.mutateStmt(func->body);
+    USER_CHECK(rewriter.found)
+        << "no sparse iteration named '" << iter_name << "' in function '"
+        << func->name << "'";
+    return result;
+}
+
+} // namespace
+
+PrimFunc
+sparseReorder(const PrimFunc &func, const std::string &iter_name,
+              const std::vector<std::string> &axis_order)
+{
+    return rewriteIteration(func, iter_name, [&](const SparseIterationNode
+                                                     *op) -> Stmt {
+        USER_CHECK(op->fuseGroups ==
+                   std::vector<int>(op->axes.size(), 1))
+            << "sparse_reorder must be applied before sparse_fuse";
+        USER_CHECK(axis_order.size() == op->axes.size())
+            << "sparse_reorder needs a permutation of all "
+            << op->axes.size() << " axes";
+        std::vector<size_t> perm;
+        perm.reserve(axis_order.size());
+        for (const auto &name : axis_order) {
+            bool matched = false;
+            for (size_t i = 0; i < op->axes.size(); ++i) {
+                if (op->axes[i]->name == name) {
+                    USER_CHECK(std::find(perm.begin(), perm.end(), i) ==
+                               perm.end())
+                        << "axis '" << name << "' listed twice";
+                    perm.push_back(i);
+                    matched = true;
+                    break;
+                }
+            }
+            USER_CHECK(matched) << "axis '" << name
+                                << "' is not part of iteration '"
+                                << op->name << "'";
+        }
+        std::vector<Axis> axes;
+        std::vector<Var> iter_vars;
+        std::vector<IterKind> kinds;
+        for (size_t idx : perm) {
+            axes.push_back(op->axes[idx]);
+            iter_vars.push_back(op->iterVars[idx]);
+            kinds.push_back(op->iterKinds[idx]);
+        }
+        // Dependency validation: each axis's ancestors that take part
+        // in this iteration must appear before it.
+        for (size_t i = 0; i < axes.size(); ++i) {
+            for (Axis p = axes[i]->parent; p != nullptr; p = p->parent) {
+                for (size_t j = i + 1; j < axes.size(); ++j) {
+                    USER_CHECK(axes[j].get() != p.get())
+                        << "reorder would place axis '" << axes[i]->name
+                        << "' before its ancestor '" << p->name << "'";
+                }
+            }
+        }
+        auto node = std::make_shared<SparseIterationNode>(
+            op->name, std::move(axes), std::move(iter_vars),
+            std::move(kinds), op->body);
+        node->init = op->init;
+        return node;
+    });
+}
+
+PrimFunc
+sparseFuse(const PrimFunc &func, const std::string &iter_name,
+           const std::vector<std::string> &axis_names)
+{
+    return rewriteIteration(func, iter_name, [&](const SparseIterationNode
+                                                     *op) -> Stmt {
+        USER_CHECK(axis_names.size() >= 2)
+            << "sparse_fuse needs at least two axes";
+        // Locate the named axes; they must be consecutive.
+        size_t first = op->axes.size();
+        for (size_t i = 0; i < op->axes.size(); ++i) {
+            if (op->axes[i]->name == axis_names[0]) {
+                first = i;
+                break;
+            }
+        }
+        USER_CHECK(first < op->axes.size())
+            << "axis '" << axis_names[0] << "' not found in iteration '"
+            << op->name << "'";
+        USER_CHECK(first + axis_names.size() <= op->axes.size())
+            << "fused axes run past the end of the iteration";
+        for (size_t k = 0; k < axis_names.size(); ++k) {
+            USER_CHECK(op->axes[first + k]->name == axis_names[k])
+                << "fused axes must be consecutive; expected '"
+                << axis_names[k] << "' at position " << (first + k)
+                << " but found '" << op->axes[first + k]->name << "'";
+            if (k > 0) {
+                USER_CHECK(op->axes[first + k]->parent ==
+                           op->axes[first + k - 1])
+                    << "fused axes must form a parent chain ('"
+                    << op->axes[first + k]->name
+                    << "' does not depend on '"
+                    << op->axes[first + k - 1]->name << "')";
+            }
+        }
+        auto node = std::make_shared<SparseIterationNode>(
+            op->name, op->axes, op->iterVars, op->iterKinds, op->body);
+        node->init = op->init;
+        // Rebuild fuse groups: collapse [first, first+n) into one.
+        std::vector<int> groups;
+        size_t pos = 0;
+        size_t group_index = 0;
+        std::vector<int> old_groups = op->fuseGroups;
+        while (pos < op->axes.size()) {
+            int width = old_groups[group_index++];
+            if (pos == first) {
+                USER_CHECK(width == 1)
+                    << "axes already fused cannot be fused again";
+                int merged = 0;
+                while (merged <
+                       static_cast<int>(axis_names.size())) {
+                    USER_CHECK(old_groups[group_index - 1] == 1)
+                        << "axes already fused cannot be fused again";
+                    merged += 1;
+                    if (merged < static_cast<int>(axis_names.size())) {
+                        ++group_index;
+                    }
+                }
+                groups.push_back(static_cast<int>(axis_names.size()));
+                pos += axis_names.size();
+            } else {
+                groups.push_back(width);
+                pos += width;
+            }
+        }
+        node->fuseGroups = std::move(groups);
+        return node;
+    });
+}
+
+} // namespace transform
+} // namespace sparsetir

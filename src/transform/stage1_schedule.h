@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Stage I schedule primitives (paper §3.2.2): sparse_reorder and
+ * sparse_fuse. Both are composable transformations on sparse
+ * iterations that change the loop structure the lowering pass emits.
+ */
+
+#ifndef SPARSETIR_TRANSFORM_STAGE1_SCHEDULE_H_
+#define SPARSETIR_TRANSFORM_STAGE1_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace transform {
+
+/**
+ * Reorder the axes of the sparse iteration `iter_name` to the order
+ * given by axis names. Validates that every axis still appears after
+ * all of its ancestors (dependency order) and that no fusion has been
+ * applied yet. Returns a new function.
+ */
+ir::PrimFunc sparseReorder(const ir::PrimFunc &func,
+                           const std::string &iter_name,
+                           const std::vector<std::string> &axis_order);
+
+/**
+ * Fuse the named consecutive axes of sparse iteration `iter_name`
+ * into a single emitted loop over their joint non-zero space (paper
+ * Figure 6, SDDMM). The fused axes must form a parent chain.
+ */
+ir::PrimFunc sparseFuse(const ir::PrimFunc &func,
+                        const std::string &iter_name,
+                        const std::vector<std::string> &axis_names);
+
+} // namespace transform
+} // namespace sparsetir
+
+#endif // SPARSETIR_TRANSFORM_STAGE1_SCHEDULE_H_

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Backend tests: CUDA source emission goldens, horizontal fusion
+ * semantics, interpreter edge cases and the autotuner contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "autotune/search.h"
+#include "codegen/cuda_codegen.h"
+#include "core/ops.h"
+#include "core/pipeline.h"
+#include "graph/generator.h"
+#include "support/rng.h"
+#include "transform/horizontal_fusion.h"
+#include "transform/lower_sparse_buffer.h"
+#include "transform/lower_sparse_iter.h"
+
+namespace sparsetir {
+namespace {
+
+using core::BindingSet;
+using runtime::NDArray;
+
+TEST(Codegen, SpmmKernelShape)
+{
+    format::Csr a;
+    a.rows = 2;
+    a.cols = 2;
+    a.indptr = {0, 1, 2};
+    a.indices = {0, 1};
+    a.values = {1.0f, 2.0f};
+    auto shared = std::make_shared<BindingSet>();
+    auto kernel = core::compileSpmmCsr(a, 8, shared);
+    std::string cuda = codegen::emitCuda(kernel->func());
+    // Signature and GPU mapping.
+    EXPECT_NE(cuda.find("__global__ void spmm("), std::string::npos)
+        << cuda;
+    EXPECT_NE(cuda.find("= blockIdx.x;"), std::string::npos) << cuda;
+    EXPECT_NE(cuda.find("= threadIdx.x;"), std::string::npos) << cuda;
+    // Register accumulator from cache_write.
+    EXPECT_NE(cuda.find("float C_local[1];"), std::string::npos)
+        << cuda;
+    // Flattened CSR access through indptr.
+    EXPECT_NE(cuda.find("J_indptr["), std::string::npos) << cuda;
+}
+
+TEST(Codegen, TensorizeAnnotationSurfaces)
+{
+    format::Csr a;
+    a.rows = 4;
+    a.cols = 4;
+    a.indptr = {0, 1, 1, 1, 2};
+    a.indices = {0, 3};
+    a.values = {1.0f, 1.0f};
+    format::Bsr bsr = format::bsrFromCsr(a, 2);
+    auto shared = std::make_shared<BindingSet>();
+    auto kernel = core::compileBsrSpmm(bsr, 8, shared, true);
+    std::string cuda = codegen::emitCuda(kernel->func());
+    EXPECT_NE(cuda.find("wmma::mma_sync m16n16k16"),
+              std::string::npos)
+        << cuda;
+}
+
+TEST(HorizontalFusion, MergesGridsAndPreservesResults)
+{
+    // Two single-block kernels writing disjoint halves of C.
+    using namespace ir;
+    Buffer c = denseBuffer("C", {intImm(8)});
+    auto make_kernel = [&](int64_t base, const std::string &name) {
+        Var blk = var("blk_" + name);
+        Var i = var("i_" + name);
+        Stmt store = bufferStore(
+            c, {add(intImm(base), i)},
+            cast(c->dtype, add(i, intImm(base * 10))));
+        Stmt body = forLoop(i, intImm(0), intImm(4), store);
+        PrimFunc f = primFunc(name);
+        f->stage = IrStage::kStage3;
+        f->params = {c->data};
+        f->bufferMap = {{c->data, c}};
+        f->body = forLoop(blk, intImm(0), intImm(1), body,
+                          ForKind::kThreadBinding, "blockIdx.x");
+        return f;
+    };
+    PrimFunc a = make_kernel(0, "ka");
+    PrimFunc b = make_kernel(4, "kb");
+    PrimFunc fused = transform::horizontalFuse({a, b}, "fused");
+
+    NDArray storage({8}, DataType::float32());
+    runtime::Bindings bindings;
+    bindings.arrays = {{"C_data", &storage}};
+    runtime::run(fused, bindings);
+    for (int64_t i = 0; i < 4; ++i) {
+        EXPECT_FLOAT_EQ(storage.floatAt(i), static_cast<float>(i));
+        EXPECT_FLOAT_EQ(storage.floatAt(4 + i),
+                        static_cast<float>(40 + i));
+    }
+}
+
+TEST(Interpreter, MissingBindingFailsOnlyWhenTouched)
+{
+    format::Csr a;
+    a.rows = 2;
+    a.cols = 2;
+    a.indptr = {0, 1, 2};
+    a.indices = {0, 1};
+    a.values = {1.0f, 2.0f};
+    auto shared = std::make_shared<BindingSet>();
+    auto kernel = core::compileSpmmCsr(a, 4, shared);
+    // B/C not bound: execution must fail with a clear error.
+    EXPECT_THROW(kernel->execute(), InternalError);
+}
+
+TEST(Interpreter, ZeroExtentLoopsAndEmptyMatrix)
+{
+    format::Csr a;
+    a.rows = 3;
+    a.cols = 3;
+    a.indptr = {0, 0, 0, 0};  // all rows empty
+    auto shared = std::make_shared<BindingSet>();
+    auto kernel = core::compileSpmmCsr(a, 4, shared);
+    NDArray b({3 * 4}, ir::DataType::float32());
+    NDArray c({3 * 4}, ir::DataType::float32());
+    shared->external("B_data", &b);
+    shared->external("C_data", &c);
+    EXPECT_NO_THROW(kernel->execute());
+    for (int64_t i = 0; i < c.numel(); ++i) {
+        EXPECT_FLOAT_EQ(c.floatAt(i), 0.0f);
+    }
+}
+
+TEST(Autotune, ReturnsBestOfTried)
+{
+    format::Csr g = graph::powerLawGraph(800, 12000, 1.7, 17);
+    gpusim::Device device(gpusim::GpuSpec::v100());
+    autotune::HybTuneResult result =
+        autotune::tuneSpmmHyb(g, 32, device, {1, 2, 4});
+    ASSERT_EQ(result.tried.size(), 3u);
+    for (const auto &cand : result.tried) {
+        EXPECT_GE(cand.timeMs, result.best.timeMs);
+    }
+}
+
+TEST(Autotune, SddmmSearchImprovesOrMatchesDefault)
+{
+    format::Csr g = graph::powerLawGraph(600, 9000, 1.8, 19);
+    gpusim::Device device(gpusim::GpuSpec::v100());
+    // Default schedule cost.
+    auto shared = std::make_shared<BindingSet>();
+    NDArray x({g.rows * 32}, ir::DataType::float32());
+    NDArray y({32 * g.cols}, ir::DataType::float32());
+    NDArray out({g.nnz()}, ir::DataType::float32());
+    shared->external("X_data", &x);
+    shared->external("Y_data", &y);
+    shared->external("B_data", &out);
+    auto kernel = core::compileSddmm(g, 32, shared);
+    double default_ms =
+        device.launch(kernel->simKernel()).timeMs;
+    autotune::SddmmCandidate best =
+        autotune::tuneSddmm(g, 32, device);
+    EXPECT_LE(best.timeMs, default_ms * 1.05);
+}
+
+} // namespace
+} // namespace sparsetir

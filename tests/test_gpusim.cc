@@ -1,0 +1,235 @@
+/**
+ * @file
+ * GPU simulator tests: LRU cache behaviour against hand-traced
+ * sequences, scheduler work conservation, launch-overhead accounting
+ * and mechanism-level monotonicity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/models.h"
+#include "gpusim/cache.h"
+#include "gpusim/simulator.h"
+#include "gpusim/spec.h"
+#include "graph/generator.h"
+
+namespace sparsetir {
+namespace gpusim {
+namespace {
+
+TEST(CacheModel, LruEviction)
+{
+    // 2 sets x 2 ways x 64B lines = 256 bytes.
+    CacheModel cache(256, 64, 2);
+    // Lines 0, 2, 4 map to set 0; ways = 2.
+    EXPECT_FALSE(cache.accessLine(0));
+    EXPECT_FALSE(cache.accessLine(2));
+    EXPECT_TRUE(cache.accessLine(0));   // hit, now MRU
+    EXPECT_FALSE(cache.accessLine(4));  // evicts 2 (LRU)
+    EXPECT_TRUE(cache.accessLine(0));
+    EXPECT_FALSE(cache.accessLine(2));  // was evicted
+    EXPECT_EQ(cache.hits(), 2);
+    EXPECT_EQ(cache.misses(), 4);
+}
+
+TEST(CacheModel, FlushForgetsEverything)
+{
+    CacheModel cache(1024, 64, 4);
+    cache.accessLine(1);
+    cache.accessLine(2);
+    EXPECT_TRUE(cache.accessLine(1));
+    cache.flush();
+    EXPECT_FALSE(cache.accessLine(1));
+}
+
+TEST(CacheModel, ByteToLineMapping)
+{
+    CacheModel cache(1024, 64, 4);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(63));   // same line
+    EXPECT_FALSE(cache.access(64));  // next line
+}
+
+/** Kernel with uniform per-block work. */
+class UniformKernel : public Kernel
+{
+  public:
+    UniformKernel(int64_t blocks, double flops)
+        : blocks_(blocks), flops_(flops)
+    {}
+
+    std::string name() const override { return "uniform"; }
+    int64_t numBlocks() const override { return blocks_; }
+
+    void
+    blockWork(int64_t, BlockWork *work) const override
+    {
+        work->flops = flops_;
+    }
+
+  private:
+    int64_t blocks_;
+    double flops_;
+};
+
+/** Kernel with one giant block and many tiny ones (imbalance). */
+class SkewedKernel : public Kernel
+{
+  public:
+    explicit SkewedKernel(int64_t blocks) : blocks_(blocks) {}
+
+    std::string name() const override { return "skewed"; }
+    int64_t numBlocks() const override { return blocks_; }
+
+    void
+    blockWork(int64_t block_id, BlockWork *work) const override
+    {
+        work->flops = block_id == 0 ? 1e7 : 1e3;
+    }
+
+  private:
+    int64_t blocks_;
+};
+
+TEST(Simulator, MoreWorkTakesLonger)
+{
+    Device device(GpuSpec::v100());
+    UniformKernel small(80, 1e4);
+    UniformKernel large(80, 1e6);
+    double t_small = device.launch(small).timeMs;
+    double t_large = device.launch(large).timeMs;
+    EXPECT_GT(t_large, t_small);
+}
+
+TEST(Simulator, LoadImbalanceDetected)
+{
+    Device device(GpuSpec::v100());
+    UniformKernel uniform(160, 1e6);
+    SkewedKernel skewed(160);
+    KernelStats u = device.launch(uniform);
+    KernelStats s = device.launch(skewed);
+    EXPECT_LT(u.imbalance, 1.2);
+    EXPECT_GT(s.imbalance, 5.0);
+}
+
+TEST(Simulator, FusedLaunchSavesOverhead)
+{
+    Device device(GpuSpec::v100());
+    UniformKernel k1(8, 1e3);
+    UniformKernel k2(8, 1e3);
+    double separate =
+        device.launch(k1).timeMs + device.launch(k2).timeMs;
+    double fused = device.launchFused({&k1, &k2}).timeMs;
+    EXPECT_LT(fused, separate);
+    // The saving is about one launch overhead.
+    EXPECT_NEAR(separate - fused,
+                GpuSpec::v100().launchOverheadUs * 1e-3,
+                GpuSpec::v100().launchOverheadUs * 1e-3 * 0.5);
+}
+
+TEST(Simulator, TensorCoreFlopsFaster)
+{
+    Device device(GpuSpec::v100());
+    class TcKernel : public Kernel
+    {
+      public:
+        explicit TcKernel(bool tc) : tc_(tc) {}
+        std::string name() const override { return "tc"; }
+        int64_t numBlocks() const override { return 80; }
+        void
+        blockWork(int64_t, BlockWork *work) const override
+        {
+            if (tc_) {
+                work->tensorFlops = 1e7;
+            } else {
+                work->flops = 1e7;
+            }
+        }
+
+      private:
+        bool tc_;
+    };
+    TcKernel cuda_cores(false);
+    TcKernel tensor_cores(true);
+    EXPECT_GT(device.launch(cuda_cores).timeMs,
+              device.launch(tensor_cores).timeMs);
+}
+
+TEST(Simulator, DramTrafficBoundsTime)
+{
+    Device device(GpuSpec::v100());
+    class StreamKernel : public Kernel
+    {
+      public:
+        std::string name() const override { return "stream"; }
+        int64_t numBlocks() const override { return 80; }
+        void
+        blockWork(int64_t b, BlockWork *work) const override
+        {
+            // 1 MB per block, streaming (no reuse).
+            MemAccess access;
+            access.addr = static_cast<uint64_t>(b) << 24;
+            access.bytes = 1 << 20;
+            work->accesses.push_back(access);
+        }
+    } kernel;
+    KernelStats stats = device.launch(kernel);
+    // 80 MB at 900 GB/s ~= 0.089 ms; allow overheads.
+    double ideal = 80.0 * (1 << 20) / (900.0 * 1e9) * 1e3;
+    EXPECT_GT(stats.timeMs, ideal * 0.9);
+    EXPECT_LT(stats.timeMs, ideal * 3.0);
+    EXPECT_EQ(stats.dramBytes, 80ll << 20);
+}
+
+TEST(Simulator, CacheReuseReducesDram)
+{
+    Device device(GpuSpec::v100());
+    class ReuseKernel : public Kernel
+    {
+      public:
+        explicit ReuseKernel(bool reuse) : reuse_(reuse) {}
+        std::string name() const override { return "reuse"; }
+        int64_t numBlocks() const override { return 80; }
+        void
+        blockWork(int64_t b, BlockWork *work) const override
+        {
+            MemAccess access;
+            // With reuse every block touches the same 256 KB; without,
+            // disjoint ranges.
+            access.addr = reuse_ ? 0
+                                 : static_cast<uint64_t>(b) << 20;
+            access.bytes = 256 << 10;
+            work->accesses.push_back(access);
+        }
+
+      private:
+        bool reuse_;
+    };
+    ReuseKernel shared_data(true);
+    ReuseKernel streaming(false);
+    KernelStats s1 = device.launch(shared_data);
+    KernelStats s2 = device.launch(streaming);
+    EXPECT_LT(s1.dramBytes, s2.dramBytes);
+    EXPECT_GT(s1.l2HitRate, s2.l2HitRate);
+}
+
+TEST(BaselineModels, RowSplitBalanceVsSorting)
+{
+    // A power-law matrix: sorting rows by length (Sputnik swizzle)
+    // must reduce simulated imbalance versus unsorted row split.
+    format::Csr g = graph::powerLawGraph(4000, 60000, 1.6, 5);
+    Device device(GpuSpec::v100());
+    baselines::RowSplitParams plain;
+    plain.rowsPerBlock = 32;
+    baselines::RowSplitParams sorted = plain;
+    sorted.sortRows = true;
+    baselines::RowSplitSpmmKernel k_plain("plain", g, 32, plain);
+    baselines::RowSplitSpmmKernel k_sorted("sorted", g, 32, sorted);
+    KernelStats s_plain = device.launch(k_plain);
+    KernelStats s_sorted = device.launch(k_sorted);
+    EXPECT_LT(s_sorted.imbalance, s_plain.imbalance * 1.001);
+}
+
+} // namespace
+} // namespace gpusim
+} // namespace sparsetir

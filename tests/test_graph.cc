@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Synthetic dataset generator tests: target sizes hit, distribution
+ * families distinguishable, masks/kernel maps structurally correct.
+ */
+
+#include <gtest/gtest.h>
+
+#include "format/bsr.h"
+#include "format/dcsr.h"
+#include "graph/attention_masks.h"
+#include "graph/datasets.h"
+#include "graph/generator.h"
+#include "graph/hetero.h"
+#include "graph/point_cloud.h"
+#include "graph/pruned_weights.h"
+
+namespace sparsetir {
+namespace graph {
+namespace {
+
+TEST(Generator, HitsTargetEdgeCount)
+{
+    for (auto family : {0, 1}) {
+        format::Csr g = family == 0
+                            ? powerLawGraph(5000, 60000, 1.8, 7)
+                            : concentratedGraph(5000, 60000, 0.3, 7);
+        EXPECT_TRUE(format::csrValid(g));
+        EXPECT_EQ(g.rows, 5000);
+        // Deduplication can drop a few edges; stay within 2%.
+        EXPECT_NEAR(static_cast<double>(g.nnz()), 60000.0,
+                    60000.0 * 0.02);
+    }
+}
+
+TEST(Generator, PowerLawIsHeavierTailed)
+{
+    format::Csr pl = powerLawGraph(8000, 120000, 1.6, 11);
+    format::Csr cn = concentratedGraph(8000, 120000, 0.2, 11);
+    DegreeStats s_pl = degreeStats(pl);
+    DegreeStats s_cn = degreeStats(cn);
+    EXPECT_GT(s_pl.gini, s_cn.gini + 0.2);
+    EXPECT_GT(s_pl.maxDegree, s_cn.maxDegree * 4);
+}
+
+TEST(Generator, Deterministic)
+{
+    format::Csr a = powerLawGraph(1000, 8000, 2.0, 13);
+    format::Csr b = powerLawGraph(1000, 8000, 2.0, 13);
+    EXPECT_EQ(a.indptr, b.indptr);
+    EXPECT_EQ(a.indices, b.indices);
+}
+
+TEST(Datasets, AllTable1SpecsGenerate)
+{
+    for (const auto &spec : table1Datasets()) {
+        if (spec.edges > 200000) {
+            continue;  // covered by the benches; keep tests fast
+        }
+        format::Csr g = generateDataset(spec);
+        EXPECT_TRUE(format::csrValid(g)) << spec.name;
+        EXPECT_EQ(g.rows, spec.nodes) << spec.name;
+    }
+}
+
+TEST(Hetero, RelationsPartitionEdges)
+{
+    HeteroSpec spec = heteroSpec("AIFB");
+    format::RelationalCsr g = generateHetero(spec);
+    EXPECT_EQ(g.numRelations(), spec.numEtypes);
+    EXPECT_NEAR(static_cast<double>(g.totalNnz()),
+                static_cast<double>(spec.edges),
+                static_cast<double>(spec.edges) * 0.05);
+    // Zipf popularity: first relation carries the most edges.
+    EXPECT_GE(g.relations.front().nnz(), g.relations.back().nnz());
+}
+
+TEST(AttentionMasks, BandStructure)
+{
+    format::Csr band = bandMask(128, 16);
+    EXPECT_TRUE(format::csrValid(band));
+    // Middle rows have full band width.
+    EXPECT_EQ(band.rowLength(64), 17);  // half*2 + diagonal
+    // Entries stay within the band.
+    for (int32_t p = band.indptr[64]; p < band.indptr[65]; ++p) {
+        EXPECT_LE(std::abs(band.indices[p] - 64), 8);
+    }
+}
+
+TEST(AttentionMasks, ButterflyBlockAligned)
+{
+    format::Csr mask = butterflyMask(256, 32);
+    EXPECT_TRUE(format::csrValid(mask));
+    format::Bsr bsr = format::bsrFromCsr(mask, 32);
+    // Butterfly masks are exactly block-sparse: no partial blocks.
+    EXPECT_NEAR(bsr.paddingRatio(), 0.0, 1e-9);
+    // log2(#blocks) + 1 block neighbours per block row.
+    EXPECT_EQ(bsr.indptr[1] - bsr.indptr[0], 4);  // 8 blocks -> 3+1
+}
+
+TEST(PrunedWeights, DensityAndZeroRows)
+{
+    format::Csr w = blockPrunedWeight(512, 512, 32, 0.05, 0.4, 3);
+    EXPECT_TRUE(format::csrValid(w));
+    double density = static_cast<double>(w.nnz()) / (512.0 * 512.0);
+    EXPECT_NEAR(density, 0.05, 0.02);
+    format::Bsr bsr = format::bsrFromCsr(w, 32);
+    format::Dbsr dbsr = format::dbsrFromBsr(bsr);
+    // At 40% row keep, most block rows are empty.
+    EXPECT_LE(dbsr.numStoredBlockRows(),
+              static_cast<int64_t>(bsr.blockRows * 0.5) + 1);
+}
+
+TEST(PointCloud, KernelMapIsEll1)
+{
+    VoxelScene scene = syntheticLidarScene(3000, 5);
+    EXPECT_GT(scene.voxels.size(), 1000u);
+    format::KernelMap map = buildKernelMap(scene);
+    EXPECT_EQ(map.maps.relations.size(), 27u);
+    EXPECT_TRUE(map.isEll1());
+    // The identity offset relation maps every voxel to itself.
+    const format::Csr &center = map.maps.relations[13];
+    EXPECT_EQ(center.nnz(),
+              static_cast<int64_t>(scene.voxels.size()));
+}
+
+} // namespace
+} // namespace graph
+} // namespace sparsetir

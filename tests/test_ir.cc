@@ -1,0 +1,161 @@
+/**
+ * @file
+ * IR-level unit tests: dtype rendering, expression construction,
+ * simplification, structural equality, interval analysis, printing,
+ * axes and buffer flattening math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/simplify.h"
+#include "ir/structural_equal.h"
+#include "transform/lower_sparse_buffer.h"
+#include "transform/lower_sparse_iter.h"
+
+namespace sparsetir {
+namespace ir {
+namespace {
+
+TEST(DataType, Rendering)
+{
+    EXPECT_EQ(DataType::float32().str(), "float32");
+    EXPECT_EQ(DataType::int64().str(), "int64");
+    EXPECT_EQ(DataType::boolean().str(), "bool");
+    EXPECT_EQ(DataType::float16().withLanes(4).str(), "float16x4");
+    EXPECT_EQ(DataType::handle().str(), "handle");
+    EXPECT_EQ(DataType::float32().bytes(), 4);
+    EXPECT_EQ(DataType::float16().bytes(), 2);
+}
+
+TEST(Expr, SimplifyConstantFolding)
+{
+    Expr e = add(intImm(3), mul(intImm(4), intImm(5)));
+    int64_t v = 0;
+    EXPECT_TRUE(tryConstInt(simplify(e), &v));
+    EXPECT_EQ(v, 23);
+
+    // floordiv semantics on negatives.
+    Expr d = floorDiv(intImm(-7), intImm(2));
+    EXPECT_TRUE(tryConstInt(simplify(d), &v));
+    EXPECT_EQ(v, -4);
+    Expr m = floorMod(intImm(-7), intImm(2));
+    EXPECT_TRUE(tryConstInt(simplify(m), &v));
+    EXPECT_EQ(v, 1);
+}
+
+TEST(Expr, SimplifyIdentities)
+{
+    Var x = var("x");
+    EXPECT_EQ(simplify(add(x, intImm(0))).get(), x.get());
+    EXPECT_EQ(simplify(mul(x, intImm(1))).get(), x.get());
+    EXPECT_TRUE(isConstInt(simplify(mul(x, intImm(0))), 0));
+    EXPECT_TRUE(isConstInt(simplify(sub(x, Expr(x))), 0));
+    // (x + 2) + 3 -> x + 5
+    Expr nested = add(add(x, intImm(2)), intImm(3));
+    std::string text = exprToString(simplify(nested));
+    EXPECT_EQ(text, "(x + 5)");
+}
+
+TEST(Expr, PrinterRoundTripShapes)
+{
+    Var i = var("i");
+    Var j = var("j");
+    Expr e = select(lt(i, j), add(i, intImm(1)), floorDiv(j, intImm(2)));
+    EXPECT_EQ(exprToString(e),
+              "select((i < j), (i + 1), (j // 2))");
+}
+
+TEST(StructuralEqual, AlphaRenaming)
+{
+    // for x in 8: A[x] = x   ==   for y in 8: A[y] = y
+    Buffer a = denseBuffer("A", {intImm(8)});
+    Var x = var("x");
+    Var y = var("y");
+    Stmt s1 = forLoop(x, intImm(0), intImm(8),
+                      bufferStore(a, {Expr(x)}, cast(a->dtype, x)));
+    Stmt s2 = forLoop(y, intImm(0), intImm(8),
+                      bufferStore(a, {Expr(y)}, cast(a->dtype, y)));
+    EXPECT_TRUE(structuralEqual(s1, s2));
+
+    Stmt s3 = forLoop(y, intImm(0), intImm(9),
+                      bufferStore(a, {Expr(y)}, cast(a->dtype, y)));
+    EXPECT_FALSE(structuralEqual(s1, s3));
+}
+
+TEST(Analysis, IntervalBounds)
+{
+    Var i = var("i");
+    Var j = var("j");
+    std::map<const VarNode *, Interval> bounds{
+        {i.get(), Interval::range(0, 7)},
+        {j.get(), Interval::range(0, 3)}};
+    Interval r = boundsOf(add(mul(i, intImm(4)), j), bounds);
+    EXPECT_TRUE(r.hasLo && r.hasHi);
+    EXPECT_EQ(r.lo, 0);
+    EXPECT_EQ(r.hi, 31);
+
+    Interval m = boundsOf(floorMod(i, intImm(4)), bounds);
+    EXPECT_EQ(m.lo, 0);
+    EXPECT_EQ(m.hi, 3);
+
+    Var unknown = var("u");
+    Interval u = boundsOf(add(unknown, intImm(1)), bounds);
+    EXPECT_FALSE(u.hasLo);
+}
+
+TEST(Axis, AncestryAndSlots)
+{
+    Axis i = denseFixed("I", intImm(10));
+    Var indptr = var("ptr", DataType::handle());
+    Var indices = var("idx", DataType::handle());
+    Axis j = sparseVariable("J", i, intImm(20), intImm(55), indptr,
+                            indices);
+    auto chain = ancestors(j);
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0].get(), i.get());
+    EXPECT_EQ(chain[1].get(), j.get());
+
+    int64_t v = 0;
+    EXPECT_TRUE(tryConstInt(simplify(transform::axisSlots(j)), &v));
+    EXPECT_EQ(v, 55);
+    EXPECT_TRUE(tryConstInt(simplify(transform::axisSlots(i)), &v));
+    EXPECT_EQ(v, 10);
+}
+
+TEST(BufferLowering, BsrFlatteningLayout)
+{
+    // BSR axes [IO, JO, II, JI] must flatten to
+    // (indptr[io]+jo)*b^2 + ii*b + ji (paper eqs. 6-8).
+    Var indptr = var("bsr_indptr", DataType::handle());
+    Var indices = var("bsr_indices", DataType::handle());
+    Axis io = denseFixed("IO", intImm(4));
+    Axis jo = sparseVariable("JO", io, intImm(4), intImm(6), indptr,
+                             indices);
+    Axis ii = denseFixed("II", intImm(2));
+    Axis ji = denseFixed("JI", intImm(2));
+    Buffer a = matchSparseBuffer("Ab", {io, jo, ii, ji});
+    int64_t v = 0;
+    EXPECT_TRUE(tryConstInt(transform::sparseBufferSlots(a), &v));
+    EXPECT_EQ(v, 24);  // 6 blocks x 2 x 2
+}
+
+TEST(Builder, SpIterValidation)
+{
+    SparseTirBuilder b("bad");
+    Var m = b.scalarParam("m");
+    Axis i = b.addDenseFixed("I", m);
+    EXPECT_THROW(
+        b.spIter({i}, "SR", "oops",
+                 [](const std::vector<Var> &) -> Stmt {
+                     return seq({});
+                 }),
+        UserError);
+    EXPECT_THROW(parseIterKinds("SX"), UserError);
+}
+
+} // namespace
+} // namespace ir
+} // namespace sparsetir

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Integration tests of the lowering pipeline: Stage I construction,
+ * sparse iteration lowering, sparse buffer lowering and functional
+ * execution, validated against dense references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "runtime/interpreter.h"
+#include "support/rng.h"
+#include "transform/lower_sparse_buffer.h"
+#include "transform/lower_sparse_iter.h"
+#include "transform/stage1_schedule.h"
+
+namespace sparsetir {
+namespace {
+
+using namespace ir;
+using runtime::Bindings;
+using runtime::NDArray;
+
+/** Build the paper's Figure 3 SpMM Stage I program. */
+PrimFunc
+buildSpmm()
+{
+    SparseTirBuilder b("spmm");
+    Var m = b.scalarParam("m");
+    Var n = b.scalarParam("n");
+    Var nnz = b.scalarParam("nnz");
+    Var feat = b.scalarParam("feat_size");
+    Axis i_axis = b.addDenseFixed("I", m);
+    Axis j_axis = b.addSparseVariable("J", i_axis, n, nnz);
+    Axis jd_axis = b.addDenseFixed("J_", n);
+    Axis k_axis = b.addDenseFixed("K", feat);
+    Buffer a = b.addSparseBuffer("A", {i_axis, j_axis});
+    Buffer x = b.addSparseBuffer("B", {jd_axis, k_axis});
+    Buffer c = b.addSparseBuffer("C", {i_axis, k_axis});
+    b.spIter(
+        {i_axis, j_axis, k_axis}, "SRS", "spmm",
+        [&](const std::vector<Var> &v) {
+            Expr update =
+                add(bufferLoad(c, {v[0], v[2]}),
+                    mul(bufferLoad(a, {v[0], v[1]}),
+                        bufferLoad(x, {v[1], v[2]})));
+            return bufferStore(c, {v[0], v[2]}, update);
+        },
+        [&](const std::vector<Var> &v) {
+            return bufferStore(c, {v[0], v[2]}, floatImm(0.0f));
+        });
+    return b.finish();
+}
+
+/** Small CSR fixture: 4x5 matrix with 7 non-zeros. */
+struct CsrFixture
+{
+    std::vector<int32_t> indptr = {0, 2, 3, 3, 7};
+    std::vector<int32_t> indices = {1, 3, 0, 0, 2, 3, 4};
+    std::vector<float> values = {1.f, 2.f, 3.f, 4.f, 5.f, 6.f, 7.f};
+    int m = 4;
+    int n = 5;
+};
+
+TEST(LowerSparseIter, SpmmStructure)
+{
+    PrimFunc func = buildSpmm();
+    EXPECT_EQ(func->stage, IrStage::kStage1);
+
+    PrimFunc stage2 = transform::lowerSparseIterations(func);
+    EXPECT_EQ(stage2->stage, IrStage::kStage2);
+    std::string text = funcToString(stage2);
+    // One loop per axis.
+    EXPECT_NE(text.find("for i in range"), std::string::npos) << text;
+    EXPECT_NE(text.find("for j in range"), std::string::npos) << text;
+    EXPECT_NE(text.find("for k in range"), std::string::npos) << text;
+    // B access translated into coordinate lookup (Figure 9).
+    EXPECT_NE(text.find("B[J_indices["), std::string::npos) << text;
+    // Data-dependent j loop is isolated behind a block.
+    EXPECT_NE(text.find("block(\"spmm_0\")"), std::string::npos) << text;
+    EXPECT_NE(text.find("block(\"spmm\")"), std::string::npos) << text;
+}
+
+TEST(LowerSparseBuffer, SpmmFlattening)
+{
+    PrimFunc stage2 = transform::lowerSparseIterations(buildSpmm());
+    PrimFunc stage3 = transform::lowerSparseBuffers(stage2);
+    EXPECT_EQ(stage3->stage, IrStage::kStage3);
+    std::string text = funcToString(stage3);
+    // A flattened through indptr (Figure 10).
+    EXPECT_NE(text.find("A[(J_indptr[i] + j)]"), std::string::npos)
+        << text;
+    // C flattened to i * feat + k.
+    EXPECT_NE(text.find("C[((i * feat_size) + k)]"), std::string::npos)
+        << text;
+}
+
+TEST(Interpreter, SpmmMatchesDenseReference)
+{
+    CsrFixture fx;
+    int feat = 3;
+    PrimFunc stage3 = transform::lowerSparseBuffers(
+        transform::lowerSparseIterations(buildSpmm()));
+
+    NDArray indptr = NDArray::fromInt32(fx.indptr);
+    NDArray indices = NDArray::fromInt32(fx.indices);
+    NDArray a = NDArray::fromFloat(fx.values);
+    std::vector<float> b_host(fx.n * feat);
+    for (size_t i = 0; i < b_host.size(); ++i) {
+        b_host[i] = 0.5f * static_cast<float>(i) - 2.0f;
+    }
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({static_cast<int64_t>(fx.m * feat)}, DataType::float32());
+
+    Bindings bindings;
+    bindings.scalars = {{"m", fx.m},
+                        {"n", fx.n},
+                        {"nnz", static_cast<int64_t>(fx.values.size())},
+                        {"feat_size", feat}};
+    bindings.arrays = {{"J_indptr", &indptr},
+                       {"J_indices", &indices},
+                       {"A_data", &a},
+                       {"B_data", &b},
+                       {"C_data", &c}};
+    runtime::run(stage3, bindings);
+
+    // Dense reference.
+    for (int i = 0; i < fx.m; ++i) {
+        for (int k = 0; k < feat; ++k) {
+            float expected = 0.0f;
+            for (int p = fx.indptr[i]; p < fx.indptr[i + 1]; ++p) {
+                expected +=
+                    fx.values[p] * b_host[fx.indices[p] * feat + k];
+            }
+            EXPECT_FLOAT_EQ(expected, c.floatAt(i * feat + k))
+                << "mismatch at (" << i << ", " << k << ")";
+        }
+    }
+}
+
+TEST(Interpreter, EmptyRowsLeaveZero)
+{
+    CsrFixture fx;  // row 2 is empty
+    int feat = 2;
+    PrimFunc stage3 = transform::lowerSparseBuffers(
+        transform::lowerSparseIterations(buildSpmm()));
+    NDArray indptr = NDArray::fromInt32(fx.indptr);
+    NDArray indices = NDArray::fromInt32(fx.indices);
+    NDArray a = NDArray::fromFloat(fx.values);
+    NDArray b({static_cast<int64_t>(fx.n * feat)}, DataType::float32());
+    for (int64_t i = 0; i < b.numel(); ++i) {
+        b.setFloat(i, 1.0);
+    }
+    NDArray c({static_cast<int64_t>(fx.m * feat)}, DataType::float32());
+    Bindings bindings;
+    bindings.scalars = {{"m", fx.m},
+                        {"n", fx.n},
+                        {"nnz", 7},
+                        {"feat_size", feat}};
+    bindings.arrays = {{"J_indptr", &indptr},
+                       {"J_indices", &indices},
+                       {"A_data", &a},
+                       {"B_data", &b},
+                       {"C_data", &c}};
+    runtime::run(stage3, bindings);
+    EXPECT_FLOAT_EQ(c.floatAt(2 * feat + 0), 0.0f);
+    EXPECT_FLOAT_EQ(c.floatAt(2 * feat + 1), 0.0f);
+    EXPECT_FLOAT_EQ(c.floatAt(0 * feat + 0), 3.0f);  // 1 + 2
+}
+
+/** SDDMM with fused (I, J) iteration (paper Figures 6/8). */
+PrimFunc
+buildSddmm(bool fuse)
+{
+    SparseTirBuilder b("sddmm");
+    Var m = b.scalarParam("m");
+    Var n = b.scalarParam("n");
+    Var nnz = b.scalarParam("nnz");
+    Var feat = b.scalarParam("feat_size");
+    Axis i_axis = b.addDenseFixed("I", m);
+    Axis j_axis = b.addSparseVariable("J", i_axis, n, nnz);
+    Axis id_axis = b.addDenseFixed("I_", m);
+    Axis jd_axis = b.addDenseFixed("J_", n);
+    Axis k_axis = b.addDenseFixed("K", feat);
+    Buffer a = b.addSparseBuffer("A", {i_axis, j_axis});
+    Buffer x = b.addSparseBuffer("X", {id_axis, k_axis});
+    Buffer y = b.addSparseBuffer("Y", {k_axis, jd_axis});
+    Buffer out = b.addSparseBuffer("B", {i_axis, j_axis});
+    b.spIter(
+        {i_axis, j_axis, k_axis}, "SSR", "sddmm",
+        [&](const std::vector<Var> &v) {
+            Expr update = add(
+                bufferLoad(out, {v[0], v[1]}),
+                mul(mul(bufferLoad(a, {v[0], v[1]}),
+                        bufferLoad(x, {v[0], v[2]})),
+                    bufferLoad(y, {v[2], v[1]})));
+            return bufferStore(out, {v[0], v[1]}, update);
+        },
+        [&](const std::vector<Var> &v) {
+            return bufferStore(out, {v[0], v[1]}, floatImm(0.0f));
+        });
+    PrimFunc func = b.finish();
+    if (fuse) {
+        func = transform::sparseFuse(func, "sddmm", {"I", "J"});
+    }
+    return func;
+}
+
+TEST(LowerSparseIter, SddmmFusedEmitsSingleSpatialLoop)
+{
+    PrimFunc fused = buildSddmm(true);
+    PrimFunc stage2 = transform::lowerSparseIterations(fused);
+    std::string text = funcToString(stage2);
+    // Single fused loop over nnz plus the reduction loop.
+    EXPECT_NE(text.find("for ij in range(nnz)"), std::string::npos)
+        << text;
+    // Row recovered by binary search over indptr.
+    EXPECT_NE(text.find("upper_bound(J_indptr"), std::string::npos)
+        << text;
+}
+
+TEST(Interpreter, SddmmFusedMatchesUnfused)
+{
+    CsrFixture fx;
+    int feat = 4;
+    Rng rng(7);
+
+    auto run_variant = [&](bool fuse) {
+        PrimFunc stage3 = transform::lowerSparseBuffers(
+            transform::lowerSparseIterations(buildSddmm(fuse)));
+        NDArray indptr = NDArray::fromInt32(fx.indptr);
+        NDArray indices = NDArray::fromInt32(fx.indices);
+        NDArray a = NDArray::fromFloat(fx.values);
+        std::vector<float> x_host(fx.m * feat);
+        std::vector<float> y_host(feat * fx.n);
+        Rng local(11);
+        for (auto &v : x_host) {
+            v = static_cast<float>(local.uniformReal());
+        }
+        for (auto &v : y_host) {
+            v = static_cast<float>(local.uniformReal());
+        }
+        NDArray x = NDArray::fromFloat(x_host);
+        NDArray y = NDArray::fromFloat(y_host);
+        NDArray out({static_cast<int64_t>(fx.values.size())},
+                    DataType::float32());
+        Bindings bindings;
+        bindings.scalars = {{"m", fx.m},
+                            {"n", fx.n},
+                            {"nnz", 7},
+                            {"feat_size", feat}};
+        bindings.arrays = {{"J_indptr", &indptr},
+                           {"J_indices", &indices},
+                           {"A_data", &a},
+                           {"X_data", &x},
+                           {"Y_data", &y},
+                           {"B_data", &out}};
+        runtime::run(stage3, bindings);
+        std::vector<float> result;
+        for (int64_t i = 0; i < out.numel(); ++i) {
+            result.push_back(static_cast<float>(out.floatAt(i)));
+        }
+        return result;
+    };
+
+    auto unfused = run_variant(false);
+    auto fused = run_variant(true);
+    ASSERT_EQ(unfused.size(), fused.size());
+    for (size_t i = 0; i < unfused.size(); ++i) {
+        EXPECT_NEAR(unfused[i], fused[i], 1e-5) << "position " << i;
+    }
+    // Spot check against manual SDDMM value at nnz 0: (0, 1).
+    // Computed within run_variant's fixed data; just assert non-zero.
+    EXPECT_NE(fused[0], 0.0f);
+}
+
+} // namespace
+} // namespace sparsetir
