@@ -9,7 +9,7 @@ using core::BindingSet;
 
 HybTuneResult
 tuneSpmmHyb(const format::Csr &a, int64_t feat, gpusim::Device &device,
-            const std::vector<int> &partitions)
+            engine::Engine &session, const std::vector<int> &partitions)
 {
     HybTuneResult result;
     gpusim::SimOptions opts;
@@ -18,18 +18,19 @@ tuneSpmmHyb(const format::Csr &a, int64_t feat, gpusim::Device &device,
     runtime::NDArray c({a.rows * feat}, ir::DataType::float32());
     bool first = true;
     for (int partition : partitions) {
-        auto shared = std::make_shared<BindingSet>();
-        shared->external("B_data", &b);
-        shared->external("C_data", &c);
-        core::HybSpmm compiled =
-            core::compileSpmmHyb(a, feat, partition, -1, shared);
+        engine::HybConfig config;
+        config.partitions = partition;
+        engine::PreparedSpmmHyb prepared =
+            session.prepareSpmmHyb(a, feat, config);
+        prepared.bindings->external("B_data", &b);
+        prepared.bindings->external("C_data", &c);
         std::vector<const gpusim::Kernel *> kernels;
-        for (auto &kernel : compiled.kernels) {
+        for (auto &kernel : prepared.kernels) {
             kernels.push_back(&kernel->simKernel());
         }
         HybCandidate candidate;
         candidate.c = partition;
-        candidate.k = compiled.hyb.maxWidthLog2;
+        candidate.k = prepared.bucketCapLog2;
         candidate.timeMs = device.launchFused(kernels, opts).timeMs;
         result.tried.push_back(candidate);
         if (first || candidate.timeMs < result.best.timeMs) {
@@ -38,6 +39,19 @@ tuneSpmmHyb(const format::Csr &a, int64_t feat, gpusim::Device &device,
         }
     }
     return result;
+}
+
+HybTuneResult
+tuneSpmmHyb(const format::Csr &a, int64_t feat, gpusim::Device &device,
+            const std::vector<int> &partitions)
+{
+    engine::EngineOptions options;
+    // The simulator is the cost oracle here: no host execution, so
+    // keep the transient session's pool minimal and inert.
+    options.numThreads = 1;
+    options.parallel = false;
+    engine::Engine session(options);
+    return tuneSpmmHyb(a, feat, device, session, partitions);
 }
 
 SddmmCandidate

@@ -23,15 +23,24 @@ using runtime::NDArray;
 NDArray *
 BindingSet::own(const std::string &param, NDArray arr)
 {
+    USER_CHECK(bindings_.arrays.find(param) == bindings_.arrays.end())
+        << "parameter '" << param
+        << "' is already bound in this BindingSet; owning it again "
+           "would silently shadow the live binding";
     storage_.push_back(std::move(arr));
     NDArray *ptr = &storage_.back();
     bindings_.arrays[param] = ptr;
+    owned_.insert(param);
     return ptr;
 }
 
 void
 BindingSet::external(const std::string &param, NDArray *arr)
 {
+    USER_CHECK(owned_.find(param) == owned_.end())
+        << "parameter '" << param
+        << "' is bound to owned storage in this BindingSet; an "
+           "external binding would silently shadow it";
     bindings_.arrays[param] = arr;
 }
 
@@ -100,10 +109,8 @@ clampThreadX(int64_t feat, int want)
 // CSR SpMM
 // ---------------------------------------------------------------------
 
-std::shared_ptr<BoundKernel>
-compileSpmmCsr(const Csr &a, int64_t feat,
-               const std::shared_ptr<BindingSet> &shared,
-               const SpmmSchedule &params)
+PrimFunc
+compileSpmmCsrFunc(int64_t feat, const SpmmSchedule &params)
 {
     PrimFunc stage2 = lowerToStage2(buildSpmm());
     schedule::Schedule sch(stage2);
@@ -117,7 +124,15 @@ compileSpmmCsr(const Csr &a, int64_t feat,
     sch.bind(i, "blockIdx.x");
     sch.bind(k_i, "threadIdx.x");
     sch.cacheWrite("spmm", "C");
-    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+    return transform::lowerSparseBuffers(sch.func());
+}
+
+std::shared_ptr<BoundKernel>
+compileSpmmCsr(const Csr &a, int64_t feat,
+               const std::shared_ptr<BindingSet> &shared,
+               const SpmmSchedule &params)
+{
+    PrimFunc stage3 = compileSpmmCsrFunc(feat, params);
 
     shared->scalar("m", a.rows);
     shared->scalar("n", a.cols);
@@ -133,25 +148,12 @@ compileSpmmCsr(const Csr &a, int64_t feat,
 // hyb(c, k) SpMM through format decomposition
 // ---------------------------------------------------------------------
 
-HybSpmm
-compileSpmmHyb(const Csr &a, int64_t feat, int c, int k,
-               const std::shared_ptr<BindingSet> &shared, int threadX)
+std::vector<HybKernelPlan>
+compileSpmmHybFuncs(const format::Hyb &hyb, int64_t feat, int threadX)
 {
-    HybSpmm result;
-    result.bindings = shared;
-    result.hyb = format::hybFromCsr(a, c, k);
-    const format::Hyb &hyb = result.hyb;
-
     // One ELL rewrite rule per non-empty (partition, bucket).
     std::vector<transform::FormatRewriteRule> rules;
-    struct BucketRef
-    {
-        int partition;
-        int bucket;
-        const format::Ell *ell;
-        std::string suffix;
-    };
-    std::vector<BucketRef> refs;
+    std::vector<HybKernelPlan> plans;
     for (int p = 0; p < hyb.numPartitions; ++p) {
         for (size_t b = 0; b < hyb.buckets[p].size(); ++b) {
             const format::Ell &ell = hyb.buckets[p][b];
@@ -160,9 +162,15 @@ compileSpmmHyb(const Csr &a, int64_t feat, int c, int k,
             }
             std::string suffix =
                 "p" + std::to_string(p) + "b" + std::to_string(b);
-            rules.push_back(ellRule(suffix, a.rows, a.cols,
+            rules.push_back(ellRule(suffix, hyb.rows, hyb.cols,
                                     ell.numRows(), ell.width));
-            refs.push_back({p, static_cast<int>(b), &ell, suffix});
+            HybKernelPlan plan;
+            plan.suffix = suffix;
+            plan.partition = p;
+            plan.bucket = static_cast<int>(b);
+            plan.numRows = ell.numRows();
+            plan.width = ell.width;
+            plans.push_back(std::move(plan));
         }
     }
     USER_CHECK(!rules.empty()) << "matrix has no non-zeros";
@@ -172,6 +180,50 @@ compileSpmmHyb(const Csr &a, int64_t feat, int c, int k,
         transform::decomposeFormat(stage1, rules);
     auto [pre, compute] = transform::splitPreprocess(
         decomposed.func, decomposed.copyIterNames);
+    (void)pre;  // bucket data is prepared by the format library
+
+    // Per-bucket kernels: lower + GE-SpMM-style schedule.
+    std::vector<PrimFunc> pieces = splitIterations(compute);
+    ICHECK_EQ(pieces.size(), plans.size());
+    int tx = clampThreadX(feat, threadX);
+    for (size_t idx = 0; idx < pieces.size(); ++idx) {
+        HybKernelPlan &plan = plans[idx];
+        const std::string block_name = "spmm_ell_" + plan.suffix;
+        PrimFunc stage2 = lowerToStage2(pieces[idx]);
+        schedule::Schedule sch(stage2);
+        auto loops = sch.getLoops(block_name);  // o, i, j, k
+        std::string fused = sch.fuse(loops[0], loops[1]);
+        // Bucket b groups 2^(k - b) rows so each block covers ~2^k
+        // non-zeros (compile-time load balancing, §4.2.1).
+        int rows_per_block = std::max<int64_t>(
+            1,
+            (1 << hyb.maxWidthLog2) / std::max(plan.width, 1));
+        rows_per_block = static_cast<int>(
+            std::min<int64_t>(rows_per_block, plan.numRows));
+        auto [f_o, f_i] = sch.split(fused, rows_per_block);
+        auto [k_o, k_i] = sch.split(loops[3], tx);
+        sch.reorder({k_o, k_i, loops[2]});
+        sch.bind(f_o, "blockIdx.x");
+        sch.bind(f_i, "threadIdx.y");
+        sch.bind(k_i, "threadIdx.x");
+        // Buckets contribute partial sums to a zero-initialized C.
+        sch.cacheWrite(block_name, "C", /*accumulate=*/true);
+        plan.func = transform::lowerSparseBuffers(sch.func());
+    }
+    return plans;
+}
+
+HybSpmm
+compileSpmmHyb(const Csr &a, int64_t feat, int c, int k,
+               const std::shared_ptr<BindingSet> &shared, int threadX)
+{
+    HybSpmm result;
+    result.bindings = shared;
+    result.hyb = format::hybFromCsr(a, c, k);
+    const format::Hyb &hyb = result.hyb;
+
+    std::vector<HybKernelPlan> plans =
+        compileSpmmHybFuncs(hyb, feat, threadX);
 
     // Shared scalars and the original CSR arrays (the copy kernels
     // reference them; compute kernels only touch bucket data).
@@ -186,45 +238,20 @@ compileSpmmHyb(const Csr &a, int64_t feat, int c, int k,
     // Bucket structure + values, prepared by the format library (the
     // pre-processing path; equivalent to running the generated copy
     // iterations once).
-    for (const BucketRef &ref : refs) {
-        const format::Ell &ell = *ref.ell;
-        shared->own("I" + ref.suffix + "_indices",
+    for (const HybKernelPlan &plan : plans) {
+        const format::Ell &ell =
+            hyb.buckets[plan.partition][plan.bucket];
+        shared->own(ellRowIndicesParam(plan.suffix),
                     NDArray::fromInt32(ell.rowIndices));
-        shared->own("J" + ref.suffix + "_indices",
+        shared->own(ellColIndicesParam(plan.suffix),
                     NDArray::fromInt32(ell.colIndices));
-        shared->own("A_ell_" + ref.suffix + "_data",
+        shared->own(hybValuesParam(plan.suffix),
                     NDArray::fromFloat(ell.values));
     }
 
-    // Per-bucket kernels: lower + GE-SpMM-style schedule.
-    std::vector<PrimFunc> pieces = splitIterations(compute);
-    ICHECK_EQ(pieces.size(), refs.size());
-    int tx = clampThreadX(feat, threadX);
-    for (size_t idx = 0; idx < pieces.size(); ++idx) {
-        const BucketRef &ref = refs[idx];
-        const std::string block_name = "spmm_ell_" + ref.suffix;
-        PrimFunc stage2 = lowerToStage2(pieces[idx]);
-        schedule::Schedule sch(stage2);
-        auto loops = sch.getLoops(block_name);  // o, i, j, k
-        std::string fused = sch.fuse(loops[0], loops[1]);
-        // Bucket b groups 2^(k - b) rows so each block covers ~2^k
-        // non-zeros (compile-time load balancing, §4.2.1).
-        int width = ref.ell->width;
-        int rows_per_block = std::max<int64_t>(
-            1, (1 << hyb.maxWidthLog2) / std::max(width, 1));
-        rows_per_block = static_cast<int>(std::min<int64_t>(
-            rows_per_block, ref.ell->numRows()));
-        auto [f_o, f_i] = sch.split(fused, rows_per_block);
-        auto [k_o, k_i] = sch.split(loops[3], tx);
-        sch.reorder({k_o, k_i, loops[2]});
-        sch.bind(f_o, "blockIdx.x");
-        sch.bind(f_i, "threadIdx.y");
-        sch.bind(k_i, "threadIdx.x");
-        // Buckets contribute partial sums to a zero-initialized C.
-        sch.cacheWrite(block_name, "C", /*accumulate=*/true);
-        PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+    for (const HybKernelPlan &plan : plans) {
         result.kernels.push_back(
-            std::make_shared<BoundKernel>(stage3, shared));
+            std::make_shared<BoundKernel>(plan.func, shared));
     }
     return result;
 }
@@ -233,10 +260,8 @@ compileSpmmHyb(const Csr &a, int64_t feat, int c, int k,
 // SDDMM
 // ---------------------------------------------------------------------
 
-std::shared_ptr<BoundKernel>
-compileSddmm(const Csr &a, int64_t feat,
-             const std::shared_ptr<BindingSet> &shared,
-             const SddmmSchedule &params)
+PrimFunc
+compileSddmmFunc(int64_t feat, const SddmmSchedule &params)
 {
     PrimFunc stage2 = lowerToStage2(buildSddmm(/*fuse_ij=*/true));
     schedule::Schedule sch(stage2);
@@ -251,7 +276,15 @@ compileSddmm(const Csr &a, int64_t feat,
     sch.bind(ij_o, "blockIdx.x");
     sch.bind(ij_i, "threadIdx.y");
     sch.bind(k_i, "threadIdx.x");
-    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+    return transform::lowerSparseBuffers(sch.func());
+}
+
+std::shared_ptr<BoundKernel>
+compileSddmm(const Csr &a, int64_t feat,
+             const std::shared_ptr<BindingSet> &shared,
+             const SddmmSchedule &params)
+{
+    PrimFunc stage3 = compileSddmmFunc(feat, params);
 
     shared->scalar("m", a.rows);
     shared->scalar("n", a.cols);
@@ -328,21 +361,19 @@ compileSrbcrsSpmm(const format::SrBcrs &a, int64_t feat,
 // ELL RGMS (fused gather-matmul-scatter)
 // ---------------------------------------------------------------------
 
-std::shared_ptr<BoundKernel>
-compileEllRgms(const format::Ell &bucket, int64_t feat_in,
-               int64_t feat_out,
-               const std::shared_ptr<BindingSet> &shared,
-               const std::string &suffix, bool tensor_cores,
-               int rows_per_block)
+PrimFunc
+compileEllRgmsFunc(int64_t num_rows, int width, int64_t feat_in,
+                   int64_t feat_out, const std::string &suffix,
+                   bool tensor_cores, int rows_per_block)
 {
     const std::string block_name = "rgms_" + suffix;
-    PrimFunc stage2 = lowerToStage2(buildEllRgms(
-        bucket.numRows(), bucket.width, feat_in, feat_out, suffix));
+    PrimFunc stage2 = lowerToStage2(
+        buildEllRgms(num_rows, width, feat_in, feat_out, suffix));
     schedule::Schedule sch(stage2);
     auto loops = sch.getLoops(block_name);  // o, i, j, k, l
     std::string fused = sch.fuse(loops[0], loops[1]);
-    int rpb = static_cast<int>(std::min<int64_t>(
-        std::max(rows_per_block, 1), bucket.numRows()));
+    int rpb = static_cast<int>(
+        std::min<int64_t>(std::max(rows_per_block, 1), num_rows));
     auto [f_o, f_i] = sch.split(fused, rpb);
     int tx = clampThreadX(feat_out, 32);
     auto [l_o, l_i] = sch.split(loops[4], tx);
@@ -356,15 +387,28 @@ compileEllRgms(const format::Ell &bucket, int64_t feat_in,
     if (tensor_cores) {
         sch.tensorize(block_name, "m16n16k16");
     }
-    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+    return transform::lowerSparseBuffers(sch.func());
+}
+
+std::shared_ptr<BoundKernel>
+compileEllRgms(const format::Ell &bucket, int64_t feat_in,
+               int64_t feat_out,
+               const std::shared_ptr<BindingSet> &shared,
+               const std::string &suffix, bool tensor_cores,
+               int rows_per_block)
+{
+    PrimFunc stage3 =
+        compileEllRgmsFunc(bucket.numRows(), bucket.width, feat_in,
+                           feat_out, suffix, tensor_cores,
+                           rows_per_block);
 
     shared->scalar("feat_in", feat_in);
     shared->scalar("feat_out", feat_out);
-    shared->own("I" + suffix + "_indices",
+    shared->own(ellRowIndicesParam(suffix),
                 NDArray::fromInt32(bucket.rowIndices));
-    shared->own("J" + suffix + "_indices",
+    shared->own(ellColIndicesParam(suffix),
                 NDArray::fromInt32(bucket.colIndices));
-    shared->own("A" + suffix + "_data",
+    shared->own(rgmsValuesParam(suffix),
                 NDArray::fromFloat(bucket.values));
     return std::make_shared<BoundKernel>(stage3, shared);
 }

@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,9 +34,19 @@ namespace core {
 class BindingSet
 {
   public:
-    /** Own an array under a parameter name; returns a stable pointer. */
+    /**
+     * Own an array under a parameter name; returns a stable pointer.
+     * Throws UserError if the name is already bound (owned or
+     * external): silently shadowing a live binding would leak the old
+     * storage's purpose and almost always indicates a suffix clash
+     * between kernels sharing the set.
+     */
     runtime::NDArray *own(const std::string &param, runtime::NDArray arr);
-    /** Bind an external array (caller keeps ownership). */
+    /**
+     * Bind an external array (caller keeps ownership). Re-pointing an
+     * existing external binding is allowed (swapping I/O buffers
+     * between runs); shadowing owned storage throws UserError.
+     */
     void external(const std::string &param, runtime::NDArray *arr);
     /** Bind a scalar. */
     void scalar(const std::string &param, int64_t value);
@@ -46,6 +57,7 @@ class BindingSet
   private:
     runtime::Bindings bindings_;
     std::deque<runtime::NDArray> storage_;
+    std::set<std::string> owned_;
 };
 
 /** A Stage III function bound to data: executable and simulatable. */
@@ -90,6 +102,84 @@ struct SddmmSchedule
     /** Reduction lanes (rfactor width). */
     int groupSize = 32;
 };
+
+// ---------------------------------------------------------------------
+// Compile-only entry points (no data binding)
+//
+// These produce Stage III kernel IR as a pure function of operator
+// kind, format structure constants and schedule parameters — the unit
+// the engine's compile cache memoizes. The compile-and-bind helpers
+// below are implemented on top of them.
+// ---------------------------------------------------------------------
+
+/** Stage III CSR SpMM kernel (structure-independent). */
+ir::PrimFunc compileSpmmCsrFunc(int64_t feat,
+                                const SpmmSchedule &params);
+
+/** One scheduled hyb bucket kernel plus its identifying structure. */
+struct HybKernelPlan
+{
+    /** "p{partition}b{bucket}" — names the bucket's bound arrays. */
+    std::string suffix;
+    int partition = 0;
+    int bucket = 0;
+    int64_t numRows = 0;
+    int width = 0;
+    ir::PrimFunc func;
+};
+
+/**
+ * Stage III kernels for every non-empty (partition, bucket) of a hyb
+ * decomposition, scheduled GE-SpMM style. Depends only on the bucket
+ * shape of `hyb` (row counts and widths), not its values.
+ */
+std::vector<HybKernelPlan> compileSpmmHybFuncs(const format::Hyb &hyb,
+                                               int64_t feat,
+                                               int threadX = 32);
+
+/**
+ * Parameter names the suffix-derived kernels bind. Everything that
+ * binds data to these kernels (the compile-and-bind helpers below,
+ * the engine's dispatchers) must derive names here so a rename in
+ * the lowering cannot silently strand a binder on stale strings.
+ */
+inline std::string
+ellRowIndicesParam(const std::string &suffix)
+{
+    return "I" + suffix + "_indices";
+}
+inline std::string
+ellColIndicesParam(const std::string &suffix)
+{
+    return "J" + suffix + "_indices";
+}
+/** Value array of a hyb SpMM bucket kernel. */
+inline std::string
+hybValuesParam(const std::string &suffix)
+{
+    return "A_ell_" + suffix + "_data";
+}
+/** Value array of an ELL RGMS kernel. */
+inline std::string
+rgmsValuesParam(const std::string &suffix)
+{
+    return "A" + suffix + "_data";
+}
+
+/** Stage III fused SDDMM kernel (structure-independent). */
+ir::PrimFunc compileSddmmFunc(int64_t feat,
+                              const SddmmSchedule &params);
+
+/** Stage III ELL RGMS kernel for one (relation, bucket) pair. */
+ir::PrimFunc compileEllRgmsFunc(int64_t num_rows, int width,
+                                int64_t feat_in, int64_t feat_out,
+                                const std::string &suffix,
+                                bool tensor_cores,
+                                int rows_per_block = 4);
+
+// ---------------------------------------------------------------------
+// Compile-and-bind helpers
+// ---------------------------------------------------------------------
 
 /** CSR SpMM (SparseTIR no-hyb): C = A @ B. */
 std::shared_ptr<BoundKernel> compileSpmmCsr(

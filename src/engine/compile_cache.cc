@@ -1,0 +1,107 @@
+#include "engine/compile_cache.h"
+
+#include <chrono>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace engine {
+
+CompileCache::CompileCache(size_t capacity) : capacity_(capacity)
+{
+    USER_CHECK(capacity > 0) << "compile cache capacity must be >= 1";
+}
+
+void
+CompileCache::touch(const CacheKey &key, Entry &entry)
+{
+    lru_.erase(entry.lruPos);
+    lru_.push_front(key);
+    entry.lruPos = lru_.begin();
+}
+
+std::shared_ptr<Artifact>
+CompileCache::getOrBuild(
+    const CacheKey &key,
+    const std::function<std::shared_ptr<Artifact>()> &builder,
+    bool *was_hit)
+{
+    if (was_hit != nullptr) {
+        *was_hit = false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            touch(key, it->second);
+            if (was_hit != nullptr) {
+                *was_hit = true;
+            }
+            return it->second.value;
+        }
+        ++stats_.misses;
+    }
+
+    // Build outside the lock: compilation dominates lookup cost and
+    // must not block hits on other keys.
+    auto start = std::chrono::steady_clock::now();
+    std::shared_ptr<Artifact> built = builder();
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ICHECK(built != nullptr) << "cache builder returned null artifact";
+
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.compileMs += elapsed_ms;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Lost a build race; keep the incumbent so every caller that
+        // already holds a reference agrees on one artifact.
+        touch(key, it->second);
+        return it->second.value;
+    }
+    while (entries_.size() >= capacity_) {
+        const CacheKey &victim = lru_.back();
+        entries_.erase(victim);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(key);
+    entries_[key] = Entry{built, lru_.begin()};
+    return built;
+}
+
+std::shared_ptr<Artifact>
+CompileCache::peek(const CacheKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second.value;
+}
+
+CacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    lru_.clear();
+}
+
+} // namespace engine
+} // namespace sparsetir

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Memoization of compiled kernel artifacts.
+ *
+ * The cache maps a request fingerprint (see fingerprint.h) to the
+ * artifact produced by the full Stage I -> III pipeline, so repeated
+ * requests against the same sparsity structure skip decomposition,
+ * lowering and scheduling entirely and go straight to value binding
+ * and execution.
+ *
+ * Thread safety: all public methods may be called concurrently. A
+ * builder for a missing key runs outside the lock (compiles can take
+ * milliseconds and must not serialize unrelated lookups); if two
+ * threads race to build the same key, both compile and the first
+ * insertion wins — wasted work, never wrong results. Artifacts are
+ * immutable after construction and shared by reference.
+ */
+
+#ifndef SPARSETIR_ENGINE_COMPILE_CACHE_H_
+#define SPARSETIR_ENGINE_COMPILE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/fingerprint.h"
+
+namespace sparsetir {
+namespace engine {
+
+/** Base of all cached compile results (immutable after build). */
+class Artifact
+{
+  public:
+    virtual ~Artifact() = default;
+};
+
+/** Monotonic cache counters (snapshot via CompileCache::stats). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /** Total wall time spent in miss-path builders. */
+    double compileMs = 0.0;
+};
+
+/** Thread-safe LRU cache of compiled artifacts. */
+class CompileCache
+{
+  public:
+    explicit CompileCache(size_t capacity = 64);
+
+    /**
+     * Return the artifact for `key`, invoking `builder` on a miss.
+     * The builder's wall time is accounted in stats().compileMs.
+     * When `was_hit` is non-null it is set to whether this call was
+     * served from cache (a lost build race still reports a miss: the
+     * caller paid for a compile).
+     */
+    std::shared_ptr<Artifact>
+    getOrBuild(const CacheKey &key,
+               const std::function<std::shared_ptr<Artifact>()> &builder,
+               bool *was_hit = nullptr);
+
+    /** Lookup without building; null on miss. Does not touch stats. */
+    std::shared_ptr<Artifact> peek(const CacheKey &key) const;
+
+    CacheStats stats() const;
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<Artifact> value;
+        std::list<CacheKey>::iterator lruPos;
+    };
+
+    /** Callers must hold mu_. Moves `key` to the LRU front. */
+    void touch(const CacheKey &key, Entry &entry);
+
+    mutable std::mutex mu_;
+    size_t capacity_;
+    /** Front = most recently used. */
+    std::list<CacheKey> lru_;
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+    CacheStats stats_;
+};
+
+} // namespace engine
+} // namespace sparsetir
+
+#endif // SPARSETIR_ENGINE_COMPILE_CACHE_H_

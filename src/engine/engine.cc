@@ -1,0 +1,569 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "format/hyb.h"
+#include "model/rgcn.h"
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace engine {
+
+using core::BindingSet;
+using format::Csr;
+using runtime::NDArray;
+
+namespace {
+
+double
+msSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * True when a bucket stores several ELL rows for one original row
+ * (long rows split by the hyb cap): its kernel then writes one output
+ * element more than once and must run serially at its list position
+ * to stay bitwise equal to serial execution (see executor.h).
+ */
+bool
+hasDuplicateRows(const std::vector<int32_t> &row_indices)
+{
+    std::unordered_set<int32_t> seen;
+    seen.reserve(row_indices.size());
+    for (int32_t r : row_indices) {
+        if (!seen.insert(r).second) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Re-bind stored values through a provenance map (padding -> 0). */
+std::vector<float>
+gatherValues(const std::vector<int32_t> &source_pos,
+             const std::vector<float> &values)
+{
+    std::vector<float> out(source_pos.size(), 0.0f);
+    for (size_t i = 0; i < source_pos.size(); ++i) {
+        int32_t p = source_pos[i];
+        if (p >= 0) {
+            ICHECK_LT(static_cast<size_t>(p), values.size())
+                << "provenance map does not match the request's "
+                   "values array; compile-cache key mismatch";
+            out[i] = values[p];
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------
+
+struct SpmmCsrArtifact : Artifact
+{
+    ir::PrimFunc func;
+    NDArray indptr;
+    NDArray indices;
+    /** Cached write-set analysis (see ParallelExecutor). */
+    std::vector<std::string> accum;
+};
+
+struct SddmmArtifact : Artifact
+{
+    ir::PrimFunc func;
+    NDArray indptr;
+    NDArray indices;
+    /** Cached write-set analysis (see ParallelExecutor). */
+    std::vector<std::string> accum;
+};
+
+/** One non-empty (partition, bucket) of a cached hyb decomposition. */
+struct HybBucketData
+{
+    std::string suffix;
+    ir::PrimFunc func;
+    NDArray rowIndices;
+    NDArray colIndices;
+    /** Slot -> position in the source CSR values (-1: padding). */
+    std::vector<int32_t> gather;
+    /** Kernel writes some output element twice (split rows). */
+    bool exclusive = false;
+};
+
+struct SpmmHybArtifact : Artifact
+{
+    int bucketCapLog2 = 0;
+    NDArray indptr;
+    NDArray indices;
+    std::vector<HybBucketData> buckets;
+    /** Per-bucket cached write-set analysis, parallel to buckets. */
+    std::vector<std::vector<std::string>> accums;
+};
+
+/** One (relation, bucket) RGMS kernel of a cached RGCN layer. */
+struct RgcnUnit
+{
+    int relation = 0;
+    std::string suffix;
+    ir::PrimFunc func;
+    NDArray rowIndices;
+    NDArray colIndices;
+    std::vector<int32_t> gather;
+    /** Kernel writes some output element twice (split rows). */
+    bool exclusive = false;
+};
+
+struct RgcnArtifact : Artifact
+{
+    std::vector<RgcnUnit> units;
+    /** Per-unit cached write-set analysis, parallel to units. */
+    std::vector<std::vector<std::string>> accums;
+};
+
+// ---------------------------------------------------------------------
+// Builders (miss path)
+// ---------------------------------------------------------------------
+
+std::shared_ptr<Artifact>
+buildSpmmCsrArtifact(const Csr &a, int64_t feat,
+                     const core::SpmmSchedule &schedule)
+{
+    auto artifact = std::make_shared<SpmmCsrArtifact>();
+    artifact->func = core::compileSpmmCsrFunc(feat, schedule);
+    artifact->indptr = NDArray::fromInt32(a.indptr);
+    artifact->indices = NDArray::fromInt32(a.indices);
+    artifact->accum =
+        ParallelExecutor::accumulatedParams(artifact->func);
+    return artifact;
+}
+
+std::shared_ptr<Artifact>
+buildSddmmArtifact(const Csr &a, int64_t feat,
+                   const core::SddmmSchedule &schedule)
+{
+    auto artifact = std::make_shared<SddmmArtifact>();
+    artifact->func = core::compileSddmmFunc(feat, schedule);
+    artifact->indptr = NDArray::fromInt32(a.indptr);
+    artifact->indices = NDArray::fromInt32(a.indices);
+    artifact->accum =
+        ParallelExecutor::accumulatedParams(artifact->func);
+    return artifact;
+}
+
+std::shared_ptr<Artifact>
+buildSpmmHybArtifact(const Csr &a, int64_t feat,
+                     const HybConfig &config)
+{
+    format::Hyb hyb =
+        format::hybFromCsr(a, config.partitions, config.bucketCapLog2);
+    std::vector<core::HybKernelPlan> plans =
+        core::compileSpmmHybFuncs(hyb, feat, config.threadX);
+
+    auto artifact = std::make_shared<SpmmHybArtifact>();
+    artifact->bucketCapLog2 = hyb.maxWidthLog2;
+    artifact->indptr = NDArray::fromInt32(a.indptr);
+    artifact->indices = NDArray::fromInt32(a.indices);
+    artifact->buckets.reserve(plans.size());
+    for (const core::HybKernelPlan &plan : plans) {
+        const format::Ell &ell =
+            hyb.buckets[plan.partition][plan.bucket];
+        HybBucketData bucket;
+        bucket.suffix = plan.suffix;
+        bucket.func = plan.func;
+        bucket.rowIndices = NDArray::fromInt32(ell.rowIndices);
+        bucket.colIndices = NDArray::fromInt32(ell.colIndices);
+        bucket.gather = ell.sourcePos;
+        bucket.exclusive = hasDuplicateRows(ell.rowIndices);
+        artifact->accums.push_back(
+            ParallelExecutor::accumulatedParams(bucket.func));
+        artifact->buckets.push_back(std::move(bucket));
+    }
+    return artifact;
+}
+
+std::shared_ptr<Artifact>
+buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat,
+                  const RgcnConfig &config)
+{
+    auto artifact = std::make_shared<RgcnArtifact>();
+    for (int64_t r = 0; r < graph.numRelations(); ++r) {
+        const Csr &rel = graph.relations[r];
+        if (rel.nnz() == 0) {
+            continue;
+        }
+        format::Hyb hyb = format::hybFromCsr(
+            rel, 1, model::rgcnBucketCap(rel, config.bucketCapLog2));
+        for (size_t b = 0; b < hyb.buckets[0].size(); ++b) {
+            const format::Ell &bucket = hyb.buckets[0][b];
+            if (bucket.numRows() == 0) {
+                continue;
+            }
+            RgcnUnit unit;
+            unit.relation = static_cast<int>(r);
+            unit.suffix =
+                "r" + std::to_string(r) + "b" + std::to_string(b);
+            int rows_per_block = model::rgcnRowsPerBlock(bucket.width);
+            unit.func = core::compileEllRgmsFunc(
+                bucket.numRows(), bucket.width, feat, feat,
+                unit.suffix, config.tensorCores, rows_per_block);
+            unit.rowIndices = NDArray::fromInt32(bucket.rowIndices);
+            unit.colIndices = NDArray::fromInt32(bucket.colIndices);
+            unit.gather = bucket.sourcePos;
+            unit.exclusive = hasDuplicateRows(bucket.rowIndices);
+            artifact->accums.push_back(
+                ParallelExecutor::accumulatedParams(unit.func));
+            artifact->units.push_back(std::move(unit));
+        }
+    }
+    USER_CHECK(!artifact->units.empty())
+        << "relational graph has no non-zeros";
+    return artifact;
+}
+
+// ---------------------------------------------------------------------
+// Cache keys
+// ---------------------------------------------------------------------
+
+CacheKey
+spmmCsrKey(const Csr &a, int64_t feat,
+           const core::SpmmSchedule &schedule)
+{
+    CacheKey key;
+    key.op = OpKind::kSpmmCsr;
+    key.structure = structureHash(a);
+    key.schedule = Fingerprint()
+                       .i64(schedule.threadX)
+                       .i64(schedule.rowsPerBlock)
+                       .digest();
+    key.feat = feat;
+    key.rows = a.rows;
+    key.nnz = a.nnz();
+    return key;
+}
+
+CacheKey
+spmmHybKey(const Csr &a, int64_t feat, const HybConfig &config)
+{
+    CacheKey key;
+    key.op = OpKind::kSpmmHyb;
+    key.structure = structureHash(a);
+    key.schedule = Fingerprint()
+                       .i64(config.partitions)
+                       .i64(config.bucketCapLog2)
+                       .i64(config.threadX)
+                       .digest();
+    key.feat = feat;
+    key.rows = a.rows;
+    key.nnz = a.nnz();
+    return key;
+}
+
+CacheKey
+sddmmKey(const Csr &a, int64_t feat,
+         const core::SddmmSchedule &schedule)
+{
+    CacheKey key;
+    key.op = OpKind::kSddmm;
+    key.structure = structureHash(a);
+    key.schedule = Fingerprint()
+                       .i64(schedule.workloadsPerBlock)
+                       .i64(schedule.groupSize)
+                       .digest();
+    key.feat = feat;
+    key.rows = a.rows;
+    key.nnz = a.nnz();
+    return key;
+}
+
+CacheKey
+rgcnKey(const format::RelationalCsr &graph, int64_t feat,
+        const RgcnConfig &config)
+{
+    CacheKey key;
+    key.op = OpKind::kRgcnHyb;
+    key.structure = structureHash(graph);
+    key.schedule = Fingerprint()
+                       .i64(config.bucketCapLog2)
+                       .i64(config.tensorCores ? 1 : 0)
+                       .digest();
+    key.feat = feat;
+    key.rows = graph.rows;
+    key.nnz = graph.totalNnz();
+    return key;
+}
+
+/**
+ * Bindings for a hyb SpMM request over a cached artifact. The bucket
+ * compute kernels only read the gathered A_ell_* arrays (the copy
+ * iterations were split off and replaced by the format library), so
+ * the host dispatch path skips the original CSR arrays entirely —
+ * the interpreter resolves bindings lazily. The simulator path
+ * (`for_simulation`) must bind every parameter, as gpusim rejects
+ * unbound handles.
+ */
+std::shared_ptr<BindingSet>
+bindSpmmHyb(SpmmHybArtifact &artifact, const Csr &a, int64_t feat,
+            bool for_simulation)
+{
+    auto shared = std::make_shared<BindingSet>();
+    shared->scalar("m", a.rows);
+    shared->scalar("n", a.cols);
+    shared->scalar("nnz", a.nnz());
+    shared->scalar("feat_size", feat);
+    if (for_simulation) {
+        shared->external("J_indptr", &artifact.indptr);
+        shared->external("J_indices", &artifact.indices);
+        shared->own("A_data", NDArray::fromFloat(a.values));
+    }
+    for (HybBucketData &bucket : artifact.buckets) {
+        shared->external(core::ellRowIndicesParam(bucket.suffix),
+                         &bucket.rowIndices);
+        shared->external(core::ellColIndicesParam(bucket.suffix),
+                         &bucket.colIndices);
+        shared->own(core::hybValuesParam(bucket.suffix),
+                    NDArray::fromFloat(
+                        gatherValues(bucket.gather, a.values)));
+    }
+    return shared;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      pool_(std::make_shared<ThreadPool>(options.numThreads)),
+      executor_(pool_), cache_(options.cacheCapacity)
+{}
+
+ExecOptions
+Engine::execOptions() const
+{
+    ExecOptions exec;
+    exec.parallel = options_.parallel;
+    exec.minBlocksPerChunk = options_.minBlocksPerChunk;
+    return exec;
+}
+
+std::shared_ptr<Artifact>
+Engine::resolve(const CacheKey &key,
+                const std::function<std::shared_ptr<Artifact>()> &builder,
+                DispatchInfo *info)
+{
+    auto start = std::chrono::steady_clock::now();
+    bool hit = false;
+    std::shared_ptr<Artifact> artifact =
+        cache_.getOrBuild(key, builder, &hit);
+    info->cacheHit = hit;
+    info->compileMs = msSince(start);
+    return artifact;
+}
+
+void
+Engine::finishDispatch(const DispatchInfo &info)
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    if (info.cacheHit) {
+        ++stats_.cacheHits;
+    } else {
+        ++stats_.cacheMisses;
+    }
+    stats_.totalCompileMs += info.compileMs;
+    stats_.totalExecMs += info.execMs;
+}
+
+EngineStats
+Engine::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+}
+
+DispatchInfo
+Engine::spmmCsr(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
+                const core::SpmmSchedule &schedule)
+{
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<SpmmCsrArtifact>(
+        resolve(spmmCsrKey(a, feat, schedule),
+                [&] { return buildSpmmCsrArtifact(a, feat, schedule); },
+                &info));
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet bindings;
+    bindings.scalar("m", a.rows);
+    bindings.scalar("n", a.cols);
+    bindings.scalar("nnz", a.nnz());
+    bindings.scalar("feat_size", feat);
+    bindings.external("J_indptr", &artifact->indptr);
+    bindings.external("J_indices", &artifact->indices);
+    bindings.own("A_data", NDArray::fromFloat(a.values));
+    bindings.external("B_data", b);
+    bindings.external("C_data", c);
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernel(artifact->func, bindings.view(), execOptions(),
+                        &artifact->accum);
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = 1;
+    finishDispatch(info);
+    return info;
+}
+
+DispatchInfo
+Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
+                const HybConfig &config)
+{
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
+        resolve(spmmHybKey(a, feat, config),
+                [&] { return buildSpmmHybArtifact(a, feat, config); },
+                &info));
+
+    auto bind_start = std::chrono::steady_clock::now();
+    // Bucket kernels accumulate partial sums; the dispatch owns the
+    // overwrite contract (C = A @ B), so clear the output here.
+    c->zero();
+    auto shared =
+        bindSpmmHyb(*artifact, a, feat, /*for_simulation=*/false);
+    shared->external("B_data", b);
+    shared->external("C_data", c);
+    std::vector<ir::PrimFunc> funcs;
+    std::vector<uint8_t> exclusive;
+    funcs.reserve(artifact->buckets.size());
+    exclusive.reserve(artifact->buckets.size());
+    for (const HybBucketData &bucket : artifact->buckets) {
+        funcs.push_back(bucket.func);
+        exclusive.push_back(bucket.exclusive ? 1 : 0);
+    }
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernels(funcs, shared->view(), execOptions(),
+                         exclusive, &artifact->accums);
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = static_cast<int>(funcs.size());
+    finishDispatch(info);
+    return info;
+}
+
+DispatchInfo
+Engine::sddmm(const Csr &a, int64_t feat, NDArray *x, NDArray *y,
+              NDArray *out, const core::SddmmSchedule &schedule)
+{
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<SddmmArtifact>(
+        resolve(sddmmKey(a, feat, schedule),
+                [&] { return buildSddmmArtifact(a, feat, schedule); },
+                &info));
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet bindings;
+    bindings.scalar("m", a.rows);
+    bindings.scalar("n", a.cols);
+    bindings.scalar("nnz", a.nnz());
+    bindings.scalar("feat_size", feat);
+    bindings.external("J_indptr", &artifact->indptr);
+    bindings.external("J_indices", &artifact->indices);
+    bindings.own("A_data", NDArray::fromFloat(a.values));
+    bindings.external("X_data", x);
+    bindings.external("Y_data", y);
+    bindings.external("B_data", out);
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernel(artifact->func, bindings.view(), execOptions(),
+                        &artifact->accum);
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = 1;
+    finishDispatch(info);
+    return info;
+}
+
+DispatchInfo
+Engine::rgcn(const format::RelationalCsr &graph, int64_t feat,
+             NDArray *x, NDArray *w, NDArray *y,
+             const RgcnConfig &config)
+{
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<RgcnArtifact>(
+        resolve(rgcnKey(graph, feat, config),
+                [&] { return buildRgcnArtifact(graph, feat, config); },
+                &info));
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet bindings;
+    bindings.scalar("m", graph.rows);
+    bindings.scalar("n", graph.cols);
+    bindings.scalar("feat_in", feat);
+    bindings.scalar("feat_out", feat);
+    bindings.external("X_data", x);
+    bindings.external("W_data", w);
+    bindings.external("Y_data", y);
+    std::vector<ir::PrimFunc> funcs;
+    std::vector<uint8_t> exclusive;
+    funcs.reserve(artifact->units.size());
+    exclusive.reserve(artifact->units.size());
+    for (RgcnUnit &unit : artifact->units) {
+        bindings.external(core::ellRowIndicesParam(unit.suffix),
+                          &unit.rowIndices);
+        bindings.external(core::ellColIndicesParam(unit.suffix),
+                          &unit.colIndices);
+        bindings.own(core::rgmsValuesParam(unit.suffix),
+                     NDArray::fromFloat(gatherValues(
+                         unit.gather,
+                         graph.relations[unit.relation].values)));
+        funcs.push_back(unit.func);
+        exclusive.push_back(unit.exclusive ? 1 : 0);
+    }
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernels(funcs, bindings.view(), execOptions(),
+                         exclusive, &artifact->accums);
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = static_cast<int>(funcs.size());
+    finishDispatch(info);
+    return info;
+}
+
+PreparedSpmmHyb
+Engine::prepareSpmmHyb(const Csr &a, int64_t feat,
+                       const HybConfig &config)
+{
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
+        resolve(spmmHybKey(a, feat, config),
+                [&] { return buildSpmmHybArtifact(a, feat, config); },
+                &info));
+    finishDispatch(info);
+
+    PreparedSpmmHyb prepared;
+    prepared.cacheHit = info.cacheHit;
+    prepared.bucketCapLog2 = artifact->bucketCapLog2;
+    prepared.artifact = artifact;
+    prepared.bindings =
+        bindSpmmHyb(*artifact, a, feat, /*for_simulation=*/true);
+    for (const HybBucketData &bucket : artifact->buckets) {
+        prepared.kernels.push_back(std::make_shared<core::BoundKernel>(
+            bucket.func, prepared.bindings));
+    }
+    return prepared;
+}
+
+} // namespace engine
+} // namespace sparsetir

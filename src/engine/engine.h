@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Engine: the serving entry point of the SparseTIR runtime.
+ *
+ * A session owns a CompileCache, a ThreadPool and a ParallelExecutor
+ * and exposes one-call operator dispatch (spmmCsr / spmmHyb / sddmm /
+ * rgcn). Each dispatch fingerprints the request (operator, sparsity
+ * structure, schedule parameters, feature dim), reuses the compiled
+ * kernel artifact on a hit — skipping Stage I -> III lowering and
+ * re-bucketing entirely — binds the request's values (via the
+ * formats' provenance maps) and executes with deterministic
+ * parallelism (see executor.h).
+ *
+ * Thread-safety contract: an Engine may be shared by any number of
+ * request threads. Artifacts are immutable after construction; every
+ * dispatch builds a private BindingSet; cache and stats are
+ * internally locked. The executor only ever parallelizes work whose
+ * shared writes it has privatized, so concurrent dispatches never
+ * race even when they read the same cached structure arrays.
+ */
+
+#ifndef SPARSETIR_ENGINE_ENGINE_H_
+#define SPARSETIR_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "engine/compile_cache.h"
+#include "engine/executor.h"
+#include "engine/fingerprint.h"
+#include "engine/thread_pool.h"
+#include "format/csr.h"
+#include "format/relational.h"
+
+namespace sparsetir {
+namespace engine {
+
+/** Session construction parameters. */
+struct EngineOptions
+{
+    /** Worker threads; 0 picks the hardware concurrency. */
+    int numThreads = 0;
+    /** Compile-cache entries kept (LRU beyond this). */
+    size_t cacheCapacity = 64;
+    /** Master switch for parallel execution. */
+    bool parallel = true;
+    /** Grid-splitting granularity floor (see ExecOptions). */
+    int64_t minBlocksPerChunk = 8;
+};
+
+/** Outcome of one dispatch. */
+struct DispatchInfo
+{
+    bool cacheHit = false;
+    /** Time spent resolving the artifact (compile on miss). */
+    double compileMs = 0.0;
+    /** Time spent gathering and binding the request's values. */
+    double bindMs = 0.0;
+    /** Time spent executing kernels on the interpreter. */
+    double kernelMs = 0.0;
+    /** bindMs + kernelMs. */
+    double execMs = 0.0;
+    int numKernels = 0;
+
+    /** The serving-path overhead the compile cache eliminates. */
+    double dispatchOverheadMs() const { return compileMs + bindMs; }
+};
+
+/** Session-cumulative counters. */
+struct EngineStats
+{
+    uint64_t requests = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    double totalCompileMs = 0.0;
+    double totalExecMs = 0.0;
+};
+
+/** Format/schedule selection for hyb SpMM dispatch. */
+struct HybConfig
+{
+    /** Column partitions (paper's c). */
+    int partitions = 1;
+    /** Bucket cap log2 (paper's k); -1 = per-structure heuristic. */
+    int bucketCapLog2 = -1;
+    int threadX = 32;
+};
+
+/** Format/schedule selection for RGCN dispatch. */
+struct RgcnConfig
+{
+    int bucketCapLog2 = 5;
+    bool tensorCores = false;
+};
+
+/**
+ * A compiled-and-bound hyb SpMM ready for execution or simulation.
+ * `bindings` holds structure and value arrays; callers bind "B_data"
+ * and "C_data" externally before executing or building sim kernels.
+ */
+struct PreparedSpmmHyb
+{
+    std::vector<std::shared_ptr<core::BoundKernel>> kernels;
+    std::shared_ptr<core::BindingSet> bindings;
+    /** Resolved bucket cap (k) of the cached decomposition. */
+    int bucketCapLog2 = 0;
+    bool cacheHit = false;
+    /**
+     * Keeps the cached artifact (whose structure arrays `bindings`
+     * references) alive past LRU eviction.
+     */
+    std::shared_ptr<Artifact> artifact;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions options = EngineOptions());
+
+    /** C = A @ B over the single-format CSR kernel. */
+    DispatchInfo spmmCsr(const format::Csr &a, int64_t feat,
+                         runtime::NDArray *b, runtime::NDArray *c,
+                         const core::SpmmSchedule &schedule =
+                             core::SpmmSchedule());
+
+    /**
+     * C = A @ B through the composable hyb(c, k) decomposition. The
+     * bucket kernels accumulate partial sums, so C is zeroed by the
+     * dispatch before execution (overwrite semantics, like spmmCsr).
+     */
+    DispatchInfo spmmHyb(const format::Csr &a, int64_t feat,
+                         runtime::NDArray *b, runtime::NDArray *c,
+                         const HybConfig &config = HybConfig());
+
+    /** out = A ⊙ (X @ Y) with the fused two-stage reduction. */
+    DispatchInfo sddmm(const format::Csr &a, int64_t feat,
+                       runtime::NDArray *x, runtime::NDArray *y,
+                       runtime::NDArray *out,
+                       const core::SddmmSchedule &schedule =
+                           core::SddmmSchedule());
+
+    /**
+     * Fused RGCN layer: Y += scatter(A_r @ X @ W) over every
+     * relation's hyb buckets, one kernel per (relation, bucket), all
+     * dispatched concurrently. W is the feat x feat weight shared
+     * across relations (as in model/rgcn). Accumulation semantics:
+     * zero-initialize Y for a pure layer output.
+     */
+    DispatchInfo rgcn(const format::RelationalCsr &graph, int64_t feat,
+                      runtime::NDArray *x, runtime::NDArray *w,
+                      runtime::NDArray *y,
+                      const RgcnConfig &config = RgcnConfig());
+
+    /**
+     * Resolve (compile or fetch) a hyb SpMM and return bound kernels
+     * for external execution or simulation — the autotuner's path.
+     */
+    PreparedSpmmHyb prepareSpmmHyb(const format::Csr &a, int64_t feat,
+                                   const HybConfig &config = HybConfig());
+
+    EngineStats stats() const;
+    CacheStats cacheStats() const { return cache_.stats(); }
+    const std::shared_ptr<ThreadPool> &pool() const { return pool_; }
+    int numThreads() const { return pool_->size(); }
+
+  private:
+    std::shared_ptr<Artifact>
+    resolve(const CacheKey &key,
+            const std::function<std::shared_ptr<Artifact>()> &builder,
+            DispatchInfo *info);
+
+    void finishDispatch(const DispatchInfo &info);
+
+    ExecOptions execOptions() const;
+
+    EngineOptions options_;
+    std::shared_ptr<ThreadPool> pool_;
+    ParallelExecutor executor_;
+    CompileCache cache_;
+
+    mutable std::mutex stats_mu_;
+    EngineStats stats_;
+};
+
+} // namespace engine
+} // namespace sparsetir
+
+#endif // SPARSETIR_ENGINE_ENGINE_H_

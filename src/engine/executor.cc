@@ -1,0 +1,394 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "ir/analysis.h"
+#include "ir/expr.h"
+#include "ir/functor.h"
+#include "ir/structural_equal.h"
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace engine {
+
+using namespace ir;
+using runtime::Bindings;
+using runtime::NDArray;
+
+namespace {
+
+/** Collects loads of one buffer (by data var) inside an expression. */
+class LoadCollector : public ExprVisitor
+{
+  public:
+    explicit LoadCollector(const VarNode *data) : data_(data) {}
+
+    const std::vector<const BufferLoadNode *> &loads() const
+    {
+        return loads_;
+    }
+
+  protected:
+    void
+    visitBufferLoad(const BufferLoadNode *op) override
+    {
+        if (op->buffer->data.get() == data_) {
+            loads_.push_back(op);
+        }
+        ExprVisitor::visitBufferLoad(op);
+    }
+
+  private:
+    const VarNode *data_;
+    std::vector<const BufferLoadNode *> loads_;
+};
+
+/**
+ * Finds parameter-bound buffers updated by cross-element
+ * accumulation: a store whose value re-loads the stored element, or
+ * an atomic_add call. An RMW store inside a block whose init writes
+ * the same buffer is exempt — that is an *initialized* reduction
+ * (e.g. rfactor's final update): per element the init overwrites any
+ * prior contents before the updates accumulate, so the kernel has
+ * overwrite semantics and its per-block writes are disjoint; treating
+ * it as accumulation would fold stale output contents back in.
+ */
+class AccumFinder : public StmtVisitor
+{
+  public:
+    explicit AccumFinder(const PrimFunc &func)
+    {
+        for (const auto &param : func->params) {
+            if (param->dtype.isHandle()) {
+                params_.insert(param.get());
+            }
+        }
+    }
+
+    const std::set<std::string> &found() const { return found_; }
+
+  protected:
+    void
+    visitBlock(const BlockNode *op) override
+    {
+        std::vector<const VarNode *> pushed;
+        if (op->init != nullptr) {
+            for (const BufferAccess &access :
+                 collectBufferAccesses(op->init)) {
+                if (access.isWrite) {
+                    const VarNode *data = access.buffer->data.get();
+                    if (init_written_.insert(data).second) {
+                        pushed.push_back(data);
+                    }
+                }
+            }
+        }
+        StmtVisitor::visitBlock(op);
+        for (const VarNode *data : pushed) {
+            init_written_.erase(data);
+        }
+    }
+
+    void
+    visitBufferStore(const BufferStoreNode *op) override
+    {
+        const VarNode *data = op->buffer->data.get();
+        if (params_.count(data) && !init_written_.count(data)) {
+            LoadCollector loads(data);
+            loads.visitExpr(op->value);
+            for (const BufferLoadNode *load : loads.loads()) {
+                if (sameIndices(load->indices, op->indices)) {
+                    found_.insert(data->name);
+                    break;
+                }
+            }
+        }
+        StmtVisitor::visitBufferStore(op);
+    }
+
+    void
+    visitCall(const CallNode *op) override
+    {
+        if (op->op == Builtin::kAtomicAdd && op->bufferArg != nullptr &&
+            params_.count(op->bufferArg->data.get())) {
+            found_.insert(op->bufferArg->data->name);
+        }
+        ExprVisitor::visitCall(op);
+    }
+
+  private:
+    static bool
+    sameIndices(const std::vector<Expr> &a, const std::vector<Expr> &b)
+    {
+        if (a.size() != b.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (!structuralEqual(a[i], b[i])) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    std::unordered_set<const VarNode *> params_;
+    /** Buffers written by an enclosing block's init (scoped). */
+    std::unordered_set<const VarNode *> init_written_;
+    std::set<std::string> found_;
+};
+
+/**
+ * Accumulated outputs of one task, privatized: name -> zeroed private
+ * array shadowing the shared binding.
+ */
+struct Privatized
+{
+    std::vector<std::string> names;
+    /** Parallel to names. deque-free: stable since sized up front. */
+    std::vector<NDArray> arrays;
+};
+
+/**
+ * Build task-local bindings where each accumulated output named in
+ * `accum` (and float-typed — integer outputs are never privatized; see
+ * caller guards) is replaced by a private zero-filled copy.
+ */
+Bindings
+privatize(const Bindings &shared, const std::vector<std::string> &accum,
+          Privatized *storage)
+{
+    Bindings local = shared;
+    storage->names.reserve(accum.size());
+    storage->arrays.reserve(accum.size());
+    for (const std::string &name : accum) {
+        auto it = shared.arrays.find(name);
+        ICHECK(it != shared.arrays.end());
+        const NDArray &orig = *it->second;
+        storage->names.push_back(name);
+        storage->arrays.emplace_back(orig.shape(), orig.dtype());
+        local.arrays[name] = &storage->arrays.back();
+    }
+    return local;
+}
+
+/** Fold a private accumulator into the shared array element-wise. */
+void
+foldInto(NDArray *shared, const NDArray &priv)
+{
+    ICHECK_EQ(shared->numel(), priv.numel());
+    int64_t n = shared->numel();
+    if (shared->dtype().isFloat()) {
+        for (int64_t i = 0; i < n; ++i) {
+            shared->setFloat(i, shared->floatAt(i) + priv.floatAt(i));
+        }
+    } else {
+        for (int64_t i = 0; i < n; ++i) {
+            shared->setInt(i, shared->intAt(i) + priv.intAt(i));
+        }
+    }
+}
+
+/**
+ * Accumulated params that are actually bound in this request. An
+ * accumulated buffer the caller did not bind would fault inside the
+ * interpreter anyway; filtering keeps privatization aligned with the
+ * lazy-binding convention. `precomputed`, when non-null, is the
+ * cached result of accumulatedParams(func).
+ */
+std::vector<std::string>
+boundAccumulated(const PrimFunc &func, const Bindings &bindings,
+                 const std::vector<std::string> *precomputed)
+{
+    std::vector<std::string> all;
+    if (precomputed == nullptr) {
+        all = ParallelExecutor::accumulatedParams(func);
+    }
+    const std::vector<std::string> &names =
+        precomputed != nullptr ? *precomputed : all;
+    std::vector<std::string> result;
+    for (const std::string &name : names) {
+        if (bindings.arrays.count(name)) {
+            result.push_back(name);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+ParallelExecutor::ParallelExecutor(std::shared_ptr<ThreadPool> pool)
+    : pool_(std::move(pool))
+{
+    ICHECK(pool_ != nullptr);
+}
+
+std::vector<std::string>
+ParallelExecutor::accumulatedParams(const PrimFunc &func)
+{
+    AccumFinder finder(func);
+    if (func->body != nullptr) {
+        finder.visitStmt(func->body);
+    }
+    return std::vector<std::string>(finder.found().begin(),
+                                    finder.found().end());
+}
+
+void
+ParallelExecutor::runKernel(const PrimFunc &func,
+                            const Bindings &bindings,
+                            const ExecOptions &options,
+                            const std::vector<std::string> *accum_pre)
+    const
+{
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    if (!options.parallel || workers <= 1) {
+        runtime::run(func, bindings);
+        return;
+    }
+    runtime::LaunchInfo info = runtime::launchInfo(func, bindings);
+    int64_t min_chunk = std::max<int64_t>(options.minBlocksPerChunk, 1);
+    int64_t chunks =
+        info.hasBlockIdx
+            ? std::min<int64_t>(workers, info.blockExtent / min_chunk)
+            : 0;
+    if (chunks < 2) {
+        runtime::run(func, bindings);
+        return;
+    }
+
+    std::vector<std::string> accum =
+        boundAccumulated(func, bindings, accum_pre);
+    std::vector<Privatized> privates(chunks);
+    std::vector<Bindings> locals;
+    locals.reserve(chunks);
+    std::vector<runtime::RunOptions> windows(chunks);
+    int64_t base = info.blockExtent / chunks;
+    int64_t rem = info.blockExtent % chunks;
+    int64_t begin = 0;
+    for (int64_t c = 0; c < chunks; ++c) {
+        int64_t extent = base + (c < rem ? 1 : 0);
+        windows[c].blockBegin = begin;
+        windows[c].blockEnd = begin + extent;
+        begin += extent;
+        locals.push_back(privatize(bindings, accum, &privates[c]));
+    }
+
+    pool_->parallelFor(chunks, [&](int64_t c) {
+        runtime::run(func, locals[c], windows[c]);
+    });
+
+    // Fold privates in chunk order: per element this replays the
+    // serial order of block contributions.
+    for (size_t a = 0; a < accum.size(); ++a) {
+        NDArray *shared = bindings.arrays.at(accum[a]);
+        for (int64_t c = 0; c < chunks; ++c) {
+            foldInto(shared, privates[c].arrays[a]);
+        }
+    }
+}
+
+void
+ParallelExecutor::runKernels(
+    const std::vector<PrimFunc> &funcs, const Bindings &bindings,
+    const ExecOptions &options, const std::vector<uint8_t> &exclusive,
+    const std::vector<std::vector<std::string>> *accums) const
+{
+    ICHECK(exclusive.empty() || exclusive.size() == funcs.size())
+        << "exclusive mask does not match kernel count";
+    ICHECK(accums == nullptr || accums->size() == funcs.size())
+        << "precomputed accumulation lists do not match kernel count";
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    if (!options.parallel || workers <= 1) {
+        for (const PrimFunc &func : funcs) {
+            runtime::run(func, bindings);
+        }
+        return;
+    }
+    if (funcs.size() == 1) {
+        // A lone non-exclusive kernel still gets grid-level
+        // parallelism (each output element is written at most once,
+        // so window splitting is bitwise-safe); an exclusive one
+        // must stay serial.
+        if (!exclusive.empty() && exclusive[0]) {
+            runtime::run(funcs[0], bindings);
+        } else {
+            runKernel(funcs[0], bindings, options,
+                      accums != nullptr ? &(*accums)[0] : nullptr);
+        }
+        return;
+    }
+
+    // Run a contiguous batch of single-write-back kernels in
+    // parallel on privatized accumulators, then fold the privates in
+    // list order: per output element this replays the serial
+    // addition sequence exactly.
+    auto run_batch = [&](int64_t begin, int64_t end) {
+        int64_t n = end - begin;
+        if (n <= 0) {
+            return;
+        }
+        if (n == 1) {
+            // Sole kernel of its batch: grid-split it instead of
+            // running serially (non-exclusive by construction).
+            runKernel(funcs[begin], bindings, options,
+                      accums != nullptr ? &(*accums)[begin] : nullptr);
+            return;
+        }
+        std::vector<std::vector<std::string>> accum(n);
+        std::vector<Privatized> privates(n);
+        std::vector<Bindings> locals;
+        locals.reserve(n);
+        for (int64_t i = 0; i < n; ++i) {
+            accum[i] = boundAccumulated(
+                funcs[begin + i], bindings,
+                accums != nullptr ? &(*accums)[begin + i] : nullptr);
+            locals.push_back(
+                privatize(bindings, accum[i], &privates[i]));
+        }
+        if (workers >= pool_->size()) {
+            // No per-call cap below pool capacity: enqueue the whole
+            // batch, the pool bounds concurrency.
+            pool_->parallelFor(n, [&](int64_t i) {
+                runtime::run(funcs[begin + i], locals[i]);
+            });
+        } else {
+            // Honor the per-call worker cap (options.workers) by
+            // fanning out in waves of at most `workers` kernels.
+            for (int64_t wave = 0; wave < n; wave += workers) {
+                int64_t count = std::min<int64_t>(workers, n - wave);
+                pool_->parallelFor(count, [&](int64_t j) {
+                    runtime::run(funcs[begin + wave + j],
+                                 locals[wave + j]);
+                });
+            }
+        }
+        for (int64_t i = 0; i < n; ++i) {
+            for (size_t a = 0; a < accum[i].size(); ++a) {
+                NDArray *shared = bindings.arrays.at(accum[i][a]);
+                foldInto(shared, privates[i].arrays[a]);
+            }
+        }
+    };
+
+    int64_t total = static_cast<int64_t>(funcs.size());
+    int64_t batch_begin = 0;
+    for (int64_t i = 0; i < total; ++i) {
+        if (!exclusive.empty() && exclusive[i]) {
+            run_batch(batch_begin, i);
+            // Exclusive kernels observe the true pre-values, so they
+            // run at their serial position on shared storage.
+            runtime::run(funcs[i], bindings);
+            batch_begin = i + 1;
+        }
+    }
+    run_batch(batch_begin, total);
+}
+
+} // namespace engine
+} // namespace sparsetir

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic parallel execution of lowered kernels on the host
+ * interpreter.
+ *
+ * Two axes of parallelism, both preserving the serial interpreter's
+ * results exactly (bitwise, up to IEEE signed-zero identity):
+ *
+ *  - runKernel: one kernel's outermost blockIdx.x loop is split into
+ *    contiguous chunks executed on worker threads. Plain (overwrite)
+ *    stores to bound buffers are per-block disjoint by the lowering
+ *    contract, so chunks write shared storage directly.
+ *    Read-modify-write outputs (cache_write accumulate, rfactor
+ *    write-back, atomic_add) are privatized: each chunk accumulates
+ *    into a private zero copy, and the privates are folded into the
+ *    shared buffer in chunk order. Per output element the sequence of
+ *    additions is exactly the serial one, so float results match the
+ *    serial interpreter.
+ *
+ *  - runKernels: independent kernels of one request (hyb bucket
+ *    kernels, RGCN per-relation-bucket kernels) run concurrently,
+ *    with the same privatization applied per kernel and privates
+ *    folded in kernel-list order. Non-accumulated writes of kernels
+ *    in one batch must target disjoint elements (true for every
+ *    kernel family the engine emits, which share outputs only
+ *    through accumulation).
+ *
+ * Privatization replays the serial addition order per element only
+ * when each parallel unit performs at most ONE read-modify-write
+ * write-back per output element: folding a private that accumulated
+ * two write-backs (a1 + a2) onto a non-zero pre-value computes
+ * pre + (a1 + a2) where serial computed ((pre + a1) + a2) — an
+ * ULP-level reassociation. Kernels that can write one element twice
+ * (hyb's widest bucket when long rows were split into several ELL
+ * rows) are therefore marked `exclusive` by the caller — the engine
+ * derives the mask from format provenance (duplicate row indices) —
+ * and runKernels executes them at their exact list position directly
+ * on shared storage, parallelizing the kernels between them.
+ *
+ * The write-set classification is computed from the IR, not trusted
+ * from callers: accumulatedParams() scans for read-modify-write
+ * stores and atomic_add calls on parameter-bound buffers.
+ */
+
+#ifndef SPARSETIR_ENGINE_EXECUTOR_H_
+#define SPARSETIR_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "ir/prim_func.h"
+#include "runtime/interpreter.h"
+
+namespace sparsetir {
+namespace engine {
+
+/** Per-call execution controls. */
+struct ExecOptions
+{
+    /** Worker cap for this call; 0 means the pool size. */
+    int workers = 0;
+    /** Do not split a grid into chunks smaller than this. */
+    int64_t minBlocksPerChunk = 8;
+    /** Master switch; false forces serial in-order execution. */
+    bool parallel = true;
+};
+
+class ParallelExecutor
+{
+  public:
+    explicit ParallelExecutor(std::shared_ptr<ThreadPool> pool);
+
+    const std::shared_ptr<ThreadPool> &pool() const { return pool_; }
+
+    /**
+     * Names of parameter-bound buffers the kernel updates by
+     * read-modify-write (accumulate write-back or atomic_add).
+     */
+    static std::vector<std::string>
+    accumulatedParams(const ir::PrimFunc &func);
+
+    /**
+     * Execute one kernel, splitting its blockIdx range if profitable.
+     * `accum`, when non-null, is the precomputed accumulatedParams()
+     * of `func` (artifact caches store it so warm dispatches skip
+     * the IR walk); null recomputes it on the fly.
+     */
+    void runKernel(const ir::PrimFunc &func,
+                   const runtime::Bindings &bindings,
+                   const ExecOptions &options = ExecOptions(),
+                   const std::vector<std::string> *accum = nullptr) const;
+
+    /**
+     * Execute a batch of kernels over shared bindings. Results are
+     * bitwise identical to running the kernels serially in list
+     * order. `exclusive`, when non-empty, must parallel `funcs`;
+     * marked kernels may write one output element more than once and
+     * are run serially at their list position (see file comment).
+     * `accums`, when non-null, must parallel `funcs` with each
+     * kernel's precomputed accumulatedParams().
+     */
+    void runKernels(const std::vector<ir::PrimFunc> &funcs,
+                    const runtime::Bindings &bindings,
+                    const ExecOptions &options = ExecOptions(),
+                    const std::vector<uint8_t> &exclusive =
+                        std::vector<uint8_t>(),
+                    const std::vector<std::vector<std::string>>
+                        *accums = nullptr) const;
+
+  private:
+    std::shared_ptr<ThreadPool> pool_;
+};
+
+} // namespace engine
+} // namespace sparsetir
+
+#endif // SPARSETIR_ENGINE_EXECUTOR_H_

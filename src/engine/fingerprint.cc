@@ -1,0 +1,53 @@
+#include "engine/fingerprint.h"
+
+namespace sparsetir {
+namespace engine {
+
+Fingerprint &
+Fingerprint::bytes(const void *data, size_t size)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        hash_ ^= p[i];
+        hash_ *= 1099511628211ULL;  // FNV prime
+    }
+    return *this;
+}
+
+uint64_t
+structureHash(const format::Csr &m)
+{
+    Fingerprint fp;
+    fp.i64(m.rows).i64(m.cols).i32s(m.indptr).i32s(m.indices);
+    return fp.digest();
+}
+
+uint64_t
+structureHash(const format::RelationalCsr &m)
+{
+    Fingerprint fp;
+    fp.i64(m.rows).i64(m.cols).i64(m.numRelations());
+    for (const format::Csr &rel : m.relations) {
+        fp.i64(static_cast<int64_t>(structureHash(rel)));
+    }
+    return fp.digest();
+}
+
+const char *
+opKindName(OpKind op)
+{
+    switch (op) {
+      case OpKind::kSpmmCsr:
+        return "spmm_csr";
+      case OpKind::kSpmmHyb:
+        return "spmm_hyb";
+      case OpKind::kSddmm:
+        return "sddmm";
+      case OpKind::kRgcnHyb:
+        return "rgcn_hyb";
+    }
+    return "unknown";
+}
+
+} // namespace engine
+} // namespace sparsetir

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Request fingerprinting for the execution engine's compile cache.
+ *
+ * A compiled kernel is a pure function of (operator kind, sparsity
+ * structure, schedule parameters, feature dimension) — never of the
+ * stored values. The fingerprint hashes exactly those inputs, so two
+ * matrices with identical sparsity patterns but different values map
+ * to the same artifact, while any structural change (an extra
+ * non-zero, a different bucketing) forces a recompile.
+ */
+
+#ifndef SPARSETIR_ENGINE_FINGERPRINT_H_
+#define SPARSETIR_ENGINE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "format/csr.h"
+#include "format/relational.h"
+
+namespace sparsetir {
+namespace engine {
+
+/** Incremental FNV-1a (64-bit) hasher over typed fields. */
+class Fingerprint
+{
+  public:
+    Fingerprint &bytes(const void *data, size_t size);
+
+    Fingerprint &
+    i64(int64_t v)
+    {
+        return bytes(&v, sizeof(v));
+    }
+
+    Fingerprint &
+    i32s(const std::vector<int32_t> &v)
+    {
+        i64(static_cast<int64_t>(v.size()));
+        return bytes(v.data(), v.size() * sizeof(int32_t));
+    }
+
+    Fingerprint &
+    str(const std::string &s)
+    {
+        i64(static_cast<int64_t>(s.size()));
+        return bytes(s.data(), s.size());
+    }
+
+    uint64_t digest() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 14695981039346656037ULL;  // FNV offset basis
+};
+
+/** Hash of a CSR matrix's sparsity structure (not its values). */
+uint64_t structureHash(const format::Csr &m);
+
+/** Structure hash over every relation of a heterogeneous graph. */
+uint64_t structureHash(const format::RelationalCsr &m);
+
+/** Operator families the engine serves. */
+enum class OpKind : uint8_t {
+    kSpmmCsr = 1,
+    kSpmmHyb = 2,
+    kSddmm = 3,
+    kRgcnHyb = 4,
+};
+
+const char *opKindName(OpKind op);
+
+/** Key of one compile-cache entry. */
+struct CacheKey
+{
+    OpKind op = OpKind::kSpmmCsr;
+    /** Sparsity structure fingerprint. */
+    uint64_t structure = 0;
+    /** Schedule / format-parameter fingerprint (c, k, threadX, ...). */
+    uint64_t schedule = 0;
+    /**
+     * Feature dimension. RGMS currently serves square layers
+     * (feat_in == feat_out == feat); an entry point with distinct
+     * in/out widths must fold both into the key.
+     */
+    int64_t feat = 0;
+    /**
+     * Raw shape facts (rows, total nnz) carried alongside the hash:
+     * a 64-bit fingerprint collision across different shapes can
+     * then never match, so a stale artifact's provenance map cannot
+     * be applied to a smaller values array.
+     */
+    int64_t rows = 0;
+    int64_t nnz = 0;
+
+    bool
+    operator==(const CacheKey &other) const
+    {
+        return op == other.op && structure == other.structure &&
+               schedule == other.schedule && feat == other.feat &&
+               rows == other.rows && nnz == other.nnz;
+    }
+};
+
+struct CacheKeyHash
+{
+    size_t
+    operator()(const CacheKey &key) const
+    {
+        Fingerprint fp;
+        int64_t op = static_cast<int64_t>(key.op);
+        fp.i64(op)
+            .i64(static_cast<int64_t>(key.structure))
+            .i64(static_cast<int64_t>(key.schedule))
+            .i64(key.feat)
+            .i64(key.rows)
+            .i64(key.nnz);
+        return static_cast<size_t>(fp.digest());
+    }
+};
+
+} // namespace engine
+} // namespace sparsetir
+
+#endif // SPARSETIR_ENGINE_FINGERPRINT_H_

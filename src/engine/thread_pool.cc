@@ -1,0 +1,102 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace engine {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0) {
+        num_threads = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    }
+    workers_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_) {
+        worker.join();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> result = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ICHECK(!stopping_) << "submit on a stopped thread pool";
+        queue_.push_back(std::move(packaged));
+    }
+    cv_.notify_one();
+    return result;
+}
+
+void
+ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)> &fn)
+{
+    if (n <= 0) {
+        return;
+    }
+    if (n == 1 || size() == 1) {
+        for (int64_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+        futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+    // Drain every future so all tasks finish before any capture dies;
+    // surface the first failure.
+    std::exception_ptr first_error;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (first_error == nullptr) {
+                first_error = std::current_exception();
+            }
+        }
+    }
+    if (first_error != nullptr) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // exceptions land in the task's future
+    }
+}
+
+} // namespace engine
+} // namespace sparsetir

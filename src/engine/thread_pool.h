@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed-size worker pool for host-side kernel execution.
+ *
+ * Tasks are plain closures; submit() returns a future that carries the
+ * task's exception, if any, to the waiting caller. The pool is shared
+ * by every request of an Engine session, so tasks must never block on
+ * other tasks (the executor fans out leaf work only and joins from
+ * the caller's thread, which is not a pool thread).
+ */
+
+#ifndef SPARSETIR_ENGINE_THREAD_POOL_H_
+#define SPARSETIR_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparsetir {
+namespace engine {
+
+class ThreadPool
+{
+  public:
+    /** num_threads == 0 picks the hardware concurrency (min 1). */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a task; the future rethrows the task's exception. */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing across the pool,
+     * and block until all complete. Rethrows the first exception.
+     * Callable from any non-pool thread, including concurrently.
+     */
+    void parallelFor(int64_t n, const std::function<void(int64_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace engine
+} // namespace sparsetir
+
+#endif // SPARSETIR_ENGINE_THREAD_POOL_H_

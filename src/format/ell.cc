@@ -29,6 +29,7 @@ ellFromCsrRows(const Csr &m, const std::vector<int32_t> &rows,
     out.rowIndices = rows;
     out.colIndices.reserve(rows.size() * width);
     out.values.reserve(rows.size() * width);
+    out.sourcePos.reserve(rows.size() * width);
     for (int32_t r : rows) {
         ICHECK_GE(r, 0);
         ICHECK_LT(r, m.rows);
@@ -43,11 +44,13 @@ ellFromCsrRows(const Csr &m, const std::vector<int32_t> &rows,
                 last_index = m.indices[p];
                 out.colIndices.push_back(m.indices[p]);
                 out.values.push_back(m.values[p]);
+                out.sourcePos.push_back(p);
             } else {
                 // Repeat the last valid index so per-row indices stay
                 // sorted; padded value is zero.
                 out.colIndices.push_back(last_index);
                 out.values.push_back(0.0f);
+                out.sourcePos.push_back(-1);
             }
         }
     }

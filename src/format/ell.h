@@ -29,6 +29,13 @@ struct Ell
     std::vector<int32_t> rowIndices;  // original row of each ELL row
     std::vector<int32_t> colIndices;  // numRows() * width
     std::vector<float> values;        // numRows() * width
+    /**
+     * Provenance of each stored slot: position in the source CSR's
+     * values array, or -1 for a padding zero. Lets a serving runtime
+     * re-gather values for a new matrix with identical sparsity
+     * structure without re-running the bucketing.
+     */
+    std::vector<int32_t> sourcePos;   // numRows() * width
 
     int64_t
     numRows() const

@@ -76,8 +76,10 @@ hybFromCsr(const Csr &m, int32_t c, int32_t k)
         int64_t col_lo = static_cast<int64_t>(p) * partition_width;
         int64_t col_hi = std::min<int64_t>(col_lo + partition_width,
                                            m.cols);
-        // Slice this column partition into a temporary CSR.
+        // Slice this column partition into a temporary CSR, keeping
+        // each entry's position in the source values array.
         Csr slice;
+        std::vector<int32_t> slice_src;
         slice.rows = m.rows;
         slice.cols = m.cols;  // keep absolute column coordinates
         slice.indptr.push_back(0);
@@ -86,6 +88,7 @@ hybFromCsr(const Csr &m, int32_t c, int32_t k)
                 if (m.indices[q] >= col_lo && m.indices[q] < col_hi) {
                     slice.indices.push_back(m.indices[q]);
                     slice.values.push_back(m.values[q]);
+                    slice_src.push_back(q);
                 }
             }
             slice.indptr.push_back(
@@ -140,9 +143,11 @@ hybFromCsr(const Csr &m, int32_t c, int32_t k)
                         last_index = slice.indices[base + j];
                         ell.colIndices.push_back(slice.indices[base + j]);
                         ell.values.push_back(slice.values[base + j]);
+                        ell.sourcePos.push_back(slice_src[base + j]);
                     } else {
                         ell.colIndices.push_back(last_index);
                         ell.values.push_back(0.0f);
+                        ell.sourcePos.push_back(-1);
                     }
                 }
             }

@@ -11,6 +11,19 @@ namespace model {
 
 using namespace baselines;
 
+int32_t
+rgcnBucketCap(const format::Csr &rel, int bucket_cap_log2)
+{
+    return std::min(bucket_cap_log2, format::hybDefaultK(rel) + 1);
+}
+
+int
+rgcnRowsPerBlock(int width)
+{
+    return static_cast<int>(
+        std::max<int64_t>(1, 32 / std::max(width, 1)));
+}
+
 RgcnResult
 rgcnSparseTirNaive(const format::RelationalCsr &graph, int64_t feat,
                    gpusim::Device &device)
@@ -81,8 +94,7 @@ rgcnSparseTirHyb(const format::RelationalCsr &graph, int64_t feat,
             continue;
         }
         format::Hyb hyb = format::hybFromCsr(
-            rel, 1, std::min(bucket_cap_log2,
-                             format::hybDefaultK(rel) + 1));
+            rel, 1, rgcnBucketCap(rel, bucket_cap_log2));
         for (size_t b = 0; b < hyb.buckets[0].size(); ++b) {
             const format::Ell &bucket = hyb.buckets[0][b];
             if (bucket.numRows() == 0) {
@@ -90,8 +102,7 @@ rgcnSparseTirHyb(const format::RelationalCsr &graph, int64_t feat,
             }
             std::string suffix =
                 "r" + std::to_string(r) + "b" + std::to_string(b);
-            int rows_per_block = std::max<int64_t>(
-                1, 32 / std::max(bucket.width, 1));
+            int rows_per_block = rgcnRowsPerBlock(bucket.width);
             auto kernel = core::compileEllRgms(
                 bucket, feat, feat, shared, suffix, tensor_cores,
                 rows_per_block);

@@ -33,6 +33,19 @@ RgcnResult rgcnSparseTirHyb(const format::RelationalCsr &graph,
                             int64_t feat, gpusim::Device &device,
                             bool tensor_cores, int bucket_cap_log2 = 5);
 
+/**
+ * Shared RGMS kernel-plan heuristics. The simulator path above and
+ * the serving path (engine::Engine::rgcn) must bucket and schedule
+ * identically for tuning numbers to describe the served kernels, so
+ * both derive their plans from these.
+ */
+
+/** Effective hyb bucket cap for one relation. */
+int32_t rgcnBucketCap(const format::Csr &rel, int bucket_cap_log2);
+
+/** Rows grouped per thread block for an RGMS bucket of this width. */
+int rgcnRowsPerBlock(int width);
+
 } // namespace model
 } // namespace sparsetir
 

@@ -1,5 +1,6 @@
 #include "runtime/interpreter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <unordered_map>
@@ -60,6 +61,52 @@ floordivInt(int64_t a, int64_t b)
     return q;
 }
 
+/** First For bound to blockIdx.x, pre-order; null when absent. */
+const ForNode *
+findBlockIdxLoop(const Stmt &s)
+{
+    if (s == nullptr) {
+        return nullptr;
+    }
+    switch (s->kind) {
+      case StmtKind::kFor: {
+        auto op = static_cast<const ForNode *>(s.get());
+        if (op->forKind == ForKind::kThreadBinding &&
+            op->threadTag == "blockIdx.x") {
+            return op;
+        }
+        return findBlockIdxLoop(op->body);
+      }
+      case StmtKind::kSeq: {
+        auto op = static_cast<const SeqStmtNode *>(s.get());
+        for (const auto &child : op->seq) {
+            if (const ForNode *found = findBlockIdxLoop(child)) {
+                return found;
+            }
+        }
+        return nullptr;
+      }
+      case StmtKind::kBlock:
+        return findBlockIdxLoop(
+            static_cast<const BlockNode *>(s.get())->body);
+      case StmtKind::kIfThenElse: {
+        auto op = static_cast<const IfThenElseNode *>(s.get());
+        if (const ForNode *found = findBlockIdxLoop(op->thenBody)) {
+            return found;
+        }
+        return findBlockIdxLoop(op->elseBody);
+      }
+      case StmtKind::kLetStmt:
+        return findBlockIdxLoop(
+            static_cast<const LetStmtNode *>(s.get())->body);
+      case StmtKind::kAllocate:
+        return findBlockIdxLoop(
+            static_cast<const AllocateNode *>(s.get())->body);
+      default:
+        return nullptr;
+    }
+}
+
 class Machine
 {
   public:
@@ -89,6 +136,25 @@ class Machine
         if (func_->body != nullptr) {
             exec(func_->body);
         }
+    }
+
+    /**
+     * Restrict execution to iterations [begin, end) of the given
+     * blockIdx loop (offsets relative to the loop's min).
+     */
+    void
+    restrictBlocks(const ForNode *loop, int64_t begin, int64_t end)
+    {
+        restricted_loop_ = loop;
+        block_begin_ = begin;
+        block_end_ = end;
+    }
+
+    /** Evaluate an expression against the bound scalars. */
+    int64_t
+    evalScalar(const Expr &e)
+    {
+        return evalExpr(e).asInt();
     }
 
   private:
@@ -363,8 +429,14 @@ class Machine
             auto op = static_cast<const ForNode *>(s.get());
             int64_t min_v = evalExpr(op->minValue).asInt();
             int64_t extent = evalExpr(op->extent).asInt();
+            int64_t lo = min_v;
+            int64_t hi = min_v + extent;
+            if (op == restricted_loop_) {
+                lo = min_v + std::max<int64_t>(block_begin_, 0);
+                hi = std::min(hi, min_v + block_end_);
+            }
             Value &slot = scalars_[op->loopVar.get()];
-            for (int64_t v = min_v; v < min_v + extent; ++v) {
+            for (int64_t v = lo; v < hi; ++v) {
                 slot = Value::ofInt(v);
                 exec(op->body);
             }
@@ -440,6 +512,9 @@ class Machine
     std::unordered_map<const VarNode *, Value> scalars_;
     std::unordered_map<const VarNode *, NDArray *> arrays_;
     std::vector<std::unique_ptr<NDArray>> allocations_;
+    const ForNode *restricted_loop_ = nullptr;
+    int64_t block_begin_ = 0;
+    int64_t block_end_ = 0;
 };
 
 } // namespace
@@ -449,6 +524,45 @@ run(const ir::PrimFunc &func, const Bindings &bindings)
 {
     Machine machine(func, bindings);
     machine.run();
+}
+
+void
+run(const ir::PrimFunc &func, const Bindings &bindings,
+    const RunOptions &options)
+{
+    Machine machine(func, bindings);
+    if (options.blockEnd >= 0) {
+        const ForNode *loop = findBlockIdxLoop(func->body);
+        USER_CHECK(loop != nullptr)
+            << "block-windowed execution of '" << func->name
+            << "': no blockIdx.x-bound loop";
+        machine.restrictBlocks(loop, options.blockBegin,
+                               options.blockEnd);
+    }
+    machine.run();
+}
+
+LaunchInfo
+launchInfo(const ir::PrimFunc &func, const Bindings &bindings)
+{
+    LaunchInfo info;
+    const ForNode *loop = findBlockIdxLoop(func->body);
+    if (loop == nullptr) {
+        return info;
+    }
+    // The extent of a blockIdx loop may reference scalar params (e.g.
+    // the row count); evaluate it with only those bound. Anything else
+    // (loop/let-carried values) means the grid is not statically
+    // addressable and callers must run the kernel unsplit.
+    try {
+        Machine machine(func, bindings);
+        info.blockExtent = machine.evalScalar(loop->extent);
+        info.hasBlockIdx = true;
+    } catch (const InternalError &) {
+        info.blockExtent = 0;
+        info.hasBlockIdx = false;
+    }
+    return info;
 }
 
 void

@@ -13,8 +13,9 @@
 #ifndef SPARSETIR_RUNTIME_INTERPRETER_H_
 #define SPARSETIR_RUNTIME_INTERPRETER_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "ir/prim_func.h"
 #include "runtime/ndarray.h"
@@ -26,9 +27,27 @@ namespace runtime {
 struct Bindings
 {
     /** Handle params (buffer data, indptr, indices) by param name. */
-    std::map<std::string, NDArray *> arrays;
+    std::unordered_map<std::string, NDArray *> arrays;
     /** Scalar int params by name. */
-    std::map<std::string, int64_t> scalars;
+    std::unordered_map<std::string, int64_t> scalars;
+};
+
+/**
+ * Execution window over the kernel's launch grid.
+ *
+ * When blockEnd >= 0, only iterations v with blockBegin <= v <
+ * blockEnd of the outermost "blockIdx.x"-bound loop are executed;
+ * other statements run normally. This is the unit of host-side
+ * parallelism: the lowering keeps writes of distinct blockIdx
+ * iterations either disjoint or expressed as read-modify-write
+ * accumulation (which the parallel executor privatizes), so disjoint
+ * windows of one kernel may run on different threads over shared
+ * buffers.
+ */
+struct RunOptions
+{
+    int64_t blockBegin = 0;
+    int64_t blockEnd = -1;  // -1: no restriction
 };
 
 /**
@@ -39,8 +58,33 @@ struct Bindings
  */
 void run(const ir::PrimFunc &func, const Bindings &bindings);
 
+/** Execute a block-index window of a PrimFunc (see RunOptions). */
+void run(const ir::PrimFunc &func, const Bindings &bindings,
+         const RunOptions &options);
+
 /** Execute every function in a module, in order. */
 void runModule(const ir::Module &mod, const Bindings &bindings);
+
+/** Launch-grid shape of a lowered kernel. */
+struct LaunchInfo
+{
+    /** True when the kernel has an outermost blockIdx.x-bound loop. */
+    bool hasBlockIdx = false;
+    /**
+     * Extent of that loop, evaluated against the scalar bindings;
+     * 0 when absent or not evaluable from the bindings alone.
+     */
+    int64_t blockExtent = 0;
+};
+
+/**
+ * Inspect the launch grid of `func` given scalar bindings. Returns
+ * hasBlockIdx=false when the extent of the outermost blockIdx.x loop
+ * cannot be evaluated from constants and bound scalars (e.g. it
+ * depends on a loop-carried value), in which case callers must run
+ * the kernel unsplit.
+ */
+LaunchInfo launchInfo(const ir::PrimFunc &func, const Bindings &bindings);
 
 } // namespace runtime
 } // namespace sparsetir

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Execution engine tests: compile-cache keying (structure-sensitive,
+ * value-insensitive), deterministic parallel execution (bitwise
+ * equality with the serial interpreter across worker counts), the
+ * write-set analysis behind privatization, and concurrent dispatch
+ * through one shared Engine session.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "engine/compile_cache.h"
+#include "engine/engine.h"
+#include "engine/executor.h"
+#include "engine/fingerprint.h"
+#include "engine/thread_pool.h"
+#include "graph/generator.h"
+#include "support/rng.h"
+
+namespace sparsetir {
+namespace {
+
+using core::BindingSet;
+using engine::Engine;
+using engine::EngineOptions;
+using format::Csr;
+using runtime::NDArray;
+
+std::vector<float>
+randomVector(int64_t size, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> out(size);
+    for (auto &v : out) {
+        v = static_cast<float>(rng.uniformReal() * 2.0 - 1.0);
+    }
+    return out;
+}
+
+Csr
+randomCsr(int64_t rows, int64_t cols, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> dense(rows * cols, 0.0f);
+    for (auto &v : dense) {
+        if (rng.uniformReal() < density) {
+            v = static_cast<float>(rng.uniformReal() * 2.0 - 1.0);
+            if (v == 0.0f) {
+                v = 0.5f;
+            }
+        }
+    }
+    return format::csrFromDense(rows, cols, dense);
+}
+
+/** Bitwise comparison of two float arrays. */
+bool
+bitwiseEqual(const NDArray &a, const NDArray &b)
+{
+    if (a.numel() != b.numel()) {
+        return false;
+    }
+    return std::memcmp(a.rawData(), b.rawData(),
+                       static_cast<size_t>(a.numel()) * sizeof(float)) ==
+           0;
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint / cache keying
+// ---------------------------------------------------------------------
+
+TEST(Fingerprint, StructureHashIgnoresValues)
+{
+    Csr a = randomCsr(20, 20, 0.2, 1);
+    Csr b = a;
+    for (auto &v : b.values) {
+        v *= 2.0f;
+    }
+    EXPECT_EQ(engine::structureHash(a), engine::structureHash(b));
+}
+
+TEST(Fingerprint, StructureHashSeesStructure)
+{
+    Csr a = randomCsr(20, 20, 0.2, 1);
+    Csr b = randomCsr(20, 20, 0.2, 2);
+    EXPECT_NE(engine::structureHash(a), engine::structureHash(b));
+}
+
+TEST(CompileCache, HitOnSameKeyMissOnDifferent)
+{
+    engine::CompileCache cache(4);
+    engine::CacheKey key1;
+    key1.structure = 1;
+    engine::CacheKey key2;
+    key2.structure = 2;
+
+    int builds = 0;
+    auto builder = [&] {
+        ++builds;
+        return std::make_shared<engine::Artifact>();
+    };
+    auto first = cache.getOrBuild(key1, builder);
+    auto second = cache.getOrBuild(key1, builder);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(builds, 1);
+    cache.getOrBuild(key2, builder);
+    EXPECT_EQ(builds, 2);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CompileCache, EvictsLeastRecentlyUsed)
+{
+    engine::CompileCache cache(2);
+    auto builder = [] { return std::make_shared<engine::Artifact>(); };
+    engine::CacheKey keys[3];
+    for (int i = 0; i < 3; ++i) {
+        keys[i].structure = static_cast<uint64_t>(i + 1);
+    }
+    cache.getOrBuild(keys[0], builder);
+    cache.getOrBuild(keys[1], builder);
+    cache.getOrBuild(keys[0], builder);  // refresh key 0
+    cache.getOrBuild(keys[2], builder);  // evicts key 1
+    EXPECT_NE(cache.peek(keys[0]), nullptr);
+    EXPECT_EQ(cache.peek(keys[1]), nullptr);
+    EXPECT_NE(cache.peek(keys[2]), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Engine, CacheHitOnIdenticalStructure)
+{
+    Engine eng(EngineOptions{});
+    Csr a = randomCsr(30, 25, 0.15, 3);
+    int64_t feat = 16;
+    auto b_host = randomVector(a.cols * feat, 4);
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+
+    auto first = eng.spmmCsr(a, feat, &b, &c);
+    EXPECT_FALSE(first.cacheHit);
+
+    // Same structure, different values: must hit.
+    Csr a2 = a;
+    for (auto &v : a2.values) {
+        v *= 3.0f;
+    }
+    c.zero();
+    auto second = eng.spmmCsr(a2, feat, &b, &c);
+    EXPECT_TRUE(second.cacheHit);
+
+    // Check the hit produced a2's (scaled) result, not stale values.
+    auto expected = core::referenceSpmm(a2, b_host, feat);
+    for (int64_t i = 0; i < c.numel(); ++i) {
+        ASSERT_NEAR(expected[i], c.floatAt(i), 1e-4) << "at " << i;
+    }
+
+    // Structurally different matrix: must miss.
+    Csr a3 = randomCsr(30, 25, 0.15, 99);
+    c.zero();
+    auto third = eng.spmmCsr(a3, feat, &b, &c);
+    EXPECT_FALSE(third.cacheHit);
+
+    // Different feature size on the original structure: must miss.
+    NDArray b2 = NDArray::fromFloat(randomVector(a.cols * 8, 5));
+    NDArray c2({a.rows * 8}, ir::DataType::float32());
+    auto fourth = eng.spmmCsr(a, 8, &b2, &c2);
+    EXPECT_FALSE(fourth.cacheHit);
+
+    auto stats = eng.stats();
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.cacheMisses, 3u);
+}
+
+TEST(Engine, HybCacheHitSkipsRebucketing)
+{
+    Engine eng(EngineOptions{});
+    Csr a = graph::powerLawGraph(200, 2500, 1.8, 7);
+    int64_t feat = 8;
+    auto b_host = randomVector(a.cols * feat, 8);
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+
+    engine::HybConfig config;
+    config.partitions = 2;
+    auto first = eng.spmmHyb(a, feat, &b, &c, config);
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_GE(first.numKernels, 2);
+
+    // Re-dispatch with rescaled values through the provenance maps.
+    Csr a2 = a;
+    for (auto &v : a2.values) {
+        v *= -0.5f;
+    }
+    c.zero();
+    auto second = eng.spmmHyb(a2, feat, &b, &c, config);
+    EXPECT_TRUE(second.cacheHit);
+    auto expected = core::referenceSpmm(a2, b_host, feat);
+    for (int64_t i = 0; i < c.numel(); ++i) {
+        ASSERT_NEAR(expected[i], c.floatAt(i), 1e-3) << "at " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write-set analysis
+// ---------------------------------------------------------------------
+
+TEST(Executor, AccumulatedParamsClassification)
+{
+    // CSR SpMM overwrites C (no read-modify-write on a param).
+    auto csr_func = core::compileSpmmCsrFunc(16, core::SpmmSchedule());
+    EXPECT_TRUE(
+        engine::ParallelExecutor::accumulatedParams(csr_func).empty());
+
+    // SDDMM's rfactor write-back reads and re-stores B_data, but the
+    // enclosing block's init zeroes B_data first: an initialized
+    // reduction has overwrite semantics and must NOT be classified
+    // as accumulation (folding would re-add stale output contents).
+    auto sddmm_func = core::compileSddmmFunc(16, core::SddmmSchedule());
+    EXPECT_TRUE(
+        engine::ParallelExecutor::accumulatedParams(sddmm_func)
+            .empty());
+
+    // Hyb bucket kernels accumulate into C_data.
+    format::Hyb hyb =
+        format::hybFromCsr(randomCsr(40, 40, 0.2, 11), 1, -1);
+    auto plans = core::compileSpmmHybFuncs(hyb, 16);
+    ASSERT_FALSE(plans.empty());
+    for (const auto &plan : plans) {
+        auto accum =
+            engine::ParallelExecutor::accumulatedParams(plan.func);
+        ASSERT_EQ(accum.size(), 1u);
+        EXPECT_EQ(accum[0], "C_data");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel execution = serial execution, bitwise
+// ---------------------------------------------------------------------
+
+/** Serial ground truth for hyb SpMM via the core pipeline. */
+NDArray
+serialHybSpmm(const Csr &a, int64_t feat,
+              const std::vector<float> &b_host, int partitions)
+{
+    auto shared = std::make_shared<BindingSet>();
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    shared->external("B_data", &b);
+    shared->external("C_data", &c);
+    core::HybSpmm compiled =
+        core::compileSpmmHyb(a, feat, partitions, -1, shared);
+    for (auto &kernel : compiled.kernels) {
+        kernel->execute();
+    }
+    return c;
+}
+
+TEST(Engine, ParallelSpmmBitwiseMatchesSerial)
+{
+    Csr a = graph::powerLawGraph(300, 4000, 1.8, 13);
+    int64_t feat = 16;
+    auto b_host = randomVector(a.cols * feat, 14);
+    NDArray serial = serialHybSpmm(a, feat, b_host, 2);
+
+    for (int threads : {1, 2, 8}) {
+        EngineOptions options;
+        options.numThreads = threads;
+        Engine eng(options);
+        NDArray b = NDArray::fromFloat(b_host);
+        NDArray c({a.rows * feat}, ir::DataType::float32());
+        engine::HybConfig config;
+        config.partitions = 2;
+        eng.spmmHyb(a, feat, &b, &c, config);
+        EXPECT_TRUE(bitwiseEqual(serial, c))
+            << "hyb SpMM diverged from serial with " << threads
+            << " worker(s)";
+    }
+}
+
+TEST(Engine, ParallelCsrSpmmBitwiseMatchesSerial)
+{
+    Csr a = randomCsr(120, 90, 0.1, 15);
+    int64_t feat = 24;
+    auto b_host = randomVector(a.cols * feat, 16);
+
+    // Serial ground truth through the core pipeline.
+    auto shared = std::make_shared<BindingSet>();
+    NDArray b_serial = NDArray::fromFloat(b_host);
+    NDArray c_serial({a.rows * feat}, ir::DataType::float32());
+    shared->external("B_data", &b_serial);
+    shared->external("C_data", &c_serial);
+    core::compileSpmmCsr(a, feat, shared)->execute();
+
+    for (int threads : {1, 2, 8}) {
+        EngineOptions options;
+        options.numThreads = threads;
+        options.minBlocksPerChunk = 4;
+        Engine eng(options);
+        NDArray b = NDArray::fromFloat(b_host);
+        NDArray c({a.rows * feat}, ir::DataType::float32());
+        eng.spmmCsr(a, feat, &b, &c);
+        EXPECT_TRUE(bitwiseEqual(c_serial, c))
+            << "CSR SpMM diverged from serial with " << threads
+            << " worker(s)";
+    }
+}
+
+TEST(Engine, ParallelSddmmBitwiseMatchesSerial)
+{
+    Csr a = randomCsr(90, 70, 0.12, 17);
+    int64_t feat = 32;
+    auto x_host = randomVector(a.rows * feat, 18);
+    auto y_host = randomVector(feat * a.cols, 19);
+
+    auto shared = std::make_shared<BindingSet>();
+    NDArray x_serial = NDArray::fromFloat(x_host);
+    NDArray y_serial = NDArray::fromFloat(y_host);
+    NDArray out_serial({a.nnz()}, ir::DataType::float32());
+    shared->external("X_data", &x_serial);
+    shared->external("Y_data", &y_serial);
+    shared->external("B_data", &out_serial);
+    core::compileSddmm(a, feat, shared)->execute();
+
+    for (int threads : {1, 2, 8}) {
+        EngineOptions options;
+        options.numThreads = threads;
+        options.minBlocksPerChunk = 2;
+        Engine eng(options);
+        NDArray x = NDArray::fromFloat(x_host);
+        NDArray y = NDArray::fromFloat(y_host);
+        NDArray out({a.nnz()}, ir::DataType::float32());
+        eng.sddmm(a, feat, &x, &y, &out);
+        EXPECT_TRUE(bitwiseEqual(out_serial, out))
+            << "SDDMM diverged from serial with " << threads
+            << " worker(s)";
+    }
+}
+
+TEST(Engine, SddmmOverwritesDirtyOutputInParallel)
+{
+    // Regression: the initialized-reduction write-back must overwrite
+    // a reused output buffer, not accumulate into it, regardless of
+    // worker count.
+    Csr a = randomCsr(90, 70, 0.12, 23);
+    int64_t feat = 32;
+    auto x_host = randomVector(a.rows * feat, 24);
+    auto y_host = randomVector(feat * a.cols, 25);
+
+    EngineOptions options;
+    options.numThreads = 4;
+    options.minBlocksPerChunk = 2;
+    Engine eng(options);
+    NDArray x = NDArray::fromFloat(x_host);
+    NDArray y = NDArray::fromFloat(y_host);
+    NDArray out({a.nnz()}, ir::DataType::float32());
+    eng.sddmm(a, feat, &x, &y, &out);
+    NDArray first = out;  // copy
+    // Dispatch again into the now-dirty buffer.
+    eng.sddmm(a, feat, &x, &y, &out);
+    EXPECT_TRUE(bitwiseEqual(first, out))
+        << "second dispatch into a dirty buffer diverged";
+}
+
+TEST(Executor, WorkerCapWavesStayBitwiseExact)
+{
+    // ExecOptions.workers below the pool size takes the wave-capped
+    // fan-out path; results must still replay serial order exactly.
+    Csr a = graph::powerLawGraph(250, 3000, 1.8, 27);
+    int64_t feat = 8;
+    auto b_host = randomVector(a.cols * feat, 28);
+    NDArray serial = serialHybSpmm(a, feat, b_host, 2);
+
+    format::Hyb hyb = format::hybFromCsr(a, 2, -1);
+    auto plans = core::compileSpmmHybFuncs(hyb, feat);
+    std::vector<ir::PrimFunc> funcs;
+    std::vector<uint8_t> exclusive;
+    for (const auto &plan : plans) {
+        const format::Ell &ell =
+            hyb.buckets[plan.partition][plan.bucket];
+        funcs.push_back(plan.func);
+        std::set<int32_t> unique(ell.rowIndices.begin(),
+                                 ell.rowIndices.end());
+        exclusive.push_back(
+            unique.size() != ell.rowIndices.size() ? 1 : 0);
+    }
+
+    engine::ParallelExecutor executor(
+        std::make_shared<engine::ThreadPool>(4));
+    auto shared = std::make_shared<BindingSet>();
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    shared->external("B_data", &b);
+    shared->external("C_data", &c);
+    core::HybSpmm compiled = core::compileSpmmHyb(a, feat, 2, -1,
+                                                  shared);
+    (void)compiled;  // binds bucket arrays into `shared`
+
+    engine::ExecOptions options;
+    options.workers = 2;  // below the 4-thread pool: wave path
+    executor.runKernels(funcs, shared->view(), options, exclusive);
+    EXPECT_TRUE(bitwiseEqual(serial, c));
+}
+
+// ---------------------------------------------------------------------
+// Session behavior
+// ---------------------------------------------------------------------
+
+TEST(Engine, ConcurrentDispatchFromManyThreads)
+{
+    Engine eng(EngineOptions{});
+    Csr a = graph::powerLawGraph(150, 1800, 1.7, 21);
+    int64_t feat = 8;
+    auto b_host = randomVector(a.cols * feat, 22);
+    auto expected = core::referenceSpmm(a, b_host, feat);
+
+    constexpr int kCallers = 4;
+    constexpr int kRounds = 3;
+    std::vector<double> worst(kCallers, 0.0);
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            for (int round = 0; round < kRounds; ++round) {
+                NDArray b = NDArray::fromFloat(b_host);
+                NDArray c({a.rows * feat}, ir::DataType::float32());
+                engine::HybConfig config;
+                config.partitions = 1 + t % 2;
+                eng.spmmHyb(a, feat, &b, &c, config);
+                for (int64_t i = 0; i < c.numel(); ++i) {
+                    worst[t] = std::max(
+                        worst[t],
+                        std::abs(expected[i] - c.floatAt(i)));
+                }
+            }
+        });
+    }
+    for (auto &caller : callers) {
+        caller.join();
+    }
+    for (int t = 0; t < kCallers; ++t) {
+        EXPECT_LT(worst[t], 1e-3) << "caller " << t;
+    }
+    auto stats = eng.stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<uint64_t>(kCallers * kRounds));
+    // Two distinct configs; later rounds must all hit.
+    EXPECT_GE(stats.cacheHits,
+              static_cast<uint64_t>(kCallers * kRounds - 2 * kCallers));
+}
+
+TEST(Engine, RgcnMatchesPerRelationReference)
+{
+    // Three relations over a small node set.
+    format::RelationalCsr graph;
+    graph.rows = 40;
+    graph.cols = 40;
+    for (int r = 0; r < 3; ++r) {
+        graph.relations.push_back(
+            randomCsr(40, 40, 0.08, 31 + r));
+    }
+    int64_t feat = 8;
+    auto x_host = randomVector(graph.cols * feat, 41);
+    auto w_host = randomVector(feat * feat, 42);
+
+    Engine eng(EngineOptions{});
+    NDArray x = NDArray::fromFloat(x_host);
+    NDArray w = NDArray::fromFloat(w_host);
+    NDArray y({graph.rows * feat}, ir::DataType::float32());
+    auto info = eng.rgcn(graph, feat, &x, &w, &y);
+    EXPECT_GE(info.numKernels, 3);
+
+    // Reference: Y = sum_r A_r @ (X @ W).
+    std::vector<float> xw(graph.cols * feat, 0.0f);
+    for (int64_t j = 0; j < graph.cols; ++j) {
+        for (int64_t l = 0; l < feat; ++l) {
+            float acc = 0.0f;
+            for (int64_t k = 0; k < feat; ++k) {
+                acc += x_host[j * feat + k] * w_host[k * feat + l];
+            }
+            xw[j * feat + l] = acc;
+        }
+    }
+    std::vector<float> expected(graph.rows * feat, 0.0f);
+    for (const Csr &rel : graph.relations) {
+        auto part = core::referenceSpmm(rel, xw, feat);
+        for (size_t i = 0; i < expected.size(); ++i) {
+            expected[i] += part[i];
+        }
+    }
+    for (int64_t i = 0; i < y.numel(); ++i) {
+        ASSERT_NEAR(expected[i], y.floatAt(i), 1e-2) << "at " << i;
+    }
+
+    // Second dispatch with different values: cache hit, same result
+    // shape of work.
+    NDArray y2({graph.rows * feat}, ir::DataType::float32());
+    auto info2 = eng.rgcn(graph, feat, &x, &w, &y2);
+    EXPECT_TRUE(info2.cacheHit);
+    EXPECT_TRUE(bitwiseEqual(y, y2));
+}
+
+TEST(BindingSet, OwnRejectsDuplicateParameter)
+{
+    BindingSet bindings;
+    bindings.own("A_data", NDArray::fromFloat({1.0f, 2.0f}));
+    EXPECT_THROW(bindings.own("A_data", NDArray::fromFloat({3.0f})),
+                 UserError);
+    // External bindings registered first are protected too.
+    NDArray ext({4}, ir::DataType::float32());
+    bindings.external("B_data", &ext);
+    EXPECT_THROW(bindings.own("B_data", NDArray::fromFloat({5.0f})),
+                 UserError);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexAndPropagatesErrors)
+{
+    engine::ThreadPool pool(4);
+    std::vector<int> hits(100, 0);
+    pool.parallelFor(100, [&](int64_t i) { hits[i] = 1; });
+    for (int h : hits) {
+        EXPECT_EQ(h, 1);
+    }
+    EXPECT_THROW(pool.parallelFor(8,
+                                  [](int64_t i) {
+                                      if (i == 3) {
+                                          throw UserError("boom");
+                                      }
+                                  }),
+                 UserError);
+}
+
+} // namespace
+} // namespace sparsetir
