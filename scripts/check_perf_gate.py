@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""CI perf gate over bench_engine_throughput's JSON output.
+
+Usage: check_perf_gate.py <bench.json> <min_backend_speedup>
+
+Fails (exit 1) when the bytecode backend's warm-dispatch speedup over
+the interpreter falls below the threshold, or when the two backends
+stopped producing bitwise-identical outputs. The JSON itself is
+uploaded as a workflow artifact so the speedup trajectory is
+trackable across commits.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, threshold = sys.argv[1], float(sys.argv[2])
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    speedup = data["backend_speedup"]
+    identical = data["bitwise_identical"]
+    print(
+        f"perf gate: interpreter {data['interpreter_warm_ms']:.2f} ms -> "
+        f"bytecode {data['bytecode_warm_ms']:.2f} ms = {speedup:.2f}x "
+        f"(threshold {threshold:.1f}x), bitwise_identical={identical}"
+    )
+    if not identical:
+        print("FAIL: backends diverged bitwise", file=sys.stderr)
+        return 1
+    if speedup < threshold:
+        print(
+            f"FAIL: backend speedup {speedup:.2f}x below the "
+            f"{threshold:.1f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,7 @@
 #include "autotune/search.h"
 
+#include <chrono>
+
 #include "baselines/vendor_constants.h"
 
 namespace sparsetir {
@@ -52,6 +54,46 @@ tuneSpmmHyb(const format::Csr &a, int64_t feat, gpusim::Device &device,
     options.parallel = false;
     engine::Engine session(options);
     return tuneSpmmHyb(a, feat, device, session, partitions);
+}
+
+HybTuneResult
+tuneSpmmHybMeasured(const format::Csr &a, int64_t feat,
+                    engine::Engine &session,
+                    const std::vector<int> &partitions, int rounds)
+{
+    USER_CHECK(rounds > 0) << "tuneSpmmHybMeasured needs rounds >= 1";
+    HybTuneResult result;
+    runtime::NDArray b({a.cols * feat}, ir::DataType::float32());
+    runtime::NDArray c({a.rows * feat}, ir::DataType::float32());
+    bool first = true;
+    for (int partition : partitions) {
+        engine::HybConfig config;
+        config.partitions = partition;
+        // Prepare once: fills the compile cache (so the timed rounds
+        // measure the warm serving path — value gather + bind + VM
+        // execution) and reports the resolved bucket cap.
+        int resolved_k =
+            session.prepareSpmmHyb(a, feat, config).bucketCapLog2;
+        auto start = std::chrono::steady_clock::now();
+        for (int round = 0; round < rounds; ++round) {
+            c.zero();
+            session.spmmHyb(a, feat, &b, &c, config);
+        }
+        double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        HybCandidate candidate;
+        candidate.c = partition;
+        candidate.k = resolved_k;
+        candidate.timeMs = elapsed_ms / rounds;
+        result.tried.push_back(candidate);
+        if (first || candidate.timeMs < result.best.timeMs) {
+            result.best = candidate;
+            first = false;
+        }
+    }
+    return result;
 }
 
 SddmmCandidate

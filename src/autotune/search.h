@@ -55,6 +55,23 @@ HybTuneResult tuneSpmmHyb(const format::Csr &a, int64_t feat,
                           const std::vector<int> &partitions = {1, 2, 4,
                                                                 8, 16});
 
+/**
+ * Host-measured search: evaluate each hyb(c) candidate by actually
+ * executing warm dispatches through `session` (bytecode VM backend
+ * by default) and timing the wall clock, instead of consulting the
+ * analytical simulator. One priming dispatch per candidate fills the
+ * compile cache so the measurement isolates the serving path the
+ * engine would really run; timeMs is the mean of `rounds` warm
+ * dispatches. Use when the serving hardware itself is the target
+ * (host latency tuning), and the simulator overload when predicting
+ * GPU behavior.
+ */
+HybTuneResult tuneSpmmHybMeasured(const format::Csr &a, int64_t feat,
+                                  engine::Engine &session,
+                                  const std::vector<int> &partitions =
+                                      {1, 2, 4, 8, 16},
+                                  int rounds = 3);
+
 /** One evaluated SDDMM schedule. */
 struct SddmmCandidate
 {

@@ -66,37 +66,53 @@ gatherValues(const std::vector<int32_t> &source_pos,
 
 // ---------------------------------------------------------------------
 // Artifacts
+//
+// Since artifact version 2 (see kArtifactVersion) every kernel is
+// cached as an engine::CompiledKernel: Stage III IR + compiled
+// bytecode program + write-set analysis (+ touched-row spans for
+// scatter kernels). Warm dispatches execute the program directly.
 // ---------------------------------------------------------------------
+
+/**
+ * Restrict a kernel's accumulated output `name` to the rows its
+ * scatter indices can touch: privatization then zeroes and folds
+ * only those spans (see executor.h).
+ */
+void
+restrictAccumSpans(CompiledKernel *kernel, const std::string &name,
+                   const std::vector<int32_t> &row_indices,
+                   int64_t row_width)
+{
+    for (AccumOutput &out : kernel->accums) {
+        if (out.name == name) {
+            out.spans = touchedRowSpans(row_indices, row_width);
+        }
+    }
+}
 
 struct SpmmCsrArtifact : Artifact
 {
-    ir::PrimFunc func;
+    CompiledKernel kernel;
     NDArray indptr;
     NDArray indices;
-    /** Cached write-set analysis (see ParallelExecutor). */
-    std::vector<std::string> accum;
 };
 
 struct SddmmArtifact : Artifact
 {
-    ir::PrimFunc func;
+    CompiledKernel kernel;
     NDArray indptr;
     NDArray indices;
-    /** Cached write-set analysis (see ParallelExecutor). */
-    std::vector<std::string> accum;
 };
 
 /** One non-empty (partition, bucket) of a cached hyb decomposition. */
 struct HybBucketData
 {
     std::string suffix;
-    ir::PrimFunc func;
+    CompiledKernel kernel;
     NDArray rowIndices;
     NDArray colIndices;
     /** Slot -> position in the source CSR values (-1: padding). */
     std::vector<int32_t> gather;
-    /** Kernel writes some output element twice (split rows). */
-    bool exclusive = false;
 };
 
 struct SpmmHybArtifact : Artifact
@@ -105,8 +121,6 @@ struct SpmmHybArtifact : Artifact
     NDArray indptr;
     NDArray indices;
     std::vector<HybBucketData> buckets;
-    /** Per-bucket cached write-set analysis, parallel to buckets. */
-    std::vector<std::vector<std::string>> accums;
 };
 
 /** One (relation, bucket) RGMS kernel of a cached RGCN layer. */
@@ -114,19 +128,15 @@ struct RgcnUnit
 {
     int relation = 0;
     std::string suffix;
-    ir::PrimFunc func;
+    CompiledKernel kernel;
     NDArray rowIndices;
     NDArray colIndices;
     std::vector<int32_t> gather;
-    /** Kernel writes some output element twice (split rows). */
-    bool exclusive = false;
 };
 
 struct RgcnArtifact : Artifact
 {
     std::vector<RgcnUnit> units;
-    /** Per-unit cached write-set analysis, parallel to units. */
-    std::vector<std::vector<std::string>> accums;
 };
 
 // ---------------------------------------------------------------------
@@ -135,33 +145,32 @@ struct RgcnArtifact : Artifact
 
 std::shared_ptr<Artifact>
 buildSpmmCsrArtifact(const Csr &a, int64_t feat,
-                     const core::SpmmSchedule &schedule)
+                     const core::SpmmSchedule &schedule,
+                     bool bytecode)
 {
     auto artifact = std::make_shared<SpmmCsrArtifact>();
-    artifact->func = core::compileSpmmCsrFunc(feat, schedule);
+    artifact->kernel = compileKernel(
+        core::compileSpmmCsrFunc(feat, schedule), bytecode);
     artifact->indptr = NDArray::fromInt32(a.indptr);
     artifact->indices = NDArray::fromInt32(a.indices);
-    artifact->accum =
-        ParallelExecutor::accumulatedParams(artifact->func);
     return artifact;
 }
 
 std::shared_ptr<Artifact>
 buildSddmmArtifact(const Csr &a, int64_t feat,
-                   const core::SddmmSchedule &schedule)
+                   const core::SddmmSchedule &schedule, bool bytecode)
 {
     auto artifact = std::make_shared<SddmmArtifact>();
-    artifact->func = core::compileSddmmFunc(feat, schedule);
+    artifact->kernel = compileKernel(
+        core::compileSddmmFunc(feat, schedule), bytecode);
     artifact->indptr = NDArray::fromInt32(a.indptr);
     artifact->indices = NDArray::fromInt32(a.indices);
-    artifact->accum =
-        ParallelExecutor::accumulatedParams(artifact->func);
     return artifact;
 }
 
 std::shared_ptr<Artifact>
 buildSpmmHybArtifact(const Csr &a, int64_t feat,
-                     const HybConfig &config)
+                     const HybConfig &config, bool bytecode)
 {
     format::Hyb hyb =
         format::hybFromCsr(a, config.partitions, config.bucketCapLog2);
@@ -178,13 +187,13 @@ buildSpmmHybArtifact(const Csr &a, int64_t feat,
             hyb.buckets[plan.partition][plan.bucket];
         HybBucketData bucket;
         bucket.suffix = plan.suffix;
-        bucket.func = plan.func;
+        bucket.kernel = compileKernel(plan.func, bytecode);
+        bucket.kernel.exclusive = hasDuplicateRows(ell.rowIndices);
+        restrictAccumSpans(&bucket.kernel, "C_data", ell.rowIndices,
+                           feat);
         bucket.rowIndices = NDArray::fromInt32(ell.rowIndices);
         bucket.colIndices = NDArray::fromInt32(ell.colIndices);
         bucket.gather = ell.sourcePos;
-        bucket.exclusive = hasDuplicateRows(ell.rowIndices);
-        artifact->accums.push_back(
-            ParallelExecutor::accumulatedParams(bucket.func));
         artifact->buckets.push_back(std::move(bucket));
     }
     return artifact;
@@ -192,7 +201,7 @@ buildSpmmHybArtifact(const Csr &a, int64_t feat,
 
 std::shared_ptr<Artifact>
 buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat,
-                  const RgcnConfig &config)
+                  const RgcnConfig &config, bool bytecode)
 {
     auto artifact = std::make_shared<RgcnArtifact>();
     for (int64_t r = 0; r < graph.numRelations(); ++r) {
@@ -212,15 +221,23 @@ buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat,
             unit.suffix =
                 "r" + std::to_string(r) + "b" + std::to_string(b);
             int rows_per_block = model::rgcnRowsPerBlock(bucket.width);
-            unit.func = core::compileEllRgmsFunc(
-                bucket.numRows(), bucket.width, feat, feat,
-                unit.suffix, config.tensorCores, rows_per_block);
+            unit.kernel = compileKernel(
+                core::compileEllRgmsFunc(bucket.numRows(),
+                                         bucket.width, feat, feat,
+                                         unit.suffix,
+                                         config.tensorCores,
+                                         rows_per_block),
+                bytecode);
+            unit.kernel.exclusive =
+                hasDuplicateRows(bucket.rowIndices);
+            // A unit touches only its bucket's rows of Y; on
+            // many-relation graphs this trims the per-unit zero/fold
+            // from the whole output to a few percent of it.
+            restrictAccumSpans(&unit.kernel, "Y_data",
+                               bucket.rowIndices, feat);
             unit.rowIndices = NDArray::fromInt32(bucket.rowIndices);
             unit.colIndices = NDArray::fromInt32(bucket.colIndices);
             unit.gather = bucket.sourcePos;
-            unit.exclusive = hasDuplicateRows(bucket.rowIndices);
-            artifact->accums.push_back(
-                ParallelExecutor::accumulatedParams(unit.func));
             artifact->units.push_back(std::move(unit));
         }
     }
@@ -354,6 +371,7 @@ Engine::execOptions() const
     ExecOptions exec;
     exec.parallel = options_.parallel;
     exec.minBlocksPerChunk = options_.minBlocksPerChunk;
+    exec.backend = options_.backend;
     return exec;
 }
 
@@ -399,7 +417,10 @@ Engine::spmmCsr(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SpmmCsrArtifact>(
         resolve(spmmCsrKey(a, feat, schedule),
-                [&] { return buildSpmmCsrArtifact(a, feat, schedule); },
+                [&] {
+                    return buildSpmmCsrArtifact(a, feat, schedule,
+                                                usesBytecode());
+                },
                 &info));
 
     auto bind_start = std::chrono::steady_clock::now();
@@ -415,8 +436,8 @@ Engine::spmmCsr(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     bindings.external("C_data", c);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernel(artifact->func, bindings.view(), execOptions(),
-                        &artifact->accum);
+    executor_.runKernel(artifact->kernel, bindings.view(),
+                        execOptions());
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
@@ -431,7 +452,10 @@ Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
         resolve(spmmHybKey(a, feat, config),
-                [&] { return buildSpmmHybArtifact(a, feat, config); },
+                [&] {
+                    return buildSpmmHybArtifact(a, feat, config,
+                                                usesBytecode());
+                },
                 &info));
 
     auto bind_start = std::chrono::steady_clock::now();
@@ -442,21 +466,17 @@ Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
         bindSpmmHyb(*artifact, a, feat, /*for_simulation=*/false);
     shared->external("B_data", b);
     shared->external("C_data", c);
-    std::vector<ir::PrimFunc> funcs;
-    std::vector<uint8_t> exclusive;
-    funcs.reserve(artifact->buckets.size());
-    exclusive.reserve(artifact->buckets.size());
+    std::vector<const CompiledKernel *> kernels;
+    kernels.reserve(artifact->buckets.size());
     for (const HybBucketData &bucket : artifact->buckets) {
-        funcs.push_back(bucket.func);
-        exclusive.push_back(bucket.exclusive ? 1 : 0);
+        kernels.push_back(&bucket.kernel);
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernels(funcs, shared->view(), execOptions(),
-                         exclusive, &artifact->accums);
+    executor_.runKernels(kernels, shared->view(), execOptions());
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
-    info.numKernels = static_cast<int>(funcs.size());
+    info.numKernels = static_cast<int>(kernels.size());
     finishDispatch(info);
     return info;
 }
@@ -468,7 +488,10 @@ Engine::sddmm(const Csr &a, int64_t feat, NDArray *x, NDArray *y,
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SddmmArtifact>(
         resolve(sddmmKey(a, feat, schedule),
-                [&] { return buildSddmmArtifact(a, feat, schedule); },
+                [&] {
+                    return buildSddmmArtifact(a, feat, schedule,
+                                              usesBytecode());
+                },
                 &info));
 
     auto bind_start = std::chrono::steady_clock::now();
@@ -485,8 +508,8 @@ Engine::sddmm(const Csr &a, int64_t feat, NDArray *x, NDArray *y,
     bindings.external("B_data", out);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernel(artifact->func, bindings.view(), execOptions(),
-                        &artifact->accum);
+    executor_.runKernel(artifact->kernel, bindings.view(),
+                        execOptions());
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
@@ -502,7 +525,10 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t feat,
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<RgcnArtifact>(
         resolve(rgcnKey(graph, feat, config),
-                [&] { return buildRgcnArtifact(graph, feat, config); },
+                [&] {
+                    return buildRgcnArtifact(graph, feat, config,
+                                             usesBytecode());
+                },
                 &info));
 
     auto bind_start = std::chrono::steady_clock::now();
@@ -514,10 +540,8 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t feat,
     bindings.external("X_data", x);
     bindings.external("W_data", w);
     bindings.external("Y_data", y);
-    std::vector<ir::PrimFunc> funcs;
-    std::vector<uint8_t> exclusive;
-    funcs.reserve(artifact->units.size());
-    exclusive.reserve(artifact->units.size());
+    std::vector<const CompiledKernel *> kernels;
+    kernels.reserve(artifact->units.size());
     for (RgcnUnit &unit : artifact->units) {
         bindings.external(core::ellRowIndicesParam(unit.suffix),
                           &unit.rowIndices);
@@ -527,16 +551,14 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t feat,
                      NDArray::fromFloat(gatherValues(
                          unit.gather,
                          graph.relations[unit.relation].values)));
-        funcs.push_back(unit.func);
-        exclusive.push_back(unit.exclusive ? 1 : 0);
+        kernels.push_back(&unit.kernel);
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernels(funcs, bindings.view(), execOptions(),
-                         exclusive, &artifact->accums);
+    executor_.runKernels(kernels, bindings.view(), execOptions());
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
-    info.numKernels = static_cast<int>(funcs.size());
+    info.numKernels = static_cast<int>(kernels.size());
     finishDispatch(info);
     return info;
 }
@@ -548,7 +570,10 @@ Engine::prepareSpmmHyb(const Csr &a, int64_t feat,
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
         resolve(spmmHybKey(a, feat, config),
-                [&] { return buildSpmmHybArtifact(a, feat, config); },
+                [&] {
+                    return buildSpmmHybArtifact(a, feat, config,
+                                                usesBytecode());
+                },
                 &info));
     finishDispatch(info);
 
@@ -560,7 +585,7 @@ Engine::prepareSpmmHyb(const Csr &a, int64_t feat,
         bindSpmmHyb(*artifact, a, feat, /*for_simulation=*/true);
     for (const HybBucketData &bucket : artifact->buckets) {
         prepared.kernels.push_back(std::make_shared<core::BoundKernel>(
-            bucket.func, prepared.bindings));
+            bucket.kernel.func, prepared.bindings));
     }
     return prepared;
 }

@@ -5,11 +5,13 @@
  * A session owns a CompileCache, a ThreadPool and a ParallelExecutor
  * and exposes one-call operator dispatch (spmmCsr / spmmHyb / sddmm /
  * rgcn). Each dispatch fingerprints the request (operator, sparsity
- * structure, schedule parameters, feature dim), reuses the compiled
- * kernel artifact on a hit — skipping Stage I -> III lowering and
- * re-bucketing entirely — binds the request's values (via the
- * formats' provenance maps) and executes with deterministic
- * parallelism (see executor.h).
+ * structure, schedule parameters, feature dim, artifact version),
+ * reuses the compiled kernel artifact on a hit — skipping Stage I ->
+ * III lowering, bytecode compilation and re-bucketing entirely —
+ * binds the request's values (via the formats' provenance maps) and
+ * executes with deterministic parallelism (see executor.h). Cached
+ * artifacts carry engine::CompiledKernel units: Stage III IR plus
+ * the register-bytecode program the VM executes on warm dispatches.
  *
  * Thread-safety contract: an Engine may be shared by any number of
  * request threads. Artifacts are immutable after construction; every
@@ -49,6 +51,13 @@ struct EngineOptions
     bool parallel = true;
     /** Grid-splitting granularity floor (see ExecOptions). */
     int64_t minBlocksPerChunk = 8;
+    /**
+     * Host backend for kernel execution. Bytecode is the serving
+     * path (artifacts cache compiled programs; warm dispatches run
+     * the VM); the interpreter is the bitwise-identical reference
+     * oracle used by differential tests and benchmarks.
+     */
+    runtime::Backend backend = runtime::Backend::kBytecode;
 };
 
 /** Outcome of one dispatch. */
@@ -175,6 +184,13 @@ class Engine
     void finishDispatch(const DispatchInfo &info);
 
     ExecOptions execOptions() const;
+
+    /** Whether artifacts should carry compiled bytecode programs. */
+    bool
+    usesBytecode() const
+    {
+        return options_.backend == runtime::Backend::kBytecode;
+    }
 
     EngineOptions options_;
     std::shared_ptr<ThreadPool> pool_;

@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <unordered_set>
 
@@ -8,6 +9,8 @@
 #include "ir/expr.h"
 #include "ir/functor.h"
 #include "ir/structural_equal.h"
+#include "runtime/bytecode/compiler.h"
+#include "runtime/bytecode/vm.h"
 #include "support/logging.h"
 
 namespace sparsetir {
@@ -139,84 +142,212 @@ class AccumFinder : public StmtVisitor
     std::set<std::string> found_;
 };
 
-/**
- * Accumulated outputs of one task, privatized: name -> zeroed private
- * array shadowing the shared binding.
- */
-struct Privatized
+/** Zero the spans of an array (all of it when spans is empty). */
+void
+zeroSpans(NDArray *array, const std::vector<Span> &spans)
 {
-    std::vector<std::string> names;
-    /** Parallel to names. deque-free: stable since sized up front. */
-    std::vector<NDArray> arrays;
-};
-
-/**
- * Build task-local bindings where each accumulated output named in
- * `accum` (and float-typed — integer outputs are never privatized; see
- * caller guards) is replaced by a private zero-filled copy.
- */
-Bindings
-privatize(const Bindings &shared, const std::vector<std::string> &accum,
-          Privatized *storage)
-{
-    Bindings local = shared;
-    storage->names.reserve(accum.size());
-    storage->arrays.reserve(accum.size());
-    for (const std::string &name : accum) {
-        auto it = shared.arrays.find(name);
-        ICHECK(it != shared.arrays.end());
-        const NDArray &orig = *it->second;
-        storage->names.push_back(name);
-        storage->arrays.emplace_back(orig.shape(), orig.dtype());
-        local.arrays[name] = &storage->arrays.back();
+    if (spans.empty()) {
+        array->zero();
+        return;
     }
-    return local;
+    unsigned char *base = static_cast<unsigned char *>(array->rawData());
+    int elem = array->elemBytes();
+    for (const Span &span : spans) {
+        // Spans come from the artifact; the scratch buffer is sized
+        // from the caller's binding. An undersized output must fail
+        // here like any bounds-checked access, not scribble.
+        ICHECK_GE(span.first, 0);
+        ICHECK_LE(span.second, array->numel())
+            << "write-set span exceeds the bound output array "
+               "(undersized output binding?)";
+        std::memset(base + span.first * elem, 0,
+                    static_cast<size_t>(span.second - span.first) *
+                        elem);
+    }
 }
 
-/** Fold a private accumulator into the shared array element-wise. */
+/**
+ * Fold a private accumulator into the shared array element-wise over
+ * the given spans (whole array when empty).
+ */
 void
-foldInto(NDArray *shared, const NDArray &priv)
+foldInto(NDArray *shared, const NDArray &priv,
+         const std::vector<Span> &spans)
 {
     ICHECK_EQ(shared->numel(), priv.numel());
-    int64_t n = shared->numel();
-    if (shared->dtype().isFloat()) {
-        for (int64_t i = 0; i < n; ++i) {
-            shared->setFloat(i, shared->floatAt(i) + priv.floatAt(i));
+    auto fold_range = [&](int64_t begin, int64_t end) {
+        if (shared->dtype().isFloat()) {
+            for (int64_t i = begin; i < end; ++i) {
+                shared->setFloat(i,
+                                 shared->floatAt(i) + priv.floatAt(i));
+            }
+        } else {
+            for (int64_t i = begin; i < end; ++i) {
+                shared->setInt(i, shared->intAt(i) + priv.intAt(i));
+            }
         }
-    } else {
-        for (int64_t i = 0; i < n; ++i) {
-            shared->setInt(i, shared->intAt(i) + priv.intAt(i));
-        }
+    };
+    if (spans.empty()) {
+        fold_range(0, shared->numel());
+        return;
+    }
+    for (const Span &span : spans) {
+        fold_range(span.first, span.second);
     }
 }
 
-/**
- * Accumulated params that are actually bound in this request. An
- * accumulated buffer the caller did not bind would fault inside the
- * interpreter anyway; filtering keeps privatization aligned with the
- * lazy-binding convention. `precomputed`, when non-null, is the
- * cached result of accumulatedParams(func).
- */
-std::vector<std::string>
-boundAccumulated(const PrimFunc &func, const Bindings &bindings,
-                 const std::vector<std::string> *precomputed)
+/** Execute one kernel (optionally windowed) on the chosen backend. */
+void
+execOne(const CompiledKernel &kernel, const Bindings &bindings,
+        const ExecOptions &options,
+        const runtime::RunOptions &window = runtime::RunOptions())
 {
-    std::vector<std::string> all;
-    if (precomputed == nullptr) {
-        all = ParallelExecutor::accumulatedParams(func);
+    runtime::RunOptions run = window;
+    run.backend = options.backend;
+    if (options.backend == runtime::Backend::kBytecode &&
+        kernel.program != nullptr) {
+        runtime::bytecode::execute(*kernel.program, bindings, run);
+        return;
     }
-    const std::vector<std::string> &names =
-        precomputed != nullptr ? *precomputed : all;
-    std::vector<std::string> result;
-    for (const std::string &name : names) {
-        if (bindings.arrays.count(name)) {
-            result.push_back(name);
-        }
-    }
-    return result;
+    runtime::run(kernel.func, bindings, run);
 }
 
 } // namespace
+
+CompiledKernel
+compileKernel(const ir::PrimFunc &func, bool with_program,
+              bool analyze_accums)
+{
+    CompiledKernel kernel;
+    kernel.func = func;
+    if (with_program) {
+        kernel.program = runtime::bytecode::programFor(func);
+    }
+    if (analyze_accums) {
+        for (std::string &name :
+             ParallelExecutor::accumulatedParams(func)) {
+            AccumOutput out;
+            out.name = std::move(name);
+            kernel.accums.push_back(std::move(out));
+        }
+    }
+    return kernel;
+}
+
+std::vector<Span>
+touchedRowSpans(const std::vector<int32_t> &rows, int64_t row_width)
+{
+    std::vector<int32_t> sorted(rows);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                 sorted.end());
+    std::vector<Span> spans;
+    for (size_t i = 0; i < sorted.size();) {
+        size_t j = i + 1;
+        while (j < sorted.size() &&
+               sorted[j] == sorted[j - 1] + 1) {
+            ++j;
+        }
+        spans.emplace_back(
+            static_cast<int64_t>(sorted[i]) * row_width,
+            (static_cast<int64_t>(sorted[j - 1]) + 1) * row_width);
+        i = j;
+    }
+    return spans;
+}
+
+// ---------------------------------------------------------------------
+// ScratchPool
+// ---------------------------------------------------------------------
+
+namespace {
+
+int64_t
+arrayBytes(const NDArray &array)
+{
+    return array.numel() * array.elemBytes();
+}
+
+} // namespace
+
+ParallelExecutor::ScratchPool::Lease
+ParallelExecutor::ScratchPool::acquire(int64_t numel,
+                                       ir::DataType dtype)
+{
+    Key key{numel,
+            (static_cast<uint64_t>(dtype.code()) << 32) |
+                (static_cast<uint64_t>(dtype.bits()) << 16) |
+                static_cast<uint64_t>(dtype.lanes())};
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_.find(key);
+    if (it != free_.end() && !it->second.empty()) {
+        std::unique_ptr<NDArray> array =
+            std::move(it->second.back().array);
+        it->second.pop_back();
+        freeBytes_ -= arrayBytes(*array);
+        NDArray *raw = array.release();
+        leased_[raw] = key;
+        return Lease{raw, /*fresh=*/false};
+    }
+    auto array = std::make_unique<NDArray>(
+        std::vector<int64_t>{numel}, dtype);
+    NDArray *raw = array.release();
+    leased_[raw] = key;
+    return Lease{raw, /*fresh=*/true};
+}
+
+void
+ParallelExecutor::ScratchPool::evictOldestLocked()
+{
+    auto oldest = free_.end();
+    for (auto it = free_.begin(); it != free_.end();) {
+        if (it->second.empty()) {
+            it = free_.erase(it);
+            continue;
+        }
+        // Entries within a key are release-ordered, so the front is
+        // that key's oldest; compare fronts across keys.
+        if (oldest == free_.end() ||
+            it->second.front().seq < oldest->second.front().seq) {
+            oldest = it;
+        }
+        ++it;
+    }
+    if (oldest == free_.end()) {
+        return;
+    }
+    freeBytes_ -= arrayBytes(*oldest->second.front().array);
+    oldest->second.erase(oldest->second.begin());
+}
+
+void
+ParallelExecutor::ScratchPool::release(NDArray *array)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = leased_.find(array);
+    ICHECK(it != leased_.end())
+        << "scratch release of an array the pool did not lease";
+    std::unique_ptr<NDArray> owned(array);
+    Key key = it->second;
+    leased_.erase(it);
+    int64_t bytes = arrayBytes(*owned);
+    if (bytes > kMaxFreeBytes) {
+        return;  // larger than the whole budget: never retainable,
+                 // and evicting the warm pool for it would be waste
+    }
+    // Make room by evicting least-recently-released buffers, so a
+    // workload shift to new shapes displaces stale buffers instead
+    // of being locked out of the pool by them.
+    while (freeBytes_ + bytes > kMaxFreeBytes && !free_.empty()) {
+        evictOldestLocked();
+    }
+    freeBytes_ += bytes;
+    free_[key].push_back(FreeEntry{std::move(owned), seq_++});
+}
+
+// ---------------------------------------------------------------------
+// ParallelExecutor
+// ---------------------------------------------------------------------
 
 ParallelExecutor::ParallelExecutor(std::shared_ptr<ThreadPool> pool)
     : pool_(std::move(pool))
@@ -235,92 +366,150 @@ ParallelExecutor::accumulatedParams(const PrimFunc &func)
                                     finder.found().end());
 }
 
+Bindings
+ParallelExecutor::privatize(const CompiledKernel &kernel,
+                            const Bindings &shared,
+                            std::vector<Private> *privates) const
+{
+    Bindings local = shared;
+    for (const AccumOutput &out : kernel.accums) {
+        // Lazy-binding convention: an accumulated buffer the caller
+        // did not bind would fault on access anyway.
+        auto it = shared.arrays.find(out.name);
+        if (it == shared.arrays.end()) {
+            continue;
+        }
+        const NDArray &orig = *it->second;
+        // Spans come from the artifact; the output array from the
+        // caller. An undersized binding must fail here with a
+        // binding diagnostic, not later as a VM bounds fault.
+        if (!out.spans.empty()) {
+            ICHECK_LE(out.spans.back().second, orig.numel())
+                << "write-set span of '" << out.name
+                << "' exceeds the bound output array (undersized "
+                   "output binding?)";
+        }
+        ScratchPool::Lease lease =
+            scratch_.acquire(orig.numel(), orig.dtype());
+        // Record the lease before any step that can throw, so the
+        // caller's cleanup path can release it.
+        privates->push_back(Private{out.name, lease.array, &out.spans});
+        if (!lease.fresh) {
+            // Zero exactly what will be folded; the rest of a reused
+            // buffer is never read.
+            zeroSpans(lease.array, out.spans);
+        }
+        local.arrays[out.name] = lease.array;
+    }
+    return local;
+}
+
 void
-ParallelExecutor::runKernel(const PrimFunc &func,
+ParallelExecutor::foldAndRelease(const Bindings &shared,
+                                 std::vector<Private> *privates) const
+{
+    for (Private &priv : *privates) {
+        NDArray *target = shared.arrays.at(priv.name);
+        foldInto(target, *priv.array, *priv.spans);
+        scratch_.release(priv.array);
+        priv.array = nullptr;
+    }
+    privates->clear();
+}
+
+void
+ParallelExecutor::releaseAll(
+    std::vector<std::vector<Private>> *privates) const
+{
+    for (auto &group : *privates) {
+        for (Private &priv : group) {
+            if (priv.array != nullptr) {
+                scratch_.release(priv.array);
+                priv.array = nullptr;
+            }
+        }
+        group.clear();
+    }
+}
+
+void
+ParallelExecutor::runKernel(const CompiledKernel &kernel,
                             const Bindings &bindings,
-                            const ExecOptions &options,
-                            const std::vector<std::string> *accum_pre)
-    const
+                            const ExecOptions &options) const
 {
     int workers = options.workers > 0
                       ? std::min(options.workers, pool_->size())
                       : pool_->size();
-    if (!options.parallel || workers <= 1) {
-        runtime::run(func, bindings);
+    // An exclusive kernel may write one element twice; both writes
+    // inside one chunk's private would fold as pre + (a1 + a2) where
+    // serial computed ((pre + a1) + a2), so it must not be split.
+    if (!options.parallel || workers <= 1 || kernel.exclusive) {
+        execOne(kernel, bindings, options);
         return;
     }
-    runtime::LaunchInfo info = runtime::launchInfo(func, bindings);
+    runtime::LaunchInfo info =
+        runtime::launchInfo(kernel.func, bindings);
     int64_t min_chunk = std::max<int64_t>(options.minBlocksPerChunk, 1);
     int64_t chunks =
         info.hasBlockIdx
             ? std::min<int64_t>(workers, info.blockExtent / min_chunk)
             : 0;
     if (chunks < 2) {
-        runtime::run(func, bindings);
+        execOne(kernel, bindings, options);
         return;
     }
 
-    std::vector<std::string> accum =
-        boundAccumulated(func, bindings, accum_pre);
-    std::vector<Privatized> privates(chunks);
+    // Chunk windows cover the kernel's whole write set between them,
+    // so privatization uses the kernel-level spans.
+    std::vector<std::vector<Private>> privates(chunks);
     std::vector<Bindings> locals;
     locals.reserve(chunks);
     std::vector<runtime::RunOptions> windows(chunks);
-    int64_t base = info.blockExtent / chunks;
-    int64_t rem = info.blockExtent % chunks;
-    int64_t begin = 0;
-    for (int64_t c = 0; c < chunks; ++c) {
-        int64_t extent = base + (c < rem ? 1 : 0);
-        windows[c].blockBegin = begin;
-        windows[c].blockEnd = begin + extent;
-        begin += extent;
-        locals.push_back(privatize(bindings, accum, &privates[c]));
-    }
-
-    pool_->parallelFor(chunks, [&](int64_t c) {
-        runtime::run(func, locals[c], windows[c]);
-    });
-
-    // Fold privates in chunk order: per element this replays the
-    // serial order of block contributions.
-    for (size_t a = 0; a < accum.size(); ++a) {
-        NDArray *shared = bindings.arrays.at(accum[a]);
+    try {
+        int64_t base = info.blockExtent / chunks;
+        int64_t rem = info.blockExtent % chunks;
+        int64_t begin = 0;
         for (int64_t c = 0; c < chunks; ++c) {
-            foldInto(shared, privates[c].arrays[a]);
+            int64_t extent = base + (c < rem ? 1 : 0);
+            windows[c].blockBegin = begin;
+            windows[c].blockEnd = begin + extent;
+            begin += extent;
+            locals.push_back(
+                privatize(kernel, bindings, &privates[c]));
         }
+        pool_->parallelFor(chunks, [&](int64_t c) {
+            execOne(kernel, locals[c], options, windows[c]);
+        });
+        // Fold privates in chunk order: per element this replays the
+        // serial order of block contributions.
+        for (int64_t c = 0; c < chunks; ++c) {
+            foldAndRelease(bindings, &privates[c]);
+        }
+    } catch (...) {
+        releaseAll(&privates);
+        throw;
     }
 }
 
 void
 ParallelExecutor::runKernels(
-    const std::vector<PrimFunc> &funcs, const Bindings &bindings,
-    const ExecOptions &options, const std::vector<uint8_t> &exclusive,
-    const std::vector<std::vector<std::string>> *accums) const
+    const std::vector<const CompiledKernel *> &kernels,
+    const Bindings &bindings, const ExecOptions &options) const
 {
-    ICHECK(exclusive.empty() || exclusive.size() == funcs.size())
-        << "exclusive mask does not match kernel count";
-    ICHECK(accums == nullptr || accums->size() == funcs.size())
-        << "precomputed accumulation lists do not match kernel count";
     int workers = options.workers > 0
                       ? std::min(options.workers, pool_->size())
                       : pool_->size();
     if (!options.parallel || workers <= 1) {
-        for (const PrimFunc &func : funcs) {
-            runtime::run(func, bindings);
+        for (const CompiledKernel *kernel : kernels) {
+            execOne(*kernel, bindings, options);
         }
         return;
     }
-    if (funcs.size() == 1) {
-        // A lone non-exclusive kernel still gets grid-level
-        // parallelism (each output element is written at most once,
-        // so window splitting is bitwise-safe); an exclusive one
-        // must stay serial.
-        if (!exclusive.empty() && exclusive[0]) {
-            runtime::run(funcs[0], bindings);
-        } else {
-            runKernel(funcs[0], bindings, options,
-                      accums != nullptr ? &(*accums)[0] : nullptr);
-        }
+    if (kernels.size() == 1) {
+        // A lone kernel still gets grid-level parallelism (window
+        // splitting is bitwise-safe for non-exclusive kernels;
+        // runKernel keeps exclusive ones serial).
+        runKernel(*kernels[0], bindings, options);
         return;
     }
 
@@ -336,58 +525,119 @@ ParallelExecutor::runKernels(
         if (n == 1) {
             // Sole kernel of its batch: grid-split it instead of
             // running serially (non-exclusive by construction).
-            runKernel(funcs[begin], bindings, options,
-                      accums != nullptr ? &(*accums)[begin] : nullptr);
+            runKernel(*kernels[begin], bindings, options);
             return;
         }
-        std::vector<std::vector<std::string>> accum(n);
-        std::vector<Privatized> privates(n);
+        std::vector<std::vector<Private>> privates(n);
         std::vector<Bindings> locals;
         locals.reserve(n);
-        for (int64_t i = 0; i < n; ++i) {
-            accum[i] = boundAccumulated(
-                funcs[begin + i], bindings,
-                accums != nullptr ? &(*accums)[begin + i] : nullptr);
-            locals.push_back(
-                privatize(bindings, accum[i], &privates[i]));
-        }
-        if (workers >= pool_->size()) {
-            // No per-call cap below pool capacity: enqueue the whole
-            // batch, the pool bounds concurrency.
-            pool_->parallelFor(n, [&](int64_t i) {
-                runtime::run(funcs[begin + i], locals[i]);
+        auto run_wave = [&](int64_t wave_begin, int64_t count) {
+            pool_->parallelFor(count, [&](int64_t j) {
+                execOne(*kernels[begin + wave_begin + j],
+                        locals[wave_begin + j], options);
             });
-        } else {
-            // Honor the per-call worker cap (options.workers) by
-            // fanning out in waves of at most `workers` kernels.
-            for (int64_t wave = 0; wave < n; wave += workers) {
-                int64_t count = std::min<int64_t>(workers, n - wave);
-                pool_->parallelFor(count, [&](int64_t j) {
-                    runtime::run(funcs[begin + wave + j],
-                                 locals[wave + j]);
-                });
+        };
+        try {
+            for (int64_t i = 0; i < n; ++i) {
+                locals.push_back(privatize(*kernels[begin + i],
+                                           bindings, &privates[i]));
             }
-        }
-        for (int64_t i = 0; i < n; ++i) {
-            for (size_t a = 0; a < accum[i].size(); ++a) {
-                NDArray *shared = bindings.arrays.at(accum[i][a]);
-                foldInto(shared, privates[i].arrays[a]);
+            if (workers >= pool_->size()) {
+                // No per-call cap below pool capacity: enqueue the
+                // whole batch, the pool bounds concurrency.
+                run_wave(0, n);
+            } else {
+                // Honor the per-call worker cap (options.workers) by
+                // fanning out in waves of at most `workers` kernels.
+                for (int64_t wave = 0; wave < n; wave += workers) {
+                    run_wave(wave,
+                             std::min<int64_t>(workers, n - wave));
+                }
             }
+            for (int64_t i = 0; i < n; ++i) {
+                foldAndRelease(bindings, &privates[i]);
+            }
+        } catch (...) {
+            releaseAll(&privates);
+            throw;
         }
     };
 
-    int64_t total = static_cast<int64_t>(funcs.size());
+    int64_t total = static_cast<int64_t>(kernels.size());
     int64_t batch_begin = 0;
     for (int64_t i = 0; i < total; ++i) {
-        if (!exclusive.empty() && exclusive[i]) {
+        if (kernels[i]->exclusive) {
             run_batch(batch_begin, i);
             // Exclusive kernels observe the true pre-values, so they
             // run at their serial position on shared storage.
-            runtime::run(funcs[i], bindings);
+            execOne(*kernels[i], bindings, options);
             batch_begin = i + 1;
         }
     }
     run_batch(batch_begin, total);
+}
+
+// ---------------------------------------------------------------------
+// Raw-PrimFunc convenience overloads
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** One-off CompiledKernel with an optional precomputed accum list. */
+CompiledKernel
+transientKernel(const PrimFunc &func, const ExecOptions &options,
+                const std::vector<std::string> *accum)
+{
+    CompiledKernel kernel = compileKernel(
+        func, options.backend == runtime::Backend::kBytecode,
+        /*analyze_accums=*/accum == nullptr);
+    if (accum != nullptr) {
+        for (const std::string &name : *accum) {
+            AccumOutput out;
+            out.name = name;
+            kernel.accums.push_back(std::move(out));
+        }
+    }
+    return kernel;
+}
+
+} // namespace
+
+void
+ParallelExecutor::runKernel(const PrimFunc &func,
+                            const Bindings &bindings,
+                            const ExecOptions &options,
+                            const std::vector<std::string> *accum) const
+{
+    runKernel(transientKernel(func, options, accum), bindings,
+              options);
+}
+
+void
+ParallelExecutor::runKernels(
+    const std::vector<PrimFunc> &funcs, const Bindings &bindings,
+    const ExecOptions &options, const std::vector<uint8_t> &exclusive,
+    const std::vector<std::vector<std::string>> *accums) const
+{
+    ICHECK(exclusive.empty() || exclusive.size() == funcs.size())
+        << "exclusive mask does not match kernel count";
+    ICHECK(accums == nullptr || accums->size() == funcs.size())
+        << "precomputed accumulation lists do not match kernel count";
+    std::vector<CompiledKernel> owned;
+    owned.reserve(funcs.size());
+    for (size_t i = 0; i < funcs.size(); ++i) {
+        owned.push_back(transientKernel(
+            funcs[i], options,
+            accums != nullptr ? &(*accums)[i] : nullptr));
+        owned.back().exclusive =
+            !exclusive.empty() && exclusive[i] != 0;
+    }
+    std::vector<const CompiledKernel *> pointers;
+    pointers.reserve(owned.size());
+    for (const CompiledKernel &kernel : owned) {
+        pointers.push_back(&kernel);
+    }
+    runKernels(pointers, bindings, options);
 }
 
 } // namespace engine

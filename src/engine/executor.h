@@ -1,15 +1,17 @@
 /**
  * @file
  * Deterministic parallel execution of lowered kernels on the host
- * interpreter.
+ * backends (bytecode VM by default, tree-walking interpreter as the
+ * reference oracle).
  *
  * Two axes of parallelism, both preserving the serial interpreter's
  * results exactly (bitwise, up to IEEE signed-zero identity):
  *
  *  - runKernel: one kernel's outermost blockIdx.x loop is split into
- *    contiguous chunks executed on worker threads. Plain (overwrite)
- *    stores to bound buffers are per-block disjoint by the lowering
- *    contract, so chunks write shared storage directly.
+ *    contiguous chunks executed on worker threads — one VM instance
+ *    per block window over the kernel's shared Program. Plain
+ *    (overwrite) stores to bound buffers are per-block disjoint by
+ *    the lowering contract, so chunks write shared storage directly.
  *    Read-modify-write outputs (cache_write accumulate, rfactor
  *    write-back, atomic_add) are privatized: each chunk accumulates
  *    into a private zero copy, and the privates are folded into the
@@ -37,6 +39,13 @@
  * and runKernels executes them at their exact list position directly
  * on shared storage, parallelizing the kernels between them.
  *
+ * Privatization cost is bounded by each kernel's write set, not the
+ * output size: a CompiledKernel's AccumOutput may carry the element
+ * spans the kernel can touch (the engine derives them from scatter
+ * row indices), and the executor then zeroes and folds only those
+ * spans of a pooled scratch buffer. A unit touching 2% of the rows
+ * pays 2% of the zero/fold work and no allocation on warm dispatches.
+ *
  * The write-set classification is computed from the IR, not trusted
  * from callers: accumulatedParams() scans for read-modify-write
  * stores and atomic_add calls on parameter-bound buffers.
@@ -45,13 +54,18 @@
 #ifndef SPARSETIR_ENGINE_EXECUTOR_H_
 #define SPARSETIR_ENGINE_EXECUTOR_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/thread_pool.h"
 #include "ir/prim_func.h"
+#include "runtime/bytecode/program.h"
 #include "runtime/interpreter.h"
+#include "runtime/ndarray.h"
 
 namespace sparsetir {
 namespace engine {
@@ -65,7 +79,67 @@ struct ExecOptions
     int64_t minBlocksPerChunk = 8;
     /** Master switch; false forces serial in-order execution. */
     bool parallel = true;
+    /** Host backend kernels execute on. */
+    runtime::Backend backend = runtime::Backend::kBytecode;
 };
+
+/** Element range [begin, end) of a flat buffer. */
+using Span = std::pair<int64_t, int64_t>;
+
+/** One read-modify-write output of a kernel. */
+struct AccumOutput
+{
+    /** Parameter name of the accumulated buffer. */
+    std::string name;
+    /**
+     * Sorted, disjoint element spans the kernel can write; empty
+     * means the whole array. Privatization zeroes and folds only
+     * these spans, so they MUST cover every element the kernel
+     * updates (the engine derives them from scatter row indices).
+     */
+    std::vector<Span> spans;
+};
+
+/**
+ * A kernel in executable form: Stage III IR plus the compiled
+ * bytecode program and the cached write-set analysis. This is the
+ * unit engine artifacts cache — warm dispatches reuse the program
+ * and analysis without touching the IR.
+ */
+struct CompiledKernel
+{
+    ir::PrimFunc func;
+    /** Null when the function is not bytecode-compilable. */
+    std::shared_ptr<const runtime::bytecode::Program> program;
+    /** Accumulated outputs (see accumulatedParams). */
+    std::vector<AccumOutput> accums;
+    /**
+     * Kernel may write one output element more than once; it then
+     * runs serially at its list position (see file comment).
+     */
+    bool exclusive = false;
+};
+
+/**
+ * Compile `func` for execution: bytecode program (interpreter-only
+ * functions get a null program and fall back transparently) plus the
+ * write-set analysis, with whole-array spans. Pass `with_program` =
+ * false for interpreter-backend sessions to skip bytecode
+ * compilation for programs they will never execute, and
+ * `analyze_accums` = false when the caller supplies a precomputed
+ * write-set list (skips the IR walk).
+ */
+CompiledKernel compileKernel(const ir::PrimFunc &func,
+                             bool with_program = true,
+                             bool analyze_accums = true);
+
+/**
+ * Element spans of `rows` (a scatter-target row list, duplicates
+ * allowed) over a row-major output with `row_width` elements per
+ * row: sorted, merged, disjoint.
+ */
+std::vector<Span> touchedRowSpans(const std::vector<int32_t> &rows,
+                                  int64_t row_width);
 
 class ParallelExecutor
 {
@@ -81,11 +155,24 @@ class ParallelExecutor
     static std::vector<std::string>
     accumulatedParams(const ir::PrimFunc &func);
 
+    /** Execute one kernel, splitting its blockIdx range if profitable. */
+    void runKernel(const CompiledKernel &kernel,
+                   const runtime::Bindings &bindings,
+                   const ExecOptions &options = ExecOptions()) const;
+
     /**
-     * Execute one kernel, splitting its blockIdx range if profitable.
-     * `accum`, when non-null, is the precomputed accumulatedParams()
-     * of `func` (artifact caches store it so warm dispatches skip
-     * the IR walk); null recomputes it on the fly.
+     * Execute a batch of kernels over shared bindings. Results are
+     * bitwise identical to running the kernels serially in list
+     * order; exclusive kernels run serially at their list position.
+     */
+    void runKernels(const std::vector<const CompiledKernel *> &kernels,
+                    const runtime::Bindings &bindings,
+                    const ExecOptions &options = ExecOptions()) const;
+
+    /**
+     * Convenience overload: compile-and-run one function. `accum`,
+     * when non-null, is the precomputed accumulatedParams() of
+     * `func`; null recomputes it on the fly.
      */
     void runKernel(const ir::PrimFunc &func,
                    const runtime::Bindings &bindings,
@@ -93,13 +180,9 @@ class ParallelExecutor
                    const std::vector<std::string> *accum = nullptr) const;
 
     /**
-     * Execute a batch of kernels over shared bindings. Results are
-     * bitwise identical to running the kernels serially in list
-     * order. `exclusive`, when non-empty, must parallel `funcs`;
-     * marked kernels may write one output element more than once and
-     * are run serially at their list position (see file comment).
-     * `accums`, when non-null, must parallel `funcs` with each
-     * kernel's precomputed accumulatedParams().
+     * Convenience overload over raw functions. `exclusive`, when
+     * non-empty, must parallel `funcs`; `accums`, when non-null,
+     * must parallel `funcs` with precomputed accumulatedParams().
      */
     void runKernels(const std::vector<ir::PrimFunc> &funcs,
                     const runtime::Bindings &bindings,
@@ -110,7 +193,69 @@ class ParallelExecutor
                         *accums = nullptr) const;
 
   private:
+    /**
+     * Pool of reusable privatization buffers keyed by (numel,
+     * dtype). Contents of released buffers are unspecified; the
+     * acquiring site zeroes exactly the spans it will fold. Retained
+     * free bytes are bounded (kMaxFreeBytes, oldest-key-first trim),
+     * so a long-lived session serving many distinct shapes cannot
+     * accumulate unbounded scratch.
+     */
+    class ScratchPool
+    {
+      public:
+        struct Lease
+        {
+            runtime::NDArray *array = nullptr;
+            /** Freshly constructed (already all-zero). */
+            bool fresh = false;
+        };
+
+        Lease acquire(int64_t numel, ir::DataType dtype);
+        void release(runtime::NDArray *array);
+
+      private:
+        /** Free-list retention budget across all keys. */
+        static constexpr int64_t kMaxFreeBytes = 256ll << 20;
+
+        using Key = std::pair<int64_t, uint64_t>;
+        /** A retained buffer with its release recency stamp. */
+        struct FreeEntry
+        {
+            std::unique_ptr<runtime::NDArray> array;
+            uint64_t seq = 0;
+        };
+
+        /** Caller holds mu_. Drop the least-recently-released buffer. */
+        void evictOldestLocked();
+
+        std::mutex mu_;
+        /** Per-key stacks; entries within a key are release-ordered. */
+        std::map<Key, std::vector<FreeEntry>> free_;
+        /** Leased arrays, for key recovery on release. */
+        std::map<runtime::NDArray *, Key> leased_;
+        int64_t freeBytes_ = 0;
+        uint64_t seq_ = 0;
+    };
+
+    /** A privatized accumulator leased for one parallel unit. */
+    struct Private
+    {
+        std::string name;
+        runtime::NDArray *array = nullptr;
+        const std::vector<Span> *spans = nullptr;
+    };
+
+    runtime::Bindings privatize(const CompiledKernel &kernel,
+                                const runtime::Bindings &shared,
+                                std::vector<Private> *privates) const;
+    void foldAndRelease(const runtime::Bindings &shared,
+                        std::vector<Private> *privates) const;
+    /** Error-path cleanup: return every live lease to the pool. */
+    void releaseAll(std::vector<std::vector<Private>> *privates) const;
+
     std::shared_ptr<ThreadPool> pool_;
+    mutable ScratchPool scratch_;
 };
 
 } // namespace engine

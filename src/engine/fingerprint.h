@@ -72,9 +72,23 @@ enum class OpKind : uint8_t {
 
 const char *opKindName(OpKind op);
 
+/**
+ * Version of the cached-artifact layout, folded into every cache
+ * key. Bump whenever the contents an Artifact carries change shape
+ * or meaning, so persisted or long-lived caches can never serve an
+ * artifact built by older code to newer dispatch logic.
+ *
+ *  v1 — Stage III PrimFuncs + structure arrays + provenance maps.
+ *  v2 — kernels carry compiled bytecode programs and span-restricted
+ *       write-set metadata (engine::CompiledKernel).
+ */
+constexpr uint32_t kArtifactVersion = 2;
+
 /** Key of one compile-cache entry. */
 struct CacheKey
 {
+    /** Artifact layout version (kArtifactVersion of the builder). */
+    uint32_t version = kArtifactVersion;
     OpKind op = OpKind::kSpmmCsr;
     /** Sparsity structure fingerprint. */
     uint64_t structure = 0;
@@ -98,7 +112,8 @@ struct CacheKey
     bool
     operator==(const CacheKey &other) const
     {
-        return op == other.op && structure == other.structure &&
+        return version == other.version && op == other.op &&
+               structure == other.structure &&
                schedule == other.schedule && feat == other.feat &&
                rows == other.rows && nnz == other.nnz;
     }
@@ -111,7 +126,8 @@ struct CacheKeyHash
     {
         Fingerprint fp;
         int64_t op = static_cast<int64_t>(key.op);
-        fp.i64(op)
+        fp.i64(static_cast<int64_t>(key.version))
+            .i64(op)
             .i64(static_cast<int64_t>(key.structure))
             .i64(static_cast<int64_t>(key.schedule))
             .i64(key.feat)

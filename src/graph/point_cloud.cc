@@ -16,8 +16,12 @@ namespace {
 int64_t
 voxelKey(int32_t x, int32_t y, int32_t z)
 {
-    return (static_cast<int64_t>(x) << 42) ^
-           (static_cast<int64_t>(y) << 21) ^ static_cast<int64_t>(z);
+    // Shift in the unsigned domain: left-shifting a negative value
+    // (coordinates may be negative) is undefined behavior.
+    return static_cast<int64_t>(
+        (static_cast<uint64_t>(static_cast<int64_t>(x)) << 42) ^
+        (static_cast<uint64_t>(static_cast<int64_t>(y)) << 21) ^
+        static_cast<uint64_t>(static_cast<int64_t>(z)));
 }
 
 } // namespace

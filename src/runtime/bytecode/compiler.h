@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BytecodeCompiler: Stage III TIR -> register bytecode.
+ *
+ * One pass over the function body emits the instruction stream:
+ * expressions compile to a stack-disciplined register allocation
+ * (scoped variables — loop vars, lets, scalar params — get pinned
+ * registers; temporaries reuse a watermark above them), loops compile
+ * to head-test + back-edge jumps, buffer accesses resolve to slot
+ * indices at compile time, and the first blockIdx.x-bound loop gets a
+ * kBlockWindow so the parallel executor's block windows apply at run
+ * time without recompiling.
+ *
+ * Typing is inferred statically with the same promotion rules the
+ * interpreter applies dynamically (float wins in arithmetic, `/` is
+ * always float, floordiv/mod are integer-only), so a compiled program
+ * produces bitwise-identical results. The compiler rejects constructs
+ * the interpreter also rejects (Stage I sparse iterations,
+ * multi-dimensional sparse accesses, vector IR, extern calls) —
+ * transform::stage3ExecDiagnostic names the offender first.
+ */
+
+#ifndef SPARSETIR_RUNTIME_BYTECODE_COMPILER_H_
+#define SPARSETIR_RUNTIME_BYTECODE_COMPILER_H_
+
+#include <memory>
+
+#include "ir/prim_func.h"
+#include "runtime/bytecode/program.h"
+
+namespace sparsetir {
+namespace runtime {
+namespace bytecode {
+
+/**
+ * Compile a Stage III function to bytecode. Throws UserError when the
+ * function contains constructs outside the host-executable subset
+ * (the interpreter remains the only runner for those).
+ */
+std::shared_ptr<const Program> compile(const ir::PrimFunc &func);
+
+/**
+ * Memoized compile keyed on the PrimFunc node identity: the engine's
+ * artifacts and repeated runtime::run calls share one Program per
+ * function. Returns null (and remembers the failure) when the
+ * function is not bytecode-compilable, in which case callers fall
+ * back to the interpreter. Thread-safe. PrimFunc bodies are treated
+ * as immutable after first compilation, which every pipeline in this
+ * codebase honors — mutate via copyFunc instead.
+ */
+std::shared_ptr<const Program> programFor(const ir::PrimFunc &func);
+
+} // namespace bytecode
+} // namespace runtime
+} // namespace sparsetir
+
+#endif // SPARSETIR_RUNTIME_BYTECODE_COMPILER_H_

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "ir/functor.h"
+#include "runtime/bytecode/compiler.h"
+#include "runtime/bytecode/vm.h"
 
 namespace sparsetir {
 namespace runtime {
@@ -49,6 +51,8 @@ struct Value
         return isFloat ? f : static_cast<double>(i);
     }
 };
+
+} // namespace
 
 int64_t
 floordivInt(int64_t a, int64_t b)
@@ -106,6 +110,8 @@ findBlockIdxLoop(const Stmt &s)
         return nullptr;
     }
 }
+
+namespace {
 
 class Machine
 {
@@ -522,13 +528,30 @@ class Machine
 void
 run(const ir::PrimFunc &func, const Bindings &bindings)
 {
-    Machine machine(func, bindings);
-    machine.run();
+    run(func, bindings, RunOptions());
 }
 
 void
 run(const ir::PrimFunc &func, const Bindings &bindings,
     const RunOptions &options)
+{
+    if (options.backend == Backend::kBytecode) {
+        // Compile once (memoized); functions outside the bytecode
+        // subset fall through to the interpreter, whose diagnostics
+        // are authoritative for them.
+        std::shared_ptr<const bytecode::Program> program =
+            bytecode::programFor(func);
+        if (program != nullptr) {
+            bytecode::execute(*program, bindings, options);
+            return;
+        }
+    }
+    runInterpreted(func, bindings, options);
+}
+
+void
+runInterpreted(const ir::PrimFunc &func, const Bindings &bindings,
+               const RunOptions &options)
 {
     Machine machine(func, bindings);
     if (options.blockEnd >= 0) {

@@ -33,6 +33,22 @@ struct Bindings
 };
 
 /**
+ * Host execution backend for lowered kernels.
+ *
+ * kInterpreter walks the AST and is the reference semantics; it keeps
+ * the strictest per-access diagnostics. kBytecode compiles the
+ * function once (memoized) to a flat register program and executes it
+ * on a dispatch loop — same results bitwise, an order of magnitude
+ * faster on warm dispatches. Functions the bytecode compiler cannot
+ * lower (Stage I sparse iterations, vector IR) silently fall back to
+ * the interpreter, whose diagnostics are authoritative.
+ */
+enum class Backend : uint8_t {
+    kInterpreter,
+    kBytecode,
+};
+
+/**
  * Execution window over the kernel's launch grid.
  *
  * When blockEnd >= 0, only iterations v with blockBegin <= v <
@@ -48,19 +64,41 @@ struct RunOptions
 {
     int64_t blockBegin = 0;
     int64_t blockEnd = -1;  // -1: no restriction
+    Backend backend = Backend::kBytecode;
 };
 
 /**
  * Execute a PrimFunc over the given bindings. Buffers are updated in
  * place. Throws UserError when a parameter binding is missing and
  * InternalError on IR-level inconsistencies (e.g. out-of-bounds
- * access, which indicates a lowering bug).
+ * access, which indicates a lowering bug). Executes on the default
+ * backend (bytecode, interpreter fallback).
  */
 void run(const ir::PrimFunc &func, const Bindings &bindings);
 
 /** Execute a block-index window of a PrimFunc (see RunOptions). */
 void run(const ir::PrimFunc &func, const Bindings &bindings,
          const RunOptions &options);
+
+/**
+ * Execute on the tree-walking interpreter regardless of
+ * options.backend — the reference oracle for differential testing.
+ */
+void runInterpreted(const ir::PrimFunc &func, const Bindings &bindings,
+                    const RunOptions &options = RunOptions());
+
+/**
+ * First For node bound to "blockIdx.x" in pre-order, or null. This is
+ * the loop RunOptions block windows restrict, for both backends.
+ */
+const ir::ForNode *findBlockIdxLoop(const ir::Stmt &s);
+
+/**
+ * Floor division (toward negative infinity), the semantics of the
+ * IR's floordiv/floormod. Shared by both backends so rounding can
+ * never drift between them; throws InternalError on division by zero.
+ */
+int64_t floordivInt(int64_t a, int64_t b);
 
 /** Execute every function in a module, in order. */
 void runModule(const ir::Module &mod, const Bindings &bindings);

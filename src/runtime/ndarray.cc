@@ -20,8 +20,10 @@ NDArray
 NDArray::fromInt32(const std::vector<int32_t> &values)
 {
     NDArray arr({static_cast<int64_t>(values.size())}, DataType::int32());
-    std::memcpy(arr.rawData(), values.data(),
-                values.size() * sizeof(int32_t));
+    if (!values.empty()) {
+        std::memcpy(arr.rawData(), values.data(),
+                    values.size() * sizeof(int32_t));
+    }
     return arr;
 }
 
@@ -29,8 +31,10 @@ NDArray
 NDArray::fromFloat(const std::vector<float> &values)
 {
     NDArray arr({static_cast<int64_t>(values.size())}, DataType::float32());
-    std::memcpy(arr.rawData(), values.data(),
-                values.size() * sizeof(float));
+    if (!values.empty()) {
+        std::memcpy(arr.rawData(), values.data(),
+                    values.size() * sizeof(float));
+    }
     return arr;
 }
 

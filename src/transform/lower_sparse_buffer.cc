@@ -279,5 +279,89 @@ lowerSparseBuffers(const PrimFunc &func)
     return result;
 }
 
+namespace {
+
+/** Visitor behind stage3ExecDiagnostic; records the first offender. */
+class ExecDiagnoser : public StmtVisitor
+{
+  public:
+    const std::string &diagnostic() const { return diag_; }
+
+  protected:
+    void
+    visitSparseIteration(const SparseIterationNode *op) override
+    {
+        note("Stage I sparse iteration '" + op->name +
+             "' (run sparse iteration lowering)");
+    }
+
+    void
+    visitBufferLoad(const BufferLoadNode *op) override
+    {
+        checkAccess(op->buffer, op->indices.size());
+        ExprVisitor::visitBufferLoad(op);
+    }
+
+    void
+    visitBufferStore(const BufferStoreNode *op) override
+    {
+        checkAccess(op->buffer, op->indices.size());
+        StmtVisitor::visitBufferStore(op);
+    }
+
+    void
+    visitRamp(const RampNode *op) override
+    {
+        note("vector Ramp expression");
+    }
+
+    void
+    visitBroadcast(const BroadcastNode *op) override
+    {
+        note("vector Broadcast expression");
+    }
+
+    void
+    visitCall(const CallNode *op) override
+    {
+        if (op->op == Builtin::kExtern) {
+            note("extern call '" + op->name + "'");
+        }
+        ExprVisitor::visitCall(op);
+    }
+
+  private:
+    void
+    checkAccess(const Buffer &buffer, size_t num_indices)
+    {
+        if (num_indices > 1 && buffer->isSparse()) {
+            note("multi-dimensional access to sparse buffer '" +
+                 buffer->name + "' (run sparse buffer lowering)");
+        }
+    }
+
+    void
+    note(const std::string &what)
+    {
+        if (diag_.empty()) {
+            diag_ = what;
+        }
+    }
+
+    std::string diag_;
+};
+
+} // namespace
+
+std::string
+stage3ExecDiagnostic(const PrimFunc &func)
+{
+    ExecDiagnoser diagnoser;
+    if (func->body != nullptr) {
+        diagnoser.visitStmt(func->body);
+    }
+    return diagnoser.diagnostic();
+}
+
 } // namespace transform
 } // namespace sparsetir

@@ -12,6 +12,8 @@
 #ifndef SPARSETIR_TRANSFORM_LOWER_SPARSE_BUFFER_H_
 #define SPARSETIR_TRANSFORM_LOWER_SPARSE_BUFFER_H_
 
+#include <string>
+
 #include "ir/prim_func.h"
 
 namespace sparsetir {
@@ -25,6 +27,19 @@ ir::PrimFunc lowerSparseBuffers(const ir::PrimFunc &func);
 
 /** Total storage slots of a sparse buffer (product form of eq. 8). */
 ir::Expr sparseBufferSlots(const ir::Buffer &buffer);
+
+/**
+ * Stage III executability check: names the first construct that
+ * prevents flat host execution of `func` — a Stage I sparse
+ * iteration, a multi-dimensional sparse buffer access (run
+ * lowerSparseBuffers first), vector IR (Ramp/Broadcast) or an extern
+ * call — or returns an empty string when the function is executable
+ * by the scalar host backends. Already-flat (single-index) accesses
+ * pass regardless of the buffer's declared sparsity, matching the
+ * interpreter's acceptance of partially lowered Stage II functions.
+ * The bytecode backend consults this before compiling.
+ */
+std::string stage3ExecDiagnostic(const ir::PrimFunc &func);
 
 } // namespace transform
 } // namespace sparsetir

@@ -23,6 +23,7 @@
 #include "engine/thread_pool.h"
 #include "graph/generator.h"
 #include "support/rng.h"
+#include "test_util.h"
 
 namespace sparsetir {
 namespace {
@@ -32,17 +33,8 @@ using engine::Engine;
 using engine::EngineOptions;
 using format::Csr;
 using runtime::NDArray;
-
-std::vector<float>
-randomVector(int64_t size, uint64_t seed)
-{
-    Rng rng(seed);
-    std::vector<float> out(size);
-    for (auto &v : out) {
-        v = static_cast<float>(rng.uniformReal() * 2.0 - 1.0);
-    }
-    return out;
-}
+using testutil::bitwiseEqual;
+using testutil::randomVector;
 
 Csr
 randomCsr(int64_t rows, int64_t cols, double density, uint64_t seed)
@@ -58,18 +50,6 @@ randomCsr(int64_t rows, int64_t cols, double density, uint64_t seed)
         }
     }
     return format::csrFromDense(rows, cols, dense);
-}
-
-/** Bitwise comparison of two float arrays. */
-bool
-bitwiseEqual(const NDArray &a, const NDArray &b)
-{
-    if (a.numel() != b.numel()) {
-        return false;
-    }
-    return std::memcmp(a.rawData(), b.rawData(),
-                       static_cast<size_t>(a.numel()) * sizeof(float)) ==
-           0;
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Helpers shared by the GoogleTest suites: deterministic random data
+ * and the bitwise-equality predicate the reproducibility contract is
+ * stated in. One definition, so what "bitwise identical" means cannot
+ * drift between suites.
+ */
+
+#ifndef SPARSETIR_TESTS_TEST_UTIL_H_
+#define SPARSETIR_TESTS_TEST_UTIL_H_
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/ndarray.h"
+#include "support/rng.h"
+
+namespace sparsetir {
+namespace testutil {
+
+inline std::vector<float>
+randomVector(int64_t size, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> out(static_cast<size_t>(size));
+    for (auto &v : out) {
+        v = static_cast<float>(rng.uniformReal() * 2.0 - 1.0);
+    }
+    return out;
+}
+
+/** Bitwise comparison over the arrays' raw storage. */
+inline bool
+bitwiseEqual(const runtime::NDArray &a, const runtime::NDArray &b)
+{
+    return a.numel() == b.numel() &&
+           std::memcmp(a.rawData(), b.rawData(),
+                       static_cast<size_t>(a.numel()) *
+                           a.elemBytes()) == 0;
+}
+
+} // namespace testutil
+} // namespace sparsetir
+
+#endif // SPARSETIR_TESTS_TEST_UTIL_H_
