@@ -5,30 +5,88 @@ Usage: check_perf_gate.py <bench.json> <min_backend_speedup>
 
 Fails (exit 1) when the bytecode backend's warm-dispatch speedup over
 the interpreter falls below the threshold, or when the two backends
-stopped producing bitwise-identical outputs. The JSON itself is
-uploaded as a workflow artifact so the speedup trajectory is
-trackable across commits.
+stopped producing bitwise-identical outputs. Malformed input — an
+unreadable or syntactically invalid JSON file, missing fields, or
+nonsense measurements (non-positive timings) — exits 2 with a
+diagnostic, so CI can tell "the gate tripped" (1) from "the gate
+never ran" (2). The JSON itself is uploaded as a workflow artifact so
+the speedup trajectory (and the batched-throughput numbers, when
+present) is trackable across commits.
 """
 
 import json
 import sys
 
 
+def fail_input(message: str) -> int:
+    """Malformed-input exit: distinct from a genuine gate failure."""
+    print(f"perf gate: bad input: {message}", file=sys.stderr)
+    return 2
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    path, threshold = sys.argv[1], float(sys.argv[2])
-    with open(path, encoding="utf-8") as fh:
-        data = json.load(fh)
+    path = sys.argv[1]
+    try:
+        threshold = float(sys.argv[2])
+    except ValueError:
+        return fail_input(
+            f"threshold {sys.argv[2]!r} is not a number"
+        )
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as err:
+        return fail_input(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        return fail_input(f"{path} is not valid JSON: {err}")
+    if not isinstance(data, dict):
+        return fail_input(f"{path} does not hold a JSON object")
 
-    speedup = data["backend_speedup"]
-    identical = data["bitwise_identical"]
+    try:
+        interpreter_ms = float(data["interpreter_warm_ms"])
+        bytecode_ms = float(data["bytecode_warm_ms"])
+        speedup = float(data["backend_speedup"])
+        identical = bool(data["bitwise_identical"])
+    except KeyError as err:
+        return fail_input(f"{path} is missing field {err}")
+    except (TypeError, ValueError) as err:
+        return fail_input(f"{path} holds a non-numeric field: {err}")
+    if bytecode_ms <= 0.0 or interpreter_ms <= 0.0:
+        return fail_input(
+            f"non-positive timings (interpreter {interpreter_ms}, "
+            f"bytecode {bytecode_ms}): the benchmark did not measure"
+        )
+
     print(
-        f"perf gate: interpreter {data['interpreter_warm_ms']:.2f} ms -> "
-        f"bytecode {data['bytecode_warm_ms']:.2f} ms = {speedup:.2f}x "
+        f"perf gate: interpreter {interpreter_ms:.2f} ms -> "
+        f"bytecode {bytecode_ms:.2f} ms = {speedup:.2f}x "
         f"(threshold {threshold:.1f}x), bitwise_identical={identical}"
     )
+    # Batched-throughput trajectory (informational, not gated) — but
+    # malformed fields are still bad input, not a tripped gate.
+    if "batched_req_per_s" in data:
+        try:
+            sequential_rps = float(
+                data.get("sequential_req_per_s", 0.0)
+            )
+            batched_rps = float(data["batched_req_per_s"])
+            batched_speedup = float(data.get("batched_speedup", 0.0))
+        except (TypeError, ValueError) as err:
+            return fail_input(
+                f"{path} holds a non-numeric batched field: {err}"
+            )
+        print(
+            f"batched dispatch: "
+            f"{data.get('batch_requests', '?')} in flight, "
+            f"{sequential_rps:.1f} req/s sequential -> "
+            f"{batched_rps:.1f} req/s batched "
+            f"({batched_speedup:.2f}x), "
+            f"bitwise_identical="
+            f"{data.get('batch_bitwise_identical', 'n/a')}"
+        )
     if not identical:
         print("FAIL: backends diverged bitwise", file=sys.stderr)
         return 1

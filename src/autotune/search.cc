@@ -59,12 +59,39 @@ tuneSpmmHyb(const format::Csr &a, int64_t feat, gpusim::Device &device,
 HybTuneResult
 tuneSpmmHybMeasured(const format::Csr &a, int64_t feat,
                     engine::Engine &session,
-                    const std::vector<int> &partitions, int rounds)
+                    const std::vector<int> &partitions, int rounds,
+                    int in_flight)
 {
     USER_CHECK(rounds > 0) << "tuneSpmmHybMeasured needs rounds >= 1";
+    USER_CHECK(in_flight > 0)
+        << "tuneSpmmHybMeasured needs in_flight >= 1";
     HybTuneResult result;
-    runtime::NDArray b({a.cols * feat}, ir::DataType::float32());
-    runtime::NDArray c({a.rows * feat}, ir::DataType::float32());
+    // Single-request mode reuses one b/c pair; batched mode gives
+    // every in-flight request private feature and output arrays,
+    // like distinct tenants of one weight matrix. Only the arrays
+    // the chosen mode dispatches are allocated.
+    runtime::NDArray b;
+    runtime::NDArray c;
+    std::vector<runtime::NDArray> batch_b;
+    std::vector<runtime::NDArray> batch_c;
+    std::vector<engine::SpmmRequest> requests;
+    if (in_flight == 1) {
+        b = runtime::NDArray({a.cols * feat},
+                             ir::DataType::float32());
+        c = runtime::NDArray({a.rows * feat},
+                             ir::DataType::float32());
+    } else {
+        for (int i = 0; i < in_flight; ++i) {
+            batch_b.emplace_back(std::vector<int64_t>{a.cols * feat},
+                                 ir::DataType::float32());
+            batch_c.emplace_back(std::vector<int64_t>{a.rows * feat},
+                                 ir::DataType::float32());
+        }
+        for (int i = 0; i < in_flight; ++i) {
+            requests.push_back(
+                engine::SpmmRequest{&batch_b[i], &batch_c[i]});
+        }
+    }
     bool first = true;
     for (int partition : partitions) {
         engine::HybConfig config;
@@ -72,12 +99,16 @@ tuneSpmmHybMeasured(const format::Csr &a, int64_t feat,
         // Prepare once: fills the compile cache (so the timed rounds
         // measure the warm serving path — value gather + bind + VM
         // execution) and reports the resolved bucket cap.
-        int resolved_k =
-            session.prepareSpmmHyb(a, feat, config).bucketCapLog2;
+        engine::PreparedSpmmHyb prepared =
+            session.prepareSpmmHyb(a, feat, config);
         auto start = std::chrono::steady_clock::now();
         for (int round = 0; round < rounds; ++round) {
-            c.zero();
-            session.spmmHyb(a, feat, &b, &c, config);
+            if (in_flight == 1) {
+                c.zero();
+                session.spmmHyb(a, feat, &b, &c, config);
+            } else {
+                session.spmmHybBatch(prepared, requests);
+            }
         }
         double elapsed_ms =
             std::chrono::duration<double, std::milli>(
@@ -85,8 +116,8 @@ tuneSpmmHybMeasured(const format::Csr &a, int64_t feat,
                 .count();
         HybCandidate candidate;
         candidate.c = partition;
-        candidate.k = resolved_k;
-        candidate.timeMs = elapsed_ms / rounds;
+        candidate.k = prepared.bucketCapLog2;
+        candidate.timeMs = elapsed_ms / (rounds * in_flight);
         result.tried.push_back(candidate);
         if (first || candidate.timeMs < result.best.timeMs) {
             result.best = candidate;

@@ -65,12 +65,19 @@ HybTuneResult tuneSpmmHyb(const format::Csr &a, int64_t feat,
  * dispatches. Use when the serving hardware itself is the target
  * (host latency tuning), and the simulator overload when predicting
  * GPU behavior.
+ *
+ * `in_flight` > 1 measures the batched serving shape instead: each
+ * round dispatches that many concurrent requests (private feature/
+ * output pairs) through one prepared artifact, and timeMs is the
+ * mean wall time per REQUEST — so the tuner optimizes throughput
+ * under load, which can prefer a different partition count than
+ * single-request latency does.
  */
 HybTuneResult tuneSpmmHybMeasured(const format::Csr &a, int64_t feat,
                                   engine::Engine &session,
                                   const std::vector<int> &partitions =
                                       {1, 2, 4, 8, 16},
-                                  int rounds = 3);
+                                  int rounds = 3, int in_flight = 1);
 
 /** One evaluated SDDMM schedule. */
 struct SddmmCandidate

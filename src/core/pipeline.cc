@@ -300,12 +300,11 @@ compileSddmm(const Csr &a, int64_t feat,
 // BSR SpMM
 // ---------------------------------------------------------------------
 
-std::shared_ptr<BoundKernel>
-compileBsrSpmm(const format::Bsr &a, int64_t feat,
-               const std::shared_ptr<BindingSet> &shared,
-               bool tensor_cores)
+PrimFunc
+compileBsrSpmmFunc(int32_t block_size, int64_t feat,
+                   bool tensor_cores)
 {
-    PrimFunc stage2 = lowerToStage2(buildBsrSpmm(a.blockSize));
+    PrimFunc stage2 = lowerToStage2(buildBsrSpmm(block_size));
     schedule::Schedule sch(stage2);
     auto loops = sch.getLoops("bsr_spmm");  // io, jo, k, ii, ji
     int tx = clampThreadX(feat, 32);
@@ -315,7 +314,16 @@ compileBsrSpmm(const format::Bsr &a, int64_t feat,
     if (tensor_cores) {
         sch.tensorize("bsr_spmm", "m16n16k16");
     }
-    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+    return transform::lowerSparseBuffers(sch.func());
+}
+
+std::shared_ptr<BoundKernel>
+compileBsrSpmm(const format::Bsr &a, int64_t feat,
+               const std::shared_ptr<BindingSet> &shared,
+               bool tensor_cores)
+{
+    PrimFunc stage3 =
+        compileBsrSpmmFunc(a.blockSize, feat, tensor_cores);
 
     shared->scalar("mb", a.blockRows);
     shared->scalar("nb", a.blockCols);
@@ -331,12 +339,12 @@ compileBsrSpmm(const format::Bsr &a, int64_t feat,
 // SR-BCRS SpMM
 // ---------------------------------------------------------------------
 
-std::shared_ptr<BoundKernel>
-compileSrbcrsSpmm(const format::SrBcrs &a, int64_t feat,
-                  const std::shared_ptr<BindingSet> &shared)
+PrimFunc
+compileSrbcrsSpmmFunc(int32_t tile_height, int32_t group_size,
+                      int64_t feat)
 {
     PrimFunc stage2 = lowerToStage2(
-        buildSrbcrsSpmm(a.tileHeight, a.groupSize));
+        buildSrbcrsSpmm(tile_height, group_size));
     schedule::Schedule sch(stage2);
     auto loops = sch.getLoops("srbcrs_spmm");  // s, g, t, v, k
     int tx = clampThreadX(feat, 32);
@@ -345,7 +353,15 @@ compileSrbcrsSpmm(const format::SrBcrs &a, int64_t feat,
     sch.bind(loops[0], "blockIdx.x");
     sch.bind(k_i, "threadIdx.x");
     sch.tensorize("srbcrs_spmm", "m8n32k16");
-    PrimFunc stage3 = transform::lowerSparseBuffers(sch.func());
+    return transform::lowerSparseBuffers(sch.func());
+}
+
+std::shared_ptr<BoundKernel>
+compileSrbcrsSpmm(const format::SrBcrs &a, int64_t feat,
+                  const std::shared_ptr<BindingSet> &shared)
+{
+    PrimFunc stage3 =
+        compileSrbcrsSpmmFunc(a.tileHeight, a.groupSize, feat);
 
     shared->scalar("stripes", a.stripes);
     shared->scalar("n", a.cols);

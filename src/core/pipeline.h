@@ -170,6 +170,18 @@ rgmsValuesParam(const std::string &suffix)
 ir::PrimFunc compileSddmmFunc(int64_t feat,
                               const SddmmSchedule &params);
 
+/**
+ * Stage III BSR SpMM kernel. Depends only on the block edge and the
+ * feature width — the facts the engine folds into its cache key —
+ * never on which blocks are present.
+ */
+ir::PrimFunc compileBsrSpmmFunc(int32_t block_size, int64_t feat,
+                                bool tensor_cores);
+
+/** Stage III SR-BCRS(t, g) SpMM kernel (structure-independent). */
+ir::PrimFunc compileSrbcrsSpmmFunc(int32_t tile_height,
+                                   int32_t group_size, int64_t feat);
+
 /** Stage III ELL RGMS kernel for one (relation, bucket) pair. */
 ir::PrimFunc compileEllRgmsFunc(int64_t num_rows, int width,
                                 int64_t feat_in, int64_t feat_out,

@@ -104,6 +104,20 @@ struct SddmmArtifact : Artifact
     NDArray indices;
 };
 
+struct BsrArtifact : Artifact
+{
+    CompiledKernel kernel;
+    NDArray indptr;
+    NDArray indices;
+};
+
+struct SrbcrsArtifact : Artifact
+{
+    CompiledKernel kernel;
+    NDArray groupIndptr;
+    NDArray tileCols;
+};
+
 /** One non-empty (partition, bucket) of a cached hyb decomposition. */
 struct HybBucketData
 {
@@ -169,6 +183,33 @@ buildSddmmArtifact(const Csr &a, int64_t feat,
 }
 
 std::shared_ptr<Artifact>
+buildBsrArtifact(const format::Bsr &a, int64_t feat,
+                 const BsrConfig &config, bool bytecode)
+{
+    auto artifact = std::make_shared<BsrArtifact>();
+    artifact->kernel = compileKernel(
+        core::compileBsrSpmmFunc(a.blockSize, feat,
+                                 config.tensorCores),
+        bytecode);
+    artifact->indptr = NDArray::fromInt32(a.indptr);
+    artifact->indices = NDArray::fromInt32(a.indices);
+    return artifact;
+}
+
+std::shared_ptr<Artifact>
+buildSrbcrsArtifact(const format::SrBcrs &a, int64_t feat,
+                    bool bytecode)
+{
+    auto artifact = std::make_shared<SrbcrsArtifact>();
+    artifact->kernel = compileKernel(
+        core::compileSrbcrsSpmmFunc(a.tileHeight, a.groupSize, feat),
+        bytecode);
+    artifact->groupIndptr = NDArray::fromInt32(a.groupIndptr);
+    artifact->tileCols = NDArray::fromInt32(a.tileCols);
+    return artifact;
+}
+
+std::shared_ptr<Artifact>
 buildSpmmHybArtifact(const Csr &a, int64_t feat,
                      const HybConfig &config, bool bytecode)
 {
@@ -200,8 +241,9 @@ buildSpmmHybArtifact(const Csr &a, int64_t feat,
 }
 
 std::shared_ptr<Artifact>
-buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat,
-                  const RgcnConfig &config, bool bytecode)
+buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat_in,
+                  int64_t feat_out, const RgcnConfig &config,
+                  bool bytecode)
 {
     auto artifact = std::make_shared<RgcnArtifact>();
     for (int64_t r = 0; r < graph.numRelations(); ++r) {
@@ -223,8 +265,8 @@ buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat,
             int rows_per_block = model::rgcnRowsPerBlock(bucket.width);
             unit.kernel = compileKernel(
                 core::compileEllRgmsFunc(bucket.numRows(),
-                                         bucket.width, feat, feat,
-                                         unit.suffix,
+                                         bucket.width, feat_in,
+                                         feat_out, unit.suffix,
                                          config.tensorCores,
                                          rows_per_block),
                 bytecode);
@@ -234,7 +276,7 @@ buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat,
             // many-relation graphs this trims the per-unit zero/fold
             // from the whole output to a few percent of it.
             restrictAccumSpans(&unit.kernel, "Y_data",
-                               bucket.rowIndices, feat);
+                               bucket.rowIndices, feat_out);
             unit.rowIndices = NDArray::fromInt32(bucket.rowIndices);
             unit.colIndices = NDArray::fromInt32(bucket.colIndices);
             unit.gather = bucket.sourcePos;
@@ -261,7 +303,8 @@ spmmCsrKey(const Csr &a, int64_t feat,
                        .i64(schedule.threadX)
                        .i64(schedule.rowsPerBlock)
                        .digest();
-    key.feat = feat;
+    key.featIn = feat;
+    key.featOut = feat;
     key.rows = a.rows;
     key.nnz = a.nnz();
     return key;
@@ -278,7 +321,8 @@ spmmHybKey(const Csr &a, int64_t feat, const HybConfig &config)
                        .i64(config.bucketCapLog2)
                        .i64(config.threadX)
                        .digest();
-    key.feat = feat;
+    key.featIn = feat;
+    key.featOut = feat;
     key.rows = a.rows;
     key.nnz = a.nnz();
     return key;
@@ -295,15 +339,16 @@ sddmmKey(const Csr &a, int64_t feat,
                        .i64(schedule.workloadsPerBlock)
                        .i64(schedule.groupSize)
                        .digest();
-    key.feat = feat;
+    key.featIn = feat;
+    key.featOut = feat;
     key.rows = a.rows;
     key.nnz = a.nnz();
     return key;
 }
 
 CacheKey
-rgcnKey(const format::RelationalCsr &graph, int64_t feat,
-        const RgcnConfig &config)
+rgcnKey(const format::RelationalCsr &graph, int64_t feat_in,
+        int64_t feat_out, const RgcnConfig &config)
 {
     CacheKey key;
     key.op = OpKind::kRgcnHyb;
@@ -312,9 +357,42 @@ rgcnKey(const format::RelationalCsr &graph, int64_t feat,
                        .i64(config.bucketCapLog2)
                        .i64(config.tensorCores ? 1 : 0)
                        .digest();
-    key.feat = feat;
+    key.featIn = feat_in;
+    key.featOut = feat_out;
     key.rows = graph.rows;
     key.nnz = graph.totalNnz();
+    return key;
+}
+
+CacheKey
+spmmBsrKey(const format::Bsr &a, int64_t feat,
+           const BsrConfig &config)
+{
+    CacheKey key;
+    key.op = OpKind::kSpmmBsr;
+    key.structure = structureHash(a);
+    key.schedule =
+        Fingerprint().i64(config.tensorCores ? 1 : 0).digest();
+    key.featIn = feat;
+    key.featOut = feat;
+    key.rows = a.rows;
+    key.nnz = a.nnzBlocks();
+    key.blockSize = a.blockSize;
+    return key;
+}
+
+CacheKey
+spmmSrbcrsKey(const format::SrBcrs &a, int64_t feat)
+{
+    CacheKey key;
+    key.op = OpKind::kSpmmSrbcrs;
+    key.structure = structureHash(a);
+    key.featIn = feat;
+    key.featOut = feat;
+    key.rows = a.rows;
+    key.nnz = a.storedTiles();
+    key.tileHeight = a.tileHeight;
+    key.groupSize = a.groupSize;
     return key;
 }
 
@@ -351,6 +429,70 @@ bindSpmmHyb(SpmmHybArtifact &artifact, const Csr &a, int64_t feat,
                         gatherValues(bucket.gather, a.values)));
     }
     return shared;
+}
+
+/** Scalars, structure arrays and values shared by a BSR dispatch. */
+void
+bindBsrShared(BindingSet *bindings, BsrArtifact &artifact,
+              const format::Bsr &a, int64_t feat)
+{
+    bindings->scalar("mb", a.blockRows);
+    bindings->scalar("nb", a.blockCols);
+    bindings->scalar("nnzb", a.nnzBlocks());
+    bindings->scalar("feat_size", feat);
+    bindings->external("JO_indptr", &artifact.indptr);
+    bindings->external("JO_indices", &artifact.indices);
+    bindings->own("A_data", NDArray::fromFloat(a.values));
+}
+
+/** Scalars, structure arrays and values of an SR-BCRS dispatch. */
+void
+bindSrbcrsShared(BindingSet *bindings, SrbcrsArtifact &artifact,
+                 const format::SrBcrs &a, int64_t feat)
+{
+    bindings->scalar("stripes", a.stripes);
+    bindings->scalar("n", a.cols);
+    bindings->scalar("total_groups", a.numGroups());
+    bindings->scalar("feat_size", feat);
+    bindings->external("G_indptr", &artifact.groupIndptr);
+    bindings->external("T_indices", &artifact.tileCols);
+    bindings->own("A_data", NDArray::fromFloat(a.values));
+}
+
+/**
+ * Per-request binding views of a batch: the shared base plus each
+ * request's private B/C. Outputs must be distinct, and no output may
+ * alias any request's input — requests run concurrently, so a write
+ * into another request's (or its own) feature matrix would race and
+ * break the bitwise contract. Sharing one read-only B across
+ * requests is fine.
+ */
+std::vector<runtime::Bindings>
+requestViews(const runtime::Bindings &base,
+             const std::vector<SpmmRequest> &requests)
+{
+    std::unordered_set<const NDArray *> outputs;
+    outputs.reserve(requests.size());
+    for (const SpmmRequest &request : requests) {
+        USER_CHECK(request.b != nullptr && request.c != nullptr)
+            << "batched SpMM request is missing a feature or output "
+               "array";
+        USER_CHECK(outputs.insert(request.c).second)
+            << "batched SpMM requests must bind distinct output "
+               "arrays";
+    }
+    std::vector<runtime::Bindings> views;
+    views.reserve(requests.size());
+    for (const SpmmRequest &request : requests) {
+        USER_CHECK(outputs.count(request.b) == 0)
+            << "batched SpMM request aliases a feature matrix with "
+               "an output array";
+        runtime::Bindings view = base;
+        view.arrays["B_data"] = request.b;
+        view.arrays["C_data"] = request.c;
+        views.push_back(std::move(view));
+    }
+    return views;
 }
 
 } // namespace
@@ -398,6 +540,22 @@ Engine::finishDispatch(const DispatchInfo &info)
         ++stats_.cacheHits;
     } else {
         ++stats_.cacheMisses;
+    }
+    stats_.totalCompileMs += info.compileMs;
+    stats_.totalExecMs += info.execMs;
+}
+
+void
+Engine::finishBatch(const BatchDispatchInfo &info)
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.requests += static_cast<uint64_t>(info.numRequests);
+    if (info.numRequests > 0) {
+        // One resolve serves the whole batch: on a miss exactly one
+        // request paid the compile, the rest rode the fresh artifact.
+        stats_.cacheHits += static_cast<uint64_t>(
+            info.cacheHit ? info.numRequests : info.numRequests - 1);
+        stats_.cacheMisses += info.cacheHit ? 0 : 1;
     }
     stats_.totalCompileMs += info.compileMs;
     stats_.totalExecMs += info.execMs;
@@ -522,12 +680,20 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t feat,
              NDArray *x, NDArray *w, NDArray *y,
              const RgcnConfig &config)
 {
+    return rgcn(graph, feat, feat, x, w, y, config);
+}
+
+DispatchInfo
+Engine::rgcn(const format::RelationalCsr &graph, int64_t featIn,
+             int64_t featOut, NDArray *x, NDArray *w, NDArray *y,
+             const RgcnConfig &config)
+{
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<RgcnArtifact>(
-        resolve(rgcnKey(graph, feat, config),
+        resolve(rgcnKey(graph, featIn, featOut, config),
                 [&] {
-                    return buildRgcnArtifact(graph, feat, config,
-                                             usesBytecode());
+                    return buildRgcnArtifact(graph, featIn, featOut,
+                                             config, usesBytecode());
                 },
                 &info));
 
@@ -535,8 +701,8 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t feat,
     BindingSet bindings;
     bindings.scalar("m", graph.rows);
     bindings.scalar("n", graph.cols);
-    bindings.scalar("feat_in", feat);
-    bindings.scalar("feat_out", feat);
+    bindings.scalar("feat_in", featIn);
+    bindings.scalar("feat_out", featOut);
     bindings.external("X_data", x);
     bindings.external("W_data", w);
     bindings.external("Y_data", y);
@@ -560,6 +726,270 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t feat,
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
     finishDispatch(info);
+    return info;
+}
+
+DispatchInfo
+Engine::spmmBsr(const format::Bsr &a, int64_t feat, NDArray *b,
+                NDArray *c, const BsrConfig &config)
+{
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<BsrArtifact>(
+        resolve(spmmBsrKey(a, feat, config),
+                [&] {
+                    return buildBsrArtifact(a, feat, config,
+                                            usesBytecode());
+                },
+                &info));
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet bindings;
+    bindBsrShared(&bindings, *artifact, a, feat);
+    bindings.external("B_data", b);
+    bindings.external("C_data", c);
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernel(artifact->kernel, bindings.view(),
+                        execOptions());
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = 1;
+    finishDispatch(info);
+    return info;
+}
+
+DispatchInfo
+Engine::spmmSrbcrs(const format::SrBcrs &a, int64_t feat, NDArray *b,
+                   NDArray *c)
+{
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<SrbcrsArtifact>(
+        resolve(spmmSrbcrsKey(a, feat),
+                [&] {
+                    return buildSrbcrsArtifact(a, feat,
+                                               usesBytecode());
+                },
+                &info));
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet bindings;
+    bindSrbcrsShared(&bindings, *artifact, a, feat);
+    bindings.external("B_data", b);
+    bindings.external("C_data", c);
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernel(artifact->kernel, bindings.view(),
+                        execOptions());
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = 1;
+    finishDispatch(info);
+    return info;
+}
+
+// ---------------------------------------------------------------------
+// Batched dispatch
+// ---------------------------------------------------------------------
+
+BatchDispatchInfo
+Engine::spmmCsrBatch(const Csr &a, int64_t feat,
+                     const std::vector<SpmmRequest> &requests,
+                     const core::SpmmSchedule &schedule)
+{
+    BatchDispatchInfo info;
+    info.numRequests = static_cast<int>(requests.size());
+    if (requests.empty()) {
+        return info;
+    }
+    DispatchInfo resolved;
+    auto artifact = std::static_pointer_cast<SpmmCsrArtifact>(
+        resolve(spmmCsrKey(a, feat, schedule),
+                [&] {
+                    return buildSpmmCsrArtifact(a, feat, schedule,
+                                                usesBytecode());
+                },
+                &resolved));
+    info.cacheHit = resolved.cacheHit;
+    info.compileMs = resolved.compileMs;
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet base;
+    base.scalar("m", a.rows);
+    base.scalar("n", a.cols);
+    base.scalar("nnz", a.nnz());
+    base.scalar("feat_size", feat);
+    base.external("J_indptr", &artifact->indptr);
+    base.external("J_indices", &artifact->indices);
+    base.own("A_data", NDArray::fromFloat(a.values));
+    std::vector<runtime::Bindings> views =
+        requestViews(base.view(), requests);
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernelBatch(artifact->kernel, views, execOptions());
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = 1;
+    finishBatch(info);
+    return info;
+}
+
+BatchDispatchInfo
+Engine::spmmHybBatch(const Csr &a, int64_t feat,
+                     const std::vector<SpmmRequest> &requests,
+                     const HybConfig &config)
+{
+    BatchDispatchInfo info;
+    info.numRequests = static_cast<int>(requests.size());
+    if (requests.empty()) {
+        return info;
+    }
+    DispatchInfo resolved;
+    auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
+        resolve(spmmHybKey(a, feat, config),
+                [&] {
+                    return buildSpmmHybArtifact(a, feat, config,
+                                                usesBytecode());
+                },
+                &resolved));
+    info.cacheHit = resolved.cacheHit;
+    info.compileMs = resolved.compileMs;
+
+    auto bind_start = std::chrono::steady_clock::now();
+    auto shared =
+        bindSpmmHyb(*artifact, a, feat, /*for_simulation=*/false);
+    // Validate the whole batch (requestViews throws on aliasing)
+    // BEFORE mutating any caller array; only then apply the
+    // per-request overwrite contract, exactly like the serial
+    // spmmHyb (bucket kernels accumulate).
+    std::vector<runtime::Bindings> views =
+        requestViews(shared->view(), requests);
+    for (const SpmmRequest &request : requests) {
+        request.c->zero();
+    }
+    std::vector<const CompiledKernel *> kernels;
+    kernels.reserve(artifact->buckets.size());
+    for (const HybBucketData &bucket : artifact->buckets) {
+        kernels.push_back(&bucket.kernel);
+    }
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernelsBatch(kernels, views, execOptions());
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = static_cast<int>(kernels.size());
+    finishBatch(info);
+    return info;
+}
+
+BatchDispatchInfo
+Engine::spmmHybBatch(const PreparedSpmmHyb &prepared,
+                     const std::vector<SpmmRequest> &requests)
+{
+    BatchDispatchInfo info;
+    info.numRequests = static_cast<int>(requests.size());
+    if (requests.empty()) {
+        return info;
+    }
+    USER_CHECK(prepared.artifact != nullptr &&
+               prepared.bindings != nullptr)
+        << "batched dispatch needs a handle from prepareSpmmHyb";
+    // prepareSpmmHyb is the only producer of this handle type, so
+    // the artifact is a hyb artifact by construction.
+    auto artifact =
+        std::static_pointer_cast<SpmmHybArtifact>(prepared.artifact);
+    info.cacheHit = true;
+
+    auto bind_start = std::chrono::steady_clock::now();
+    // Validate before zeroing: a rejected batch must leave every
+    // caller array untouched.
+    std::vector<runtime::Bindings> views =
+        requestViews(prepared.bindings->view(), requests);
+    for (const SpmmRequest &request : requests) {
+        request.c->zero();
+    }
+    std::vector<const CompiledKernel *> kernels;
+    kernels.reserve(artifact->buckets.size());
+    for (const HybBucketData &bucket : artifact->buckets) {
+        kernels.push_back(&bucket.kernel);
+    }
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernelsBatch(kernels, views, execOptions());
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = static_cast<int>(kernels.size());
+    finishBatch(info);
+    return info;
+}
+
+BatchDispatchInfo
+Engine::spmmBsrBatch(const format::Bsr &a, int64_t feat,
+                     const std::vector<SpmmRequest> &requests,
+                     const BsrConfig &config)
+{
+    BatchDispatchInfo info;
+    info.numRequests = static_cast<int>(requests.size());
+    if (requests.empty()) {
+        return info;
+    }
+    DispatchInfo resolved;
+    auto artifact = std::static_pointer_cast<BsrArtifact>(
+        resolve(spmmBsrKey(a, feat, config),
+                [&] {
+                    return buildBsrArtifact(a, feat, config,
+                                            usesBytecode());
+                },
+                &resolved));
+    info.cacheHit = resolved.cacheHit;
+    info.compileMs = resolved.compileMs;
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet base;
+    bindBsrShared(&base, *artifact, a, feat);
+    std::vector<runtime::Bindings> views =
+        requestViews(base.view(), requests);
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernelBatch(artifact->kernel, views, execOptions());
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = 1;
+    finishBatch(info);
+    return info;
+}
+
+BatchDispatchInfo
+Engine::spmmSrbcrsBatch(const format::SrBcrs &a, int64_t feat,
+                        const std::vector<SpmmRequest> &requests)
+{
+    BatchDispatchInfo info;
+    info.numRequests = static_cast<int>(requests.size());
+    if (requests.empty()) {
+        return info;
+    }
+    DispatchInfo resolved;
+    auto artifact = std::static_pointer_cast<SrbcrsArtifact>(
+        resolve(spmmSrbcrsKey(a, feat),
+                [&] {
+                    return buildSrbcrsArtifact(a, feat,
+                                               usesBytecode());
+                },
+                &resolved));
+    info.cacheHit = resolved.cacheHit;
+    info.compileMs = resolved.compileMs;
+
+    auto bind_start = std::chrono::steady_clock::now();
+    BindingSet base;
+    bindSrbcrsShared(&base, *artifact, a, feat);
+    std::vector<runtime::Bindings> views =
+        requestViews(base.view(), requests);
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    executor_.runKernelBatch(artifact->kernel, views, execOptions());
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = 1;
+    finishBatch(info);
     return info;
 }
 

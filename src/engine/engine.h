@@ -4,14 +4,23 @@
  *
  * A session owns a CompileCache, a ThreadPool and a ParallelExecutor
  * and exposes one-call operator dispatch (spmmCsr / spmmHyb / sddmm /
- * rgcn). Each dispatch fingerprints the request (operator, sparsity
- * structure, schedule parameters, feature dim, artifact version),
- * reuses the compiled kernel artifact on a hit — skipping Stage I ->
- * III lowering, bytecode compilation and re-bucketing entirely —
- * binds the request's values (via the formats' provenance maps) and
- * executes with deterministic parallelism (see executor.h). Cached
- * artifacts carry engine::CompiledKernel units: Stage III IR plus
- * the register-bytecode program the VM executes on warm dispatches.
+ * rgcn / spmmBsr / spmmSrbcrs). Each dispatch fingerprints the
+ * request (operator, sparsity structure, schedule parameters, feature
+ * dims, artifact version), reuses the compiled kernel artifact on a
+ * hit — skipping Stage I -> III lowering, bytecode compilation and
+ * re-bucketing entirely — binds the request's values (via the
+ * formats' provenance maps) and executes with deterministic
+ * parallelism (see executor.h). Cached artifacts carry
+ * engine::CompiledKernel units: Stage III IR plus the
+ * register-bytecode program the VM executes on warm dispatches, plus
+ * the spilled block-extent expression that sizes the launch grid
+ * without an interpreter probe.
+ *
+ * Batched dispatch (`spmm*Batch`) is the multi-tenant serving shape:
+ * N in-flight requests against one sparsity structure resolve ONE
+ * cached artifact, get private per-request bindings, and are striped
+ * across the pool as (request x grid-chunk / kernel) units — each
+ * request's output bitwise identical to its own serial dispatch.
  *
  * Thread-safety contract: an Engine may be shared by any number of
  * request threads. Artifacts are immutable after construction; every
@@ -34,8 +43,10 @@
 #include "engine/executor.h"
 #include "engine/fingerprint.h"
 #include "engine/thread_pool.h"
+#include "format/bsr.h"
 #include "format/csr.h"
 #include "format/relational.h"
+#include "format/srbcrs.h"
 
 namespace sparsetir {
 namespace engine {
@@ -68,13 +79,37 @@ struct DispatchInfo
     double compileMs = 0.0;
     /** Time spent gathering and binding the request's values. */
     double bindMs = 0.0;
-    /** Time spent executing kernels on the interpreter. */
+    /**
+     * Time spent executing kernels on the session's backend (the
+     * bytecode VM by default; the interpreter when
+     * EngineOptions::backend selects the reference oracle).
+     */
     double kernelMs = 0.0;
     /** bindMs + kernelMs. */
     double execMs = 0.0;
     int numKernels = 0;
 
     /** The serving-path overhead the compile cache eliminates. */
+    double dispatchOverheadMs() const { return compileMs + bindMs; }
+};
+
+/** Outcome of one batched dispatch (N requests, one artifact). */
+struct BatchDispatchInfo
+{
+    /** Whether the single artifact resolve was served from cache. */
+    bool cacheHit = false;
+    /** Artifact resolve time — at most ONE compile per batch. */
+    double compileMs = 0.0;
+    /** Building the shared base + per-request binding views. */
+    double bindMs = 0.0;
+    /** Executing the striped (request x unit) work on the pool. */
+    double kernelMs = 0.0;
+    /** bindMs + kernelMs. */
+    double execMs = 0.0;
+    int numRequests = 0;
+    /** Kernels executed per request. */
+    int numKernels = 0;
+
     double dispatchOverheadMs() const { return compileMs + bindMs; }
 };
 
@@ -103,6 +138,30 @@ struct RgcnConfig
 {
     int bucketCapLog2 = 5;
     bool tensorCores = false;
+};
+
+/** Schedule selection for BSR SpMM dispatch. */
+struct BsrConfig
+{
+    /**
+     * Annotate the MMA for the Tensor-Core pipe (simulator/codegen
+     * path); host execution is identical either way.
+     */
+    bool tensorCores = false;
+};
+
+/**
+ * One in-flight request of a batched SpMM dispatch: its own feature
+ * matrix and output. All requests of a batch share the sparse
+ * operand (structure AND values) — the one-artifact-many-features
+ * serving shape. Outputs must be distinct arrays.
+ */
+struct SpmmRequest
+{
+    /** Dense feature matrix (cols x feat, row-major). */
+    runtime::NDArray *b = nullptr;
+    /** Output (rows x feat, row-major; padded rows for block formats). */
+    runtime::NDArray *c = nullptr;
 };
 
 /**
@@ -164,6 +223,75 @@ class Engine
                       const RgcnConfig &config = RgcnConfig());
 
     /**
+     * Rectangular RGCN layer: X is cols x featIn, W featIn x featOut,
+     * Y rows x featOut. featIn and featOut are keyed separately in
+     * the compile cache — (16, 32) and (32, 16) are distinct
+     * artifacts (the aliasing a single shared feat field permitted).
+     */
+    DispatchInfo rgcn(const format::RelationalCsr &graph,
+                      int64_t featIn, int64_t featOut,
+                      runtime::NDArray *x, runtime::NDArray *w,
+                      runtime::NDArray *y,
+                      const RgcnConfig &config = RgcnConfig());
+
+    /**
+     * C = A @ B over the tiled BSR kernel (structured-pruned
+     * weights). B is (blockCols*blockSize) x feat and C is
+     * (blockRows*blockSize) x feat: the block grid's padded shape.
+     * Overwrite semantics (the kernel's init zeroes C).
+     */
+    DispatchInfo spmmBsr(const format::Bsr &a, int64_t feat,
+                         runtime::NDArray *b, runtime::NDArray *c,
+                         const BsrConfig &config = BsrConfig());
+
+    /**
+     * C = A @ B over the SR-BCRS(t, g) stripe kernel
+     * (unstructured-pruned weights). C is (stripes*t) x feat.
+     * Overwrite semantics.
+     */
+    DispatchInfo spmmSrbcrs(const format::SrBcrs &a, int64_t feat,
+                            runtime::NDArray *b, runtime::NDArray *c);
+
+    // -----------------------------------------------------------------
+    // Batched dispatch: one artifact, many feature matrices in flight.
+    // Each batch performs at most ONE compile (cache resolve), builds
+    // a private binding view per request, and stripes the cross
+    // product of (requests x grid chunks / kernels) across the pool.
+    // Every request's output is bitwise identical to dispatching it
+    // alone through the corresponding serial entry point.
+    // -----------------------------------------------------------------
+
+    BatchDispatchInfo
+    spmmCsrBatch(const format::Csr &a, int64_t feat,
+                 const std::vector<SpmmRequest> &requests,
+                 const core::SpmmSchedule &schedule =
+                     core::SpmmSchedule());
+
+    BatchDispatchInfo
+    spmmHybBatch(const format::Csr &a, int64_t feat,
+                 const std::vector<SpmmRequest> &requests,
+                 const HybConfig &config = HybConfig());
+
+    /**
+     * Batched dispatch over an already-prepared hyb SpMM: skips even
+     * the cache lookup and value gather — the handle pins the
+     * artifact and the gathered bucket values. Requests' outputs are
+     * zeroed by the dispatch (overwrite contract, like spmmHyb).
+     */
+    BatchDispatchInfo
+    spmmHybBatch(const PreparedSpmmHyb &prepared,
+                 const std::vector<SpmmRequest> &requests);
+
+    BatchDispatchInfo
+    spmmBsrBatch(const format::Bsr &a, int64_t feat,
+                 const std::vector<SpmmRequest> &requests,
+                 const BsrConfig &config = BsrConfig());
+
+    BatchDispatchInfo
+    spmmSrbcrsBatch(const format::SrBcrs &a, int64_t feat,
+                    const std::vector<SpmmRequest> &requests);
+
+    /**
      * Resolve (compile or fetch) a hyb SpMM and return bound kernels
      * for external execution or simulation — the autotuner's path.
      */
@@ -182,6 +310,13 @@ class Engine
             DispatchInfo *info);
 
     void finishDispatch(const DispatchInfo &info);
+
+    /**
+     * Account a batch: numRequests logical requests, at most one of
+     * which paid the (single) compile; the rest count as hits on the
+     * artifact it produced.
+     */
+    void finishBatch(const BatchDispatchInfo &info);
 
     ExecOptions execOptions() const;
 

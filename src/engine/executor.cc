@@ -196,6 +196,24 @@ foldInto(NDArray *shared, const NDArray &priv,
     }
 }
 
+/**
+ * Grid extent from the kernel's spilled launch expression, evaluated
+ * over the request's scalar bindings; 0 when the kernel has no block
+ * grid or the extent is not scalar-evaluable (run unsplit then).
+ * Never probes through runtime::launchInfo — that is the point.
+ */
+int64_t
+blockExtentOf(const CompiledKernel &kernel, const Bindings &bindings)
+{
+    int64_t extent = 0;
+    if (kernel.blockExtent != nullptr &&
+        runtime::evalScalarExtent(kernel.blockExtent, bindings,
+                                  &extent)) {
+        return extent;
+    }
+    return 0;
+}
+
 /** Execute one kernel (optionally windowed) on the chosen backend. */
 void
 execOne(const CompiledKernel &kernel, const Bindings &bindings,
@@ -222,6 +240,16 @@ compileKernel(const ir::PrimFunc &func, bool with_program,
     kernel.func = func;
     if (with_program) {
         kernel.program = runtime::bytecode::programFor(func);
+    }
+    // Spill the launch info: take the extent the bytecode compiler
+    // already located, or walk the IR once here (interpreter-only
+    // kernels). Warm dispatches evaluate this expression instead of
+    // probing the grid through the interpreter.
+    if (kernel.program != nullptr) {
+        kernel.blockExtent = kernel.program->blockExtent;
+    } else if (const ir::ForNode *loop =
+                   runtime::findBlockIdxLoop(func->body)) {
+        kernel.blockExtent = loop->extent;
     }
     if (analyze_accums) {
         for (std::string &name :
@@ -355,6 +383,22 @@ ParallelExecutor::ParallelExecutor(std::shared_ptr<ThreadPool> pool)
     ICHECK(pool_ != nullptr);
 }
 
+void
+ParallelExecutor::forCapped(int64_t n, int workers,
+                            const std::function<void(int64_t)> &fn) const
+{
+    if (workers >= pool_->size()) {
+        // No per-call cap below pool capacity: enqueue everything,
+        // the pool bounds concurrency.
+        pool_->parallelFor(n, fn);
+        return;
+    }
+    for (int64_t wave = 0; wave < n; wave += workers) {
+        int64_t count = std::min<int64_t>(workers, n - wave);
+        pool_->parallelFor(count, [&](int64_t j) { fn(wave + j); });
+    }
+}
+
 std::vector<std::string>
 ParallelExecutor::accumulatedParams(const PrimFunc &func)
 {
@@ -447,12 +491,11 @@ ParallelExecutor::runKernel(const CompiledKernel &kernel,
         execOne(kernel, bindings, options);
         return;
     }
-    runtime::LaunchInfo info =
-        runtime::launchInfo(kernel.func, bindings);
+    int64_t block_extent = blockExtentOf(kernel, bindings);
     int64_t min_chunk = std::max<int64_t>(options.minBlocksPerChunk, 1);
     int64_t chunks =
-        info.hasBlockIdx
-            ? std::min<int64_t>(workers, info.blockExtent / min_chunk)
+        block_extent > 0
+            ? std::min<int64_t>(workers, block_extent / min_chunk)
             : 0;
     if (chunks < 2) {
         execOne(kernel, bindings, options);
@@ -466,8 +509,8 @@ ParallelExecutor::runKernel(const CompiledKernel &kernel,
     locals.reserve(chunks);
     std::vector<runtime::RunOptions> windows(chunks);
     try {
-        int64_t base = info.blockExtent / chunks;
-        int64_t rem = info.blockExtent % chunks;
+        int64_t base = block_extent / chunks;
+        int64_t rem = block_extent % chunks;
         int64_t begin = 0;
         for (int64_t c = 0; c < chunks; ++c) {
             int64_t extent = base + (c < rem ? 1 : 0);
@@ -531,29 +574,14 @@ ParallelExecutor::runKernels(
         std::vector<std::vector<Private>> privates(n);
         std::vector<Bindings> locals;
         locals.reserve(n);
-        auto run_wave = [&](int64_t wave_begin, int64_t count) {
-            pool_->parallelFor(count, [&](int64_t j) {
-                execOne(*kernels[begin + wave_begin + j],
-                        locals[wave_begin + j], options);
-            });
-        };
         try {
             for (int64_t i = 0; i < n; ++i) {
                 locals.push_back(privatize(*kernels[begin + i],
                                            bindings, &privates[i]));
             }
-            if (workers >= pool_->size()) {
-                // No per-call cap below pool capacity: enqueue the
-                // whole batch, the pool bounds concurrency.
-                run_wave(0, n);
-            } else {
-                // Honor the per-call worker cap (options.workers) by
-                // fanning out in waves of at most `workers` kernels.
-                for (int64_t wave = 0; wave < n; wave += workers) {
-                    run_wave(wave,
-                             std::min<int64_t>(workers, n - wave));
-                }
-            }
+            forCapped(n, workers, [&](int64_t i) {
+                execOne(*kernels[begin + i], locals[i], options);
+            });
             for (int64_t i = 0; i < n; ++i) {
                 foldAndRelease(bindings, &privates[i]);
             }
@@ -575,6 +603,204 @@ ParallelExecutor::runKernels(
         }
     }
     run_batch(batch_begin, total);
+}
+
+// ---------------------------------------------------------------------
+// Multi-request (batched) dispatch
+// ---------------------------------------------------------------------
+
+void
+ParallelExecutor::runKernelBatch(const CompiledKernel &kernel,
+                                 const std::vector<Bindings> &requests,
+                                 const ExecOptions &options) const
+{
+    int64_t num_requests = static_cast<int64_t>(requests.size());
+    if (num_requests == 0) {
+        return;
+    }
+    if (num_requests == 1) {
+        runKernel(kernel, requests[0], options);
+        return;
+    }
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    if (!options.parallel || workers <= 1) {
+        for (const Bindings &request : requests) {
+            execOne(kernel, request, options);
+        }
+        return;
+    }
+
+    // Spread the workers across in-flight requests: each request is
+    // split into at most ceil(workers / requests) grid chunks, so the
+    // unit count stays near the worker count. Once requests alone
+    // saturate the pool, every request runs unsplit (pure request
+    // parallelism, no privatization at all). Exclusive kernels are
+    // never split, but distinct requests write distinct outputs, so
+    // they still run concurrently across the batch.
+    int64_t per_request_cap =
+        kernel.exclusive
+            ? 1
+            : std::max<int64_t>(
+                  1, (workers + num_requests - 1) / num_requests);
+    int64_t min_chunk = std::max<int64_t>(options.minBlocksPerChunk, 1);
+    std::vector<int64_t> extents(num_requests, 0);
+    std::vector<int64_t> chunks_per(num_requests, 1);
+    int64_t total_units = 0;
+    for (int64_t r = 0; r < num_requests; ++r) {
+        if (per_request_cap >= 2) {
+            extents[r] = blockExtentOf(kernel, requests[r]);
+            if (extents[r] > 0) {
+                chunks_per[r] =
+                    std::max<int64_t>(1, std::min(per_request_cap,
+                                                  extents[r] /
+                                                      min_chunk));
+            }
+        }
+        total_units += chunks_per[r];
+    }
+
+    /** One pool task: a (request, grid window) pair. */
+    struct Unit
+    {
+        const Bindings *bindings = nullptr;
+        runtime::RunOptions window;
+    };
+    std::vector<Unit> units;
+    units.reserve(total_units);
+    std::vector<Bindings> locals;
+    locals.reserve(total_units);
+    std::vector<std::vector<Private>> privates(total_units);
+    /** Per request: its privatized unit indices, in chunk order. */
+    std::vector<std::vector<size_t>> fold_plan(num_requests);
+    try {
+        for (int64_t r = 0; r < num_requests; ++r) {
+            int64_t chunks = chunks_per[r];
+            if (chunks < 2) {
+                // Sole unit of its request: serial semantics on the
+                // request's own buffers, nothing to privatize.
+                units.push_back(Unit{&requests[r], {}});
+                continue;
+            }
+            int64_t base = extents[r] / chunks;
+            int64_t rem = extents[r] % chunks;
+            int64_t begin = 0;
+            for (int64_t c = 0; c < chunks; ++c) {
+                int64_t extent = base + (c < rem ? 1 : 0);
+                size_t index = units.size();
+                locals.push_back(
+                    privatize(kernel, requests[r], &privates[index]));
+                Unit unit;
+                unit.bindings = &locals.back();
+                unit.window.blockBegin = begin;
+                unit.window.blockEnd = begin + extent;
+                begin += extent;
+                units.push_back(unit);
+                fold_plan[r].push_back(index);
+            }
+        }
+        forCapped(static_cast<int64_t>(units.size()), workers,
+                  [&](int64_t i) {
+                      const Unit &unit = units[i];
+                      execOne(kernel, *unit.bindings, options,
+                              unit.window);
+                  });
+        // Fold each request's privates in chunk order: per output
+        // element this replays that request's serial block order.
+        for (int64_t r = 0; r < num_requests; ++r) {
+            for (size_t index : fold_plan[r]) {
+                foldAndRelease(requests[r], &privates[index]);
+            }
+        }
+    } catch (...) {
+        releaseAll(&privates);
+        throw;
+    }
+}
+
+void
+ParallelExecutor::runKernelsBatch(
+    const std::vector<const CompiledKernel *> &kernels,
+    const std::vector<Bindings> &requests,
+    const ExecOptions &options) const
+{
+    int64_t num_requests = static_cast<int64_t>(requests.size());
+    if (num_requests == 0 || kernels.empty()) {
+        return;
+    }
+    if (num_requests == 1) {
+        runKernels(kernels, requests[0], options);
+        return;
+    }
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    if (!options.parallel || workers <= 1) {
+        for (const Bindings &request : requests) {
+            for (const CompiledKernel *kernel : kernels) {
+                execOne(*kernel, request, options);
+            }
+        }
+        return;
+    }
+
+    // Stripe the cross product (request x kernel) of one contiguous
+    // run of non-exclusive kernels across the pool, privatizing each
+    // unit and folding per request in kernel-list order.
+    auto run_segment = [&](int64_t begin, int64_t end) {
+        int64_t n = end - begin;
+        if (n <= 0) {
+            return;
+        }
+        if (n == 1) {
+            // Sole kernel of its segment: add grid splitting to the
+            // request axis (non-exclusive by construction).
+            runKernelBatch(*kernels[begin], requests, options);
+            return;
+        }
+        int64_t total = num_requests * n;
+        std::vector<std::vector<Private>> privates(total);
+        std::vector<Bindings> locals;
+        locals.reserve(total);
+        try {
+            for (int64_t r = 0; r < num_requests; ++r) {
+                for (int64_t i = 0; i < n; ++i) {
+                    locals.push_back(privatize(*kernels[begin + i],
+                                               requests[r],
+                                               &privates[r * n + i]));
+                }
+            }
+            forCapped(total, workers, [&](int64_t idx) {
+                execOne(*kernels[begin + idx % n], locals[idx],
+                        options);
+            });
+            for (int64_t r = 0; r < num_requests; ++r) {
+                for (int64_t i = 0; i < n; ++i) {
+                    foldAndRelease(requests[r],
+                                   &privates[r * n + i]);
+                }
+            }
+        } catch (...) {
+            releaseAll(&privates);
+            throw;
+        }
+    };
+
+    int64_t total = static_cast<int64_t>(kernels.size());
+    int64_t segment_begin = 0;
+    for (int64_t i = 0; i < total; ++i) {
+        if (kernels[i]->exclusive) {
+            run_segment(segment_begin, i);
+            // Serial at its list position within each request; the
+            // requests themselves are independent.
+            forCapped(num_requests, workers, [&](int64_t r) {
+                execOne(*kernels[i], requests[r], options);
+            });
+            segment_begin = i + 1;
+        }
+    }
+    run_segment(segment_begin, total);
 }
 
 // ---------------------------------------------------------------------

@@ -27,6 +27,13 @@
  *    kernel family the engine emits, which share outputs only
  *    through accumulation).
  *
+ * A third axis composes with both: runKernelBatch / runKernelsBatch
+ * execute one compiled artifact for MANY in-flight requests, each
+ * request carrying its own bindings (its own feature/output arrays
+ * over shared structure). Units from the cross product of (requests x
+ * chunks-or-kernels) share the pool; requests never share written
+ * storage, so the per-request guarantees above hold unchanged.
+ *
  * Privatization replays the serial addition order per element only
  * when each parallel unit performs at most ONE read-modify-write
  * write-back per output element: folding a private that accumulated
@@ -54,6 +61,7 @@
 #ifndef SPARSETIR_ENGINE_EXECUTOR_H_
 #define SPARSETIR_ENGINE_EXECUTOR_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -118,6 +126,15 @@ struct CompiledKernel
      * runs serially at its list position (see file comment).
      */
     bool exclusive = false;
+    /**
+     * Launch info spilled at compile time: the extent expression of
+     * the outermost blockIdx.x-bound loop, null when the kernel has
+     * no block grid. Warm dispatches size their grid by evaluating
+     * this against the request's scalar bindings
+     * (runtime::evalScalarExtent) — the interpreter-based
+     * runtime::launchInfo probe never runs on the warm path.
+     */
+    ir::Expr blockExtent;
 };
 
 /**
@@ -167,6 +184,31 @@ class ParallelExecutor
      */
     void runKernels(const std::vector<const CompiledKernel *> &kernels,
                     const runtime::Bindings &bindings,
+                    const ExecOptions &options = ExecOptions()) const;
+
+    /**
+     * Multi-request dispatch: execute ONE kernel once per request,
+     * each request under its own bindings. Work is striped across
+     * the cross product of (in-flight requests x grid-split chunks)
+     * on the pool; per request the result is bitwise identical to a
+     * serial run of the kernel under that request's bindings.
+     * Requests must bind disjoint output arrays (they may — and on
+     * the engine's batched path do — share read-only inputs).
+     */
+    void runKernelBatch(const CompiledKernel &kernel,
+                        const std::vector<runtime::Bindings> &requests,
+                        const ExecOptions &options = ExecOptions()) const;
+
+    /**
+     * Multi-request, multi-kernel dispatch: for every request,
+     * execute all kernels as runKernels would under that request's
+     * bindings, striping (request, kernel) units across the pool.
+     * Exclusive kernels stay serial *within* their request but still
+     * run concurrently across requests, whose outputs are disjoint.
+     */
+    void
+    runKernelsBatch(const std::vector<const CompiledKernel *> &kernels,
+                    const std::vector<runtime::Bindings> &requests,
                     const ExecOptions &options = ExecOptions()) const;
 
     /**
@@ -245,6 +287,14 @@ class ParallelExecutor
         runtime::NDArray *array = nullptr;
         const std::vector<Span> *spans = nullptr;
     };
+
+    /**
+     * parallelFor over [0, n) honoring a per-call worker cap below
+     * the pool size by fanning out in waves of at most `workers`
+     * units. The single implementation behind every fan-out site.
+     */
+    void forCapped(int64_t n, int workers,
+                   const std::function<void(int64_t)> &fn) const;
 
     runtime::Bindings privatize(const CompiledKernel &kernel,
                                 const runtime::Bindings &shared,

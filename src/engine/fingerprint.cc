@@ -33,6 +33,34 @@ structureHash(const format::RelationalCsr &m)
     return fp.digest();
 }
 
+uint64_t
+structureHash(const format::Bsr &m)
+{
+    Fingerprint fp;
+    fp.i64(m.rows)
+        .i64(m.cols)
+        .i64(m.blockSize)
+        .i64(m.blockRows)
+        .i64(m.blockCols)
+        .i32s(m.indptr)
+        .i32s(m.indices);
+    return fp.digest();
+}
+
+uint64_t
+structureHash(const format::SrBcrs &m)
+{
+    Fingerprint fp;
+    fp.i64(m.rows)
+        .i64(m.cols)
+        .i64(m.tileHeight)
+        .i64(m.groupSize)
+        .i64(m.stripes)
+        .i32s(m.groupIndptr)
+        .i32s(m.tileCols);
+    return fp.digest();
+}
+
 const char *
 opKindName(OpKind op)
 {
@@ -45,6 +73,10 @@ opKindName(OpKind op)
         return "sddmm";
       case OpKind::kRgcnHyb:
         return "rgcn_hyb";
+      case OpKind::kSpmmBsr:
+        return "spmm_bsr";
+      case OpKind::kSpmmSrbcrs:
+        return "spmm_srbcrs";
     }
     return "unknown";
 }

@@ -3,11 +3,12 @@
  * Request fingerprinting for the execution engine's compile cache.
  *
  * A compiled kernel is a pure function of (operator kind, sparsity
- * structure, schedule parameters, feature dimension) — never of the
+ * structure, schedule parameters, feature dimensions) — never of the
  * stored values. The fingerprint hashes exactly those inputs, so two
  * matrices with identical sparsity patterns but different values map
  * to the same artifact, while any structural change (an extra
- * non-zero, a different bucketing) forces a recompile.
+ * non-zero, a different bucketing, a different block size) forces a
+ * recompile.
  */
 
 #ifndef SPARSETIR_ENGINE_FINGERPRINT_H_
@@ -18,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "format/bsr.h"
 #include "format/csr.h"
 #include "format/relational.h"
+#include "format/srbcrs.h"
 
 namespace sparsetir {
 namespace engine {
@@ -62,12 +65,20 @@ uint64_t structureHash(const format::Csr &m);
 /** Structure hash over every relation of a heterogeneous graph. */
 uint64_t structureHash(const format::RelationalCsr &m);
 
+/** Hash of a BSR matrix's block-sparsity structure (not values). */
+uint64_t structureHash(const format::Bsr &m);
+
+/** Hash of an SR-BCRS matrix's tile structure (not values). */
+uint64_t structureHash(const format::SrBcrs &m);
+
 /** Operator families the engine serves. */
 enum class OpKind : uint8_t {
     kSpmmCsr = 1,
     kSpmmHyb = 2,
     kSddmm = 3,
     kRgcnHyb = 4,
+    kSpmmBsr = 5,
+    kSpmmSrbcrs = 6,
 };
 
 const char *opKindName(OpKind op);
@@ -81,8 +92,12 @@ const char *opKindName(OpKind op);
  *  v1 — Stage III PrimFuncs + structure arrays + provenance maps.
  *  v2 — kernels carry compiled bytecode programs and span-restricted
  *       write-set metadata (engine::CompiledKernel).
+ *  v3 — keys carry distinct featIn/featOut plus block-structure
+ *       facts (blockSize, tileHeight, groupSize); kernels carry the
+ *       spilled block-extent expression so warm dispatch never
+ *       probes the grid through the interpreter.
  */
-constexpr uint32_t kArtifactVersion = 2;
+constexpr uint32_t kArtifactVersion = 3;
 
 /** Key of one compile-cache entry. */
 struct CacheKey
@@ -95,11 +110,14 @@ struct CacheKey
     /** Schedule / format-parameter fingerprint (c, k, threadX, ...). */
     uint64_t schedule = 0;
     /**
-     * Feature dimension. RGMS currently serves square layers
-     * (feat_in == feat_out == feat); an entry point with distinct
-     * in/out widths must fold both into the key.
+     * Input and output feature dimensions, keyed separately. Square
+     * ops set both to the same value; asymmetric entry points (e.g.
+     * a rectangular RGCN layer) differ — a single shared field would
+     * silently alias (featIn=16, featOut=32) with (32, 16) and serve
+     * a kernel compiled for the wrong shapes.
      */
-    int64_t feat = 0;
+    int64_t featIn = 0;
+    int64_t featOut = 0;
     /**
      * Raw shape facts (rows, total nnz) carried alongside the hash:
      * a 64-bit fingerprint collision across different shapes can
@@ -108,14 +126,26 @@ struct CacheKey
      */
     int64_t rows = 0;
     int64_t nnz = 0;
+    /**
+     * Block-structure facts of blocked formats, raw like rows/nnz:
+     * BSR's block edge, SR-BCRS's tile height t and group factor g.
+     * Zero for formats without the notion.
+     */
+    int32_t blockSize = 0;
+    int32_t tileHeight = 0;
+    int32_t groupSize = 0;
 
     bool
     operator==(const CacheKey &other) const
     {
         return version == other.version && op == other.op &&
                structure == other.structure &&
-               schedule == other.schedule && feat == other.feat &&
-               rows == other.rows && nnz == other.nnz;
+               schedule == other.schedule &&
+               featIn == other.featIn && featOut == other.featOut &&
+               rows == other.rows && nnz == other.nnz &&
+               blockSize == other.blockSize &&
+               tileHeight == other.tileHeight &&
+               groupSize == other.groupSize;
     }
 };
 
@@ -130,9 +160,13 @@ struct CacheKeyHash
             .i64(op)
             .i64(static_cast<int64_t>(key.structure))
             .i64(static_cast<int64_t>(key.schedule))
-            .i64(key.feat)
+            .i64(key.featIn)
+            .i64(key.featOut)
             .i64(key.rows)
-            .i64(key.nnz);
+            .i64(key.nnz)
+            .i64(key.blockSize)
+            .i64(key.tileHeight)
+            .i64(key.groupSize);
         return static_cast<size_t>(fp.digest());
     }
 };

@@ -90,6 +90,9 @@ class Compiler
         scalarUsed_.assign(scalars_.size(), false);
         prog_.numParamSlots = static_cast<int32_t>(prog_.slots.size());
         blockLoop_ = findBlockIdxLoop(func_->body);
+        if (blockLoop_ != nullptr) {
+            prog_.blockExtent = blockLoop_->extent;
+        }
         if (func_->body != nullptr) {
             compileStmt(func_->body);
         }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "ir/dtype.h"
+#include "ir/expr.h"
 
 namespace sparsetir {
 namespace runtime {
@@ -206,6 +207,14 @@ struct Program
      * Mirrors runtime::findBlockIdxLoop on the source function.
      */
     int32_t blockWindowPc = -1;
+    /**
+     * Launch info spilled at compile time: the extent expression of
+     * that loop (null when blockWindowPc is -1). Warm dispatchers
+     * size their grid by evaluating this over scalar bindings
+     * (runtime::evalScalarExtent) instead of re-walking the source
+     * IR with the interpreter on every request.
+     */
+    ir::Expr blockExtent;
 };
 
 } // namespace bytecode

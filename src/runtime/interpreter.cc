@@ -1,6 +1,7 @@
 #include "runtime/interpreter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <unordered_map>
@@ -565,10 +566,155 @@ runInterpreted(const ir::PrimFunc &func, const Bindings &bindings,
     machine.run();
 }
 
+namespace {
+
+std::atomic<uint64_t> launch_probes{0};
+
+} // namespace
+
+uint64_t
+launchProbeCount()
+{
+    return launch_probes.load(std::memory_order_relaxed);
+}
+
+bool
+evalScalarExtent(const ir::Expr &e, const Bindings &bindings,
+                 int64_t *out)
+{
+    if (e == nullptr) {
+        return false;
+    }
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+        *out = static_cast<const IntImmNode *>(e.get())->value;
+        return true;
+      case ExprKind::kVar: {
+        auto it = bindings.scalars.find(
+            static_cast<const VarNode *>(e.get())->name);
+        if (it == bindings.scalars.end()) {
+            return false;
+        }
+        *out = it->second;
+        return true;
+      }
+      case ExprKind::kAdd:
+      case ExprKind::kSub:
+      case ExprKind::kMul:
+      case ExprKind::kFloorDiv:
+      case ExprKind::kFloorMod:
+      case ExprKind::kMin:
+      case ExprKind::kMax:
+      case ExprKind::kEQ:
+      case ExprKind::kNE:
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        const auto *op = static_cast<const BinaryNode *>(e.get());
+        int64_t a = 0;
+        int64_t b = 0;
+        if (!evalScalarExtent(op->a, bindings, &a) ||
+            !evalScalarExtent(op->b, bindings, &b)) {
+            return false;
+        }
+        switch (e->kind) {
+          case ExprKind::kAdd:
+            *out = a + b;
+            return true;
+          case ExprKind::kSub:
+            *out = a - b;
+            return true;
+          case ExprKind::kMul:
+            *out = a * b;
+            return true;
+          case ExprKind::kFloorDiv:
+            if (b == 0) {
+                return false;
+            }
+            *out = floordivInt(a, b);
+            return true;
+          case ExprKind::kFloorMod:
+            if (b == 0) {
+                return false;
+            }
+            *out = a - floordivInt(a, b) * b;
+            return true;
+          case ExprKind::kMin:
+            *out = std::min(a, b);
+            return true;
+          case ExprKind::kMax:
+            *out = std::max(a, b);
+            return true;
+          case ExprKind::kEQ:
+            *out = a == b;
+            return true;
+          case ExprKind::kNE:
+            *out = a != b;
+            return true;
+          case ExprKind::kLT:
+            *out = a < b;
+            return true;
+          case ExprKind::kLE:
+            *out = a <= b;
+            return true;
+          case ExprKind::kGT:
+            *out = a > b;
+            return true;
+          case ExprKind::kGE:
+            *out = a >= b;
+            return true;
+          case ExprKind::kAnd:
+            *out = (a != 0) && (b != 0);
+            return true;
+          case ExprKind::kOr:
+            *out = (a != 0) || (b != 0);
+            return true;
+          default:
+            return false;
+        }
+      }
+      case ExprKind::kNot: {
+        int64_t a = 0;
+        if (!evalScalarExtent(
+                static_cast<const NotNode *>(e.get())->a, bindings,
+                &a)) {
+            return false;
+        }
+        *out = a == 0;
+        return true;
+      }
+      case ExprKind::kSelect: {
+        const auto *op = static_cast<const SelectNode *>(e.get());
+        int64_t cond = 0;
+        if (!evalScalarExtent(op->cond, bindings, &cond)) {
+            return false;
+        }
+        return evalScalarExtent(
+            cond != 0 ? op->trueValue : op->falseValue, bindings,
+            out);
+      }
+      case ExprKind::kCast: {
+        const auto *op = static_cast<const CastNode *>(e.get());
+        if (!op->dtype.isInt() && !op->dtype.isBool()) {
+            return false;
+        }
+        return evalScalarExtent(op->value, bindings, out);
+      }
+      default:
+        // Buffer loads, calls, float/vector expressions: not a
+        // scalar-only grid extent.
+        return false;
+    }
+}
+
 LaunchInfo
 launchInfo(const ir::PrimFunc &func, const Bindings &bindings)
 {
     LaunchInfo info;
+    launch_probes.fetch_add(1, std::memory_order_relaxed);
     const ForNode *loop = findBlockIdxLoop(func->body);
     if (loop == nullptr) {
         return info;

@@ -121,8 +121,29 @@ struct LaunchInfo
  * cannot be evaluated from constants and bound scalars (e.g. it
  * depends on a loop-carried value), in which case callers must run
  * the kernel unsplit.
+ *
+ * This probe walks the IR and instantiates an interpreter per call;
+ * it belongs on the compile path. Warm dispatchers should evaluate
+ * the block-extent expression spilled into their compiled artifact
+ * (bytecode::Program::blockExtent / engine::CompiledKernel) with
+ * evalScalarExtent instead. Every call increments launchProbeCount()
+ * so tests can assert warm paths never come back here.
  */
 LaunchInfo launchInfo(const ir::PrimFunc &func, const Bindings &bindings);
+
+/** Process-wide count of launchInfo() grid probes (see above). */
+uint64_t launchProbeCount();
+
+/**
+ * Evaluate an integer expression using only constants and the scalar
+ * bindings — no interpreter machine, no buffer state. Returns false
+ * (leaving *out untouched) when the expression references anything
+ * else (an unbound var, a buffer load, a call) or divides by zero.
+ * This is the warm-dispatch grid-sizing path: the same expression
+ * class launchInfo() accepts, at a fraction of the cost.
+ */
+bool evalScalarExtent(const ir::Expr &e, const Bindings &bindings,
+                      int64_t *out);
 
 } // namespace runtime
 } // namespace sparsetir

@@ -73,6 +73,65 @@ TEST(Fingerprint, StructureHashSeesStructure)
     EXPECT_NE(engine::structureHash(a), engine::structureHash(b));
 }
 
+TEST(Fingerprint, SwappedFeatInOutKeysDistinctly)
+{
+    // Regression for the v2 feat-aliasing bug: the key carried one
+    // shared `feat` (documented feat_in == feat_out), so a
+    // rectangular op and its transpose-shaped twin collided and the
+    // cache served a kernel compiled for the wrong widths. v3 keys
+    // both dims.
+    engine::CacheKey a;
+    a.op = engine::OpKind::kRgcnHyb;
+    a.structure = 42;
+    a.schedule = 7;
+    a.featIn = 16;
+    a.featOut = 32;
+    engine::CacheKey b = a;
+    b.featIn = 32;
+    b.featOut = 16;
+    EXPECT_FALSE(a == b);
+
+    engine::CompileCache cache(4);
+    int builds = 0;
+    auto builder = [&] {
+        ++builds;
+        return std::make_shared<engine::Artifact>();
+    };
+    cache.getOrBuild(a, builder);
+    cache.getOrBuild(b, builder);
+    EXPECT_EQ(builds, 2) << "swapped featIn/featOut aliased one entry";
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Fingerprint, BlockStructureFactsKeyDistinctly)
+{
+    engine::CacheKey bsr8;
+    bsr8.op = engine::OpKind::kSpmmBsr;
+    bsr8.structure = 9;
+    bsr8.featIn = bsr8.featOut = 16;
+    bsr8.blockSize = 8;
+    engine::CacheKey bsr4 = bsr8;
+    bsr4.blockSize = 4;
+    EXPECT_FALSE(bsr8 == bsr4);
+
+    engine::CacheKey sr;
+    sr.op = engine::OpKind::kSpmmSrbcrs;
+    sr.structure = 9;
+    sr.featIn = sr.featOut = 16;
+    sr.tileHeight = 4;
+    sr.groupSize = 8;
+    engine::CacheKey sr2 = sr;
+    sr2.tileHeight = 8;
+    sr2.groupSize = 4;
+    EXPECT_FALSE(sr == sr2);
+
+    // The artifact version is part of every key: a layout bump can
+    // never serve an old artifact to new dispatch logic.
+    engine::CacheKey old_version = bsr8;
+    old_version.version = engine::kArtifactVersion - 1;
+    EXPECT_FALSE(bsr8 == old_version);
+}
+
 TEST(CompileCache, HitOnSameKeyMissOnDifferent)
 {
     engine::CompileCache cache(4);
