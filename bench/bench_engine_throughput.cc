@@ -30,9 +30,15 @@
  *     cached artifact, private feature/output arrays) dispatched
  *     through spmmHybBatch vs the same N requests re-dispatched
  *     sequentially, bitwise-checked per request. Reports requests/s
- *     both ways; the batched numbers ride in BENCH_JSON for
- *     trajectory tracking (informational — the CI gate stays on the
- *     backend speedup).
+ *     both ways plus the privatization-scratch high-water mark
+ *     (span-sized leases vs the naive units x output bytes); the
+ *     batched numbers ride in BENCH_JSON for trajectory tracking
+ *     (informational — the CI gate stays on the backend speedup).
+ *
+ *  6. RGCN scratch high-water mark — one fused RGCN dispatch whose
+ *     (relation, bucket) scatter units each touch a small row
+ *     subset: the workload where span-sized privatization leases
+ *     shrink scratch the most. Informational, in BENCH_JSON.
  *
  * FAST=1 shrinks the graph for smoke runs. BENCH_JSON=<path> writes
  * the backend-comparison numbers as JSON for the CI perf gate and
@@ -342,6 +348,73 @@ main()
                 "identical: %s\n",
                 batch_speedup, batch_equal ? "yes" : "NO");
 
+    // Privatization scratch high-water mark of one batched dispatch
+    // (span-sized leases). Measured on a dedicated 4-worker session
+    // so privatization engages even on single-core boxes (a size-1
+    // pool runs serially and leases nothing). The naive figure is
+    // what full-output leases would have peaked at: one output-sized
+    // buffer per (request x kernel) unit.
+    engine::EngineOptions scratch_options;
+    scratch_options.numThreads = 4;
+    engine::Engine scratch_eng(scratch_options);
+    engine::PreparedSpmmHyb scratch_prepared =
+        scratch_eng.prepareSpmmHyb(g, feat, config);
+    scratch_eng.spmmHybBatch(scratch_prepared, requests);  // warm
+    scratch_eng.resetScratchPeak();
+    engine::BatchDispatchInfo peak_info =
+        scratch_eng.spmmHybBatch(scratch_prepared, requests);
+    engine::ScratchStats batch_scratch = scratch_eng.scratchStats();
+    long long output_bytes = static_cast<long long>(g.rows) * feat *
+                             static_cast<long long>(sizeof(float));
+    long long naive_bytes = static_cast<long long>(batch_requests) *
+                            peak_info.numKernels * output_bytes;
+    std::printf("  scratch high-water mark: %.2f MB "
+                "(naive full-output leases: %.2f MB = %d requests x "
+                "%d kernels x %.2f MB)\n",
+                batch_scratch.peakLeasedBytes / 1e6,
+                naive_bytes / 1e6, batch_requests,
+                peak_info.numKernels, output_bytes / 1e6);
+
+    // ------------------------------------------------------------------
+    // 6. RGCN scratch high-water mark (scatter units, span leases)
+    // ------------------------------------------------------------------
+    int64_t rg_nodes = benchutil::fastMode() ? 500 : 2000;
+    int rg_relations = 3;
+    std::printf("\n[6] rgcn scratch high-water mark (%lld nodes, %d "
+                "relations)\n",
+                static_cast<long long>(rg_nodes), rg_relations);
+    format::RelationalCsr rgraph;
+    rgraph.rows = rg_nodes;
+    rgraph.cols = rg_nodes;
+    for (int r = 0; r < rg_relations; ++r) {
+        rgraph.relations.push_back(graph::powerLawGraph(
+            rg_nodes, rg_nodes * 6, 1.8, 200 + r));
+        rgraph.relations.back().cols = rg_nodes;
+    }
+    engine::EngineOptions rgcn_options;
+    rgcn_options.numThreads = 4;  // privatization needs a real pool
+    engine::Engine rgcn_eng(rgcn_options);
+    NDArray rg_x =
+        NDArray::fromFloat(randomVector(rg_nodes * feat, 210));
+    NDArray rg_w = NDArray::fromFloat(randomVector(feat * feat, 211));
+    NDArray rg_y({rg_nodes * feat}, ir::DataType::float32());
+    rgcn_eng.rgcn(rgraph, feat, &rg_x, &rg_w, &rg_y);  // prime
+    rgcn_eng.resetScratchPeak();
+    rg_y.zero();
+    engine::DispatchInfo rg_info =
+        rgcn_eng.rgcn(rgraph, feat, &rg_x, &rg_w, &rg_y);
+    engine::ScratchStats rg_scratch = rgcn_eng.scratchStats();
+    long long rg_output_bytes = static_cast<long long>(rg_nodes) *
+                                feat *
+                                static_cast<long long>(sizeof(float));
+    long long rg_naive_bytes =
+        static_cast<long long>(rg_info.numKernels) * rg_output_bytes;
+    std::printf("  %d scatter units: scratch peak %.2f MB (naive "
+                "full-output leases: %.2f MB)\n",
+                rg_info.numKernels,
+                rg_scratch.peakLeasedBytes / 1e6,
+                rg_naive_bytes / 1e6);
+
     if (const char *json_path = std::getenv("BENCH_JSON")) {
         std::FILE *json = std::fopen(json_path, "w");
         if (json == nullptr) {
@@ -368,7 +441,11 @@ main()
             "  \"sequential_req_per_s\": %.2f,\n"
             "  \"batched_req_per_s\": %.2f,\n"
             "  \"batched_speedup\": %.4f,\n"
-            "  \"batch_bitwise_identical\": %s\n"
+            "  \"batch_bitwise_identical\": %s,\n"
+            "  \"scratch_peak_bytes\": %lld,\n"
+            "  \"scratch_naive_bytes\": %lld,\n"
+            "  \"rgcn_scratch_peak_bytes\": %lld,\n"
+            "  \"rgcn_scratch_naive_bytes\": %lld\n"
             "}\n",
             benchutil::fastMode() ? "true" : "false",
             static_cast<long long>(g.rows),
@@ -377,7 +454,11 @@ main()
             overhead_ratio, backend_ms[0], backend_ms[1],
             backend_speedup, backend_equal ? "true" : "false",
             batch_requests, sequential_rps, batched_rps,
-            batch_speedup, batch_equal ? "true" : "false");
+            batch_speedup, batch_equal ? "true" : "false",
+            static_cast<long long>(batch_scratch.peakLeasedBytes),
+            naive_bytes,
+            static_cast<long long>(rg_scratch.peakLeasedBytes),
+            rg_naive_bytes);
         std::fclose(json);
         std::printf("  wrote %s\n", json_path);
     }

@@ -75,8 +75,11 @@ gatherValues(const std::vector<int32_t> &source_pos,
 
 /**
  * Restrict a kernel's accumulated output `name` to the rows its
- * scatter indices can touch: privatization then zeroes and folds
- * only those spans (see executor.h).
+ * scatter indices can touch: privatization then leases scratch sized
+ * to the touched extent and zeroes/folds only it, through the
+ * offset-translating window (see executor.h). A bucket with no rows
+ * yields an explicitly empty write set — the unit leases and folds
+ * nothing — never the whole-array fallback.
  */
 void
 restrictAccumSpans(CompiledKernel *kernel, const std::string &name,
@@ -85,7 +88,7 @@ restrictAccumSpans(CompiledKernel *kernel, const std::string &name,
 {
     for (AccumOutput &out : kernel->accums) {
         if (out.name == name) {
-            out.spans = touchedRowSpans(row_indices, row_width);
+            out.setSpans(touchedRowSpans(row_indices, row_width));
         }
     }
 }

@@ -300,6 +300,15 @@ class Engine
 
     EngineStats stats() const;
     CacheStats cacheStats() const { return cache_.stats(); }
+    /**
+     * Privatization scratch accounting of the session's executor:
+     * peakLeasedBytes is the dispatch-concurrency high-water mark —
+     * with span-restricted kernels it scales with the touched
+     * write-set extents, not units x output size.
+     */
+    ScratchStats scratchStats() const { return executor_.scratchStats(); }
+    /** Restart the scratch high-water mark (benchmark sections). */
+    void resetScratchPeak() { executor_.resetScratchPeak(); }
     const std::shared_ptr<ThreadPool> &pool() const { return pool_; }
     int numThreads() const { return pool_->size(); }
 

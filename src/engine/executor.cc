@@ -142,57 +142,41 @@ class AccumFinder : public StmtVisitor
     std::set<std::string> found_;
 };
 
-/** Zero the spans of an array (all of it when spans is empty). */
-void
-zeroSpans(NDArray *array, const std::vector<Span> &spans)
-{
-    if (spans.empty()) {
-        array->zero();
-        return;
-    }
-    unsigned char *base = static_cast<unsigned char *>(array->rawData());
-    int elem = array->elemBytes();
-    for (const Span &span : spans) {
-        // Spans come from the artifact; the scratch buffer is sized
-        // from the caller's binding. An undersized output must fail
-        // here like any bounds-checked access, not scribble.
-        ICHECK_GE(span.first, 0);
-        ICHECK_LE(span.second, array->numel())
-            << "write-set span exceeds the bound output array "
-               "(undersized output binding?)";
-        std::memset(base + span.first * elem, 0,
-                    static_cast<size_t>(span.second - span.first) *
-                        elem);
-    }
-}
-
 /**
- * Fold a private accumulator into the shared array element-wise over
- * the given spans (whole array when empty).
+ * Fold a private accumulator into the shared array element-wise: the
+ * whole array for whole-array privates, otherwise each packed span
+ * of the compact window back onto its absolute position. An empty
+ * window folds nothing.
  */
 void
-foldInto(NDArray *shared, const NDArray &priv,
-         const std::vector<Span> &spans)
+foldInto(NDArray *shared, const NDArray &priv, const AccumOutput &out)
 {
-    ICHECK_EQ(shared->numel(), priv.numel());
-    auto fold_range = [&](int64_t begin, int64_t end) {
+    auto fold_range = [&](int64_t shared_begin, int64_t priv_begin,
+                          int64_t count) {
         if (shared->dtype().isFloat()) {
-            for (int64_t i = begin; i < end; ++i) {
-                shared->setFloat(i,
-                                 shared->floatAt(i) + priv.floatAt(i));
+            for (int64_t i = 0; i < count; ++i) {
+                shared->setFloat(shared_begin + i,
+                                 shared->floatAt(shared_begin + i) +
+                                     priv.floatAt(priv_begin + i));
             }
         } else {
-            for (int64_t i = begin; i < end; ++i) {
-                shared->setInt(i, shared->intAt(i) + priv.intAt(i));
+            for (int64_t i = 0; i < count; ++i) {
+                shared->setInt(shared_begin + i,
+                               shared->intAt(shared_begin + i) +
+                                   priv.intAt(priv_begin + i));
             }
         }
     };
-    if (spans.empty()) {
-        fold_range(0, shared->numel());
+    if (out.wholeArray) {
+        ICHECK_EQ(shared->numel(), priv.numel());
+        fold_range(0, 0, shared->numel());
         return;
     }
-    for (const Span &span : spans) {
-        fold_range(span.first, span.second);
+    ICHECK_EQ(priv.numel(), out.window.numel);
+    const auto &spans = out.window.spans;
+    for (size_t k = 0; k < spans.size(); ++k) {
+        fold_range(spans[k].first, out.window.bases[k],
+                   spans[k].second - spans[k].first);
     }
 }
 
@@ -231,6 +215,13 @@ execOne(const CompiledKernel &kernel, const Bindings &bindings,
 }
 
 } // namespace
+
+void
+AccumOutput::setSpans(std::vector<Span> spans)
+{
+    window = runtime::OffsetView::fromSpans(std::move(spans));
+    wholeArray = false;
+}
 
 CompiledKernel
 compileKernel(const ir::PrimFunc &func, bool with_program,
@@ -298,34 +289,45 @@ arrayBytes(const NDArray &array)
 
 } // namespace
 
-ParallelExecutor::ScratchPool::Lease
-ParallelExecutor::ScratchPool::acquire(int64_t numel,
-                                       ir::DataType dtype)
+ScratchPool::ScratchPool(int64_t max_free_bytes)
+    : maxFreeBytes_(max_free_bytes)
+{
+    ICHECK_GE(maxFreeBytes_, 0);
+}
+
+ScratchPool::Lease
+ScratchPool::acquire(int64_t numel, ir::DataType dtype)
 {
     Key key{numel,
             (static_cast<uint64_t>(dtype.code()) << 32) |
                 (static_cast<uint64_t>(dtype.bits()) << 16) |
                 static_cast<uint64_t>(dtype.lanes())};
     std::lock_guard<std::mutex> lock(mu_);
+    ++leases_;
     auto it = free_.find(key);
     if (it != free_.end() && !it->second.empty()) {
         std::unique_ptr<NDArray> array =
             std::move(it->second.back().array);
         it->second.pop_back();
         freeBytes_ -= arrayBytes(*array);
+        leasedBytes_ += arrayBytes(*array);
+        peakLeasedBytes_ = std::max(peakLeasedBytes_, leasedBytes_);
         NDArray *raw = array.release();
         leased_[raw] = key;
         return Lease{raw, /*fresh=*/false};
     }
     auto array = std::make_unique<NDArray>(
         std::vector<int64_t>{numel}, dtype);
+    ++allocations_;
+    leasedBytes_ += arrayBytes(*array);
+    peakLeasedBytes_ = std::max(peakLeasedBytes_, leasedBytes_);
     NDArray *raw = array.release();
     leased_[raw] = key;
     return Lease{raw, /*fresh=*/true};
 }
 
 void
-ParallelExecutor::ScratchPool::evictOldestLocked()
+ScratchPool::evictOldestLocked()
 {
     auto oldest = free_.end();
     for (auto it = free_.begin(); it != free_.end();) {
@@ -349,7 +351,7 @@ ParallelExecutor::ScratchPool::evictOldestLocked()
 }
 
 void
-ParallelExecutor::ScratchPool::release(NDArray *array)
+ScratchPool::release(NDArray *array)
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = leased_.find(array);
@@ -359,18 +361,55 @@ ParallelExecutor::ScratchPool::release(NDArray *array)
     Key key = it->second;
     leased_.erase(it);
     int64_t bytes = arrayBytes(*owned);
-    if (bytes > kMaxFreeBytes) {
+    leasedBytes_ -= bytes;
+    if (bytes > maxFreeBytes_) {
         return;  // larger than the whole budget: never retainable,
                  // and evicting the warm pool for it would be waste
     }
     // Make room by evicting least-recently-released buffers, so a
     // workload shift to new shapes displaces stale buffers instead
     // of being locked out of the pool by them.
-    while (freeBytes_ + bytes > kMaxFreeBytes && !free_.empty()) {
+    while (freeBytes_ + bytes > maxFreeBytes_ && !free_.empty()) {
         evictOldestLocked();
     }
     freeBytes_ += bytes;
     free_[key].push_back(FreeEntry{std::move(owned), seq_++});
+}
+
+ScratchStats
+ScratchPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ScratchStats stats;
+    stats.leasedBytes = leasedBytes_;
+    stats.peakLeasedBytes = peakLeasedBytes_;
+    stats.freeBytes = freeBytes_;
+    stats.leases = leases_;
+    stats.allocations = allocations_;
+    return stats;
+}
+
+void
+ScratchPool::resetPeak()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    peakLeasedBytes_ = leasedBytes_;
+}
+
+void
+ScratchPool::poisonFree(unsigned char byte)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[key, entries] : free_) {
+        (void)key;
+        for (FreeEntry &entry : entries) {
+            int64_t bytes = arrayBytes(*entry.array);
+            if (bytes > 0) {
+                std::memset(entry.array->rawData(), byte,
+                            static_cast<size_t>(bytes));
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -413,7 +452,8 @@ ParallelExecutor::accumulatedParams(const PrimFunc &func)
 Bindings
 ParallelExecutor::privatize(const CompiledKernel &kernel,
                             const Bindings &shared,
-                            std::vector<Private> *privates) const
+                            std::vector<Private> *privates,
+                            runtime::RunOptions *run) const
 {
     Bindings local = shared;
     for (const AccumOutput &out : kernel.accums) {
@@ -424,26 +464,43 @@ ParallelExecutor::privatize(const CompiledKernel &kernel,
             continue;
         }
         const NDArray &orig = *it->second;
-        // Spans come from the artifact; the output array from the
-        // caller. An undersized binding must fail here with a
-        // binding diagnostic, not later as a VM bounds fault.
-        if (!out.spans.empty()) {
-            ICHECK_LE(out.spans.back().second, orig.numel())
-                << "write-set span of '" << out.name
-                << "' exceeds the bound output array (undersized "
-                   "output binding?)";
+        int64_t numel = orig.numel();
+        if (!out.wholeArray) {
+            // Spans come from the artifact; the output array from
+            // the caller. An undersized binding must fail here with
+            // a binding diagnostic, not later as a VM bounds fault.
+            if (!out.window.spans.empty()) {
+                ICHECK_LE(out.window.spans.back().second, orig.numel())
+                    << "write-set span of '" << out.name
+                    << "' exceeds the bound output array (undersized "
+                       "output binding?)";
+            }
+            // Lease only the write-set extent. An empty write set
+            // leases zero elements: the unit can touch nothing, and
+            // if the kernel writes anyway the window faults — the
+            // old empty-spans == whole-array sentinel instead paid a
+            // full-output zero+fold (and flipped -0.0 pre-values).
+            numel = out.window.numel;
         }
-        ScratchPool::Lease lease =
-            scratch_.acquire(orig.numel(), orig.dtype());
+        ScratchPool::Lease lease = scratch_.acquire(numel, orig.dtype());
         // Record the lease before any step that can throw, so the
         // caller's cleanup path can release it.
-        privates->push_back(Private{out.name, lease.array, &out.spans});
-        if (!lease.fresh) {
-            // Zero exactly what will be folded; the rest of a reused
-            // buffer is never read.
-            zeroSpans(lease.array, out.spans);
-        }
+        privates->push_back(Private{&out, lease.array});
+        // The zero contract is the executor's, not the allocator's:
+        // pool contents are unspecified, so zero unconditionally
+        // rather than depending on NDArray's constructor fill (a
+        // redundant memset only on the cold, pool-miss path; leases
+        // are write-set sized, so it covers exactly the bytes that
+        // will be folded).
+        lease.array->zero();
         local.arrays[out.name] = lease.array;
+        if (!out.wholeArray) {
+            // The kernel keeps writing absolute offsets; both
+            // backends translate them through this view into the
+            // packed lease.
+            run->offsetViews.push_back(
+                runtime::BufferView{out.name, &out.window});
+        }
     }
     return local;
 }
@@ -453,8 +510,8 @@ ParallelExecutor::foldAndRelease(const Bindings &shared,
                                  std::vector<Private> *privates) const
 {
     for (Private &priv : *privates) {
-        NDArray *target = shared.arrays.at(priv.name);
-        foldInto(target, *priv.array, *priv.spans);
+        NDArray *target = shared.arrays.at(priv.out->name);
+        foldInto(target, *priv.array, *priv.out);
         scratch_.release(priv.array);
         priv.array = nullptr;
     }
@@ -517,8 +574,8 @@ ParallelExecutor::runKernel(const CompiledKernel &kernel,
             windows[c].blockBegin = begin;
             windows[c].blockEnd = begin + extent;
             begin += extent;
-            locals.push_back(
-                privatize(kernel, bindings, &privates[c]));
+            locals.push_back(privatize(kernel, bindings, &privates[c],
+                                       &windows[c]));
         }
         pool_->parallelFor(chunks, [&](int64_t c) {
             execOne(kernel, locals[c], options, windows[c]);
@@ -574,13 +631,16 @@ ParallelExecutor::runKernels(
         std::vector<std::vector<Private>> privates(n);
         std::vector<Bindings> locals;
         locals.reserve(n);
+        std::vector<runtime::RunOptions> runs(n);
         try {
             for (int64_t i = 0; i < n; ++i) {
                 locals.push_back(privatize(*kernels[begin + i],
-                                           bindings, &privates[i]));
+                                           bindings, &privates[i],
+                                           &runs[i]));
             }
             forCapped(n, workers, [&](int64_t i) {
-                execOne(*kernels[begin + i], locals[i], options);
+                execOne(*kernels[begin + i], locals[i], options,
+                        runs[i]);
             });
             for (int64_t i = 0; i < n; ++i) {
                 foldAndRelease(bindings, &privates[i]);
@@ -689,14 +749,15 @@ ParallelExecutor::runKernelBatch(const CompiledKernel &kernel,
             for (int64_t c = 0; c < chunks; ++c) {
                 int64_t extent = base + (c < rem ? 1 : 0);
                 size_t index = units.size();
-                locals.push_back(
-                    privatize(kernel, requests[r], &privates[index]));
                 Unit unit;
-                unit.bindings = &locals.back();
                 unit.window.blockBegin = begin;
                 unit.window.blockEnd = begin + extent;
                 begin += extent;
-                units.push_back(unit);
+                locals.push_back(privatize(kernel, requests[r],
+                                           &privates[index],
+                                           &unit.window));
+                unit.bindings = &locals.back();
+                units.push_back(std::move(unit));
                 fold_plan[r].push_back(index);
             }
         }
@@ -763,17 +824,19 @@ ParallelExecutor::runKernelsBatch(
         std::vector<std::vector<Private>> privates(total);
         std::vector<Bindings> locals;
         locals.reserve(total);
+        std::vector<runtime::RunOptions> runs(total);
         try {
             for (int64_t r = 0; r < num_requests; ++r) {
                 for (int64_t i = 0; i < n; ++i) {
                     locals.push_back(privatize(*kernels[begin + i],
                                                requests[r],
-                                               &privates[r * n + i]));
+                                               &privates[r * n + i],
+                                               &runs[r * n + i]));
                 }
             }
             forCapped(total, workers, [&](int64_t idx) {
                 execOne(*kernels[begin + idx % n], locals[idx],
-                        options);
+                        options, runs[idx]);
             });
             for (int64_t r = 0; r < num_requests; ++r) {
                 for (int64_t i = 0; i < n; ++i) {

@@ -46,12 +46,23 @@
  * and runKernels executes them at their exact list position directly
  * on shared storage, parallelizing the kernels between them.
  *
- * Privatization cost is bounded by each kernel's write set, not the
- * output size: a CompiledKernel's AccumOutput may carry the element
- * spans the kernel can touch (the engine derives them from scatter
- * row indices), and the executor then zeroes and folds only those
- * spans of a pooled scratch buffer. A unit touching 2% of the rows
- * pays 2% of the zero/fold work and no allocation on warm dispatches.
+ * Privatization cost — scratch bytes AND zero/fold work — is bounded
+ * by each kernel's write set, not the output size: a CompiledKernel's
+ * AccumOutput may carry the element spans the kernel can touch (the
+ * engine derives them from scatter row indices), and the executor
+ * then leases scratch sized to the sum of span extents, binds it
+ * through an offset-translating window (runtime::OffsetView threaded
+ * via RunOptions::offsetViews — kernels keep writing absolute
+ * offsets), and zeroes/folds exactly that compact buffer. A unit
+ * touching 2% of the rows pays 2% of the scratch bytes and zero/fold
+ * work, so a many-unit dispatch peaks at O(sum of span extents), not
+ * O(units x output). A unit whose write set is empty takes a
+ * zero-byte lease and folds nothing — its output is left
+ * bit-identical (the whole-array fallback is an explicit AccumOutput
+ * flag, never inferred from an empty span list). Accesses outside
+ * the declared
+ * spans fault on both backends, turning the "spans MUST cover every
+ * element the kernel updates" contract into a checked one.
  *
  * The write-set classification is computed from the IR, not trusted
  * from callers: accumulatedParams() scans for read-modify-write
@@ -100,12 +111,31 @@ struct AccumOutput
     /** Parameter name of the accumulated buffer. */
     std::string name;
     /**
-     * Sorted, disjoint element spans the kernel can write; empty
-     * means the whole array. Privatization zeroes and folds only
-     * these spans, so they MUST cover every element the kernel
-     * updates (the engine derives them from scatter row indices).
+     * Write set unknown: privatization falls back to a
+     * whole-output-sized scratch copy with no offset translation.
+     * setSpans() clears this and installs the exact write set —
+     * which may be EMPTY, meaning the kernel touches no element and
+     * privatization leases, zeroes and folds nothing. (Historically
+     * an empty span list was the whole-array sentinel, so a
+     * zero-touched-rows unit paid a full-output zero+fold and
+     * flipped -0.0 pre-values to +0.0; the explicit flag removes
+     * that ambiguity.)
      */
-    std::vector<Span> spans;
+    bool wholeArray = true;
+    /**
+     * Compact window over the write set (meaningful when
+     * !wholeArray): sorted, disjoint absolute spans that MUST cover
+     * every element the kernel updates — enforced, since both
+     * backends fault on accesses outside the window — packed into
+     * window.numel == sum(span extents) scratch elements.
+     */
+    runtime::OffsetView window;
+
+    /**
+     * Install the exact write set (sorted, disjoint element spans,
+     * e.g. from touchedRowSpans) and build its packed window.
+     */
+    void setSpans(std::vector<Span> spans);
 };
 
 /**
@@ -140,11 +170,12 @@ struct CompiledKernel
 /**
  * Compile `func` for execution: bytecode program (interpreter-only
  * functions get a null program and fall back transparently) plus the
- * write-set analysis, with whole-array spans. Pass `with_program` =
- * false for interpreter-backend sessions to skip bytecode
- * compilation for programs they will never execute, and
- * `analyze_accums` = false when the caller supplies a precomputed
- * write-set list (skips the IR walk).
+ * write-set analysis, with whole-array accumulators (callers narrow
+ * them via AccumOutput::setSpans). Pass `with_program` = false for
+ * interpreter-backend sessions to skip bytecode compilation for
+ * programs they will never execute, and `analyze_accums` = false
+ * when the caller supplies a precomputed write-set list (skips the
+ * IR walk).
  */
 CompiledKernel compileKernel(const ir::PrimFunc &func,
                              bool with_program = true,
@@ -157,6 +188,87 @@ CompiledKernel compileKernel(const ir::PrimFunc &func,
  */
 std::vector<Span> touchedRowSpans(const std::vector<int32_t> &rows,
                                   int64_t row_width);
+
+/** Scratch-pool accounting snapshot (see ScratchPool::stats). */
+struct ScratchStats
+{
+    /** Bytes currently out on lease. */
+    int64_t leasedBytes = 0;
+    /** High-water mark of leasedBytes since the last resetPeak(). */
+    int64_t peakLeasedBytes = 0;
+    /** Bytes retained on the free lists, awaiting reuse. */
+    int64_t freeBytes = 0;
+    /** Total acquire() calls. */
+    uint64_t leases = 0;
+    /** Leases served by constructing a new buffer (pool misses). */
+    uint64_t allocations = 0;
+};
+
+/**
+ * Pool of reusable privatization buffers keyed by (numel, dtype).
+ *
+ * Contents of a lease are UNSPECIFIED — freshly constructed NDArrays
+ * happen to be zero-filled, but callers must not rely on it; the
+ * executor zeroes every lease itself, and poisonFree() lets tests
+ * overwrite retained buffers to prove that. Retained free bytes are
+ * bounded (maxFreeBytes, least-recently-released-first trim), so a
+ * long-lived session serving many distinct shapes cannot accumulate
+ * unbounded scratch. All methods are thread-safe.
+ */
+class ScratchPool
+{
+  public:
+    struct Lease
+    {
+        runtime::NDArray *array = nullptr;
+        /** Newly constructed for this lease (pool miss). */
+        bool fresh = false;
+    };
+
+    /** Default free-list retention budget across all keys. */
+    static constexpr int64_t kDefaultMaxFreeBytes = 256ll << 20;
+
+    explicit ScratchPool(int64_t max_free_bytes = kDefaultMaxFreeBytes);
+
+    Lease acquire(int64_t numel, ir::DataType dtype);
+    void release(runtime::NDArray *array);
+
+    /** Accounting snapshot (peak tracks leased bytes, see stats). */
+    ScratchStats stats() const;
+    /** Restart the high-water mark from the current leased bytes. */
+    void resetPeak();
+    /**
+     * Overwrite every retained free buffer with `byte` — a test hook
+     * for the zero-on-lease contract: execution results must never
+     * depend on what a reused lease happens to contain.
+     */
+    void poisonFree(unsigned char byte);
+
+  private:
+    using Key = std::pair<int64_t, uint64_t>;
+    /** A retained buffer with its release recency stamp. */
+    struct FreeEntry
+    {
+        std::unique_ptr<runtime::NDArray> array;
+        uint64_t seq = 0;
+    };
+
+    /** Caller holds mu_. Drop the least-recently-released buffer. */
+    void evictOldestLocked();
+
+    mutable std::mutex mu_;
+    int64_t maxFreeBytes_;
+    /** Per-key stacks; entries within a key are release-ordered. */
+    std::map<Key, std::vector<FreeEntry>> free_;
+    /** Leased arrays, for key recovery on release. */
+    std::map<runtime::NDArray *, Key> leased_;
+    int64_t freeBytes_ = 0;
+    int64_t leasedBytes_ = 0;
+    int64_t peakLeasedBytes_ = 0;
+    uint64_t leases_ = 0;
+    uint64_t allocations_ = 0;
+    uint64_t seq_ = 0;
+};
 
 class ParallelExecutor
 {
@@ -234,58 +346,33 @@ class ParallelExecutor
                     const std::vector<std::vector<std::string>>
                         *accums = nullptr) const;
 
-  private:
-    /**
-     * Pool of reusable privatization buffers keyed by (numel,
-     * dtype). Contents of released buffers are unspecified; the
-     * acquiring site zeroes exactly the spans it will fold. Retained
-     * free bytes are bounded (kMaxFreeBytes, oldest-key-first trim),
-     * so a long-lived session serving many distinct shapes cannot
-     * accumulate unbounded scratch.
-     */
-    class ScratchPool
+    /** Scratch accounting of this executor's privatization pool. */
+    ScratchStats
+    scratchStats() const
     {
-      public:
-        struct Lease
-        {
-            runtime::NDArray *array = nullptr;
-            /** Freshly constructed (already all-zero). */
-            bool fresh = false;
-        };
+        return scratch_.stats();
+    }
 
-        Lease acquire(int64_t numel, ir::DataType dtype);
-        void release(runtime::NDArray *array);
+    /** Reset the scratch high-water mark (benchmark sections). */
+    void
+    resetScratchPeak() const
+    {
+        scratch_.resetPeak();
+    }
 
-      private:
-        /** Free-list retention budget across all keys. */
-        static constexpr int64_t kMaxFreeBytes = 256ll << 20;
+    /** Test hook: poison retained scratch (see ScratchPool). */
+    void
+    poisonScratch(unsigned char byte) const
+    {
+        scratch_.poisonFree(byte);
+    }
 
-        using Key = std::pair<int64_t, uint64_t>;
-        /** A retained buffer with its release recency stamp. */
-        struct FreeEntry
-        {
-            std::unique_ptr<runtime::NDArray> array;
-            uint64_t seq = 0;
-        };
-
-        /** Caller holds mu_. Drop the least-recently-released buffer. */
-        void evictOldestLocked();
-
-        std::mutex mu_;
-        /** Per-key stacks; entries within a key are release-ordered. */
-        std::map<Key, std::vector<FreeEntry>> free_;
-        /** Leased arrays, for key recovery on release. */
-        std::map<runtime::NDArray *, Key> leased_;
-        int64_t freeBytes_ = 0;
-        uint64_t seq_ = 0;
-    };
-
+  private:
     /** A privatized accumulator leased for one parallel unit. */
     struct Private
     {
-        std::string name;
+        const AccumOutput *out = nullptr;
         runtime::NDArray *array = nullptr;
-        const std::vector<Span> *spans = nullptr;
     };
 
     /**
@@ -296,9 +383,18 @@ class ParallelExecutor
     void forCapped(int64_t n, int workers,
                    const std::function<void(int64_t)> &fn) const;
 
+    /**
+     * Swap each accumulated output for a zeroed scratch lease:
+     * write-set-sized and offset-translated (the view is appended to
+     * `run`) when the kernel carries spans, whole-output-sized
+     * otherwise. An empty write set takes a zero-element lease with
+     * an empty, always-faulting window — no bytes, but any stray
+     * write faults instead of scribbling.
+     */
     runtime::Bindings privatize(const CompiledKernel &kernel,
                                 const runtime::Bindings &shared,
-                                std::vector<Private> *privates) const;
+                                std::vector<Private> *privates,
+                                runtime::RunOptions *run) const;
     void foldAndRelease(const runtime::Bindings &shared,
                         std::vector<Private> *privates) const;
     /** Error-path cleanup: return every live lease to the pool. */

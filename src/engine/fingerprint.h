@@ -96,8 +96,12 @@ const char *opKindName(OpKind op);
  *       facts (blockSize, tileHeight, groupSize); kernels carry the
  *       spilled block-extent expression so warm dispatch never
  *       probes the grid through the interpreter.
+ *  v4 — AccumOutput write sets carry an explicit whole-array flag
+ *       and a packed OffsetView window (span-extent-sized
+ *       privatization leases); an empty span list now means "touches
+ *       nothing", no longer the whole-array sentinel.
  */
-constexpr uint32_t kArtifactVersion = 3;
+constexpr uint32_t kArtifactVersion = 4;
 
 /** Key of one compile-cache entry. */
 struct CacheKey

@@ -7,6 +7,13 @@
 namespace sparsetir {
 namespace engine {
 
+namespace {
+
+/** The pool whose workerLoop owns the current thread, if any. */
+thread_local const ThreadPool *tls_worker_pool = nullptr;
+
+} // namespace
+
 ThreadPool::ThreadPool(int num_threads)
 {
     if (num_threads <= 0) {
@@ -45,13 +52,25 @@ ThreadPool::submit(std::function<void()> task)
     return result;
 }
 
+bool
+ThreadPool::onWorkerThread() const
+{
+    return tls_worker_pool == this;
+}
+
 void
 ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)> &fn)
 {
     if (n <= 0) {
         return;
     }
-    if (n == 1 || size() == 1) {
+    // Caller-runs paths: singleton ranges and size-1 pools gain
+    // nothing from fan-out, and a call from one of our own workers
+    // MUST run inline — the worker would otherwise block on futures
+    // while occupying the slot its sub-tasks need, and once every
+    // worker does that (nested dispatch on a saturated pool) nothing
+    // runs anything: deadlock.
+    if (n == 1 || size() == 1 || onWorkerThread()) {
         for (int64_t i = 0; i < n; ++i) {
             fn(i);
         }
@@ -82,6 +101,7 @@ ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)> &fn)
 void
 ThreadPool::workerLoop()
 {
+    tls_worker_pool = this;
     for (;;) {
         std::packaged_task<void()> task;
         {

@@ -4,9 +4,12 @@
  *
  * Tasks are plain closures; submit() returns a future that carries the
  * task's exception, if any, to the waiting caller. The pool is shared
- * by every request of an Engine session, so tasks must never block on
- * other tasks (the executor fans out leaf work only and joins from
- * the caller's thread, which is not a pool thread).
+ * by every request of an Engine session. Tasks must not submit() and
+ * then block on the resulting futures — but parallelFor() is safe to
+ * call from anywhere, including from inside a pool task: it detects
+ * worker-thread callers and degrades to caller-runs (inline, serial)
+ * instead of blocking a worker slot on work that needs that very
+ * slot, which on a saturated pool would deadlock.
  */
 
 #ifndef SPARSETIR_ENGINE_THREAD_POOL_H_
@@ -41,10 +44,18 @@ class ThreadPool
 
     /**
      * Run fn(i) for every i in [0, n), distributing across the pool,
-     * and block until all complete. Rethrows the first exception.
-     * Callable from any non-pool thread, including concurrently.
+     * and block until all complete. Rethrows the first exception
+     * (caller-runs paths surface it at the failing index, without
+     * running the remaining indices). Callable from any thread,
+     * including concurrently and from inside a pool task: a call
+     * from one of this pool's own workers runs inline (caller-runs)
+     * — a worker blocking on sub-tasks would hold the slot those
+     * sub-tasks need, and a saturated pool of such workers deadlocks.
      */
     void parallelFor(int64_t n, const std::function<void(int64_t)> &fn);
+
+    /** True when called from one of THIS pool's worker threads. */
+    bool onWorkerThread() const;
 
   private:
     void workerLoop();

@@ -150,6 +150,130 @@ TEST(Executor, TouchedRowSpansMergeAndScale)
     EXPECT_TRUE(engine::touchedRowSpans({}, 4).empty());
 }
 
+TEST(Executor, OffsetViewPacksAndTranslates)
+{
+    auto view = runtime::OffsetView::fromSpans(
+        {{4, 8}, {12, 14}, {20, 24}});
+    EXPECT_EQ(view.numel, 10);
+    ASSERT_EQ(view.bases.size(), 3u);
+    EXPECT_EQ(view.bases[0], 0);
+    EXPECT_EQ(view.bases[1], 4);
+    EXPECT_EQ(view.bases[2], 6);
+    // In-span offsets pack contiguously...
+    EXPECT_EQ(view.translate(4), 0);
+    EXPECT_EQ(view.translate(7), 3);
+    EXPECT_EQ(view.translate(12), 4);
+    EXPECT_EQ(view.translate(13), 5);
+    EXPECT_EQ(view.translate(20), 6);
+    EXPECT_EQ(view.translate(23), 9);
+    // ...and everything between or beyond spans is outside.
+    EXPECT_EQ(view.translate(0), -1);
+    EXPECT_EQ(view.translate(3), -1);
+    EXPECT_EQ(view.translate(8), -1);
+    EXPECT_EQ(view.translate(14), -1);
+    EXPECT_EQ(view.translate(19), -1);
+    EXPECT_EQ(view.translate(24), -1);
+
+    // Single span: the two-compare fast path.
+    auto one = runtime::OffsetView::fromSpans({{8, 16}});
+    EXPECT_EQ(one.numel, 8);
+    EXPECT_EQ(one.translate(8), 0);
+    EXPECT_EQ(one.translate(15), 7);
+    EXPECT_EQ(one.translate(7), -1);
+    EXPECT_EQ(one.translate(16), -1);
+
+    // Empty window: a valid view with no inside.
+    auto empty = runtime::OffsetView::fromSpans({});
+    EXPECT_EQ(empty.numel, 0);
+    EXPECT_EQ(empty.translate(0), -1);
+
+    // Malformed span lists are rejected up front.
+    EXPECT_THROW(runtime::OffsetView::fromSpans({{4, 4}}),
+                 InternalError);
+    EXPECT_THROW(runtime::OffsetView::fromSpans({{8, 12}, {4, 6}}),
+                 InternalError);
+    EXPECT_THROW(runtime::OffsetView::fromSpans({{-2, 4}}),
+                 InternalError);
+}
+
+TEST(BytecodeVM, OffsetViewRebasedRunMatchesInterpreterBitwise)
+{
+    // f(base, n, out, v): for i in [0, n): out[base+i] += v[i],
+    // executed against a PACKED `out` (window [4,8) u [12,14)) on
+    // both backends: each must translate the kernel's absolute
+    // offsets into the packed array identically, and fault on any
+    // access outside the window.
+    auto func = ir::primFunc("rebased");
+    ir::Var base = ir::var("base");
+    ir::Var n = ir::var("n");
+    ir::Var i = ir::var("i");
+    ir::Buffer out = ir::denseBuffer("out", {ir::intImm(64)},
+                                     ir::DataType::float32());
+    ir::Buffer v = ir::denseBuffer("v", {ir::intImm(64)},
+                                   ir::DataType::float32());
+    func->params = {base, n, out->data, v->data};
+    func->bufferMap.emplace_back(out->data, out);
+    func->bufferMap.emplace_back(v->data, v);
+    ir::Expr idx = ir::add(base, i);
+    func->body = ir::forLoop(
+        i, ir::intImm(0), n,
+        ir::bufferStore(out, {idx},
+                        ir::add(ir::bufferLoad(out, {idx}),
+                                ir::bufferLoad(v, {i}))));
+    func->stage = ir::IrStage::kStage3;
+    auto program = bytecode::compile(func);
+    ASSERT_NE(program, nullptr);
+
+    auto view = runtime::OffsetView::fromSpans({{4, 8}, {12, 14}});
+    ASSERT_EQ(view.numel, 6);
+    NDArray packed_interp =
+        NDArray::fromFloat({10, 20, 30, 40, 50, 60});
+    NDArray packed_vm = NDArray::fromFloat({10, 20, 30, 40, 50, 60});
+    NDArray vals = NDArray::fromFloat({1, 2, 3, 4});
+
+    runtime::RunOptions options;
+    options.offsetViews.push_back(
+        runtime::BufferView{"out_data", &view});
+    Bindings bindings;
+    bindings.scalars = {{"base", 4}, {"n", 4}};
+    bindings.arrays = {{"out_data", &packed_interp},
+                       {"v_data", &vals}};
+    runtime::runInterpreted(func, bindings, options);
+    bindings.arrays["out_data"] = &packed_vm;
+    bytecode::execute(*program, bindings, options);
+    EXPECT_TRUE(bitwiseEqual(packed_interp, packed_vm));
+    // Absolute [4,8) lands in packed [0,4); packed [4,6) untouched.
+    EXPECT_EQ(packed_interp.floatAt(0), 11.0);
+    EXPECT_EQ(packed_interp.floatAt(3), 44.0);
+    EXPECT_EQ(packed_interp.floatAt(4), 50.0);
+
+    // The second span: absolute [12,14) lands in packed [4,6).
+    bindings.scalars["base"] = 12;
+    bindings.scalars["n"] = 2;
+    bytecode::execute(*program, bindings, options);
+    EXPECT_EQ(packed_vm.floatAt(4), 51.0);
+    EXPECT_EQ(packed_vm.floatAt(5), 62.0);
+
+    // Accesses outside the window fault on BOTH backends: the
+    // write-set contract is enforced, not trusted.
+    bindings.scalars["base"] = 8;
+    EXPECT_THROW(bytecode::execute(*program, bindings, options),
+                 InternalError);
+    bindings.arrays["out_data"] = &packed_interp;
+    EXPECT_THROW(runtime::runInterpreted(func, bindings, options),
+                 InternalError);
+
+    // Without the view the same offsets address the full array.
+    NDArray full({64}, ir::DataType::float32());
+    bindings.arrays["out_data"] = &full;
+    bindings.scalars["base"] = 4;
+    bindings.scalars["n"] = 4;
+    runtime::RunOptions no_view;
+    bytecode::execute(*program, bindings, no_view);
+    EXPECT_EQ(full.floatAt(4), 1.0);
+    EXPECT_EQ(full.floatAt(7), 4.0);
+}
+
 // ---------------------------------------------------------------------
 // Differential: VM vs interpreter, bitwise
 // ---------------------------------------------------------------------

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <set>
@@ -22,6 +23,8 @@
 #include "engine/fingerprint.h"
 #include "engine/thread_pool.h"
 #include "graph/generator.h"
+#include "ir/expr.h"
+#include "ir/stmt.h"
 #include "support/rng.h"
 #include "test_util.h"
 
@@ -573,6 +576,260 @@ TEST(ThreadPool, ParallelForRunsEveryIndexAndPropagatesErrors)
                                       }
                                   }),
                  UserError);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking)
+{
+    // A worker that calls parallelFor blocks on futures while
+    // occupying the very slot its sub-tasks need; once every worker
+    // does so (nested dispatch on a saturated pool) nothing runs
+    // anything. parallelFor must detect worker-thread callers and
+    // degrade to caller-runs. Without the fix this test hangs.
+    engine::ThreadPool pool(2);
+    EXPECT_FALSE(pool.onWorkerThread());
+    std::atomic<int> leaves{0};
+    pool.parallelFor(2, [&](int64_t) {
+        EXPECT_TRUE(pool.onWorkerThread());
+        pool.parallelFor(2, [&](int64_t) { ++leaves; });
+    });
+    EXPECT_EQ(leaves.load(), 4);
+
+    // Nested dispatch from a task submitted onto a size-1 pool: the
+    // lone worker must run the inner range itself.
+    engine::ThreadPool one(1);
+    std::atomic<int> inner{0};
+    auto future = one.submit(
+        [&] { one.parallelFor(4, [&](int64_t) { ++inner; }); });
+    future.get();
+    EXPECT_EQ(inner.load(), 4);
+
+    // A different pool's worker is NOT this pool's worker: nesting
+    // across pools still fans out (and must not false-positive).
+    std::atomic<int> cross{0};
+    one.submit([&] {
+           EXPECT_FALSE(pool.onWorkerThread());
+           pool.parallelFor(8, [&](int64_t) { ++cross; });
+       }).get();
+    EXPECT_EQ(cross.load(), 8);
+
+    // Exceptions still propagate through the caller-runs path.
+    EXPECT_THROW(pool.parallelFor(2,
+                                  [&](int64_t) {
+                                      pool.parallelFor(
+                                          2, [](int64_t i) {
+                                              if (i == 1) {
+                                                  throw UserError(
+                                                      "nested boom");
+                                              }
+                                          });
+                                  }),
+                 UserError);
+}
+
+// ---------------------------------------------------------------------
+// Scratch pool: accounting, eviction, and the zero-on-lease contract
+// ---------------------------------------------------------------------
+
+TEST(Executor, ScratchPoolAccountingBudgetAndEvictionOrder)
+{
+    // float32 buffers: 8 elems = 32 bytes, 4 elems = 16 bytes.
+    engine::ScratchPool pool(/*max_free_bytes=*/64);
+    auto f32 = ir::DataType::float32();
+
+    auto x = pool.acquire(8, f32);
+    auto y = pool.acquire(4, f32);
+    auto z = pool.acquire(8, f32);
+    EXPECT_TRUE(x.fresh && y.fresh && z.fresh);
+    auto stats = pool.stats();
+    EXPECT_EQ(stats.leasedBytes, 80);
+    EXPECT_EQ(stats.peakLeasedBytes, 80);
+    EXPECT_EQ(stats.leases, 3u);
+    EXPECT_EQ(stats.allocations, 3u);
+
+    pool.release(x.array);
+    pool.release(y.array);
+    stats = pool.stats();
+    EXPECT_EQ(stats.leasedBytes, 32);
+    EXPECT_EQ(stats.freeBytes, 48);
+    EXPECT_EQ(stats.peakLeasedBytes, 80) << "high-water mark sticks";
+
+    // Releasing z (32B) overflows the 64-byte budget: the LEAST
+    // RECENTLY RELEASED buffer (x) is evicted, across keys, not the
+    // most recent (y).
+    pool.release(z.array);
+    stats = pool.stats();
+    EXPECT_EQ(stats.leasedBytes, 0);
+    EXPECT_EQ(stats.freeBytes, 48);  // y (16) + z (32); x evicted
+    auto y2 = pool.acquire(4, f32);
+    EXPECT_FALSE(y2.fresh) << "y was evicted";
+    auto z2 = pool.acquire(8, f32);
+    EXPECT_FALSE(z2.fresh) << "z was evicted";
+    auto x2 = pool.acquire(8, f32);
+    EXPECT_TRUE(x2.fresh)
+        << "x must have been evicted as the oldest release";
+
+    pool.resetPeak();
+    EXPECT_EQ(pool.stats().peakLeasedBytes, pool.stats().leasedBytes);
+    pool.release(y2.array);
+    pool.release(z2.array);
+    pool.release(x2.array);
+    EXPECT_EQ(pool.stats().leasedBytes, 0);
+
+    // A buffer larger than the whole budget is never retained — and
+    // must not evict the warm pool on its way out.
+    engine::ScratchPool tiny(/*max_free_bytes=*/16);
+    auto keep = tiny.acquire(4, f32);
+    tiny.release(keep.array);
+    EXPECT_EQ(tiny.stats().freeBytes, 16);
+    auto big = tiny.acquire(64, f32);
+    tiny.release(big.array);
+    stats = tiny.stats();
+    EXPECT_EQ(stats.freeBytes, 16) << "oversized release disturbed "
+                                      "the retained pool";
+    EXPECT_EQ(stats.leasedBytes, 0);
+}
+
+TEST(Executor, ThrowingKernelReleasesEveryLease)
+{
+    // A kernel faulting mid-parallel-run must not leak scratch:
+    // releaseAll returns every live lease before the rethrow.
+    Csr a = graph::powerLawGraph(200, 2400, 1.8, 91);
+    int64_t feat = 8;
+    format::Hyb hyb = format::hybFromCsr(a, 2, -1);
+    auto plans = core::compileSpmmHybFuncs(hyb, feat);
+    std::vector<ir::PrimFunc> funcs;
+    for (const auto &plan : plans) {
+        funcs.push_back(plan.func);
+    }
+    ASSERT_GE(funcs.size(), 2u);
+
+    engine::ParallelExecutor executor(
+        std::make_shared<engine::ThreadPool>(4));
+    auto shared = std::make_shared<BindingSet>();
+    NDArray b_bad({4}, ir::DataType::float32());  // far too small
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    shared->external("B_data", &b_bad);
+    shared->external("C_data", &c);
+    core::HybSpmm compiled =
+        core::compileSpmmHyb(a, feat, 2, -1, shared);
+    (void)compiled;  // binds bucket arrays into `shared`
+
+    EXPECT_THROW(executor.runKernels(funcs, shared->view(),
+                                     engine::ExecOptions()),
+                 InternalError);
+    auto stats = executor.scratchStats();
+    EXPECT_GT(stats.leases, 0u) << "dispatch never privatized";
+    EXPECT_EQ(stats.leasedBytes, 0)
+        << "thrown dispatch leaked scratch leases";
+}
+
+TEST(Executor, PoisonedPoolScratchIsRezeroedOnLease)
+{
+    // The zero-on-lease contract belongs to the executor, not the
+    // allocator: fill every retained pool buffer with garbage
+    // between dispatches and results must stay bitwise identical.
+    Csr a = graph::powerLawGraph(250, 3000, 1.8, 93);
+    int64_t feat = 8;
+    auto b_host = randomVector(a.cols * feat, 94);
+    NDArray serial = serialHybSpmm(a, feat, b_host, 2);
+
+    format::Hyb hyb = format::hybFromCsr(a, 2, -1);
+    auto plans = core::compileSpmmHybFuncs(hyb, feat);
+    std::vector<ir::PrimFunc> funcs;
+    std::vector<uint8_t> exclusive;
+    for (const auto &plan : plans) {
+        const format::Ell &ell =
+            hyb.buckets[plan.partition][plan.bucket];
+        funcs.push_back(plan.func);
+        std::set<int32_t> unique(ell.rowIndices.begin(),
+                                 ell.rowIndices.end());
+        exclusive.push_back(
+            unique.size() != ell.rowIndices.size() ? 1 : 0);
+    }
+
+    engine::ParallelExecutor executor(
+        std::make_shared<engine::ThreadPool>(4));
+    auto shared = std::make_shared<BindingSet>();
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    shared->external("B_data", &b);
+    shared->external("C_data", &c);
+    core::HybSpmm compiled =
+        core::compileSpmmHyb(a, feat, 2, -1, shared);
+    (void)compiled;
+
+    executor.runKernels(funcs, shared->view(), engine::ExecOptions(),
+                        exclusive);
+    EXPECT_TRUE(bitwiseEqual(serial, c));
+
+    c.zero();
+    executor.poisonScratch(0xAB);
+    executor.runKernels(funcs, shared->view(), engine::ExecOptions(),
+                        exclusive);
+    EXPECT_TRUE(bitwiseEqual(serial, c))
+        << "a reused lease leaked poisoned pool contents";
+}
+
+// ---------------------------------------------------------------------
+// Empty write sets: the whole-array sentinel regression
+// ---------------------------------------------------------------------
+
+/**
+ * f(n, out): for i in [0, n): out[i] = out[i] + 1 — an accumulated
+ * output whose write set the test controls via setSpans.
+ */
+ir::PrimFunc
+accumLoopFunc(const std::string &name)
+{
+    auto func = ir::primFunc(name);
+    ir::Var n = ir::var("n");
+    ir::Var i = ir::var("i");
+    ir::Buffer out =
+        ir::denseBuffer("out", {n}, ir::DataType::float32());
+    func->params = {n, out->data};
+    func->bufferMap.emplace_back(out->data, out);
+    func->body = ir::forLoop(
+        i, ir::intImm(0), n,
+        ir::bufferStore(out, {i},
+                        ir::add(ir::bufferLoad(out, {i}),
+                                ir::floatImm(1.0))));
+    func->stage = ir::IrStage::kStage3;
+    return func;
+}
+
+TEST(Executor, EmptyWriteSetLeavesOutputBitwiseUntouched)
+{
+    // Regression: touchedRowSpans({}, w) == {} used to be read as
+    // the whole-array sentinel, so a unit touching ZERO rows zeroed
+    // and folded the entire output — O(output) wasted work per unit,
+    // and the fold's `pre + 0.0` flipped -0.0 pre-values to +0.0.
+    // With the explicit wholeArray flag an empty write set leases,
+    // zeroes and folds nothing.
+    auto func = accumLoopFunc("touches_nothing");
+    engine::CompiledKernel k1 = engine::compileKernel(func);
+    ASSERT_EQ(k1.accums.size(), 1u);
+    EXPECT_EQ(k1.accums[0].name, "out_data");
+    EXPECT_TRUE(k1.accums[0].wholeArray);
+    k1.accums[0].setSpans(engine::touchedRowSpans({}, 4));
+    EXPECT_FALSE(k1.accums[0].wholeArray);
+    EXPECT_EQ(k1.accums[0].window.numel, 0);
+    engine::CompiledKernel k2 = k1;  // two units: the batch path
+
+    // -0.0 everywhere: any spurious fold flips the sign bit.
+    NDArray out = NDArray::fromFloat(std::vector<float>(16, -0.0f));
+    NDArray before = out;  // copy
+    runtime::Bindings bindings;
+    bindings.scalars = {{"n", 0}};
+    bindings.arrays = {{"out_data", &out}};
+
+    engine::ParallelExecutor executor(
+        std::make_shared<engine::ThreadPool>(2));
+    std::vector<const engine::CompiledKernel *> kernels = {&k1, &k2};
+    executor.runKernels(kernels, bindings, engine::ExecOptions());
+    EXPECT_TRUE(bitwiseEqual(before, out))
+        << "zero-touched-rows units disturbed the output";
+    // Zero-extent leases contribute nothing to the high-water mark.
+    EXPECT_EQ(executor.scratchStats().peakLeasedBytes, 0);
 }
 
 } // namespace

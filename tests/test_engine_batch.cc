@@ -458,6 +458,57 @@ TEST(EngineBatch, RejectsAliasedOrMissingOutputs)
 }
 
 // ---------------------------------------------------------------------
+// Scratch economics: privatization leases scale with the write set
+// ---------------------------------------------------------------------
+
+TEST(EngineBatch, PeakScratchScalesWithTouchedSpansNotOutputs)
+{
+    // Hyb bucket kernels carry touched-row spans, so a batched
+    // dispatch leases scratch proportional to the spans' extents.
+    // Every row lands in exactly one bucket per column partition,
+    // hence one request's units lease at most partitions x output
+    // bytes BETWEEN THEM — where full-output privatization would
+    // have peaked at (requests x kernels) x output bytes.
+    Csr a = graph::powerLawGraph(300, 4000, 1.8, 97);
+    int64_t feat = 8;
+    engine::HybConfig config;
+    config.partitions = 2;
+    constexpr int kRequests = 4;
+    Batch batch(kRequests, a.cols * feat, a.rows * feat, 800);
+
+    EngineOptions options;
+    options.numThreads = 4;
+    Engine eng(options);
+    auto info = eng.spmmHybBatch(a, feat, batch.requests, config);
+    ASSERT_GE(info.numKernels, 3);
+
+    eng.resetScratchPeak();
+    eng.spmmHybBatch(a, feat, batch.requests, config);
+    auto scratch = eng.scratchStats();
+    int64_t output_bytes =
+        a.rows * feat * static_cast<int64_t>(sizeof(float));
+    int64_t span_bound =
+        static_cast<int64_t>(kRequests) * config.partitions *
+        output_bytes;
+    int64_t naive = static_cast<int64_t>(kRequests) *
+                    info.numKernels * output_bytes;
+    EXPECT_GT(scratch.peakLeasedBytes, 0)
+        << "batched dispatch never privatized";
+    EXPECT_LE(scratch.peakLeasedBytes, span_bound)
+        << "leases exceed the touched-span extent bound";
+    EXPECT_LT(scratch.peakLeasedBytes, naive)
+        << "leases are still full-output sized";
+    EXPECT_EQ(scratch.leasedBytes, 0) << "leases were not returned";
+
+    // Warm batches reuse pooled buffers: a third dispatch must not
+    // construct any new scratch.
+    uint64_t allocs_before = eng.scratchStats().allocations;
+    eng.spmmHybBatch(a, feat, batch.requests, config);
+    EXPECT_EQ(eng.scratchStats().allocations, allocs_before)
+        << "warm batched dispatch allocated fresh scratch";
+}
+
+// ---------------------------------------------------------------------
 // Rectangular RGCN: the featIn/featOut keying fix, end to end
 // ---------------------------------------------------------------------
 
