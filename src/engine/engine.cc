@@ -517,7 +517,34 @@ Engine::execOptions() const
     exec.parallel = options_.parallel;
     exec.minBlocksPerChunk = options_.minBlocksPerChunk;
     exec.backend = options_.backend;
+    exec.fusedDispatch = options_.fusedDispatch;
     return exec;
+}
+
+void
+Engine::runMultiKernel(
+    const std::vector<const CompiledKernel *> &kernels,
+    const runtime::Bindings &bindings)
+{
+    ExecOptions exec = execOptions();
+    if (exec.fusedDispatch) {
+        executor_.runKernelsFused(kernels, bindings, exec);
+    } else {
+        executor_.runKernels(kernels, bindings, exec);
+    }
+}
+
+void
+Engine::runMultiKernelBatch(
+    const std::vector<const CompiledKernel *> &kernels,
+    const std::vector<runtime::Bindings> &requests)
+{
+    ExecOptions exec = execOptions();
+    if (exec.fusedDispatch) {
+        executor_.runKernelsFused(kernels, requests, exec);
+    } else {
+        executor_.runKernelsBatch(kernels, requests, exec);
+    }
 }
 
 std::shared_ptr<Artifact>
@@ -634,7 +661,7 @@ Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernels(kernels, shared->view(), execOptions());
+    runMultiKernel(kernels, shared->view());
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
@@ -724,7 +751,7 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t featIn,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernels(kernels, bindings.view(), execOptions());
+    runMultiKernel(kernels, bindings.view());
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
@@ -876,7 +903,7 @@ Engine::spmmHybBatch(const Csr &a, int64_t feat,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernelsBatch(kernels, views, execOptions());
+    runMultiKernelBatch(kernels, views);
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
@@ -917,7 +944,7 @@ Engine::spmmHybBatch(const PreparedSpmmHyb &prepared,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernelsBatch(kernels, views, execOptions());
+    runMultiKernelBatch(kernels, views);
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());

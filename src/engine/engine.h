@@ -69,6 +69,15 @@ struct EngineOptions
      * oracle used by differential tests and benchmarks.
      */
     runtime::Backend backend = runtime::Backend::kBytecode;
+    /**
+     * Launch multi-kernel dispatches (hyb buckets, RGCN units) and
+     * batched requests as ONE fused task graph instead of the
+     * barriered per-bucket schedule. Results are bitwise identical
+     * either way (the fused fold replays the serial addition order
+     * per element; see executor.h); the barriered path stays
+     * available as the differential oracle.
+     */
+    bool fusedDispatch = true;
 };
 
 /** Outcome of one dispatch. */
@@ -328,6 +337,20 @@ class Engine
     void finishBatch(const BatchDispatchInfo &info);
 
     ExecOptions execOptions() const;
+
+    /**
+     * Execute a multi-kernel dispatch (hyb buckets, RGCN units) on
+     * the session's configured schedule: the fused task graph when
+     * EngineOptions::fusedDispatch is set, the barriered
+     * runKernels/runKernelsBatch oracle otherwise. Bitwise-identical
+     * results either way.
+     */
+    void runMultiKernel(
+        const std::vector<const CompiledKernel *> &kernels,
+        const runtime::Bindings &bindings);
+    void runMultiKernelBatch(
+        const std::vector<const CompiledKernel *> &kernels,
+        const std::vector<runtime::Bindings> &requests);
 
     /** Whether artifacts should carry compiled bytecode programs. */
     bool

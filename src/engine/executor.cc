@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <set>
 #include <unordered_set>
@@ -864,6 +865,321 @@ ParallelExecutor::runKernelsBatch(
         }
     }
     run_segment(segment_begin, total);
+}
+
+// ---------------------------------------------------------------------
+// Fused task-graph dispatch
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Borrow a value-request vector as the pointer form. */
+std::vector<const Bindings *>
+asPointers(const std::vector<Bindings> &requests)
+{
+    std::vector<const Bindings *> pointers;
+    pointers.reserve(requests.size());
+    for (const Bindings &request : requests) {
+        pointers.push_back(&request);
+    }
+    return pointers;
+}
+
+} // namespace
+
+TaskGraph
+ParallelExecutor::buildTaskGraph(
+    const std::vector<const CompiledKernel *> &kernels,
+    const std::vector<Bindings> &requests,
+    const ExecOptions &options) const
+{
+    return buildTaskGraph(kernels, asPointers(requests), options);
+}
+
+TaskGraph
+ParallelExecutor::buildTaskGraph(
+    const std::vector<const CompiledKernel *> &kernels,
+    const std::vector<const Bindings *> &requests,
+    const ExecOptions &options) const
+{
+    TaskGraph graph;
+    graph.kernels = kernels;
+    graph.numRequests = static_cast<int>(requests.size());
+    graph.chains.resize(requests.size());
+    if (kernels.empty() || requests.empty()) {
+        return graph;
+    }
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    int64_t num_splittable = 0;
+    for (const CompiledKernel *kernel : kernels) {
+        if (!kernel->exclusive) {
+            ++num_splittable;
+        }
+    }
+    // Spread the pool across the whole cross product: each
+    // non-exclusive (request, kernel) pair gets at most
+    // ceil(workers / pairs) grid chunks, keeping the unit count near
+    // the worker count. Once requests x kernels alone saturates the
+    // pool, nothing is split (pure unit parallelism, minimal
+    // privatization).
+    int64_t pairs = std::max<int64_t>(
+        1, static_cast<int64_t>(requests.size()) * num_splittable);
+    int64_t cap =
+        std::max<int64_t>(1, (workers + pairs - 1) / pairs);
+    int64_t min_chunk = std::max<int64_t>(options.minBlocksPerChunk, 1);
+    for (size_t r = 0; r < requests.size(); ++r) {
+        for (size_t k = 0; k < kernels.size(); ++k) {
+            TaskGraph::ChainEntry entry;
+            entry.kernel = static_cast<int>(k);
+            if (kernels[k]->exclusive) {
+                // Never split, never privatized: executes on shared
+                // storage at its chain position.
+                entry.exclusive = true;
+                graph.chains[r].push_back(entry);
+                continue;
+            }
+            int64_t chunks = 1;
+            int64_t extent = 0;
+            if (cap >= 2) {
+                extent = blockExtentOf(*kernels[k], *requests[r]);
+                if (extent > 0) {
+                    chunks = std::max<int64_t>(
+                        1, std::min(cap, extent / min_chunk));
+                }
+            }
+            entry.firstUnit = graph.units.size();
+            entry.numUnits = static_cast<int>(chunks);
+            if (chunks < 2) {
+                entry.numUnits = 1;
+                graph.units.push_back(
+                    TaskGraph::Unit{static_cast<int>(r),
+                                    static_cast<int>(k), 0, -1});
+            } else {
+                int64_t base = extent / chunks;
+                int64_t rem = extent % chunks;
+                int64_t begin = 0;
+                for (int64_t c = 0; c < chunks; ++c) {
+                    int64_t len = base + (c < rem ? 1 : 0);
+                    graph.units.push_back(
+                        TaskGraph::Unit{static_cast<int>(r),
+                                        static_cast<int>(k), begin,
+                                        begin + len});
+                    begin += len;
+                }
+            }
+            graph.chains[r].push_back(entry);
+        }
+    }
+    return graph;
+}
+
+void
+ParallelExecutor::runTaskGraph(const TaskGraph &graph,
+                               const std::vector<Bindings> &requests,
+                               const ExecOptions &options) const
+{
+    runTaskGraph(graph, asPointers(requests), options);
+}
+
+void
+ParallelExecutor::runTaskGraph(
+    const TaskGraph &graph,
+    const std::vector<const Bindings *> &requests,
+    const ExecOptions &options) const
+{
+    ICHECK_EQ(static_cast<size_t>(graph.numRequests), requests.size())
+        << "task graph was built for a different request set";
+    if (graph.kernels.empty() || requests.empty()) {
+        return;
+    }
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    if (!options.parallel || workers <= 1) {
+        // The serial oracle itself: kernels in list order per request.
+        for (const Bindings *request : requests) {
+            for (const CompiledKernel *kernel : graph.kernels) {
+                execOne(*kernel, *request, options);
+            }
+        }
+        return;
+    }
+
+    int64_t num_requests = static_cast<int64_t>(requests.size());
+    size_t num_kernels = graph.kernels.size();
+    size_t num_units = graph.units.size();
+
+    // Per-(request, kernel) count of unfinished compute units. A
+    // non-exclusive fold entry is ready exactly when its count hits
+    // zero; the release-decrement / acquire-load pair makes the
+    // finishing unit's private writes visible to whichever thread
+    // folds them.
+    std::unique_ptr<std::atomic<int>[]> pending(
+        new std::atomic<int>[num_requests * num_kernels]);
+    for (int64_t i = 0; i < num_requests *
+                                static_cast<int64_t>(num_kernels);
+         ++i) {
+        pending[i].store(0, std::memory_order_relaxed);
+    }
+    for (int64_t r = 0; r < num_requests; ++r) {
+        for (const TaskGraph::ChainEntry &entry : graph.chains[r]) {
+            if (!entry.exclusive) {
+                pending[r * num_kernels + entry.kernel].store(
+                    entry.numUnits, std::memory_order_relaxed);
+            }
+        }
+    }
+    std::vector<std::mutex> chain_mu(num_requests);
+    std::vector<size_t> cursor(num_requests, 0);
+    // Chain has a thread inside an exclusive kernel (lock dropped
+    // for the duration); other advances return and the busy thread
+    // re-walks when it finishes.
+    std::vector<uint8_t> busy(num_requests, 0);
+
+    std::vector<std::vector<Private>> privates(num_units);
+    std::vector<Bindings> locals;
+    locals.reserve(num_units);
+    std::vector<runtime::RunOptions> runs(num_units);
+    try {
+        for (size_t i = 0; i < num_units; ++i) {
+            const TaskGraph::Unit &unit = graph.units[i];
+            runs[i].blockBegin = unit.blockBegin;
+            runs[i].blockEnd = unit.blockEnd;
+            locals.push_back(privatize(*graph.kernels[unit.kernel],
+                                       *requests[unit.request],
+                                       &privates[i], &runs[i]));
+        }
+
+        // Walk request r's chain as far as readiness allows. Every
+        // pending-hit-zero event calls this, so the chain drains: the
+        // mutex totally orders the walks, each decrement precedes its
+        // own walk, hence the last walk in lock order sees every
+        // earlier kernel ready and runs to the end. An exclusive
+        // kernel executes with the lock DROPPED (`busy` keeps later
+        // folds of the same request ordered behind it while
+        // concurrent advances return instead of idling on the
+        // mutex); the executing thread re-walks afterwards, so any
+        // readiness event that arrived meanwhile is picked up.
+        auto advance = [&](int64_t r) {
+            std::unique_lock<std::mutex> lock(chain_mu[r]);
+            if (busy[r]) {
+                return;  // the busy thread re-walks when it finishes
+            }
+            const std::vector<TaskGraph::ChainEntry> &chain =
+                graph.chains[r];
+            while (cursor[r] < chain.size()) {
+                const TaskGraph::ChainEntry &entry = chain[cursor[r]];
+                if (entry.exclusive) {
+                    busy[r] = 1;
+                    lock.unlock();
+                    execOne(*graph.kernels[entry.kernel],
+                            *requests[r], options);
+                    lock.lock();
+                    busy[r] = 0;
+                } else {
+                    if (pending[r * num_kernels + entry.kernel].load(
+                            std::memory_order_acquire) != 0) {
+                        break;
+                    }
+                    for (int c = 0; c < entry.numUnits; ++c) {
+                        foldAndRelease(*requests[r],
+                                       &privates[entry.firstUnit + c]);
+                    }
+                }
+                ++cursor[r];
+            }
+        };
+
+        // ONE pool over everything: a kickoff task per request (so a
+        // chain headed by an exclusive kernel starts without waiting
+        // on any compute unit) plus every compute unit. A worker cap
+        // below the pool size is honored by launching that many
+        // self-replenishing runners over a shared task counter — not
+        // by forCapped's waves, whose per-wave joins would be exactly
+        // the barriers the fused schedule exists to remove.
+        int64_t total_tasks =
+            num_requests + static_cast<int64_t>(num_units);
+        std::atomic<int64_t> next_task{0};
+        auto run_task = [&](int64_t t) {
+            if (t < num_requests) {
+                advance(t);
+                return;
+            }
+            size_t i = static_cast<size_t>(t - num_requests);
+            const TaskGraph::Unit &unit = graph.units[i];
+            execOne(*graph.kernels[unit.kernel], locals[i], options,
+                    runs[i]);
+            if (pending[unit.request * num_kernels + unit.kernel]
+                    .fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                advance(unit.request);
+            }
+        };
+        pool_->parallelFor(
+            std::min<int64_t>(workers, total_tasks), [&](int64_t) {
+                for (;;) {
+                    int64_t t = next_task.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (t >= total_tasks) {
+                        return;
+                    }
+                    run_task(t);
+                }
+            });
+        for (int64_t r = 0; r < num_requests; ++r) {
+            ICHECK_EQ(cursor[r], graph.chains[r].size())
+                << "fused fold chain of request " << r
+                << " did not drain";
+        }
+    } catch (...) {
+        releaseAll(&privates);
+        throw;
+    }
+}
+
+void
+ParallelExecutor::runKernelsFused(
+    const std::vector<const CompiledKernel *> &kernels,
+    const std::vector<Bindings> &requests,
+    const ExecOptions &options) const
+{
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    if (!options.parallel || workers <= 1) {
+        // Serial sessions skip graph construction entirely — the
+        // plan (extent evaluations, unit/chain vectors) would be
+        // built per dispatch only to be ignored by the fallback.
+        for (const Bindings &request : requests) {
+            for (const CompiledKernel *kernel : kernels) {
+                execOne(*kernel, request, options);
+            }
+        }
+        return;
+    }
+    std::vector<const Bindings *> pointers = asPointers(requests);
+    TaskGraph graph = buildTaskGraph(kernels, pointers, options);
+    runTaskGraph(graph, pointers, options);
+}
+
+void
+ParallelExecutor::runKernelsFused(
+    const std::vector<const CompiledKernel *> &kernels,
+    const Bindings &bindings, const ExecOptions &options) const
+{
+    int workers = options.workers > 0
+                      ? std::min(options.workers, pool_->size())
+                      : pool_->size();
+    if (!options.parallel || workers <= 1) {
+        for (const CompiledKernel *kernel : kernels) {
+            execOne(*kernel, bindings, options);
+        }
+        return;
+    }
+    std::vector<const Bindings *> one{&bindings};
+    TaskGraph graph = buildTaskGraph(kernels, one, options);
+    runTaskGraph(graph, one, options);
 }
 
 // ---------------------------------------------------------------------

@@ -100,6 +100,15 @@ struct ExecOptions
     bool parallel = true;
     /** Host backend kernels execute on. */
     runtime::Backend backend = runtime::Backend::kBytecode;
+    /**
+     * Route multi-kernel / multi-request dispatches through the fused
+     * task graph (runTaskGraph): one work pool over every (request,
+     * kernel, grid-chunk) unit with no barrier between kernels or
+     * requests. The engine entry points honor this; runKernels /
+     * runKernelsBatch themselves always run the barriered schedule
+     * and stay available as the differential oracle.
+     */
+    bool fusedDispatch = true;
 };
 
 /** Element range [begin, end) of a flat buffer. */
@@ -270,6 +279,59 @@ class ScratchPool
     uint64_t seq_ = 0;
 };
 
+/**
+ * Plan of one fused dispatch: the cross product of N kernels x M
+ * requests flattened into ONE schedulable unit pool, plus the
+ * per-request fold chains that keep the results bitwise identical to
+ * serial dispatch.
+ *
+ * Compute units — a kernel's grid chunk under one request's bindings,
+ * privatized onto write-set-sized scratch — carry no ordering
+ * constraints at all: a unit of hyb bucket 3 / request 2 may run
+ * before a unit of bucket 0 / request 0. Determinism lives entirely
+ * in the chains: per request, privates fold in kernel list order
+ * (chunk order within a kernel), and an exclusive kernel (one that
+ * may write an element twice, see the file comment) executes on
+ * shared storage at its exact list position — after every earlier
+ * kernel's fold, before every later one's — while OTHER requests'
+ * units keep flowing through the pool. Per (request, output) element
+ * the addition sequence is therefore exactly the serial one; there is
+ * no barrier anywhere.
+ */
+struct TaskGraph
+{
+    /** One compute unit: a grid chunk of `kernel` under `request`. */
+    struct Unit
+    {
+        int request = 0;
+        int kernel = 0;
+        /** Grid window [blockBegin, blockEnd); blockEnd -1: unsplit. */
+        int64_t blockBegin = 0;
+        int64_t blockEnd = -1;
+    };
+
+    /**
+     * One link of a request's fold chain, in kernel list order:
+     * either the in-order fold of a non-exclusive kernel's privatized
+     * chunk units, or the serial execution of an exclusive kernel on
+     * shared storage at its list position.
+     */
+    struct ChainEntry
+    {
+        int kernel = 0;
+        bool exclusive = false;
+        /** First unit index + count (chunk order); 0/0 if exclusive. */
+        size_t firstUnit = 0;
+        int numUnits = 0;
+    };
+
+    std::vector<const CompiledKernel *> kernels;
+    std::vector<Unit> units;
+    /** chains[r]: request r's entries, one per kernel, in list order. */
+    std::vector<std::vector<ChainEntry>> chains;
+    int numRequests = 0;
+};
+
 class ParallelExecutor
 {
   public:
@@ -321,6 +383,67 @@ class ParallelExecutor
     void
     runKernelsBatch(const std::vector<const CompiledKernel *> &kernels,
                     const std::vector<runtime::Bindings> &requests,
+                    const ExecOptions &options = ExecOptions()) const;
+
+    /**
+     * Plan a fused dispatch of `kernels` x `requests` (see TaskGraph):
+     * each non-exclusive (request, kernel) pair is split into at most
+     * ceil(workers / pairs) grid chunks — evaluated against that
+     * request's scalar bindings via the spilled block extent, never an
+     * interpreter probe — so the unit count stays near the worker
+     * count; once the cross product alone saturates the pool nothing
+     * is split. The graph borrows `kernels`; both it and `requests`
+     * must outlive every runTaskGraph call, which must receive the
+     * same requests and compatible options.
+     */
+    TaskGraph
+    buildTaskGraph(const std::vector<const CompiledKernel *> &kernels,
+                   const std::vector<runtime::Bindings> &requests,
+                   const ExecOptions &options = ExecOptions()) const;
+
+    /**
+     * Pointer form of the fused entry points: requests are borrowed,
+     * not copied. This is the engine's single-request hot path —
+     * wrapping one Bindings in a value vector would deep-copy its
+     * maps on every warm dispatch.
+     */
+    TaskGraph buildTaskGraph(
+        const std::vector<const CompiledKernel *> &kernels,
+        const std::vector<const runtime::Bindings *> &requests,
+        const ExecOptions &options = ExecOptions()) const;
+
+    /**
+     * Execute a fused dispatch plan as ONE work pool: every compute
+     * unit is privatized up front, all units (plus one chain-kickoff
+     * task per request, so a chain headed by an exclusive kernel
+     * starts without waiting on any compute) are striped across the
+     * pool, and each request's fold chain advances opportunistically
+     * as its kernels' units complete — no barrier between hyb buckets
+     * or between batch requests. Results are bitwise identical to
+     * serial dispatch and to the barriered runKernels/runKernelsBatch
+     * schedules (same per-element fold order; see TaskGraph).
+     * Requests must bind disjoint output arrays.
+     */
+    void runTaskGraph(const TaskGraph &graph,
+                      const std::vector<runtime::Bindings> &requests,
+                      const ExecOptions &options = ExecOptions()) const;
+
+    /** Pointer form (see the pointer buildTaskGraph overload). */
+    void runTaskGraph(
+        const TaskGraph &graph,
+        const std::vector<const runtime::Bindings *> &requests,
+        const ExecOptions &options = ExecOptions()) const;
+
+    /** buildTaskGraph + runTaskGraph in one call. */
+    void
+    runKernelsFused(const std::vector<const CompiledKernel *> &kernels,
+                    const std::vector<runtime::Bindings> &requests,
+                    const ExecOptions &options = ExecOptions()) const;
+
+    /** Single-request fused dispatch; `bindings` is borrowed. */
+    void
+    runKernelsFused(const std::vector<const CompiledKernel *> &kernels,
+                    const runtime::Bindings &bindings,
                     const ExecOptions &options = ExecOptions()) const;
 
     /**

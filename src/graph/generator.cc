@@ -56,6 +56,12 @@ rescaleDegrees(std::vector<int64_t> *degrees, int64_t nodes,
     int64_t total = std::accumulate(degrees->begin(), degrees->end(),
                                     int64_t{0});
     ICHECK_GT(total, 0);
+    // A row holds at most `nodes` distinct neighbours, so the graph
+    // caps at nodes^2 edges. Clamp the target: with every degree
+    // saturated the pad loop below could otherwise never close the
+    // deficit and would spin forever (found by the differential
+    // fuzzer requesting dense graphs over tiny node counts).
+    edges = std::min(edges, nodes * nodes);
     double scale = static_cast<double>(edges) /
                    static_cast<double>(total);
     int64_t acc = 0;

@@ -32,25 +32,67 @@ struct SlotRt
     const OffsetView *view = nullptr;
 };
 
-struct Machine
+/**
+ * Reusable execution state, leased per run from a thread-local arena.
+ *
+ * A fused task-graph dispatch executes many small (request x kernel x
+ * grid-chunk) units per call, each a fresh VM run; constructing the
+ * register files, slot table and scratch vectors per unit made heap
+ * churn a visible per-unit cost. The arena keeps its capacity across
+ * runs on the same thread, so steady-state execution allocates
+ * nothing. Contents are reinitialized per run exactly as the old
+ * per-run construction did (registers zeroed, slots cleared, scratch
+ * zero-assigned by kAlloc), so results are unchanged bitwise.
+ */
+struct MachineStorage
 {
-    const Program &prog;
     std::vector<int64_t> iregs;
     std::vector<double> fregs;
     std::vector<SlotRt> slots;
-    /** Backing storage of scratch slots (index - numParamSlots). */
     std::vector<std::vector<unsigned char>> scratch;
+    /** Guards against reentrant execute() clobbering a live run. */
+    bool inUse = false;
+};
+
+struct Machine
+{
+    const Program &prog;
+    std::vector<int64_t> &iregs;
+    std::vector<double> &fregs;
+    std::vector<SlotRt> &slots;
+    /** Backing storage of scratch slots (index - numParamSlots). */
+    std::vector<std::vector<unsigned char>> &scratch;
     bool windowed = false;
     int64_t blockBegin = 0;
     int64_t blockEnd = 0;
 
-    explicit Machine(const Program &p)
-        : prog(p), iregs(static_cast<size_t>(p.numIRegs), 0),
-          fregs(static_cast<size_t>(p.numFRegs), 0.0),
-          slots(p.slots.size()),
-          scratch(p.slots.size() -
-                  static_cast<size_t>(p.numParamSlots))
-    {}
+    Machine(const Program &p, MachineStorage &store)
+        : prog(p), iregs(store.iregs), fregs(store.fregs),
+          slots(store.slots), scratch(store.scratch)
+    {
+        ICHECK(!store.inUse)
+            << "reentrant bytecode execution on one thread";
+        store.inUse = true;
+        iregs.assign(static_cast<size_t>(prog.numIRegs), 0);
+        fregs.assign(static_cast<size_t>(prog.numFRegs), 0.0);
+        slots.assign(prog.slots.size(), SlotRt());
+        size_t num_scratch =
+            prog.slots.size() -
+            static_cast<size_t>(prog.numParamSlots);
+        // Only grow: surviving inner vectors keep their capacity for
+        // the next run's kAlloc, which zero-assigns before use.
+        if (scratch.size() < num_scratch) {
+            scratch.resize(num_scratch);
+        }
+        store_ = &store;
+    }
+
+    ~Machine() { store_->inUse = false; }
+
+  private:
+    MachineStorage *store_ = nullptr;
+
+  public:
 
     /**
      * Access fault diagnosis, off the hot path. Unbound slots carry
@@ -495,7 +537,8 @@ execute(const Program &program, const Bindings &bindings,
             << "block-windowed execution of '" << program.name
             << "': no blockIdx.x-bound loop";
     }
-    Machine m(program);
+    static thread_local MachineStorage tls_machine_storage;
+    Machine m(program, tls_machine_storage);
     m.windowed = options.blockEnd >= 0;
     m.blockBegin = options.blockBegin;
     m.blockEnd = options.blockEnd;

@@ -647,6 +647,12 @@ launchProbeCount()
     return launch_probes.load(std::memory_order_relaxed);
 }
 
+void
+resetLaunchProbeCount()
+{
+    launch_probes.store(0, std::memory_order_relaxed);
+}
+
 bool
 evalScalarExtent(const ir::Expr &e, const Bindings &bindings,
                  int64_t *out)

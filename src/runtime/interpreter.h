@@ -222,6 +222,17 @@ LaunchInfo launchInfo(const ir::PrimFunc &func, const Bindings &bindings);
 uint64_t launchProbeCount();
 
 /**
+ * Reset launchProbeCount() to zero. The counter is process-global, so
+ * without a reset every no-probe assertion has to be phrased as a
+ * before/after delta and still races against concurrent dispatches in
+ * the same binary; test suites (the fuzzers especially) instead
+ * quiesce, reset, run the warm path under test, and assert the count
+ * is exactly zero. Not for production code — the engine never reads
+ * the counter.
+ */
+void resetLaunchProbeCount();
+
+/**
  * Evaluate an integer expression using only constants and the scalar
  * bindings — no interpreter machine, no buffer state. Returns false
  * (leaving *out untouched) when the expression references anything

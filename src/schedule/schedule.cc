@@ -482,6 +482,97 @@ Schedule::parallel(const std::string &name)
     func_->body = replaceStmt(func_->body, loop, node);
 }
 
+namespace {
+
+/**
+ * Collect the if-conditions that dominate `block` under `s` and
+ * reference no reduction variable. These are spatial guards — e.g. a
+ * non-divisible split's tail predicate `if (k_o*tx + k_i < feat)` —
+ * and the cache-write epilogue MUST replicate them: the write-back
+ * stores the block's spatial indices outside the reduction subtree,
+ * so an unguarded epilogue executes the padded tail iterations the
+ * guard exists to skip and stores out of bounds. (Found by the
+ * differential fuzzer on hyb SpMM with feat % threadX != 0; every
+ * power-of-two feat divides the clamped threadX, which is why the
+ * fixed-shape suites never hit it.) Conditions referencing reduction
+ * variables vary per reduction step and stay inside the subtree.
+ * Returns true when `block` lies under `s`; guards accumulate only
+ * along the found path.
+ */
+bool
+collectSpatialGuards(const StmtNode *s, const BlockNode *block,
+                     const std::set<const VarNode *> &reduce_set,
+                     std::vector<Expr> *guards)
+{
+    if (s == nullptr) {
+        return false;
+    }
+    switch (s->kind) {
+      case StmtKind::kBlock: {
+        auto *node = static_cast<const BlockNode *>(s);
+        if (node == block) {
+            return true;
+        }
+        return collectSpatialGuards(node->body.get(), block,
+                                    reduce_set, guards);
+      }
+      case StmtKind::kFor:
+        return collectSpatialGuards(
+            static_cast<const ForNode *>(s)->body.get(), block,
+            reduce_set, guards);
+      case StmtKind::kLetStmt:
+        return collectSpatialGuards(
+            static_cast<const LetStmtNode *>(s)->body.get(), block,
+            reduce_set, guards);
+      case StmtKind::kAllocate:
+        return collectSpatialGuards(
+            static_cast<const AllocateNode *>(s)->body.get(), block,
+            reduce_set, guards);
+      case StmtKind::kSeq: {
+        auto *node = static_cast<const SeqStmtNode *>(s);
+        for (const Stmt &child : node->seq) {
+            if (collectSpatialGuards(child.get(), block, reduce_set,
+                                     guards)) {
+                return true;
+            }
+        }
+        return false;
+      }
+      case StmtKind::kIfThenElse: {
+        auto *node = static_cast<const IfThenElseNode *>(s);
+        bool spatial = true;
+        for (const VarNode *v : collectVars(node->cond)) {
+            if (reduce_set.count(v)) {
+                spatial = false;
+                break;
+            }
+        }
+        if (collectSpatialGuards(node->thenBody.get(), block,
+                                 reduce_set, guards)) {
+            if (spatial) {
+                guards->push_back(node->cond);
+            }
+            return true;
+        }
+        if (collectSpatialGuards(node->elseBody.get(), block,
+                                 reduce_set, guards)) {
+            // No schedule primitive nests a block in an else branch;
+            // replicating would need the negated condition. Fail
+            // loudly rather than emit an unguarded epilogue.
+            ICHECK(!spatial)
+                << "cache_write cannot replicate an else-branch "
+                   "spatial guard in its epilogue";
+            return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
 void
 Schedule::cacheWrite(const std::string &block_name,
                      const std::string &buffer_name, bool accumulate)
@@ -585,6 +676,13 @@ Schedule::cacheWrite(const std::string &block_name,
         new_block->init = rewriter.mutateStmt(new_block->init);
     }
 
+    // Spatial guards dominating the block INSIDE the reduction
+    // subtree (a non-divisible split's tail predicate) also govern
+    // the write-back's indices; replicate them around the epilogue or
+    // the padded tail stores out of bounds.
+    std::vector<Expr> guards;
+    collectSpatialGuards(outer_reduce, block, reduce_set, &guards);
+
     Stmt reduce_subtree =
         replaceStmt(borrowStmt(outer_reduce), block, new_block);
     Expr result = bufferLoad(accumulator, {intImm(0)});
@@ -594,6 +692,9 @@ Schedule::cacheWrite(const std::string &block_name,
     }
     Stmt write_back =
         bufferStore(target, target_indices, std::move(result));
+    for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+        write_back = ifThenElse(*it, write_back);
+    }
     Stmt replacement =
         allocate(accumulator, seq({reduce_subtree, write_back}));
     func_->body = replaceStmt(func_->body, outer_reduce, replacement);

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Randomized differential fuzzer over the execution engine.
+ *
+ * Every case generates a random sparse structure (CSR-derived hyb
+ * decompositions with random partition/bucket-cap sets — empty rows,
+ * singleton shapes, dense rows forcing widest-bucket splits — plus
+ * periodic BSR re-blockings and multi-request batches), random feat
+ * sizes and worker counts, then asserts THREE-WAY bitwise equality
+ * against the serial tree-walking interpreter:
+ *
+ *   backend axis:   interpreter vs bytecode VM
+ *   schedule axis:  serial vs barriered parallel vs fused task graph
+ *
+ * Knobs (environment):
+ *   FUZZ_CASES  number of cases (default 200 — the tier-1 budget;
+ *               CI's fuzz-long job runs 2000)
+ *   FUZZ_SEED   base seed (default fixed, so a stock ctest run is
+ *               deterministic; accepts 0x-prefixed hex)
+ *   FUZZ_CASE   run a single case index (replay of a failure)
+ *
+ * A failing case prints its seed, index and structure summary plus
+ * the exact environment to replay it, e.g.
+ *   FUZZ_SEED=0x5eedc0ffee FUZZ_CASE=137 ctest -R test_fuzz
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "engine/engine.h"
+#include "format/bsr.h"
+#include "graph/generator.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace sparsetir {
+namespace {
+
+using engine::Engine;
+using engine::EngineOptions;
+using engine::SpmmRequest;
+using format::Csr;
+using runtime::NDArray;
+using testutil::bitwiseEqual;
+
+constexpr uint64_t kDefaultSeed = 0x5eedc0ffeeULL;
+constexpr uint64_t kAllCases = ~0ULL;
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return fallback;
+    }
+    return std::strtoull(v, nullptr, 0);
+}
+
+/** SplitMix64 — decorrelates per-case streams from (seed, index). */
+uint64_t
+mix(uint64_t seed, uint64_t index)
+{
+    uint64_t z = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<float>
+randomValues(Rng *rng, int64_t size)
+{
+    std::vector<float> out(static_cast<size_t>(size));
+    for (auto &v : out) {
+        v = static_cast<float>(rng->uniformReal() * 2.0 - 1.0);
+    }
+    return out;
+}
+
+/**
+ * One execution configuration of the differential matrix. Engines
+ * are pooled per configuration across cases (each owns a thread pool
+ * and a compile cache; recreating them per case would dominate the
+ * fuzz budget and hide cross-structure cache behavior).
+ */
+struct Config
+{
+    const char *name;
+    runtime::Backend backend;
+    bool parallel;
+    bool fused;
+};
+
+class EnginePool
+{
+  public:
+    Engine &
+    get(const Config &config, int workers, int64_t min_chunk)
+    {
+        // Serial engines ignore the parallel-schedule knobs;
+        // normalize them out of the key so every serial config maps
+        // to ONE engine instead of one per (workers, minChunk)
+        // combination, each recompiling the same artifacts.
+        if (!config.parallel) {
+            workers = 1;
+            min_chunk = 0;
+        }
+        Key key{config.backend == runtime::Backend::kBytecode,
+                config.parallel, config.fused, workers, min_chunk};
+        auto it = engines_.find(key);
+        if (it == engines_.end()) {
+            EngineOptions options;
+            options.backend = config.backend;
+            options.parallel = config.parallel;
+            options.fusedDispatch = config.fused;
+            options.numThreads = config.parallel ? workers : 1;
+            options.minBlocksPerChunk = min_chunk;
+            it = engines_
+                     .emplace(key,
+                              std::make_unique<Engine>(options))
+                     .first;
+        }
+        return *it->second;
+    }
+
+  private:
+    using Key = std::tuple<bool, bool, bool, int, int64_t>;
+    std::map<Key, std::unique_ptr<Engine>> engines_;
+};
+
+/** The serial interpreter — ground truth for every case. */
+constexpr Config kReference = {"serial interpreter",
+                               runtime::Backend::kInterpreter, false,
+                               false};
+
+/** The differential matrix: both backends x both parallel schedules
+ * + the bytecode serial point (backend axis without parallelism). */
+constexpr Config kVariants[] = {
+    {"serial bytecode", runtime::Backend::kBytecode, false, false},
+    {"barriered interpreter", runtime::Backend::kInterpreter, true,
+     false},
+    {"fused interpreter", runtime::Backend::kInterpreter, true, true},
+    {"barriered bytecode", runtime::Backend::kBytecode, true, false},
+    {"fused bytecode", runtime::Backend::kBytecode, true, true},
+};
+
+/** Random structure with deliberate corner-shape injection. */
+Csr
+randomStructure(Rng *rng, std::string *desc)
+{
+    std::ostringstream out;
+    Csr a;
+    switch (rng->uniformInt(4)) {
+      case 0: {
+        // Uniform random density, empty rows arise naturally.
+        int64_t rows = rng->uniformRange(1, 40);
+        int64_t cols = rng->uniformRange(1, 40);
+        double density = 0.02 + rng->uniformReal() * 0.3;
+        std::vector<float> dense(rows * cols, 0.0f);
+        for (auto &v : dense) {
+            if (rng->uniformReal() < density) {
+                v = static_cast<float>(rng->uniformReal() * 2.0 -
+                                       1.0);
+                if (v == 0.0f) {
+                    v = 0.25f;
+                }
+            }
+        }
+        a = format::csrFromDense(rows, cols, dense);
+        out << "uniform rows=" << rows << " cols=" << cols;
+        break;
+      }
+      case 1: {
+        // Heavy-tailed degrees: diverse bucket sets, split rows.
+        int64_t nodes = rng->uniformRange(4, 60);
+        int64_t edges =
+            nodes * rng->uniformRange(1, 8) + rng->uniformRange(0, 8);
+        a = graph::powerLawGraph(nodes, edges, 1.5 +
+                                                   rng->uniformReal(),
+                                 rng->next());
+        out << "powerlaw nodes=" << nodes;
+        break;
+      }
+      case 2: {
+        // Singleton-ish shapes: one row, one column, or 1x1.
+        if (rng->uniformInt(2) == 0) {
+            int64_t cols = rng->uniformRange(1, 24);
+            std::vector<float> dense(cols, 0.0f);
+            for (auto &v : dense) {
+                if (rng->uniformReal() < 0.5) {
+                    v = 1.0f + static_cast<float>(rng->uniformReal());
+                }
+            }
+            a = format::csrFromDense(1, cols, dense);
+            out << "single-row cols=" << cols;
+        } else {
+            int64_t rows = rng->uniformRange(1, 24);
+            std::vector<float> dense(rows, 0.0f);
+            for (auto &v : dense) {
+                if (rng->uniformReal() < 0.5) {
+                    v = 1.0f + static_cast<float>(rng->uniformReal());
+                }
+            }
+            a = format::csrFromDense(rows, 1, dense);
+            out << "single-col rows=" << rows;
+        }
+        break;
+      }
+      default: {
+        // One dense row over an otherwise empty matrix: the dense
+        // row splits across the widest bucket (exclusive kernel)
+        // while every other row is a zero row.
+        int64_t rows = rng->uniformRange(2, 24);
+        int64_t cols = rng->uniformRange(2, 32);
+        std::vector<float> dense(rows * cols, 0.0f);
+        int64_t dense_row = rng->uniformRange(0, rows - 1);
+        for (int64_t j = 0; j < cols; ++j) {
+            dense[dense_row * cols + j] =
+                static_cast<float>(rng->uniformReal() * 2.0 - 1.0);
+            if (dense[dense_row * cols + j] == 0.0f) {
+                dense[dense_row * cols + j] = -0.75f;
+            }
+        }
+        a = format::csrFromDense(rows, cols, dense);
+        out << "dense-row rows=" << rows << " cols=" << cols;
+        break;
+      }
+    }
+    // The hyb pipeline (correctly) rejects all-zero matrices; pin one
+    // entry so every generated case dispatches.
+    if (a.nnz() == 0) {
+        std::vector<float> dense(a.rows * a.cols, 0.0f);
+        dense[rng->uniformInt(static_cast<uint64_t>(a.rows *
+                                                    a.cols))] = 1.0f;
+        a = format::csrFromDense(a.rows, a.cols, dense);
+        out << " +pinned-nnz";
+    }
+    int64_t empty_rows = 0;
+    for (int64_t r = 0; r < a.rows; ++r) {
+        if (a.rowLength(r) == 0) {
+            ++empty_rows;
+        }
+    }
+    out << " nnz=" << a.nnz() << " empty_rows=" << empty_rows;
+    *desc = out.str();
+    return a;
+}
+
+struct CaseParams
+{
+    int64_t feat = 0;
+    engine::HybConfig config;
+    int workers = 0;
+    int64_t minChunk = 0;
+};
+
+CaseParams
+randomParams(Rng *rng)
+{
+    constexpr int64_t kFeats[] = {1, 2, 3, 4, 5, 8, 16};
+    constexpr int kWorkers[] = {2, 4, 8};
+    constexpr int64_t kMinChunks[] = {1, 4};
+    CaseParams params;
+    params.feat = kFeats[rng->uniformInt(7)];
+    params.config.partitions =
+        static_cast<int>(rng->uniformRange(1, 3));
+    params.config.bucketCapLog2 =
+        static_cast<int>(rng->uniformRange(-1, 2));
+    params.workers = kWorkers[rng->uniformInt(3)];
+    params.minChunk = kMinChunks[rng->uniformInt(2)];
+    return params;
+}
+
+std::string
+describe(uint64_t seed, uint64_t index, const std::string &structure,
+         const CaseParams &params)
+{
+    std::ostringstream out;
+    out << "case " << index << " [" << structure
+        << " feat=" << params.feat
+        << " partitions=" << params.config.partitions
+        << " cap=" << params.config.bucketCapLog2
+        << " workers=" << params.workers
+        << " minChunk=" << params.minChunk << "]  replay: FUZZ_SEED=0x"
+        << std::hex << seed << std::dec << " FUZZ_CASE=" << index
+        << " ctest -R test_fuzz_differential";
+    return out.str();
+}
+
+/** Hyb SpMM: the full 2-backend x 3-schedule differential. */
+void
+runHybCase(EnginePool *pool, const Csr &a, const CaseParams &params,
+           Rng *rng, const std::string &what)
+{
+    NDArray b = NDArray::fromFloat(
+        randomValues(rng, a.cols * params.feat));
+    NDArray expected({a.rows * params.feat}, ir::DataType::float32());
+    pool->get(kReference, params.workers, params.minChunk)
+        .spmmHyb(a, params.feat, &b, &expected, params.config);
+
+    for (const Config &variant : kVariants) {
+        Engine &eng =
+            pool->get(variant, params.workers, params.minChunk);
+        NDArray c({a.rows * params.feat}, ir::DataType::float32());
+        eng.spmmHyb(a, params.feat, &b, &c, params.config);
+        ASSERT_TRUE(bitwiseEqual(expected, c))
+            << variant.name << " diverged on hyb " << what;
+    }
+}
+
+/** Batched hyb: per-request equality across fused and barriered. */
+void
+runBatchCase(EnginePool *pool, const Csr &a, const CaseParams &params,
+             Rng *rng, const std::string &what)
+{
+    int requests = static_cast<int>(rng->uniformRange(2, 4));
+    std::vector<NDArray> b;
+    std::vector<NDArray> expected;
+    for (int i = 0; i < requests; ++i) {
+        b.push_back(NDArray::fromFloat(
+            randomValues(rng, a.cols * params.feat)));
+        expected.emplace_back(
+            std::vector<int64_t>{a.rows * params.feat},
+            ir::DataType::float32());
+        pool->get(kReference, params.workers, params.minChunk)
+            .spmmHyb(a, params.feat, &b[i], &expected[i],
+                     params.config);
+    }
+    for (const Config &variant : kVariants) {
+        Engine &eng =
+            pool->get(variant, params.workers, params.minChunk);
+        std::vector<NDArray> c;
+        std::vector<SpmmRequest> views;
+        for (int i = 0; i < requests; ++i) {
+            c.emplace_back(std::vector<int64_t>{a.rows * params.feat},
+                           ir::DataType::float32());
+        }
+        for (int i = 0; i < requests; ++i) {
+            views.push_back(SpmmRequest{&b[i], &c[i]});
+        }
+        eng.spmmHybBatch(a, params.feat, views, params.config);
+        for (int i = 0; i < requests; ++i) {
+            ASSERT_TRUE(bitwiseEqual(expected[i], c[i]))
+                << variant.name << " diverged on batched hyb request "
+                << i << "/" << requests << " " << what;
+        }
+    }
+}
+
+/** BSR re-blocking: backend x schedule differential on one kernel. */
+void
+runBsrCase(EnginePool *pool, const Csr &a, const CaseParams &params,
+           Rng *rng, const std::string &what)
+{
+    constexpr int32_t kBlocks[] = {2, 4, 8};
+    format::Bsr bsr =
+        format::bsrFromCsr(a, kBlocks[rng->uniformInt(3)]);
+    if (bsr.nnzBlocks() == 0) {
+        return;
+    }
+    int64_t b_size = bsr.blockCols * bsr.blockSize * params.feat;
+    int64_t c_size = bsr.blockRows * bsr.blockSize * params.feat;
+    NDArray b = NDArray::fromFloat(randomValues(rng, b_size));
+    NDArray expected({c_size}, ir::DataType::float32());
+    pool->get(kReference, params.workers, params.minChunk)
+        .spmmBsr(bsr, params.feat, &b, &expected);
+
+    for (const Config &variant : kVariants) {
+        Engine &eng =
+            pool->get(variant, params.workers, params.minChunk);
+        NDArray c({c_size}, ir::DataType::float32());
+        eng.spmmBsr(bsr, params.feat, &b, &c);
+        ASSERT_TRUE(bitwiseEqual(expected, c))
+            << variant.name << " diverged on bsr(blockSize="
+            << bsr.blockSize << ") " << what;
+    }
+}
+
+TEST(FuzzDifferential, ThreeWayBitwiseEquality)
+{
+    uint64_t seed = envU64("FUZZ_SEED", kDefaultSeed);
+    uint64_t cases = envU64("FUZZ_CASES", 200);
+    uint64_t only = envU64("FUZZ_CASE", kAllCases);
+    // A replay index from a long run (FUZZ_CASES > default) must
+    // still be reachable without restating FUZZ_CASES.
+    uint64_t limit =
+        only != kAllCases ? std::max(cases, only + 1) : cases;
+    EnginePool pool;
+
+    for (uint64_t i = 0; i < limit; ++i) {
+        if (only != kAllCases && i != only) {
+            continue;
+        }
+        Rng rng(mix(seed, i));
+        std::string structure;
+        Csr a = randomStructure(&rng, &structure);
+        CaseParams params = randomParams(&rng);
+        std::string what = describe(seed, i, structure, params);
+        SCOPED_TRACE(what);
+        if (envU64("FUZZ_VERBOSE", 0) != 0) {
+            std::fprintf(stderr, "[fuzz] %s\n", what.c_str());
+        }
+
+        // An escaping exception (a backend bounds fault, say) is as
+        // much a finding as a bitwise divergence — report it with
+        // the replay line instead of letting it abort the run
+        // caseless.
+        try {
+            runHybCase(&pool, a, params, &rng, what);
+            if (!::testing::Test::HasFatalFailure() && i % 4 == 3) {
+                runBatchCase(&pool, a, params, &rng, what);
+            }
+            if (!::testing::Test::HasFatalFailure() && i % 5 == 4) {
+                runBsrCase(&pool, a, params, &rng, what);
+            }
+        } catch (const std::exception &e) {
+            FAIL() << "exception escaped " << what << "\n  "
+                   << e.what();
+        }
+        if (::testing::Test::HasFatalFailure()) {
+            return;
+        }
+    }
+}
+
+TEST(FuzzDifferential, AllZeroMatrixRejectedOnEveryPath)
+{
+    // The hyb pipeline refuses a matrix with no non-zeros; fused and
+    // barriered sessions must agree (and leave the output untouched).
+    Csr empty;
+    empty.rows = 6;
+    empty.cols = 5;
+    empty.indptr.assign(7, 0);
+    int64_t feat = 4;
+    NDArray b = NDArray::fromFloat(
+        testutil::randomVector(empty.cols * feat, 3));
+    for (bool fused : {true, false}) {
+        EngineOptions options;
+        options.fusedDispatch = fused;
+        options.numThreads = 2;
+        Engine eng(options);
+        NDArray c({empty.rows * feat}, ir::DataType::float32());
+        EXPECT_THROW(eng.spmmHyb(empty, feat, &b, &c), UserError);
+    }
+}
+
+TEST(FuzzDifferential, WarmFuzzPathsNeverProbeTheGrid)
+{
+    // A replay of one fuzz-style case, then the no-probe assertion
+    // the process-global counter reset makes possible: EVERY warm
+    // dispatch (serial, barriered, fused, both backends) must size
+    // its grid from the spilled block-extent expression.
+    Rng rng(mix(kDefaultSeed, 0xABCDEF));
+    std::string structure;
+    Csr a = randomStructure(&rng, &structure);
+    CaseParams params = randomParams(&rng);
+    EnginePool pool;
+    runHybCase(&pool, a, params, &rng, structure);  // prime + check
+
+    runtime::resetLaunchProbeCount();
+    runHybCase(&pool, a, params, &rng, structure);  // warm replay
+    EXPECT_EQ(runtime::launchProbeCount(), 0u)
+        << "a warm fuzz dispatch probed the launch grid through the "
+           "interpreter";
+}
+
+} // namespace
+} // namespace sparsetir
