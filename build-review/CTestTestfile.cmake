@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_backend "/root/repo/build-review/test_backend")
+set_tests_properties(test_backend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_bytecode "/root/repo/build-review/test_bytecode")
+set_tests_properties(test_bytecode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_engine "/root/repo/build-review/test_engine")
+set_tests_properties(test_engine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_engine_batch "/root/repo/build-review/test_engine_batch")
+set_tests_properties(test_engine_batch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_engine_fused "/root/repo/build-review/test_engine_fused")
+set_tests_properties(test_engine_fused PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_formats "/root/repo/build-review/test_formats")
+set_tests_properties(test_formats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_fuzz_differential "/root/repo/build-review/test_fuzz_differential")
+set_tests_properties(test_fuzz_differential PROPERTIES  LABELS "fuzz" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_gpusim "/root/repo/build-review/test_gpusim")
+set_tests_properties(test_gpusim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_graph "/root/repo/build-review/test_graph")
+set_tests_properties(test_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_ir "/root/repo/build-review/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_lowering "/root/repo/build-review/test_lowering")
+set_tests_properties(test_lowering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_pipeline "/root/repo/build-review/test_pipeline")
+set_tests_properties(test_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_schedule "/root/repo/build-review/test_schedule")
+set_tests_properties(test_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
