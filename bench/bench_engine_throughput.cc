@@ -49,9 +49,21 @@
  *     trajectory tracking (informational — no gate until two runs
  *     of trajectory exist).
  *
+ *  8. Engine metrics snapshot — the observability registry's view of
+ *     the session used by [1]/[3]: every named counter and gauge.
+ *
+ *  9. Warm-dispatch latency percentiles — per-op-kind p50/p95/p99
+ *     from the engine's own engine.warm_dispatch_ms.<op> histograms
+ *     over a stream of warm dispatches (spmm_csr, spmm_hyb,
+ *     spmm_bsr). Emitted into BENCH_JSON as "warm_latency" for
+ *     trajectory tracking (informational — no gate).
+ *
  * FAST=1 shrinks the graph for smoke runs. BENCH_JSON=<path> writes
  * the backend-comparison numbers as JSON for the CI perf gate and
- * trajectory tracking.
+ * trajectory tracking. TRACE_JSON=<path> (or SPARSETIR_TRACE=1)
+ * enables the span recorder for the whole run and writes a Chrome
+ * trace-event file loadable in Perfetto / chrome://tracing, plus a
+ * self-time summary on stdout.
  */
 
 #include <chrono>
@@ -64,7 +76,10 @@
 #include "bench_util.h"
 #include "core/pipeline.h"
 #include "engine/engine.h"
+#include "format/bsr.h"
 #include "graph/generator.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "support/rng.h"
 
 using namespace sparsetir;
@@ -109,6 +124,14 @@ main()
 {
     benchutil::printHeader(
         "Engine throughput: compile cache + parallel executor");
+
+    // Tracing covers the whole run when asked for: TRACE_JSON names
+    // the Chrome-trace output; SPARSETIR_TRACE=1 alone traces too
+    // (written to bench_trace.json).
+    const char *trace_path_env = std::getenv("TRACE_JSON");
+    if (trace_path_env != nullptr || observe::traceRequestedByEnv()) {
+        observe::TraceRecorder::global().setEnabled(true);
+    }
 
     int64_t nodes = benchutil::fastMode() ? 2000 : 10000;
     int64_t edges = benchutil::fastMode() ? 12000 : 120000;
@@ -252,6 +275,7 @@ main()
                 "(%d rounds each)\n",
                 backend_rounds);
     double backend_ms[2] = {0.0, 0.0};
+    observe::LatencyHistogram backend_lat[2];
     NDArray backend_c[2] = {
         NDArray({g.rows * feat}, ir::DataType::float32()),
         NDArray({g.rows * feat}, ir::DataType::float32())};
@@ -263,20 +287,22 @@ main()
                               : runtime::Backend::kInterpreter;
         engine::Engine backend_eng(options);
         NDArray bb = NDArray::fromFloat(b_host);
-        // Prime the cache; the measured rounds are pure warm path.
+        // Prime the cache; the measured rounds are pure warm path
+        // (the dispatch itself zeroes C — overwrite semantics).
         backend_eng.spmmHyb(g, feat, &bb, &backend_c[which], config);
-        double total = 0.0;
-        for (int round = 0; round < backend_rounds; ++round) {
-            backend_c[which].zero();
-            total += wallMs([&] {
+        backend_ms[which] = benchutil::timedRoundsMs(
+            backend_rounds,
+            [&] {
                 backend_eng.spmmHyb(g, feat, &bb, &backend_c[which],
                                     config);
-            });
-        }
-        backend_ms[which] = total / backend_rounds;
-        std::printf("  %-12s %8.2f ms/request\n",
+            },
+            &backend_lat[which]);
+        observe::HistogramSnapshot lat =
+            backend_lat[which].snapshot();
+        std::printf("  %-12s %8.2f ms/request  (p50 %.2f / p99 %.2f "
+                    "ms)\n",
                     bytecode ? "bytecode:" : "interpreter:",
-                    backend_ms[which]);
+                    backend_ms[which], lat.p50Ms, lat.p99Ms);
     }
     bool backend_equal = bitwiseEqual(backend_c[0], backend_c[1]);
     double backend_speedup =
@@ -318,24 +344,17 @@ main()
     // time — so the comparison isolates batching (cross-request
     // striping) from the cache-lookup and value-gather savings the
     // handle already provides to both sides.
-    double sequential_ms = 0.0;
-    for (int round = 0; round < batch_rounds; ++round) {
-        sequential_ms += wallMs([&] {
-            for (int i = 0; i < batch_requests; ++i) {
-                std::vector<engine::SpmmRequest> one = {
-                    engine::SpmmRequest{&batch_b[i], &seq_out[i]}};
-                batch_eng.spmmHybBatch(prepared, one);
-            }
-        });
-    }
-    sequential_ms /= batch_rounds;
+    double sequential_ms = benchutil::timedRoundsMs(batch_rounds, [&] {
+        for (int i = 0; i < batch_requests; ++i) {
+            std::vector<engine::SpmmRequest> one = {
+                engine::SpmmRequest{&batch_b[i], &seq_out[i]}};
+            batch_eng.spmmHybBatch(prepared, one);
+        }
+    });
 
-    double batched_ms = 0.0;
-    for (int round = 0; round < batch_rounds; ++round) {
-        batched_ms += wallMs(
-            [&] { batch_eng.spmmHybBatch(prepared, requests); });
-    }
-    batched_ms /= batch_rounds;
+    double batched_ms = benchutil::timedRoundsMs(
+        batch_rounds,
+        [&] { batch_eng.spmmHybBatch(prepared, requests); });
 
     bool batch_equal = true;
     for (int i = 0; i < batch_requests; ++i) {
@@ -456,11 +475,9 @@ main()
             eng.prepareSpmmHyb(g, feat, config);
         eng.spmmHybBatch(handle, reqs);  // warm
         eng.resetScratchPeak();
-        double total = 0.0;
-        for (int round = 0; round < fused_rounds; ++round) {
-            total += wallMs([&] { eng.spmmHybBatch(handle, reqs); });
-        }
-        sched_ms[which] = total / fused_rounds;
+        sched_ms[which] = benchutil::timedRoundsMs(
+            fused_rounds,
+            [&] { eng.spmmHybBatch(handle, reqs); });
         if (fused) {
             fused_scratch_peak = static_cast<long long>(
                 eng.scratchStats().peakLeasedBytes);
@@ -490,6 +507,85 @@ main()
                 fused_speedup, fused_equal ? "yes" : "NO");
     std::printf("  fused scratch high-water mark: %.2f MB\n",
                 fused_scratch_peak / 1e6);
+
+    // ------------------------------------------------------------------
+    // 8. Engine metrics snapshot (registry counters + gauges)
+    // ------------------------------------------------------------------
+    std::printf("\n[8] metrics snapshot of the [1]/[3] engine "
+                "session\n");
+    observe::MetricsSnapshot session_snap = eng.metricsSnapshot();
+    for (const auto &kv : session_snap.counters) {
+        std::printf("  counter %-28s %llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+    }
+    for (const auto &kv : session_snap.gauges) {
+        std::printf("  gauge   %-28s %lld\n", kv.first.c_str(),
+                    static_cast<long long>(kv.second));
+    }
+
+    // ------------------------------------------------------------------
+    // 9. Warm-dispatch latency percentiles per op kind
+    // ------------------------------------------------------------------
+    int lat_rounds = benchutil::fastMode() ? 8 : 20;
+    std::printf("\n[9] warm-dispatch latency percentiles (%d warm "
+                "rounds per op)\n",
+                lat_rounds);
+    engine::Engine lat_eng(engine::EngineOptions{});
+
+    // spmm_csr + spmm_hyb share the power-law graph and B; spmm_bsr
+    // gets a blocked version of it. One cold prime each, then warm
+    // rounds — the engine's own per-op histograms record the warm
+    // latencies (the cold dispatch lands in the cold histogram).
+    NDArray lat_csr_c({g.rows * feat}, ir::DataType::float32());
+    lat_eng.spmmCsr(g, feat, &b, &lat_csr_c);
+    for (int round = 0; round < lat_rounds; ++round) {
+        lat_eng.spmmCsr(g, feat, &b, &lat_csr_c);
+    }
+
+    NDArray lat_hyb_c({g.rows * feat}, ir::DataType::float32());
+    lat_eng.spmmHyb(g, feat, &b, &lat_hyb_c, config);
+    for (int round = 0; round < lat_rounds; ++round) {
+        lat_eng.spmmHyb(g, feat, &b, &lat_hyb_c, config);
+    }
+
+    // Dedicated smaller graph for BSR: blocking the full power-law
+    // graph pads far too many dense blocks for a latency sweep.
+    format::Csr lat_bsr_src = graph::powerLawGraph(
+        benchutil::fastMode() ? 500 : 1000,
+        benchutil::fastMode() ? 3000 : 8000, 1.8, 23);
+    format::Bsr lat_bsr = format::bsrFromCsr(lat_bsr_src, 8);
+    NDArray lat_bsr_b = NDArray::fromFloat(randomVector(
+        lat_bsr.blockCols * lat_bsr.blockSize * feat, 42));
+    NDArray lat_bsr_c(
+        {lat_bsr.blockRows * lat_bsr.blockSize * feat},
+        ir::DataType::float32());
+    lat_eng.spmmBsr(lat_bsr, feat, &lat_bsr_b, &lat_bsr_c);
+    for (int round = 0; round < lat_rounds; ++round) {
+        lat_eng.spmmBsr(lat_bsr, feat, &lat_bsr_b, &lat_bsr_c);
+    }
+
+    struct WarmLatency
+    {
+        const char *op;
+        observe::HistogramSnapshot hist;
+    };
+    std::vector<WarmLatency> warm_latency;
+    observe::MetricsSnapshot lat_snap = lat_eng.metricsSnapshot();
+    for (const char *op : {"spmm_csr", "spmm_hyb", "spmm_bsr"}) {
+        auto it = lat_snap.histograms.find(
+            std::string("engine.warm_dispatch_ms.") + op);
+        if (it == lat_snap.histograms.end() ||
+            it->second.count == 0) {
+            continue;
+        }
+        warm_latency.push_back(WarmLatency{op, it->second});
+        std::printf("  %-10s %4llu samples  p50 %8.3f ms  p95 %8.3f "
+                    "ms  p99 %8.3f ms\n",
+                    op,
+                    static_cast<unsigned long long>(it->second.count),
+                    it->second.p50Ms, it->second.p95Ms,
+                    it->second.p99Ms);
+    }
 
     if (const char *json_path = std::getenv("BENCH_JSON")) {
         std::FILE *json = std::fopen(json_path, "w");
@@ -526,8 +622,7 @@ main()
             "  \"fused_req_per_s\": %.2f,\n"
             "  \"fused_speedup\": %.4f,\n"
             "  \"fused_bitwise_identical\": %s,\n"
-            "  \"fused_scratch_peak_bytes\": %lld\n"
-            "}\n",
+            "  \"fused_scratch_peak_bytes\": %lld,\n",
             benchutil::fastMode() ? "true" : "false",
             static_cast<long long>(g.rows),
             static_cast<long long>(g.nnz()),
@@ -541,8 +636,43 @@ main()
             static_cast<long long>(rg_scratch.peakLeasedBytes),
             rg_naive_bytes, barriered_rps, fused_rps, fused_speedup,
             fused_equal ? "true" : "false", fused_scratch_peak);
+        std::fprintf(json, "  \"warm_latency\": {\n");
+        for (size_t i = 0; i < warm_latency.size(); ++i) {
+            const WarmLatency &w = warm_latency[i];
+            std::fprintf(
+                json,
+                "    \"%s\": {\"count\": %llu, \"p50_ms\": %.4f, "
+                "\"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                w.op,
+                static_cast<unsigned long long>(w.hist.count),
+                w.hist.p50Ms, w.hist.p95Ms, w.hist.p99Ms,
+                i + 1 < warm_latency.size() ? "," : "");
+        }
+        std::fprintf(json, "  }\n}\n");
         std::fclose(json);
         std::printf("  wrote %s\n", json_path);
+    }
+
+    // Trace export: everything above ran inside the recorder when
+    // tracing was requested; dump the timeline and a self-time
+    // summary.
+    observe::TraceRecorder &recorder = observe::TraceRecorder::global();
+    if (recorder.enabled()) {
+        std::string trace_path = trace_path_env != nullptr
+                                     ? trace_path_env
+                                     : "bench_trace.json";
+        if (recorder.writeChromeTrace(trace_path)) {
+            std::printf(
+                "\ntrace: %llu spans on %zu threads -> %s (load in "
+                "Perfetto / chrome://tracing)\n",
+                static_cast<unsigned long long>(
+                    recorder.eventCount()),
+                recorder.threadCount(), trace_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write trace %s\n",
+                         trace_path.c_str());
+        }
+        std::printf("%s", recorder.textSummary().c_str());
     }
     return backend_equal && batch_equal && fused_equal ? 0 : 1;
 }

@@ -8,13 +8,43 @@
 #ifndef SPARSETIR_BENCH_BENCH_UTIL_H_
 #define SPARSETIR_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "observe/metrics.h"
+
 namespace benchutil {
+
+/**
+ * THE timing loop: run `fn` `rounds` times, return the mean wall
+ * milliseconds. Each round's latency is also recorded into `hist`
+ * when non-null — the same observe::LatencyHistogram class the
+ * engine's per-op dispatch histograms use, so bench percentiles and
+ * engine percentiles come from one code path.
+ */
+inline double
+timedRoundsMs(int rounds, const std::function<void()> &fn,
+              sparsetir::observe::LatencyHistogram *hist = nullptr)
+{
+    double total = 0.0;
+    for (int round = 0; round < rounds; ++round) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        if (hist != nullptr) {
+            hist->record(ms);
+        }
+        total += ms;
+    }
+    return rounds > 0 ? total / rounds : 0.0;
+}
 
 inline double
 geomean(const std::vector<double> &values)

@@ -11,7 +11,10 @@ nonsense measurements (non-positive timings) — exits 2 with a
 diagnostic, so CI can tell "the gate tripped" (1) from "the gate
 never ran" (2). The JSON itself is uploaded as a workflow artifact so
 the speedup trajectory (and the batched-throughput numbers, when
-present) is trackable across commits.
+present) is trackable across commits. The "warm_latency" object
+(experiment [9]) is printed as an informational per-op p50/p95/p99
+trajectory — malformed histogram fields exit 2 like any other bad
+input.
 """
 
 import json
@@ -128,6 +131,47 @@ def main() -> int:
             f"{peak / 1e6:.2f} MB span-sized leases, naive "
             f"full-output leases {naive / 1e6:.2f} MB{ratio}"
         )
+    # Warm-dispatch latency percentiles per op kind (experiment [9],
+    # informational — the p50/p99 trajectory is tracked across
+    # commits, no gate). Malformed histogram fields are still bad
+    # input, not a tripped gate.
+    if "warm_latency" in data:
+        warm = data["warm_latency"]
+        if not isinstance(warm, dict):
+            return fail_input(
+                f"{path} warm_latency is not a JSON object"
+            )
+        for op in sorted(warm):
+            hist = warm[op]
+            try:
+                count = int(hist["count"])
+                p50 = float(hist["p50_ms"])
+                p95 = float(hist["p95_ms"])
+                p99 = float(hist["p99_ms"])
+            except (TypeError, KeyError, ValueError) as err:
+                return fail_input(
+                    f"{path} warm_latency[{op!r}] is malformed: {err}"
+                )
+            if count <= 0:
+                return fail_input(
+                    f"{path} warm_latency[{op!r}] has no samples "
+                    f"(count {count})"
+                )
+            if min(p50, p95, p99) < 0.0:
+                return fail_input(
+                    f"{path} warm_latency[{op!r}] holds a negative "
+                    f"latency (p50 {p50}, p95 {p95}, p99 {p99})"
+                )
+            if not p50 <= p95 <= p99:
+                return fail_input(
+                    f"{path} warm_latency[{op!r}] percentiles are "
+                    f"not monotone (p50 {p50}, p95 {p95}, p99 {p99})"
+                )
+            print(
+                f"warm latency [{op}]: p50 {p50:.3f} ms / "
+                f"p95 {p95:.3f} ms / p99 {p99:.3f} ms "
+                f"({count} samples)"
+            )
     if not identical:
         print("FAIL: backends diverged bitwise", file=sys.stderr)
         return 1

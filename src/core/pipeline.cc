@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/ops.h"
+#include "observe/trace.h"
 #include "schedule/schedule.h"
 #include "support/logging.h"
 #include "transform/format_decompose.h"
@@ -84,11 +85,20 @@ BoundKernel::simKernel()
 
 namespace {
 
-/** Lower a Stage I function all the way to Stage III. */
+/** Lower a Stage I function to Stage II (schedulable loops). */
 PrimFunc
 lowerToStage2(const PrimFunc &stage1)
 {
+    SPARSETIR_TRACE_SCOPE("compile", "stage2.lower_sparse_iter");
     return transform::lowerSparseIterations(stage1);
+}
+
+/** Flatten a scheduled Stage II function to Stage III. */
+PrimFunc
+lowerToStage3(const schedule::Schedule &sch)
+{
+    SPARSETIR_TRACE_SCOPE("compile", "stage3.lower_sparse_buffer");
+    return transform::lowerSparseBuffers(sch.func());
 }
 
 int
@@ -124,7 +134,7 @@ compileSpmmCsrFunc(int64_t feat, const SpmmSchedule &params)
     sch.bind(i, "blockIdx.x");
     sch.bind(k_i, "threadIdx.x");
     sch.cacheWrite("spmm", "C");
-    return transform::lowerSparseBuffers(sch.func());
+    return lowerToStage3(sch);
 }
 
 std::shared_ptr<BoundKernel>
@@ -176,8 +186,11 @@ compileSpmmHybFuncs(const format::Hyb &hyb, int64_t feat, int threadX)
     USER_CHECK(!rules.empty()) << "matrix has no non-zeros";
 
     PrimFunc stage1 = buildSpmm();
+    observe::TraceScope decompose_span("compile",
+                                       "stage1.decompose_format");
     transform::DecomposeResult decomposed =
         transform::decomposeFormat(stage1, rules);
+    decompose_span.end();
     auto [pre, compute] = transform::splitPreprocess(
         decomposed.func, decomposed.copyIterNames);
     (void)pre;  // bucket data is prepared by the format library
@@ -187,6 +200,8 @@ compileSpmmHybFuncs(const format::Hyb &hyb, int64_t feat, int threadX)
     ICHECK_EQ(pieces.size(), plans.size());
     int tx = clampThreadX(feat, threadX);
     for (size_t idx = 0; idx < pieces.size(); ++idx) {
+        SPARSETIR_TRACE_SCOPE1("compile", "stage2.schedule_bucket",
+                               "bucket", idx);
         HybKernelPlan &plan = plans[idx];
         const std::string block_name = "spmm_ell_" + plan.suffix;
         PrimFunc stage2 = lowerToStage2(pieces[idx]);
@@ -208,7 +223,7 @@ compileSpmmHybFuncs(const format::Hyb &hyb, int64_t feat, int threadX)
         sch.bind(k_i, "threadIdx.x");
         // Buckets contribute partial sums to a zero-initialized C.
         sch.cacheWrite(block_name, "C", /*accumulate=*/true);
-        plan.func = transform::lowerSparseBuffers(sch.func());
+        plan.func = lowerToStage3(sch);
     }
     return plans;
 }
@@ -276,7 +291,7 @@ compileSddmmFunc(int64_t feat, const SddmmSchedule &params)
     sch.bind(ij_o, "blockIdx.x");
     sch.bind(ij_i, "threadIdx.y");
     sch.bind(k_i, "threadIdx.x");
-    return transform::lowerSparseBuffers(sch.func());
+    return lowerToStage3(sch);
 }
 
 std::shared_ptr<BoundKernel>
@@ -314,7 +329,7 @@ compileBsrSpmmFunc(int32_t block_size, int64_t feat,
     if (tensor_cores) {
         sch.tensorize("bsr_spmm", "m16n16k16");
     }
-    return transform::lowerSparseBuffers(sch.func());
+    return lowerToStage3(sch);
 }
 
 std::shared_ptr<BoundKernel>
@@ -353,7 +368,7 @@ compileSrbcrsSpmmFunc(int32_t tile_height, int32_t group_size,
     sch.bind(loops[0], "blockIdx.x");
     sch.bind(k_i, "threadIdx.x");
     sch.tensorize("srbcrs_spmm", "m8n32k16");
-    return transform::lowerSparseBuffers(sch.func());
+    return lowerToStage3(sch);
 }
 
 std::shared_ptr<BoundKernel>
@@ -403,7 +418,7 @@ compileEllRgmsFunc(int64_t num_rows, int width, int64_t feat_in,
     if (tensor_cores) {
         sch.tensorize(block_name, "m16n16k16");
     }
-    return transform::lowerSparseBuffers(sch.func());
+    return lowerToStage3(sch);
 }
 
 std::shared_ptr<BoundKernel>

@@ -2,14 +2,25 @@
 
 #include <chrono>
 
+#include "observe/trace.h"
 #include "support/logging.h"
 
 namespace sparsetir {
 namespace engine {
 
-CompileCache::CompileCache(size_t capacity) : capacity_(capacity)
+CompileCache::CompileCache(size_t capacity,
+                           observe::MetricsRegistry *metrics)
+    : capacity_(capacity)
 {
     USER_CHECK(capacity > 0) << "compile cache capacity must be >= 1";
+    if (metrics == nullptr) {
+        ownedMetrics_ = std::make_unique<observe::MetricsRegistry>();
+        metrics = ownedMetrics_.get();
+    }
+    hits_ = metrics->counter("cache.hits");
+    misses_ = metrics->counter("cache.misses");
+    evictions_ = metrics->counter("cache.evictions");
+    buildMs_ = metrics->histogram("cache.build_ms");
 }
 
 void
@@ -30,31 +41,38 @@ CompileCache::getOrBuild(
         *was_hit = false;
     }
     {
+        SPARSETIR_TRACE_SCOPE1("cache", "cache.lookup", "op",
+                               static_cast<int64_t>(key.op));
         std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
-            ++stats_.hits;
+            hits_->add(1);
             touch(key, it->second);
             if (was_hit != nullptr) {
                 *was_hit = true;
             }
             return it->second.value;
         }
-        ++stats_.misses;
+        misses_->add(1);
     }
 
     // Build outside the lock: compilation dominates lookup cost and
     // must not block hits on other keys.
     auto start = std::chrono::steady_clock::now();
-    std::shared_ptr<Artifact> built = builder();
+    std::shared_ptr<Artifact> built;
+    {
+        SPARSETIR_TRACE_SCOPE1("cache", "cache.build", "op",
+                               static_cast<int64_t>(key.op));
+        built = builder();
+    }
     double elapsed_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
     ICHECK(built != nullptr) << "cache builder returned null artifact";
+    buildMs_->record(elapsed_ms);
 
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.compileMs += elapsed_ms;
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         // Lost a build race; keep the incumbent so every caller that
@@ -66,7 +84,7 @@ CompileCache::getOrBuild(
         const CacheKey &victim = lru_.back();
         entries_.erase(victim);
         lru_.pop_back();
-        ++stats_.evictions;
+        evictions_->add(1);
     }
     lru_.push_front(key);
     entries_[key] = Entry{built, lru_.begin()};
@@ -84,8 +102,12 @@ CompileCache::peek(const CacheKey &key) const
 CacheStats
 CompileCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    CacheStats stats;
+    stats.hits = hits_->value();
+    stats.misses = misses_->value();
+    stats.evictions = evictions_->value();
+    stats.compileMs = buildMs_->sumMs();
+    return stats;
 }
 
 size_t

@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "engine/fingerprint.h"
+#include "observe/metrics.h"
 
 namespace sparsetir {
 namespace engine {
@@ -38,7 +39,12 @@ class Artifact
     virtual ~Artifact() = default;
 };
 
-/** Monotonic cache counters (snapshot via CompileCache::stats). */
+/**
+ * Monotonic cache counters — a view assembled by
+ * CompileCache::stats() from the metrics registry instruments
+ * `cache.hits` / `cache.misses` / `cache.evictions` /
+ * `cache.build_ms` (the struct itself no longer stores anything).
+ */
 struct CacheStats
 {
     uint64_t hits = 0;
@@ -52,7 +58,15 @@ struct CacheStats
 class CompileCache
 {
   public:
-    explicit CompileCache(size_t capacity = 64);
+    /**
+     * `metrics` is the registry the cache's counters and build-time
+     * histogram live in (borrowed; must outlive the cache — the
+     * Engine passes its own registry so concurrent engines never
+     * alias). Null: the cache registers in a private registry it
+     * owns.
+     */
+    explicit CompileCache(size_t capacity = 64,
+                          observe::MetricsRegistry *metrics = nullptr);
 
     /**
      * Return the artifact for `key`, invoking `builder` on a miss.
@@ -89,7 +103,12 @@ class CompileCache
     /** Front = most recently used. */
     std::list<CacheKey> lru_;
     std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
-    CacheStats stats_;
+    /** Backing registry when none was injected. */
+    std::unique_ptr<observe::MetricsRegistry> ownedMetrics_;
+    observe::Counter *hits_;
+    observe::Counter *misses_;
+    observe::Counter *evictions_;
+    observe::LatencyHistogram *buildMs_;
 };
 
 } // namespace engine

@@ -8,6 +8,8 @@
 
 #include "format/hyb.h"
 #include "model/rgcn.h"
+#include "observe/trace.h"
+#include "runtime/interpreter.h"
 #include "support/logging.h"
 
 namespace sparsetir {
@@ -507,8 +509,53 @@ requestViews(const runtime::Bindings &base,
 Engine::Engine(EngineOptions options)
     : options_(options),
       pool_(std::make_shared<ThreadPool>(options.numThreads)),
-      executor_(pool_), cache_(options.cacheCapacity)
-{}
+      executor_(pool_),
+      metrics_(std::make_unique<observe::MetricsRegistry>()),
+      cache_(options.cacheCapacity, metrics_.get())
+{
+    if (options.trace || observe::traceRequestedByEnv()) {
+        observe::TraceRecorder::global().setEnabled(true);
+    }
+    requests_ = metrics_->counter("engine.requests");
+    cacheHits_ = metrics_->counter("engine.cache_hits");
+    cacheMisses_ = metrics_->counter("engine.cache_misses");
+    compileMs_ = metrics_->histogram("engine.compile_ms");
+    execMs_ = metrics_->histogram("engine.exec_ms");
+    launchProbes_ = metrics_->counter("runtime.launch_probes");
+    for (OpKind op :
+         {OpKind::kSpmmCsr, OpKind::kSpmmHyb, OpKind::kSddmm,
+          OpKind::kRgcnHyb, OpKind::kSpmmBsr, OpKind::kSpmmSrbcrs}) {
+        for (bool warm : {true, false}) {
+            std::string name =
+                std::string(warm ? "engine.warm_dispatch_ms."
+                                 : "engine.cold_dispatch_ms.") +
+                opKindName(op);
+            opLatency_[warm ? 0 : 1][static_cast<int>(op)] =
+                metrics_->histogram(name);
+        }
+    }
+}
+
+observe::LatencyHistogram *
+Engine::opLatency(OpKind op, bool warm)
+{
+    return opLatency_[warm ? 0 : 1][static_cast<int>(op)];
+}
+
+observe::MetricsSnapshot
+Engine::metricsSnapshot() const
+{
+    observe::MetricsSnapshot snap = metrics_->snapshot();
+    ScratchStats scratch = executor_.scratchStats();
+    snap.counters["scratch.leases"] =
+        static_cast<uint64_t>(scratch.leases);
+    snap.counters["scratch.allocations"] =
+        static_cast<uint64_t>(scratch.allocations);
+    snap.gauges["scratch.leased_bytes"] = scratch.leasedBytes;
+    snap.gauges["scratch.peak_leased_bytes"] = scratch.peakLeasedBytes;
+    snap.gauges["scratch.free_bytes"] = scratch.freeBytes;
+    return snap;
+}
 
 ExecOptions
 Engine::execOptions() const
@@ -552,6 +599,11 @@ Engine::resolve(const CacheKey &key,
                 const std::function<std::shared_ptr<Artifact>()> &builder,
                 DispatchInfo *info)
 {
+    SPARSETIR_TRACE_SCOPE1("engine", "engine.resolve", "op",
+                           static_cast<int64_t>(key.op));
+    // Attribute any grid probes the builder makes (there should be
+    // none on warm paths) to THIS engine's registry.
+    runtime::ProbeCounterScope probe_scope(launchProbes_);
     auto start = std::chrono::steady_clock::now();
     bool hit = false;
     std::shared_ptr<Artifact> artifact =
@@ -562,46 +614,62 @@ Engine::resolve(const CacheKey &key,
 }
 
 void
-Engine::finishDispatch(const DispatchInfo &info)
+Engine::finishDispatch(const DispatchInfo &info, OpKind op)
 {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-    if (info.cacheHit) {
-        ++stats_.cacheHits;
-    } else {
-        ++stats_.cacheMisses;
+    requests_->add(1);
+    (info.cacheHit ? cacheHits_ : cacheMisses_)->add(1);
+    compileMs_->record(info.compileMs);
+    execMs_->record(info.execMs);
+    // prepareSpmmHyb finishes with no kernels executed; keep its
+    // zero-latency "dispatch" out of the latency distributions.
+    if (info.numKernels > 0) {
+        opLatency(op, info.cacheHit)->record(info.execMs);
     }
-    stats_.totalCompileMs += info.compileMs;
-    stats_.totalExecMs += info.execMs;
 }
 
 void
-Engine::finishBatch(const BatchDispatchInfo &info)
+Engine::finishBatch(const BatchDispatchInfo &info, OpKind op)
 {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.requests += static_cast<uint64_t>(info.numRequests);
+    requests_->add(static_cast<uint64_t>(info.numRequests));
     if (info.numRequests > 0) {
         // One resolve serves the whole batch: on a miss exactly one
         // request paid the compile, the rest rode the fresh artifact.
-        stats_.cacheHits += static_cast<uint64_t>(
-            info.cacheHit ? info.numRequests : info.numRequests - 1);
-        stats_.cacheMisses += info.cacheHit ? 0 : 1;
+        cacheHits_->add(static_cast<uint64_t>(
+            info.cacheHit ? info.numRequests : info.numRequests - 1));
+        if (!info.cacheHit) {
+            cacheMisses_->add(1);
+        }
     }
-    stats_.totalCompileMs += info.compileMs;
-    stats_.totalExecMs += info.execMs;
+    compileMs_->record(info.compileMs);
+    execMs_->record(info.execMs);
+    if (info.numRequests > 0 && info.numKernels > 0) {
+        double per_request =
+            info.execMs / static_cast<double>(info.numRequests);
+        observe::LatencyHistogram *hist =
+            opLatency(op, info.cacheHit);
+        for (int i = 0; i < info.numRequests; ++i) {
+            hist->record(per_request);
+        }
+    }
 }
 
 EngineStats
 Engine::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    return stats_;
+    EngineStats stats;
+    stats.requests = requests_->value();
+    stats.cacheHits = cacheHits_->value();
+    stats.cacheMisses = cacheMisses_->value();
+    stats.totalCompileMs = compileMs_->sumMs();
+    stats.totalExecMs = execMs_->sumMs();
+    return stats;
 }
 
 DispatchInfo
 Engine::spmmCsr(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
                 const core::SpmmSchedule &schedule)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_csr");
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SpmmCsrArtifact>(
         resolve(spmmCsrKey(a, feat, schedule),
@@ -624,12 +692,15 @@ Engine::spmmCsr(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     bindings.external("C_data", c);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernel(artifact->kernel, bindings.view(),
-                        execOptions());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        executor_.runKernel(artifact->kernel, bindings.view(),
+                            execOptions());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
-    finishDispatch(info);
+    finishDispatch(info, OpKind::kSpmmCsr);
     return info;
 }
 
@@ -637,6 +708,7 @@ DispatchInfo
 Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
                 const HybConfig &config)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_hyb");
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
         resolve(spmmHybKey(a, feat, config),
@@ -661,11 +733,14 @@ Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    runMultiKernel(kernels, shared->view());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        runMultiKernel(kernels, shared->view());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
-    finishDispatch(info);
+    finishDispatch(info, OpKind::kSpmmHyb);
     return info;
 }
 
@@ -673,6 +748,7 @@ DispatchInfo
 Engine::sddmm(const Csr &a, int64_t feat, NDArray *x, NDArray *y,
               NDArray *out, const core::SddmmSchedule &schedule)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.sddmm");
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SddmmArtifact>(
         resolve(sddmmKey(a, feat, schedule),
@@ -696,12 +772,15 @@ Engine::sddmm(const Csr &a, int64_t feat, NDArray *x, NDArray *y,
     bindings.external("B_data", out);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernel(artifact->kernel, bindings.view(),
-                        execOptions());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        executor_.runKernel(artifact->kernel, bindings.view(),
+                            execOptions());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
-    finishDispatch(info);
+    finishDispatch(info, OpKind::kSddmm);
     return info;
 }
 
@@ -718,6 +797,7 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t featIn,
              int64_t featOut, NDArray *x, NDArray *w, NDArray *y,
              const RgcnConfig &config)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.rgcn_hyb");
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<RgcnArtifact>(
         resolve(rgcnKey(graph, featIn, featOut, config),
@@ -751,11 +831,14 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t featIn,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    runMultiKernel(kernels, bindings.view());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        runMultiKernel(kernels, bindings.view());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
-    finishDispatch(info);
+    finishDispatch(info, OpKind::kRgcnHyb);
     return info;
 }
 
@@ -763,6 +846,7 @@ DispatchInfo
 Engine::spmmBsr(const format::Bsr &a, int64_t feat, NDArray *b,
                 NDArray *c, const BsrConfig &config)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_bsr");
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<BsrArtifact>(
         resolve(spmmBsrKey(a, feat, config),
@@ -779,12 +863,15 @@ Engine::spmmBsr(const format::Bsr &a, int64_t feat, NDArray *b,
     bindings.external("C_data", c);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernel(artifact->kernel, bindings.view(),
-                        execOptions());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        executor_.runKernel(artifact->kernel, bindings.view(),
+                            execOptions());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
-    finishDispatch(info);
+    finishDispatch(info, OpKind::kSpmmBsr);
     return info;
 }
 
@@ -792,6 +879,7 @@ DispatchInfo
 Engine::spmmSrbcrs(const format::SrBcrs &a, int64_t feat, NDArray *b,
                    NDArray *c)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_srbcrs");
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SrbcrsArtifact>(
         resolve(spmmSrbcrsKey(a, feat),
@@ -808,12 +896,15 @@ Engine::spmmSrbcrs(const format::SrBcrs &a, int64_t feat, NDArray *b,
     bindings.external("C_data", c);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernel(artifact->kernel, bindings.view(),
-                        execOptions());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        executor_.runKernel(artifact->kernel, bindings.view(),
+                            execOptions());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
-    finishDispatch(info);
+    finishDispatch(info, OpKind::kSpmmSrbcrs);
     return info;
 }
 
@@ -826,6 +917,7 @@ Engine::spmmCsrBatch(const Csr &a, int64_t feat,
                      const std::vector<SpmmRequest> &requests,
                      const core::SpmmSchedule &schedule)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_csr_batch");
     BatchDispatchInfo info;
     info.numRequests = static_cast<int>(requests.size());
     if (requests.empty()) {
@@ -855,11 +947,15 @@ Engine::spmmCsrBatch(const Csr &a, int64_t feat,
         requestViews(base.view(), requests);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernelBatch(artifact->kernel, views, execOptions());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        executor_.runKernelBatch(artifact->kernel, views,
+                                 execOptions());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
-    finishBatch(info);
+    finishBatch(info, OpKind::kSpmmCsr);
     return info;
 }
 
@@ -868,6 +964,7 @@ Engine::spmmHybBatch(const Csr &a, int64_t feat,
                      const std::vector<SpmmRequest> &requests,
                      const HybConfig &config)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_hyb_batch");
     BatchDispatchInfo info;
     info.numRequests = static_cast<int>(requests.size());
     if (requests.empty()) {
@@ -903,11 +1000,14 @@ Engine::spmmHybBatch(const Csr &a, int64_t feat,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    runMultiKernelBatch(kernels, views);
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        runMultiKernelBatch(kernels, views);
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
-    finishBatch(info);
+    finishBatch(info, OpKind::kSpmmHyb);
     return info;
 }
 
@@ -915,6 +1015,7 @@ BatchDispatchInfo
 Engine::spmmHybBatch(const PreparedSpmmHyb &prepared,
                      const std::vector<SpmmRequest> &requests)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_hyb_batch");
     BatchDispatchInfo info;
     info.numRequests = static_cast<int>(requests.size());
     if (requests.empty()) {
@@ -944,11 +1045,14 @@ Engine::spmmHybBatch(const PreparedSpmmHyb &prepared,
     }
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    runMultiKernelBatch(kernels, views);
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        runMultiKernelBatch(kernels, views);
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
-    finishBatch(info);
+    finishBatch(info, OpKind::kSpmmHyb);
     return info;
 }
 
@@ -957,6 +1061,7 @@ Engine::spmmBsrBatch(const format::Bsr &a, int64_t feat,
                      const std::vector<SpmmRequest> &requests,
                      const BsrConfig &config)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_bsr_batch");
     BatchDispatchInfo info;
     info.numRequests = static_cast<int>(requests.size());
     if (requests.empty()) {
@@ -980,11 +1085,15 @@ Engine::spmmBsrBatch(const format::Bsr &a, int64_t feat,
         requestViews(base.view(), requests);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernelBatch(artifact->kernel, views, execOptions());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        executor_.runKernelBatch(artifact->kernel, views,
+                                 execOptions());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
-    finishBatch(info);
+    finishBatch(info, OpKind::kSpmmBsr);
     return info;
 }
 
@@ -992,6 +1101,7 @@ BatchDispatchInfo
 Engine::spmmSrbcrsBatch(const format::SrBcrs &a, int64_t feat,
                         const std::vector<SpmmRequest> &requests)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_srbcrs_batch");
     BatchDispatchInfo info;
     info.numRequests = static_cast<int>(requests.size());
     if (requests.empty()) {
@@ -1015,11 +1125,15 @@ Engine::spmmSrbcrsBatch(const format::SrBcrs &a, int64_t feat,
         requestViews(base.view(), requests);
     info.bindMs = msSince(bind_start);
     auto kernel_start = std::chrono::steady_clock::now();
-    executor_.runKernelBatch(artifact->kernel, views, execOptions());
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        executor_.runKernelBatch(artifact->kernel, views,
+                                 execOptions());
+    }
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = 1;
-    finishBatch(info);
+    finishBatch(info, OpKind::kSpmmSrbcrs);
     return info;
 }
 
@@ -1027,6 +1141,7 @@ PreparedSpmmHyb
 Engine::prepareSpmmHyb(const Csr &a, int64_t feat,
                        const HybConfig &config)
 {
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.prepare_spmm_hyb");
     DispatchInfo info;
     auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
         resolve(spmmHybKey(a, feat, config),
@@ -1035,7 +1150,7 @@ Engine::prepareSpmmHyb(const Csr &a, int64_t feat,
                                                 usesBytecode());
                 },
                 &info));
-    finishDispatch(info);
+    finishDispatch(info, OpKind::kSpmmHyb);
 
     PreparedSpmmHyb prepared;
     prepared.cacheHit = info.cacheHit;

@@ -47,6 +47,7 @@
 #include "format/csr.h"
 #include "format/relational.h"
 #include "format/srbcrs.h"
+#include "observe/metrics.h"
 
 namespace sparsetir {
 namespace engine {
@@ -78,6 +79,15 @@ struct EngineOptions
      * available as the differential oracle.
      */
     bool fusedDispatch = true;
+    /**
+     * Enable span tracing (observe::TraceRecorder::global()) for the
+     * process when this engine is constructed. The SPARSETIR_TRACE
+     * environment variable ("1"/"true") enables it as well;
+     * constructing an engine with trace=false never turns an
+     * already-enabled recorder off. Disabled (the default), every
+     * instrumentation point costs one relaxed atomic load.
+     */
+    bool trace = false;
 };
 
 /** Outcome of one dispatch. */
@@ -122,7 +132,12 @@ struct BatchDispatchInfo
     double dispatchOverheadMs() const { return compileMs + bindMs; }
 };
 
-/** Session-cumulative counters. */
+/**
+ * Session-cumulative counters — a view assembled by Engine::stats()
+ * from the engine's metrics registry (`engine.requests`,
+ * `engine.cache_hits`, `engine.cache_misses`, and the sums of the
+ * `engine.compile_ms` / `engine.exec_ms` histograms).
+ */
 struct EngineStats
 {
     uint64_t requests = 0;
@@ -310,6 +325,19 @@ class Engine
     EngineStats stats() const;
     CacheStats cacheStats() const { return cache_.stats(); }
     /**
+     * Everything this session's registry holds — request/hit/miss
+     * counters, per-op-kind warm and cold dispatch latency
+     * histograms (`engine.warm_dispatch_ms.<op>` /
+     * `engine.cold_dispatch_ms.<op>`, per-request latency for
+     * batches), cache counters, this engine's launch probes
+     * (`runtime.launch_probes`) — plus scratch-pool gauges published
+     * at snapshot time. p50/p95/p99 come interpolated from the
+     * histograms' log-spaced buckets (see observe/metrics.h).
+     */
+    observe::MetricsSnapshot metricsSnapshot() const;
+    /** The registry backing stats()/cacheStats()/metricsSnapshot(). */
+    observe::MetricsRegistry *metrics() const { return metrics_.get(); }
+    /**
      * Privatization scratch accounting of the session's executor:
      * peakLeasedBytes is the dispatch-concurrency high-water mark —
      * with span-restricted kernels it scales with the touched
@@ -327,14 +355,19 @@ class Engine
             const std::function<std::shared_ptr<Artifact>()> &builder,
             DispatchInfo *info);
 
-    void finishDispatch(const DispatchInfo &info);
+    void finishDispatch(const DispatchInfo &info, OpKind op);
 
     /**
      * Account a batch: numRequests logical requests, at most one of
      * which paid the (single) compile; the rest count as hits on the
-     * artifact it produced.
+     * artifact it produced. The per-op latency histogram records the
+     * batch's per-request exec latency (execMs / numRequests), once
+     * per request.
      */
-    void finishBatch(const BatchDispatchInfo &info);
+    void finishBatch(const BatchDispatchInfo &info, OpKind op);
+
+    /** Warm/cold dispatch-latency histogram of one op kind. */
+    observe::LatencyHistogram *opLatency(OpKind op, bool warm);
 
     ExecOptions execOptions() const;
 
@@ -362,10 +395,23 @@ class Engine
     EngineOptions options_;
     std::shared_ptr<ThreadPool> pool_;
     ParallelExecutor executor_;
+    /** Session registry; declared before cache_, which registers its
+     *  instruments in it. */
+    std::unique_ptr<observe::MetricsRegistry> metrics_;
     CompileCache cache_;
 
-    mutable std::mutex stats_mu_;
-    EngineStats stats_;
+    // Hot-path instruments, resolved once at construction (registry
+    // pointers are stable) so dispatch accounting is lock-free.
+    observe::Counter *requests_;
+    observe::Counter *cacheHits_;
+    observe::Counter *cacheMisses_;
+    observe::LatencyHistogram *compileMs_;
+    observe::LatencyHistogram *execMs_;
+    /** This engine's (non-aliased) launch probes; fed through a
+     *  runtime::ProbeCounterScope around artifact builds. */
+    observe::Counter *launchProbes_;
+    /** Indexed by OpKind; [0] = warm, [1] = cold. */
+    observe::LatencyHistogram *opLatency_[2][8] = {};
 };
 
 } // namespace engine

@@ -10,6 +10,7 @@
 #include "ir/expr.h"
 #include "ir/functor.h"
 #include "ir/structural_equal.h"
+#include "observe/trace.h"
 #include "runtime/bytecode/compiler.h"
 #include "runtime/bytecode/vm.h"
 #include "support/logging.h"
@@ -228,6 +229,7 @@ CompiledKernel
 compileKernel(const ir::PrimFunc &func, bool with_program,
               bool analyze_accums)
 {
+    SPARSETIR_TRACE_SCOPE("compile", "compile.kernel");
     CompiledKernel kernel;
     kernel.func = func;
     if (with_program) {
@@ -579,6 +581,7 @@ ParallelExecutor::runKernel(const CompiledKernel &kernel,
                                        &windows[c]));
         }
         pool_->parallelFor(chunks, [&](int64_t c) {
+            SPARSETIR_TRACE_SCOPE1("exec", "kernel.chunk", "chunk", c);
             execOne(kernel, locals[c], options, windows[c]);
         });
         // Fold privates in chunk order: per element this replays the
@@ -1074,8 +1077,13 @@ ParallelExecutor::runTaskGraph(
                 if (entry.exclusive) {
                     busy[r] = 1;
                     lock.unlock();
-                    execOne(*graph.kernels[entry.kernel],
-                            *requests[r], options);
+                    {
+                        SPARSETIR_TRACE_SCOPE2(
+                            "exec", "fused.exclusive", "kernel",
+                            entry.kernel, "request", r);
+                        execOne(*graph.kernels[entry.kernel],
+                                *requests[r], options);
+                    }
                     lock.lock();
                     busy[r] = 0;
                 } else {
@@ -1083,6 +1091,9 @@ ParallelExecutor::runTaskGraph(
                             std::memory_order_acquire) != 0) {
                         break;
                     }
+                    SPARSETIR_TRACE_SCOPE2("exec", "fused.fold",
+                                           "kernel", entry.kernel,
+                                           "request", r);
                     for (int c = 0; c < entry.numUnits; ++c) {
                         foldAndRelease(*requests[r],
                                        &privates[entry.firstUnit + c]);
@@ -1109,8 +1120,13 @@ ParallelExecutor::runTaskGraph(
             }
             size_t i = static_cast<size_t>(t - num_requests);
             const TaskGraph::Unit &unit = graph.units[i];
-            execOne(*graph.kernels[unit.kernel], locals[i], options,
-                    runs[i]);
+            {
+                SPARSETIR_TRACE_SCOPE2("exec", "fused.unit", "kernel",
+                                       unit.kernel, "request",
+                                       unit.request);
+                execOne(*graph.kernels[unit.kernel], locals[i],
+                        options, runs[i]);
+            }
             if (pending[unit.request * num_kernels + unit.kernel]
                     .fetch_sub(1, std::memory_order_acq_rel) == 1) {
                 advance(unit.request);

@@ -1,7 +1,9 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "observe/trace.h"
 #include "support/logging.h"
 
 namespace sparsetir {
@@ -22,7 +24,7 @@ ThreadPool::ThreadPool(int num_threads)
     }
     workers_.reserve(num_threads);
     for (int i = 0; i < num_threads; ++i) {
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
     }
 }
 
@@ -99,9 +101,14 @@ ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)> &fn)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
     tls_worker_pool = this;
+    // Stage the trace attribution name; costs nothing until (unless)
+    // tracing records an event on this thread.
+    char name[32];
+    std::snprintf(name, sizeof name, "worker-%d", index);
+    observe::TraceRecorder::setCurrentThreadName(name);
     for (;;) {
         std::packaged_task<void()> task;
         {

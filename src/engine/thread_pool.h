@@ -58,7 +58,7 @@ class ThreadPool
     bool onWorkerThread() const;
 
   private:
-    void workerLoop();
+    void workerLoop(int index);
 
     std::vector<std::thread> workers_;
     std::deque<std::packaged_task<void()>> queue_;

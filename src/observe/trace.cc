@@ -1,0 +1,412 @@
+/**
+ * @file
+ * TraceRecorder internals: per-thread ring buffers behind a
+ * thread-local cache, Chrome trace-event export, and the self-time
+ * summary. See trace.h for the recording cost contract.
+ */
+
+#include "observe/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+
+namespace sparsetir {
+namespace observe {
+
+namespace {
+
+/** Thread name staged by setCurrentThreadName, applied when the
+ *  thread's buffer is created. Fixed storage: never allocates. */
+thread_local char tls_pending_name[48] = {0};
+
+/** JSON string escape (names are literals, but exports must stay
+ *  well-formed no matter what the literals contain). */
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; s != nullptr && *s != '\0'; ++s) {
+        char c = *s;
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+/**
+ * One thread's event storage. `ring` grows to `capacity` and then
+ * wraps; `total` counts every event ever recorded, so the oldest
+ * live slot is total % capacity once wrapped. The mutex is only
+ * contended when an exporter snapshots a live thread.
+ */
+struct TraceRecorder::ThreadBuf
+{
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;
+    size_t capacity = 0;
+    uint64_t total = 0;
+    int tid = 0;
+    char name[48] = {0};
+    std::thread::id owner;
+};
+
+namespace {
+
+/** Per-thread cache of the last (recorder, generation) buffer, so
+ *  the steady-state record path takes no recorder-wide lock. Holds
+ *  a shared_ptr: a concurrent clear() can drop the recorder's
+ *  reference without yanking storage out from under a record(). */
+struct TlsBufCache
+{
+    const TraceRecorder *owner = nullptr;
+    uint64_t generation = 0;
+    std::shared_ptr<TraceRecorder::ThreadBuf> buf;
+};
+
+thread_local TlsBufCache tls_cache;
+
+/** clear() bumps this; cached buffers from older generations are
+ *  abandoned (kept alive by the cache until re-registration). */
+std::atomic<uint64_t> g_generation{1};
+
+} // namespace
+
+TraceRecorder::TraceRecorder() = default;
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder *recorder = new TraceRecorder();
+    return *recorder;
+}
+
+int64_t
+TraceRecorder::nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+TraceRecorder::setCurrentThreadName(const char *name)
+{
+    std::snprintf(tls_pending_name, sizeof tls_pending_name, "%s",
+                  name == nullptr ? "" : name);
+}
+
+void
+TraceRecorder::setRingCapacity(size_t events)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ringCapacity_ = events == 0 ? 1 : events;
+}
+
+TraceRecorder::ThreadBuf *
+TraceRecorder::threadBuf()
+{
+    uint64_t generation = g_generation.load(std::memory_order_acquire);
+    if (tls_cache.owner == this && tls_cache.generation == generation) {
+        return tls_cache.buf.get();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    std::thread::id self = std::this_thread::get_id();
+    std::shared_ptr<ThreadBuf> found;
+    for (const auto &buf : bufs_) {
+        if (buf->owner == self) {
+            found = buf;
+            break;
+        }
+    }
+    if (!found) {
+        found = std::make_shared<ThreadBuf>();
+        found->capacity = ringCapacity_;
+        found->ring.reserve(ringCapacity_);
+        found->tid = nextTid_++;
+        found->owner = self;
+        if (tls_pending_name[0] != '\0') {
+            std::snprintf(found->name, sizeof found->name, "%s",
+                          tls_pending_name);
+        } else {
+            std::snprintf(found->name, sizeof found->name,
+                          "thread-%d", found->tid);
+        }
+        bufs_.push_back(found);
+    }
+    tls_cache.owner = this;
+    tls_cache.generation = generation;
+    tls_cache.buf = found;
+    return found.get();
+}
+
+void
+TraceRecorder::record(const TraceEvent &event)
+{
+    ThreadBuf *buf = threadBuf();
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->ring.size() < buf->capacity) {
+        buf->ring.push_back(event);
+    } else {
+        buf->ring[buf->total % buf->capacity] = event;
+    }
+    ++buf->total;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs_.clear();
+    nextTid_ = 1;
+    ++generation_;
+    g_generation.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t count = 0;
+    for (const auto &buf : bufs_) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        count += buf->ring.size();
+    }
+    return count;
+}
+
+uint64_t
+TraceRecorder::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t dropped = 0;
+    for (const auto &buf : bufs_) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        if (buf->total > buf->ring.size()) {
+            dropped += buf->total - buf->ring.size();
+        }
+    }
+    return dropped;
+}
+
+size_t
+TraceRecorder::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bufs_.size();
+}
+
+std::vector<CollectedEvent>
+TraceRecorder::collect() const
+{
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        bufs = bufs_;
+    }
+    std::vector<CollectedEvent> out;
+    for (const auto &buf : bufs) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        size_t n = buf->ring.size();
+        size_t oldest =
+            buf->total > n ? buf->total % buf->capacity : 0;
+        for (size_t i = 0; i < n; ++i) {
+            CollectedEvent collected;
+            collected.event = buf->ring[(oldest + i) % n];
+            collected.tid = buf->tid;
+            collected.threadName = buf->name;
+            out.push_back(std::move(collected));
+        }
+    }
+    return out;
+}
+
+bool
+TraceRecorder::writeChromeTrace(const std::string &path) const
+{
+    std::vector<CollectedEvent> events = collect();
+    int64_t base = 0;
+    bool first = true;
+    for (const auto &e : events) {
+        if (first || e.event.startNs < base) {
+            base = e.event.startNs;
+            first = false;
+        }
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    std::fputs("{\"traceEvents\":[", f);
+    bool need_comma = false;
+    // One thread_name metadata event per distinct tid.
+    std::map<int, std::string> names;
+    for (const auto &e : events) {
+        names.emplace(e.tid, e.threadName);
+    }
+    for (const auto &entry : names) {
+        std::fprintf(
+            f,
+            "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+            need_comma ? ",\n" : "\n", entry.first,
+            jsonEscape(entry.second.c_str()).c_str());
+        need_comma = true;
+    }
+    for (const auto &e : events) {
+        std::fprintf(
+            f,
+            "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+            need_comma ? ",\n" : "\n",
+            jsonEscape(e.event.name).c_str(),
+            jsonEscape(e.event.cat).c_str(), e.tid,
+            static_cast<double>(e.event.startNs - base) / 1000.0,
+            static_cast<double>(e.event.durNs) / 1000.0);
+        need_comma = true;
+        if (e.event.arg0Name != nullptr) {
+            std::fprintf(f, ",\"args\":{\"%s\":%lld",
+                         jsonEscape(e.event.arg0Name).c_str(),
+                         static_cast<long long>(e.event.arg0));
+            if (e.event.arg1Name != nullptr) {
+                std::fprintf(f, ",\"%s\":%lld",
+                             jsonEscape(e.event.arg1Name).c_str(),
+                             static_cast<long long>(e.event.arg1));
+            }
+            std::fputs("}", f);
+        }
+        std::fputs("}", f);
+    }
+    std::fputs("\n]}\n", f);
+    bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+std::string
+TraceRecorder::textSummary(size_t top_n) const
+{
+    std::vector<CollectedEvent> events = collect();
+    // Per-thread index lists sorted by start (ties: longer first, so
+    // an enclosing span precedes its children).
+    std::map<int, std::vector<size_t>> by_tid;
+    for (size_t i = 0; i < events.size(); ++i) {
+        by_tid[events[i].tid].push_back(i);
+    }
+    std::vector<int64_t> self(events.size(), 0);
+    for (auto &entry : by_tid) {
+        auto &order = entry.second;
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) {
+                      if (events[a].event.startNs !=
+                          events[b].event.startNs) {
+                          return events[a].event.startNs <
+                                 events[b].event.startNs;
+                      }
+                      return events[a].event.durNs >
+                             events[b].event.durNs;
+                  });
+        // Stack sweep: each span's duration is charged against its
+        // nearest open ancestor's self-time.
+        std::vector<std::pair<int64_t, size_t>> stack; // (end, idx)
+        for (size_t idx : order) {
+            const TraceEvent &e = events[idx].event;
+            self[idx] = e.durNs;
+            while (!stack.empty() &&
+                   stack.back().first <= e.startNs) {
+                stack.pop_back();
+            }
+            if (!stack.empty()) {
+                self[stack.back().second] -= e.durNs;
+            }
+            stack.emplace_back(e.startNs + e.durNs, idx);
+        }
+    }
+    struct Agg
+    {
+        uint64_t count = 0;
+        int64_t totalNs = 0;
+        int64_t selfNs = 0;
+    };
+    std::map<std::string, Agg> by_name;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i].event;
+        std::string key = std::string(e.cat ? e.cat : "") + "/" +
+                          (e.name ? e.name : "");
+        Agg &agg = by_name[key];
+        ++agg.count;
+        agg.totalNs += e.durNs;
+        agg.selfNs += self[i];
+    }
+    std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                  by_name.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.selfNs > b.second.selfNs;
+              });
+    if (rows.size() > top_n) {
+        rows.resize(top_n);
+    }
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line, "%-40s %8s %12s %12s\n", "span",
+                  "count", "total ms", "self ms");
+    out += line;
+    for (const auto &row : rows) {
+        std::snprintf(
+            line, sizeof line, "%-40s %8llu %12.3f %12.3f\n",
+            row.first.c_str(),
+            static_cast<unsigned long long>(row.second.count),
+            static_cast<double>(row.second.totalNs) / 1e6,
+            static_cast<double>(row.second.selfNs) / 1e6);
+        out += line;
+    }
+    return out;
+}
+
+void
+TraceScope::finish()
+{
+    event_.durNs = TraceRecorder::nowNs() - event_.startNs;
+    TraceRecorder::global().record(event_);
+}
+
+bool
+traceRequestedByEnv()
+{
+    const char *v = std::getenv("SPARSETIR_TRACE");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace observe
+} // namespace sparsetir

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Spans-and-events tracing: the timeline half of the observability
+ * layer.
+ *
+ * A TraceRecorder collects TraceEvents into per-thread ring buffers.
+ * Recording is designed around one invariant: when tracing is
+ * disabled (the default), a TraceScope costs exactly one relaxed
+ * atomic load and allocates nothing — no thread buffer is created,
+ * no clock is read, no event is stored. Enabled, a span costs two
+ * steady_clock reads and one ring-slot write under a per-thread
+ * mutex that is uncontended except during export.
+ *
+ * Event names and categories are `const char *` by contract pointing
+ * at string literals (or other storage outliving the recorder):
+ * events store the pointers, never copies, which is what keeps the
+ * record path allocation-free.
+ *
+ * Export: writeChromeTrace() emits Chrome trace-event JSON ("X"
+ * complete events plus "M" thread_name metadata) loadable in
+ * Perfetto / chrome://tracing; textSummary() prints the top spans by
+ * self-time (duration minus enclosed same-thread spans).
+ */
+
+#ifndef SPARSETIR_OBSERVE_TRACE_H_
+#define SPARSETIR_OBSERVE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sparsetir {
+namespace observe {
+
+/**
+ * One completed span. POD; name/cat/arg names must be string
+ * literals (see file comment). Up to two integer args survive into
+ * the Chrome trace "args" object.
+ */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    int64_t startNs = 0;
+    int64_t durNs = 0;
+    const char *arg0Name = nullptr; // null: no args
+    int64_t arg0 = 0;
+    const char *arg1Name = nullptr; // null: at most one arg
+    int64_t arg1 = 0;
+};
+
+/** A TraceEvent plus the recorder-assigned thread identity. */
+struct CollectedEvent
+{
+    TraceEvent event;
+    int tid = 0;
+    std::string threadName;
+};
+
+class TraceRecorder
+{
+  public:
+    /** Implementation detail (per-thread ring buffer), public only
+     *  so the thread-local cache in trace.cc can hold one. */
+    struct ThreadBuf;
+
+    TraceRecorder();
+    ~TraceRecorder();
+
+    /** Process-wide recorder the SPARSETIR_TRACE_SCOPE macros use. */
+    static TraceRecorder &global();
+
+    /** The one check on every disabled-mode span. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /**
+     * Append a completed span to this thread's ring buffer. Creates
+     * and registers the buffer on the thread's first event; once the
+     * ring is full the oldest events are overwritten (droppedCount()
+     * tallies the overwrites). Callers must check enabled() first —
+     * record() itself always records.
+     */
+    void record(const TraceEvent &event);
+
+    /**
+     * Name the calling thread in exports ("worker-3"). Buffered in
+     * thread-local storage (truncated to 47 chars), applied when the
+     * thread's buffer is created — callable whether or not tracing
+     * is on, never allocating.
+     */
+    static void setCurrentThreadName(const char *name);
+
+    /** Span timestamps: monotonic nanoseconds. */
+    static int64_t nowNs();
+
+    /**
+     * Ring capacity (events per thread) for buffers created after
+     * the call. Default 16384.
+     */
+    void setRingCapacity(size_t events);
+
+    /** Drop all buffered events and thread registrations. */
+    void clear();
+
+    /** Events currently buffered, summed over threads. */
+    uint64_t eventCount() const;
+
+    /** Events overwritten by ring wrap-around, summed. */
+    uint64_t droppedCount() const;
+
+    /** Threads that have recorded at least one event. */
+    size_t threadCount() const;
+
+    /** Copy out every buffered event, oldest first per thread. */
+    std::vector<CollectedEvent> collect() const;
+
+    /**
+     * Write Chrome trace-event JSON to `path`. Timestamps are
+     * rebased to the earliest buffered event. Returns false when the
+     * file cannot be written.
+     */
+    bool writeChromeTrace(const std::string &path) const;
+
+    /**
+     * Top `top_n` span names by total self-time: per-thread, a
+     * span's self-time is its duration minus the durations of spans
+     * it directly encloses.
+     */
+    std::string textSummary(size_t top_n = 12) const;
+
+  private:
+    ThreadBuf *threadBuf();
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+    size_t ringCapacity_ = 16384;
+    int nextTid_ = 1;
+    uint64_t generation_ = 0; // bumped by clear(): invalidates
+                              // threads' cached buffer pointers
+};
+
+/**
+ * RAII span against the global recorder. Disabled: one atomic load
+ * in the constructor, a dead-flag check in the destructor. Enabled:
+ * clocks the construction-to-destruction interval and records it;
+ * end() closes the span early (idempotent), for code whose timed
+ * region does not align with a C++ scope.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(const char *cat, const char *name)
+    {
+        if (TraceRecorder::global().enabled()) {
+            begin(cat, name);
+        }
+    }
+
+    TraceScope(const char *cat, const char *name,
+               const char *arg0_name, int64_t arg0)
+    {
+        if (TraceRecorder::global().enabled()) {
+            begin(cat, name);
+            event_.arg0Name = arg0_name;
+            event_.arg0 = arg0;
+        }
+    }
+
+    TraceScope(const char *cat, const char *name,
+               const char *arg0_name, int64_t arg0,
+               const char *arg1_name, int64_t arg1)
+    {
+        if (TraceRecorder::global().enabled()) {
+            begin(cat, name);
+            event_.arg0Name = arg0_name;
+            event_.arg0 = arg0;
+            event_.arg1Name = arg1_name;
+            event_.arg1 = arg1;
+        }
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    ~TraceScope()
+    {
+        end();
+    }
+
+    /** Close the span now instead of at destruction. */
+    void
+    end()
+    {
+        if (active_) {
+            active_ = false;
+            finish();
+        }
+    }
+
+  private:
+    void
+    begin(const char *cat, const char *name)
+    {
+        event_.cat = cat;
+        event_.name = name;
+        event_.startNs = TraceRecorder::nowNs();
+        active_ = true;
+    }
+
+    void finish();
+
+    TraceEvent event_;
+    bool active_ = false;
+};
+
+/**
+ * Span over the enclosing C++ scope. Variants with zero, one, or two
+ * named integer args:
+ *   SPARSETIR_TRACE_SCOPE("engine", "dispatch.spmm_hyb");
+ *   SPARSETIR_TRACE_SCOPE2("exec", "unit", "kernel", k, "request", r);
+ * Define SPARSETIR_TRACE_DISABLED to compile every macro span out
+ * entirely (the runtime check already makes them near-free).
+ */
+#define SPARSETIR_TRACE_CONCAT_IMPL(a, b) a##b
+#define SPARSETIR_TRACE_CONCAT(a, b) SPARSETIR_TRACE_CONCAT_IMPL(a, b)
+
+#ifndef SPARSETIR_TRACE_DISABLED
+#define SPARSETIR_TRACE_SCOPE(cat, name)                              \
+    ::sparsetir::observe::TraceScope SPARSETIR_TRACE_CONCAT(          \
+        sparsetir_trace_scope_, __LINE__)(cat, name)
+#define SPARSETIR_TRACE_SCOPE1(cat, name, a0name, a0)                 \
+    ::sparsetir::observe::TraceScope SPARSETIR_TRACE_CONCAT(          \
+        sparsetir_trace_scope_,                                       \
+        __LINE__)(cat, name, a0name, static_cast<int64_t>(a0))
+#define SPARSETIR_TRACE_SCOPE2(cat, name, a0name, a0, a1name, a1)     \
+    ::sparsetir::observe::TraceScope SPARSETIR_TRACE_CONCAT(          \
+        sparsetir_trace_scope_,                                       \
+        __LINE__)(cat, name, a0name, static_cast<int64_t>(a0),        \
+                  a1name, static_cast<int64_t>(a1))
+#else
+#define SPARSETIR_TRACE_SCOPE(cat, name)                              \
+    do {                                                              \
+    } while (false)
+#define SPARSETIR_TRACE_SCOPE1(cat, name, a0name, a0)                 \
+    do {                                                              \
+    } while (false)
+#define SPARSETIR_TRACE_SCOPE2(cat, name, a0name, a0, a1name, a1)     \
+    do {                                                              \
+    } while (false)
+#endif
+
+/** True when the SPARSETIR_TRACE env var asks for tracing ("1",
+ *  "true", any value other than "" or "0"). */
+bool traceRequestedByEnv();
+
+} // namespace observe
+} // namespace sparsetir
+
+#endif // SPARSETIR_OBSERVE_TRACE_H_

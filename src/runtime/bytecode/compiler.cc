@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "observe/trace.h"
 #include "runtime/interpreter.h"
 #include "support/logging.h"
 #include "transform/lower_sparse_buffer.h"
@@ -1766,6 +1767,7 @@ programFor(const ir::PrimFunc &func)
     }
     std::shared_ptr<const Program> program;
     try {
+        SPARSETIR_TRACE_SCOPE("compile", "bytecode.compile");
         program = compile(func);
     } catch (const UserError &) {
         // The designed not-compilable path (stage3ExecDiagnostic):

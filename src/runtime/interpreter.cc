@@ -637,20 +637,52 @@ runInterpreted(const ir::PrimFunc &func, const Bindings &bindings,
 
 namespace {
 
-std::atomic<uint64_t> launch_probes{0};
+/** The process-global probe count lives in the global metrics
+ *  registry; the pointer is stable for the process lifetime. */
+observe::Counter *
+globalProbeCounter()
+{
+    static observe::Counter *counter =
+        observe::MetricsRegistry::global().counter(
+            "runtime.launch_probes");
+    return counter;
+}
+
+/** Per-thread attribution sink installed by ProbeCounterScope. */
+thread_local observe::Counter *tls_probe_counter = nullptr;
+
+void
+countLaunchProbe()
+{
+    globalProbeCounter()->add(1);
+    if (tls_probe_counter != nullptr) {
+        tls_probe_counter->add(1);
+    }
+}
 
 } // namespace
+
+ProbeCounterScope::ProbeCounterScope(observe::Counter *counter)
+    : prev_(tls_probe_counter)
+{
+    tls_probe_counter = counter;
+}
+
+ProbeCounterScope::~ProbeCounterScope()
+{
+    tls_probe_counter = prev_;
+}
 
 uint64_t
 launchProbeCount()
 {
-    return launch_probes.load(std::memory_order_relaxed);
+    return globalProbeCounter()->value();
 }
 
 void
 resetLaunchProbeCount()
 {
-    launch_probes.store(0, std::memory_order_relaxed);
+    globalProbeCounter()->reset();
 }
 
 bool
@@ -789,7 +821,7 @@ LaunchInfo
 launchInfo(const ir::PrimFunc &func, const Bindings &bindings)
 {
     LaunchInfo info;
-    launch_probes.fetch_add(1, std::memory_order_relaxed);
+    countLaunchProbe();
     const ForNode *loop = findBlockIdxLoop(func->body);
     if (loop == nullptr) {
         return info;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ir/prim_func.h"
+#include "observe/metrics.h"
 #include "runtime/ndarray.h"
 
 namespace sparsetir {
@@ -218,19 +219,45 @@ struct LaunchInfo
  */
 LaunchInfo launchInfo(const ir::PrimFunc &func, const Bindings &bindings);
 
-/** Process-wide count of launchInfo() grid probes (see above). */
+/**
+ * Process-wide count of launchInfo() grid probes (see above): a view
+ * over the `runtime.launch_probes` counter in
+ * observe::MetricsRegistry::global().
+ */
 uint64_t launchProbeCount();
 
 /**
- * Reset launchProbeCount() to zero. The counter is process-global, so
- * without a reset every no-probe assertion has to be phrased as a
- * before/after delta and still races against concurrent dispatches in
- * the same binary; test suites (the fuzzers especially) instead
- * quiesce, reset, run the warm path under test, and assert the count
- * is exactly zero. Not for production code — the engine never reads
- * the counter.
+ * Reset launchProbeCount() to zero — a compatibility shim over
+ * resetting the global registry counter. The process-wide count
+ * still exists for legacy zero-probe assertions: test suites (the
+ * fuzzers especially) quiesce, reset, run the warm path under test,
+ * and assert the count is exactly zero. Code that needs non-aliased
+ * attribution (concurrent engines in one process) should install a
+ * ProbeCounterScope instead of reading this.
  */
 void resetLaunchProbeCount();
+
+/**
+ * Attribute this thread's launchInfo() probes to `counter` for the
+ * scope's lifetime, in addition to the process-global count. The
+ * engine installs one around artifact builds so each engine's own
+ * metrics registry sees only its probes — concurrent engines no
+ * longer alias through the bare global. Scopes nest (inner wins,
+ * restored on destruction) and are strictly thread-local: probes on
+ * other threads are unaffected.
+ */
+class ProbeCounterScope
+{
+  public:
+    explicit ProbeCounterScope(observe::Counter *counter);
+    ~ProbeCounterScope();
+
+    ProbeCounterScope(const ProbeCounterScope &) = delete;
+    ProbeCounterScope &operator=(const ProbeCounterScope &) = delete;
+
+  private:
+    observe::Counter *prev_;
+};
 
 /**
  * Evaluate an integer expression using only constants and the scalar
