@@ -636,6 +636,20 @@ main()
             static_cast<long long>(rg_scratch.peakLeasedBytes),
             rg_naive_bytes, barriered_rps, fused_rps, fused_speedup,
             fused_equal ? "true" : "false", fused_scratch_peak);
+        // Build-time verify cost of the warm-latency engine's
+        // artifacts (csr + hyb buckets + bsr). Zero kernels means
+        // verification was off for this build/env; the perf gate
+        // prints it informationally either way.
+        engine::CacheStats verify_stats = lat_eng.cacheStats();
+        std::fprintf(
+            json,
+            "  \"verify\": {\"verified_kernels\": %llu, "
+            "\"verify_failures\": %llu, \"verify_ms\": %.4f},\n",
+            static_cast<unsigned long long>(
+                verify_stats.verifiedKernels),
+            static_cast<unsigned long long>(
+                verify_stats.verifyFailures),
+            verify_stats.verifyMs);
         std::fprintf(json, "  \"warm_latency\": {\n");
         for (size_t i = 0; i < warm_latency.size(); ++i) {
             const WarmLatency &w = warm_latency[i];

@@ -131,6 +131,38 @@ def main() -> int:
             f"{peak / 1e6:.2f} MB span-sized leases, naive "
             f"full-output leases {naive / 1e6:.2f} MB{ratio}"
         )
+    # Static-verification cost at build time (informational, not
+    # gated): kernels proven, failures, and total prover milliseconds
+    # for the warm-latency engine's artifacts. Zero kernels means the
+    # verifier was off for this build/env combination.
+    if "verify" in data:
+        verify = data["verify"]
+        if not isinstance(verify, dict):
+            return fail_input(f"{path} verify is not a JSON object")
+        try:
+            verified = int(verify["verified_kernels"])
+            failures = int(verify["verify_failures"])
+            verify_ms = float(verify["verify_ms"])
+        except (TypeError, KeyError, ValueError) as err:
+            return fail_input(f"{path} verify is malformed: {err}")
+        if verified < 0 or failures < 0 or verify_ms < 0.0:
+            return fail_input(
+                f"{path} verify holds negative counters "
+                f"({verified} kernels, {failures} failures, "
+                f"{verify_ms} ms)"
+            )
+        if verified > 0:
+            print(
+                f"static verification: {verified} kernel(s) proven "
+                f"in {verify_ms:.2f} ms "
+                f"({verify_ms / verified:.2f} ms/kernel), "
+                f"{failures} failure(s)"
+            )
+        else:
+            print(
+                "static verification: off for this build "
+                "(0 kernels verified)"
+            )
     # Warm-dispatch latency percentiles per op kind (experiment [9],
     # informational — the p50/p99 trajectory is tracked across
     # commits, no gate). Malformed histogram fields are still bad

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/ops.h"
 #include "observe/trace.h"
@@ -113,7 +114,117 @@ clampThreadX(int64_t feat, int want)
     return p;
 }
 
+/**
+ * Compile-time self-check: prove the freshly lowered kernel's bounds
+ * and race obligations from the format invariants alone (symbolic —
+ * the proof holds for every structure the kernel can be bound to). A
+ * failure is a lowering or scheduling bug — the class the cacheWrite
+ * missing-split-tail-guard regression belonged to — so it trips
+ * ICHECK, not UserError.
+ */
+PrimFunc
+selfVerified(PrimFunc func, const std::string &what)
+{
+    if (!verifyEnabledByDefault()) {
+        return func;
+    }
+    SPARSETIR_TRACE_SCOPE("verify", "pipeline.self_verify");
+    verify::VerifyContext ctx;
+    declareFormatFacts(func, &ctx);
+    verify::VerifyResult result = verify::verifyFunc(func, ctx);
+    ICHECK(result.ok)
+        << "pipeline produced a kernel that fails static "
+           "verification ("
+        << what << "):\n"
+        << verify::formatDiagnostics(result);
+    return func;
+}
+
 } // namespace
+
+bool
+verifyEnabledByDefault()
+{
+    static const bool enabled = [] {
+        if (const char *env = std::getenv("SPARSETIR_VERIFY")) {
+            if (env[0] != '\0') {
+                return env[0] == '1' || env[0] == 't' ||
+                       env[0] == 'T';
+            }
+        }
+#ifndef NDEBUG
+        return true;
+#else
+        return false;
+#endif
+    }();
+    return enabled;
+}
+
+void
+declareFormatFacts(const PrimFunc &func, verify::VerifyContext *ctx)
+{
+    auto param = [&](const std::string &name) -> Expr {
+        for (const Var &p : func->params) {
+            if (p->name == name) {
+                return p;
+            }
+        }
+        return nullptr;
+    };
+    // indptr arrays: element values in [0, total], sorted, with
+    // fixed endpoints 0 and total (nnz of the structure they index).
+    auto indptrFact = [&](const std::string &arr,
+                          const std::string &total_name) {
+        Expr total = param(total_name);
+        if (param(arr) == nullptr || total == nullptr) {
+            return;
+        }
+        verify::ValueFact fact;
+        fact.lo = intImm(0);
+        fact.hi = total;
+        fact.first = intImm(0);
+        fact.last = total;
+        ctx->facts[arr] = fact;
+    };
+    // index arrays: element values are valid ids in [0, count - 1].
+    auto indexFact = [&](const std::string &arr,
+                         const std::string &count_name) {
+        Expr count = param(count_name);
+        if (param(arr) == nullptr || count == nullptr) {
+            return;
+        }
+        verify::ValueFact fact;
+        fact.lo = intImm(0);
+        fact.hi = sub(count, intImm(1));
+        ctx->facts[arr] = fact;
+    };
+    indptrFact("J_indptr", "nnz");
+    indptrFact("JO_indptr", "nnzb");
+    indptrFact("G_indptr", "total_groups");
+    indexFact("J_indices", "n");
+    indexFact("JO_indices", "nb");
+    indexFact("T_indices", "n");
+    // Per-bucket ELL arrays: I<suffix>_indices holds original row
+    // ids, J<suffix>_indices original column ids (see
+    // ellRowIndicesParam / ellColIndicesParam).
+    const std::string kIndices = "_indices";
+    for (const Var &p : func->params) {
+        const std::string &name = p->name;
+        if (name.size() <= kIndices.size() + 1 ||
+            name.compare(name.size() - kIndices.size(),
+                         kIndices.size(), kIndices) != 0 ||
+            name == "J_indices" || name == "JO_indices" ||
+            name == "T_indices") {
+            continue;
+        }
+        if (name[0] == 'I') {
+            indexFact(name, "m");
+        } else if (name[0] == 'J') {
+            indexFact(name, "n");
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // CSR SpMM
@@ -134,7 +245,7 @@ compileSpmmCsrFunc(int64_t feat, const SpmmSchedule &params)
     sch.bind(i, "blockIdx.x");
     sch.bind(k_i, "threadIdx.x");
     sch.cacheWrite("spmm", "C");
-    return lowerToStage3(sch);
+    return selfVerified(lowerToStage3(sch), "spmm_csr");
 }
 
 std::shared_ptr<BoundKernel>
@@ -223,7 +334,7 @@ compileSpmmHybFuncs(const format::Hyb &hyb, int64_t feat, int threadX)
         sch.bind(k_i, "threadIdx.x");
         // Buckets contribute partial sums to a zero-initialized C.
         sch.cacheWrite(block_name, "C", /*accumulate=*/true);
-        plan.func = lowerToStage3(sch);
+        plan.func = selfVerified(lowerToStage3(sch), block_name);
     }
     return plans;
 }
@@ -291,7 +402,7 @@ compileSddmmFunc(int64_t feat, const SddmmSchedule &params)
     sch.bind(ij_o, "blockIdx.x");
     sch.bind(ij_i, "threadIdx.y");
     sch.bind(k_i, "threadIdx.x");
-    return lowerToStage3(sch);
+    return selfVerified(lowerToStage3(sch), "sddmm");
 }
 
 std::shared_ptr<BoundKernel>
@@ -329,7 +440,7 @@ compileBsrSpmmFunc(int32_t block_size, int64_t feat,
     if (tensor_cores) {
         sch.tensorize("bsr_spmm", "m16n16k16");
     }
-    return lowerToStage3(sch);
+    return selfVerified(lowerToStage3(sch), "bsr_spmm");
 }
 
 std::shared_ptr<BoundKernel>
@@ -368,7 +479,7 @@ compileSrbcrsSpmmFunc(int32_t tile_height, int32_t group_size,
     sch.bind(loops[0], "blockIdx.x");
     sch.bind(k_i, "threadIdx.x");
     sch.tensorize("srbcrs_spmm", "m8n32k16");
-    return lowerToStage3(sch);
+    return selfVerified(lowerToStage3(sch), "srbcrs_spmm");
 }
 
 std::shared_ptr<BoundKernel>
@@ -418,7 +529,7 @@ compileEllRgmsFunc(int64_t num_rows, int width, int64_t feat_in,
     if (tensor_cores) {
         sch.tensorize(block_name, "m16n16k16");
     }
-    return lowerToStage3(sch);
+    return selfVerified(lowerToStage3(sch), block_name);
 }
 
 std::shared_ptr<BoundKernel>

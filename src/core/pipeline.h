@@ -26,6 +26,7 @@
 #include "gpusim/ir_kernel.h"
 #include "ir/prim_func.h"
 #include "runtime/interpreter.h"
+#include "verify/verifier.h"
 
 namespace sparsetir {
 namespace core {
@@ -244,6 +245,33 @@ std::shared_ptr<BoundKernel> compileEllRgms(
     const format::Ell &bucket, int64_t feat_in, int64_t feat_out,
     const std::shared_ptr<BindingSet> &shared, const std::string &suffix,
     bool tensor_cores, int rows_per_block = 4);
+
+// ---------------------------------------------------------------------
+// Static verification hooks
+// ---------------------------------------------------------------------
+
+/**
+ * Whether static artifact verification is on by default: Debug builds
+ * (no NDEBUG) unless SPARSETIR_VERIFY=0, any build when
+ * SPARSETIR_VERIFY=1 (the CI configuration). Governs both the
+ * pipeline's compile-time self-check and
+ * engine::EngineOptions::verifyArtifacts.
+ */
+bool verifyEnabledByDefault();
+
+/**
+ * Declare the format invariants of a Stage III kernel's structure
+ * arrays to a verifier context, recognized by parameter name:
+ * indptr arrays (J_indptr / JO_indptr / G_indptr) are non-negative,
+ * monotone 0 -> nnz-like totals; index arrays (J_indices,
+ * JO_indices, T_indices and the per-bucket I<s>_indices /
+ * J<s>_indices) hold valid row/column ids. These are exactly the
+ * invariants the format library establishes, expressed over the
+ * function's own scalar parameters — so a symbolic verification of
+ * the kernel holds for EVERY structure, not just one request's.
+ */
+void declareFormatFacts(const ir::PrimFunc &func,
+                        verify::VerifyContext *ctx);
 
 /** Dense reference SpMM for verification: C = A_dense @ B. */
 std::vector<float> referenceSpmm(const format::Csr &a,

@@ -21,6 +21,9 @@ CompileCache::CompileCache(size_t capacity,
     misses_ = metrics->counter("cache.misses");
     evictions_ = metrics->counter("cache.evictions");
     buildMs_ = metrics->histogram("cache.build_ms");
+    verifiedKernels_ = metrics->counter("cache.verified_kernels");
+    verifyFailures_ = metrics->counter("cache.verify_failures");
+    verifyMs_ = metrics->histogram("cache.verify_ms");
 }
 
 void
@@ -71,6 +74,16 @@ CompileCache::getOrBuild(
             .count();
     ICHECK(built != nullptr) << "cache builder returned null artifact";
     buildMs_->record(elapsed_ms);
+    // The verdict rides on the artifact (paid once, at build); the
+    // registry keeps the aggregate verify cost and outcome counters.
+    if (built->verify.attempted) {
+        verifyMs_->record(built->verify.verifyMs);
+        verifiedKernels_->add(
+            static_cast<uint64_t>(built->verify.kernels));
+        if (!built->verify.ok) {
+            verifyFailures_->add(1);
+        }
+    }
 
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -107,6 +120,9 @@ CompileCache::stats() const
     stats.misses = misses_->value();
     stats.evictions = evictions_->value();
     stats.compileMs = buildMs_->sumMs();
+    stats.verifiedKernels = verifiedKernels_->value();
+    stats.verifyFailures = verifyFailures_->value();
+    stats.verifyMs = verifyMs_->sumMs();
     return stats;
 }
 

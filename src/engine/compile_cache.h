@@ -28,15 +28,40 @@
 
 #include "engine/fingerprint.h"
 #include "observe/metrics.h"
+#include "verify/verifier.h"
 
 namespace sparsetir {
 namespace engine {
+
+/**
+ * Verdict of the static artifact verifier (verify/verifier.h) over
+ * every kernel of one artifact. Filled by the miss-path builder when
+ * EngineOptions::verifyArtifacts is on, then cached WITH the artifact
+ * — warm dispatches reuse the verdict without re-proving anything, so
+ * verification cost is paid exactly once per compiled artifact.
+ */
+struct VerifyReport
+{
+    /** True when verification ran for this artifact's kernels. */
+    bool attempted = false;
+    /** Every kernel proved bounds / write-set / race obligations. */
+    bool ok = true;
+    /** Kernels checked (hyb/RGCN artifacts hold several). */
+    int kernels = 0;
+    /** Wall time spent proving, across the artifact's kernels. */
+    double verifyMs = 0.0;
+    /** Printer-backed failure diagnostics (empty when ok). */
+    std::vector<verify::Diagnostic> diagnostics;
+};
 
 /** Base of all cached compile results (immutable after build). */
 class Artifact
 {
   public:
     virtual ~Artifact() = default;
+
+    /** Cached static-verification verdict (see VerifyReport). */
+    VerifyReport verify;
 };
 
 /**
@@ -52,6 +77,12 @@ struct CacheStats
     uint64_t evictions = 0;
     /** Total wall time spent in miss-path builders. */
     double compileMs = 0.0;
+    /** Kernels the static verifier checked at artifact build. */
+    uint64_t verifiedKernels = 0;
+    /** Artifacts whose verification found a violation. */
+    uint64_t verifyFailures = 0;
+    /** Total wall time spent proving (subset of compileMs). */
+    double verifyMs = 0.0;
 };
 
 /** Thread-safe LRU cache of compiled artifacts. */
@@ -109,6 +140,9 @@ class CompileCache
     observe::Counter *misses_;
     observe::Counter *evictions_;
     observe::LatencyHistogram *buildMs_;
+    observe::Counter *verifiedKernels_;
+    observe::Counter *verifyFailures_;
+    observe::LatencyHistogram *verifyMs_;
 };
 
 } // namespace engine

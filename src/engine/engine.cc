@@ -95,6 +95,75 @@ restrictAccumSpans(CompiledKernel *kernel, const std::string &name,
     }
 }
 
+/**
+ * Copy a compiled kernel's write-set analysis (after
+ * restrictAccumSpans and the exclusive marking) into a verifier
+ * context. `rows_buffer`/`rows`/`row_width` describe the scatter row
+ * list of span-restricted outputs; pass ""/null/0 for kernels with no
+ * scatter outputs.
+ */
+void
+declareAccumSpec(verify::VerifyContext *ctx,
+                 const CompiledKernel &kernel,
+                 const std::string &rows_buffer,
+                 const std::vector<int32_t> *rows, int64_t row_width)
+{
+    ctx->hasAccumSpec = true;
+    ctx->kernelExclusive = kernel.exclusive;
+    for (const AccumOutput &out : kernel.accums) {
+        verify::AccumWriteSet set;
+        set.buffer = out.name;
+        set.wholeArray = out.wholeArray;
+        set.spans = out.window.spans;
+        set.rowsBuffer = rows_buffer;
+        set.rows = rows;
+        set.rowWidth = row_width;
+        ctx->accums.push_back(std::move(set));
+    }
+}
+
+/**
+ * Prove one kernel's bounds / write-set / race obligations and fold
+ * the outcome into the artifact's cached report. Failures do not
+ * throw here: the verdict (with its diagnostics) is cached on the
+ * artifact, and Engine::resolve raises it as a UserError on every
+ * dispatch that touches the bad artifact — including warm hits, at
+ * zero re-proving cost.
+ */
+void
+verifyKernelInto(Artifact *artifact, const CompiledKernel &kernel,
+                 const verify::VerifyContext &ctx,
+                 const std::string &what)
+{
+    SPARSETIR_TRACE_SCOPE("verify", "verify.artifact");
+    auto start = std::chrono::steady_clock::now();
+    verify::VerifyResult result = verify::verifyFunc(kernel.func, ctx);
+    artifact->verify.attempted = true;
+    artifact->verify.kernels += 1;
+    artifact->verify.verifyMs += msSince(start);
+    if (!result.ok) {
+        artifact->verify.ok = false;
+        for (verify::Diagnostic &diag : result.diagnostics) {
+            diag.message = "kernel '" + what + "': " + diag.message;
+            artifact->verify.diagnostics.push_back(std::move(diag));
+        }
+    }
+}
+
+/** Concrete structure facts shared by the CSR-backed kernels. */
+verify::VerifyContext
+csrVerifyContext(const Csr &a, int64_t feat)
+{
+    verify::VerifyContext ctx;
+    ctx.scalar("m", a.rows);
+    ctx.scalar("n", a.cols);
+    ctx.scalar("nnz", a.nnz());
+    ctx.scalar("feat_size", feat);
+    ctx.int32Array("J_indptr", a.indptr);
+    ctx.int32Array("J_indices", a.indices);
+    return ctx;
+}
+
 struct SpmmCsrArtifact : Artifact
 {
     CompiledKernel kernel;
@@ -165,11 +234,17 @@ struct RgcnArtifact : Artifact
 std::shared_ptr<Artifact>
 buildSpmmCsrArtifact(const Csr &a, int64_t feat,
                      const core::SpmmSchedule &schedule,
-                     bool bytecode)
+                     bool bytecode, bool verify)
 {
     auto artifact = std::make_shared<SpmmCsrArtifact>();
     artifact->kernel = compileKernel(
         core::compileSpmmCsrFunc(feat, schedule), bytecode);
+    if (verify) {
+        verify::VerifyContext ctx = csrVerifyContext(a, feat);
+        declareAccumSpec(&ctx, artifact->kernel, "", nullptr, 0);
+        verifyKernelInto(artifact.get(), artifact->kernel, ctx,
+                         "spmm_csr");
+    }
     artifact->indptr = NDArray::fromInt32(a.indptr);
     artifact->indices = NDArray::fromInt32(a.indices);
     return artifact;
@@ -177,11 +252,18 @@ buildSpmmCsrArtifact(const Csr &a, int64_t feat,
 
 std::shared_ptr<Artifact>
 buildSddmmArtifact(const Csr &a, int64_t feat,
-                   const core::SddmmSchedule &schedule, bool bytecode)
+                   const core::SddmmSchedule &schedule, bool bytecode,
+                   bool verify)
 {
     auto artifact = std::make_shared<SddmmArtifact>();
     artifact->kernel = compileKernel(
         core::compileSddmmFunc(feat, schedule), bytecode);
+    if (verify) {
+        verify::VerifyContext ctx = csrVerifyContext(a, feat);
+        declareAccumSpec(&ctx, artifact->kernel, "", nullptr, 0);
+        verifyKernelInto(artifact.get(), artifact->kernel, ctx,
+                         "sddmm");
+    }
     artifact->indptr = NDArray::fromInt32(a.indptr);
     artifact->indices = NDArray::fromInt32(a.indices);
     return artifact;
@@ -189,13 +271,25 @@ buildSddmmArtifact(const Csr &a, int64_t feat,
 
 std::shared_ptr<Artifact>
 buildBsrArtifact(const format::Bsr &a, int64_t feat,
-                 const BsrConfig &config, bool bytecode)
+                 const BsrConfig &config, bool bytecode, bool verify)
 {
     auto artifact = std::make_shared<BsrArtifact>();
     artifact->kernel = compileKernel(
         core::compileBsrSpmmFunc(a.blockSize, feat,
                                  config.tensorCores),
         bytecode);
+    if (verify) {
+        verify::VerifyContext ctx;
+        ctx.scalar("mb", a.blockRows);
+        ctx.scalar("nb", a.blockCols);
+        ctx.scalar("nnzb", a.nnzBlocks());
+        ctx.scalar("feat_size", feat);
+        ctx.int32Array("JO_indptr", a.indptr);
+        ctx.int32Array("JO_indices", a.indices);
+        declareAccumSpec(&ctx, artifact->kernel, "", nullptr, 0);
+        verifyKernelInto(artifact.get(), artifact->kernel, ctx,
+                         "bsr_spmm");
+    }
     artifact->indptr = NDArray::fromInt32(a.indptr);
     artifact->indices = NDArray::fromInt32(a.indices);
     return artifact;
@@ -203,12 +297,24 @@ buildBsrArtifact(const format::Bsr &a, int64_t feat,
 
 std::shared_ptr<Artifact>
 buildSrbcrsArtifact(const format::SrBcrs &a, int64_t feat,
-                    bool bytecode)
+                    bool bytecode, bool verify)
 {
     auto artifact = std::make_shared<SrbcrsArtifact>();
     artifact->kernel = compileKernel(
         core::compileSrbcrsSpmmFunc(a.tileHeight, a.groupSize, feat),
         bytecode);
+    if (verify) {
+        verify::VerifyContext ctx;
+        ctx.scalar("stripes", a.stripes);
+        ctx.scalar("n", a.cols);
+        ctx.scalar("total_groups", a.numGroups());
+        ctx.scalar("feat_size", feat);
+        ctx.int32Array("G_indptr", a.groupIndptr);
+        ctx.int32Array("T_indices", a.tileCols);
+        declareAccumSpec(&ctx, artifact->kernel, "", nullptr, 0);
+        verifyKernelInto(artifact.get(), artifact->kernel, ctx,
+                         "srbcrs_spmm");
+    }
     artifact->groupIndptr = NDArray::fromInt32(a.groupIndptr);
     artifact->tileCols = NDArray::fromInt32(a.tileCols);
     return artifact;
@@ -216,7 +322,8 @@ buildSrbcrsArtifact(const format::SrBcrs &a, int64_t feat,
 
 std::shared_ptr<Artifact>
 buildSpmmHybArtifact(const Csr &a, int64_t feat,
-                     const HybConfig &config, bool bytecode)
+                     const HybConfig &config, bool bytecode,
+                     bool verify)
 {
     format::Hyb hyb =
         format::hybFromCsr(a, config.partitions, config.bucketCapLog2);
@@ -237,6 +344,18 @@ buildSpmmHybArtifact(const Csr &a, int64_t feat,
         bucket.kernel.exclusive = hasDuplicateRows(ell.rowIndices);
         restrictAccumSpans(&bucket.kernel, "C_data", ell.rowIndices,
                            feat);
+        if (verify) {
+            verify::VerifyContext ctx = csrVerifyContext(a, feat);
+            ctx.int32Array(core::ellRowIndicesParam(plan.suffix),
+                           ell.rowIndices);
+            ctx.int32Array(core::ellColIndicesParam(plan.suffix),
+                           ell.colIndices);
+            declareAccumSpec(&ctx, bucket.kernel,
+                             core::ellRowIndicesParam(plan.suffix),
+                             &ell.rowIndices, feat);
+            verifyKernelInto(artifact.get(), bucket.kernel, ctx,
+                             "spmm_ell_" + plan.suffix);
+        }
         bucket.rowIndices = NDArray::fromInt32(ell.rowIndices);
         bucket.colIndices = NDArray::fromInt32(ell.colIndices);
         bucket.gather = ell.sourcePos;
@@ -248,7 +367,7 @@ buildSpmmHybArtifact(const Csr &a, int64_t feat,
 std::shared_ptr<Artifact>
 buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat_in,
                   int64_t feat_out, const RgcnConfig &config,
-                  bool bytecode)
+                  bool bytecode, bool verify)
 {
     auto artifact = std::make_shared<RgcnArtifact>();
     for (int64_t r = 0; r < graph.numRelations(); ++r) {
@@ -282,6 +401,23 @@ buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat_in,
             // from the whole output to a few percent of it.
             restrictAccumSpans(&unit.kernel, "Y_data",
                                bucket.rowIndices, feat_out);
+            if (verify) {
+                verify::VerifyContext ctx;
+                ctx.scalar("m", graph.rows);
+                ctx.scalar("n", graph.cols);
+                ctx.int32Array(
+                    core::ellRowIndicesParam(unit.suffix),
+                    bucket.rowIndices);
+                ctx.int32Array(
+                    core::ellColIndicesParam(unit.suffix),
+                    bucket.colIndices);
+                declareAccumSpec(
+                    &ctx, unit.kernel,
+                    core::ellRowIndicesParam(unit.suffix),
+                    &bucket.rowIndices, feat_out);
+                verifyKernelInto(artifact.get(), unit.kernel, ctx,
+                                 "rgms_" + unit.suffix);
+            }
             unit.rowIndices = NDArray::fromInt32(bucket.rowIndices);
             unit.colIndices = NDArray::fromInt32(bucket.colIndices);
             unit.gather = bucket.sourcePos;
@@ -608,6 +744,17 @@ Engine::resolve(const CacheKey &key,
     bool hit = false;
     std::shared_ptr<Artifact> artifact =
         cache_.getOrBuild(key, builder, &hit);
+    // The verify verdict rides on the artifact: a failed proof was paid
+    // for once at build, and every dispatch that touches the artifact —
+    // including warm hits — refuses it at zero re-proving cost.
+    if (!artifact->verify.ok) {
+        verify::VerifyResult failed;
+        failed.ok = false;
+        failed.diagnostics = artifact->verify.diagnostics;
+        USER_CHECK(false)
+            << "compiled artifact failed static verification:\n"
+            << verify::formatDiagnostics(failed);
+    }
     info->cacheHit = hit;
     info->compileMs = msSince(start);
     return artifact;
@@ -674,8 +821,9 @@ Engine::spmmCsr(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     auto artifact = std::static_pointer_cast<SpmmCsrArtifact>(
         resolve(spmmCsrKey(a, feat, schedule),
                 [&] {
-                    return buildSpmmCsrArtifact(a, feat, schedule,
-                                                usesBytecode());
+                    return buildSpmmCsrArtifact(
+                        a, feat, schedule, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &info));
 
@@ -713,8 +861,9 @@ Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
         resolve(spmmHybKey(a, feat, config),
                 [&] {
-                    return buildSpmmHybArtifact(a, feat, config,
-                                                usesBytecode());
+                    return buildSpmmHybArtifact(
+                        a, feat, config, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &info));
 
@@ -753,8 +902,9 @@ Engine::sddmm(const Csr &a, int64_t feat, NDArray *x, NDArray *y,
     auto artifact = std::static_pointer_cast<SddmmArtifact>(
         resolve(sddmmKey(a, feat, schedule),
                 [&] {
-                    return buildSddmmArtifact(a, feat, schedule,
-                                              usesBytecode());
+                    return buildSddmmArtifact(
+                        a, feat, schedule, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &info));
 
@@ -802,8 +952,9 @@ Engine::rgcn(const format::RelationalCsr &graph, int64_t featIn,
     auto artifact = std::static_pointer_cast<RgcnArtifact>(
         resolve(rgcnKey(graph, featIn, featOut, config),
                 [&] {
-                    return buildRgcnArtifact(graph, featIn, featOut,
-                                             config, usesBytecode());
+                    return buildRgcnArtifact(
+                        graph, featIn, featOut, config,
+                        usesBytecode(), options_.verifyArtifacts);
                 },
                 &info));
 
@@ -851,8 +1002,9 @@ Engine::spmmBsr(const format::Bsr &a, int64_t feat, NDArray *b,
     auto artifact = std::static_pointer_cast<BsrArtifact>(
         resolve(spmmBsrKey(a, feat, config),
                 [&] {
-                    return buildBsrArtifact(a, feat, config,
-                                            usesBytecode());
+                    return buildBsrArtifact(
+                        a, feat, config, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &info));
 
@@ -884,8 +1036,9 @@ Engine::spmmSrbcrs(const format::SrBcrs &a, int64_t feat, NDArray *b,
     auto artifact = std::static_pointer_cast<SrbcrsArtifact>(
         resolve(spmmSrbcrsKey(a, feat),
                 [&] {
-                    return buildSrbcrsArtifact(a, feat,
-                                               usesBytecode());
+                    return buildSrbcrsArtifact(
+                        a, feat, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &info));
 
@@ -927,8 +1080,9 @@ Engine::spmmCsrBatch(const Csr &a, int64_t feat,
     auto artifact = std::static_pointer_cast<SpmmCsrArtifact>(
         resolve(spmmCsrKey(a, feat, schedule),
                 [&] {
-                    return buildSpmmCsrArtifact(a, feat, schedule,
-                                                usesBytecode());
+                    return buildSpmmCsrArtifact(
+                        a, feat, schedule, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &resolved));
     info.cacheHit = resolved.cacheHit;
@@ -974,8 +1128,9 @@ Engine::spmmHybBatch(const Csr &a, int64_t feat,
     auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
         resolve(spmmHybKey(a, feat, config),
                 [&] {
-                    return buildSpmmHybArtifact(a, feat, config,
-                                                usesBytecode());
+                    return buildSpmmHybArtifact(
+                        a, feat, config, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &resolved));
     info.cacheHit = resolved.cacheHit;
@@ -1071,8 +1226,9 @@ Engine::spmmBsrBatch(const format::Bsr &a, int64_t feat,
     auto artifact = std::static_pointer_cast<BsrArtifact>(
         resolve(spmmBsrKey(a, feat, config),
                 [&] {
-                    return buildBsrArtifact(a, feat, config,
-                                            usesBytecode());
+                    return buildBsrArtifact(
+                        a, feat, config, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &resolved));
     info.cacheHit = resolved.cacheHit;
@@ -1111,8 +1267,9 @@ Engine::spmmSrbcrsBatch(const format::SrBcrs &a, int64_t feat,
     auto artifact = std::static_pointer_cast<SrbcrsArtifact>(
         resolve(spmmSrbcrsKey(a, feat),
                 [&] {
-                    return buildSrbcrsArtifact(a, feat,
-                                               usesBytecode());
+                    return buildSrbcrsArtifact(
+                        a, feat, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &resolved));
     info.cacheHit = resolved.cacheHit;
@@ -1146,8 +1303,9 @@ Engine::prepareSpmmHyb(const Csr &a, int64_t feat,
     auto artifact = std::static_pointer_cast<SpmmHybArtifact>(
         resolve(spmmHybKey(a, feat, config),
                 [&] {
-                    return buildSpmmHybArtifact(a, feat, config,
-                                                usesBytecode());
+                    return buildSpmmHybArtifact(
+                        a, feat, config, usesBytecode(),
+                        options_.verifyArtifacts);
                 },
                 &info));
     finishDispatch(info, OpKind::kSpmmHyb);

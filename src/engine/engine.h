@@ -88,6 +88,20 @@ struct EngineOptions
      * instrumentation point costs one relaxed atomic load.
      */
     bool trace = false;
+    /**
+     * Run the static artifact verifier (verify/verifier.h) on every
+     * kernel a miss-path builder compiles, BEFORE the artifact enters
+     * the compile cache: affine bounds on every buffer access,
+     * write-set soundness against the declared AccumOutput spans, and
+     * parallel-race freedom of the blockIdx axis — all proven against
+     * the request's concrete structure arrays. The verdict is cached
+     * with the artifact, so warm dispatches never pay for it (warm
+     * latency unchanged); a failed proof makes the dispatch throw
+     * UserError carrying the verifier's diagnostics. Defaults on in
+     * Debug builds and whenever SPARSETIR_VERIFY=1 — the CI
+     * configuration (see core::verifyEnabledByDefault).
+     */
+    bool verifyArtifacts = core::verifyEnabledByDefault();
 };
 
 /** Outcome of one dispatch. */

@@ -123,6 +123,10 @@ class EnginePool
             options.fusedDispatch = config.fused;
             options.numThreads = config.parallel ? workers : 1;
             options.minBlocksPerChunk = min_chunk;
+            // Every artifact the fuzzer compiles goes through the
+            // static verifier regardless of build type: the random
+            // structures double as a soak test for the prover.
+            options.verifyArtifacts = true;
             it = engines_
                      .emplace(key,
                               std::make_unique<Engine>(options))
@@ -450,6 +454,28 @@ TEST(FuzzDifferential, AllZeroMatrixRejectedOnEveryPath)
         NDArray c({empty.rows * feat}, ir::DataType::float32());
         EXPECT_THROW(eng.spmmHyb(empty, feat, &b, &c), UserError);
     }
+}
+
+TEST(FuzzDifferential, ArtifactsVerifyClean)
+{
+    // Fresh engine with verification forced on: a fuzz-style case's
+    // artifacts (hyb buckets + bsr) all carry clean verdicts. The
+    // main matrix runs with verification on too (see EnginePool);
+    // this pins the counters so a silently-disabled verifier cannot
+    // turn the soak test into a no-op.
+    Rng rng(mix(kDefaultSeed, 0x5EED));
+    std::string structure;
+    Csr a = randomStructure(&rng, &structure);
+    CaseParams params = randomParams(&rng);
+    EnginePool pool;
+    runHybCase(&pool, a, params, &rng, structure);
+    runBsrCase(&pool, a, params, &rng, structure);
+
+    Engine &reference =
+        pool.get(kReference, params.workers, params.minChunk);
+    auto stats = reference.cacheStats();
+    EXPECT_GT(stats.verifiedKernels, 0u) << structure;
+    EXPECT_EQ(stats.verifyFailures, 0u) << structure;
 }
 
 TEST(FuzzDifferential, WarmFuzzPathsNeverProbeTheGrid)
