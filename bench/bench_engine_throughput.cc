@@ -58,6 +58,14 @@
  *     spmm_bsr). Emitted into BENCH_JSON as "warm_latency" for
  *     trajectory tracking (informational — no gate).
  *
+ * 10. Graph compilation — whole-model dataflow graphs (sparse
+ *     attention SDDMM -> scale -> masked-softmax -> SpMM, GraphSAGE
+ *     aggregate -> update) dispatched warm as ONE fused kernel vs
+ *     the per-node chain, bitwise-checked, with the scratch
+ *     high-water mark both ways (the fused program materializes no
+ *     intermediate). Req/s both ways ride in BENCH_JSON for
+ *     trajectory tracking (informational — no gate).
+ *
  * FAST=1 shrinks the graph for smoke runs. BENCH_JSON=<path> writes
  * the backend-comparison numbers as JSON for the CI perf gate and
  * trajectory tracking. TRACE_JSON=<path> (or SPARSETIR_TRACE=1)
@@ -75,9 +83,12 @@
 
 #include "bench_util.h"
 #include "core/pipeline.h"
+#include "dfg/op_graph.h"
 #include "engine/engine.h"
 #include "format/bsr.h"
 #include "graph/generator.h"
+#include "model/attention.h"
+#include "model/graphsage.h"
 #include "observe/metrics.h"
 #include "observe/trace.h"
 #include "support/rng.h"
@@ -587,6 +598,96 @@ main()
                     it->second.p99Ms);
     }
 
+    // ------------------------------------------------------------------
+    // 10. Graph compilation: fused whole-model pipelines vs chains
+    // ------------------------------------------------------------------
+    int64_t dfg_nodes = benchutil::fastMode() ? 500 : 2000;
+    int dfg_rounds = benchutil::fastMode() ? 5 : 20;
+    std::printf("\n[10] graph compilation: fused pipeline vs per-node "
+                "chain (%lld-row mask, %d warm rounds each way)\n",
+                static_cast<long long>(dfg_nodes), dfg_rounds);
+    format::Csr mask =
+        graph::powerLawGraph(dfg_nodes, dfg_nodes * 8, 1.8, 300);
+    mask.cols = dfg_nodes;
+    dfg::PatternRef dfg_pattern = dfg::SparsityPattern::fromCsr(mask);
+    engine::Engine dfg_eng(engine::EngineOptions{});
+
+    // Sparse attention: SDDMM -> scale -> masked-softmax -> SpMM.
+    NDArray att_q =
+        NDArray::fromFloat(randomVector(mask.rows * feat, 310));
+    NDArray att_kt =
+        NDArray::fromFloat(randomVector(feat * mask.cols, 311));
+    NDArray att_v =
+        NDArray::fromFloat(randomVector(mask.cols * feat, 312));
+    NDArray att_fused({mask.rows * feat}, ir::DataType::float32());
+    NDArray att_chain({mask.rows * feat}, ir::DataType::float32());
+    double att_ms[2] = {0.0, 0.0};  // [0]=chain, [1]=fused
+    long long att_scratch[2] = {0, 0};
+    for (int which = 0; which < 2; ++which) {
+        bool fuse = which == 1;
+        NDArray *out = fuse ? &att_fused : &att_chain;
+        model::attentionPipeline(dfg_eng, dfg_pattern, feat, &att_q,
+                                 &att_kt, &att_v, out, fuse);  // warm
+        dfg_eng.resetScratchPeak();
+        att_ms[which] = benchutil::timedRoundsMs(dfg_rounds, [&] {
+            model::attentionPipeline(dfg_eng, dfg_pattern, feat,
+                                     &att_q, &att_kt, &att_v, out,
+                                     fuse);
+        });
+        att_scratch[which] = static_cast<long long>(
+            dfg_eng.scratchStats().peakLeasedBytes);
+        std::printf("  attention %-6s %8.2f ms/request  (%.1f req/s, "
+                    "scratch peak %.2f MB)\n",
+                    fuse ? "fused:" : "chain:", att_ms[which],
+                    att_ms[which] > 0.0 ? 1000.0 / att_ms[which] : 0.0,
+                    att_scratch[which] / 1e6);
+    }
+    bool att_equal = bitwiseEqual(att_chain, att_fused);
+    double att_chain_rps =
+        att_ms[0] > 0.0 ? 1000.0 / att_ms[0] : 0.0;
+    double att_fused_rps =
+        att_ms[1] > 0.0 ? 1000.0 / att_ms[1] : 0.0;
+    double att_speedup = att_ms[1] > 0.0 ? att_ms[0] / att_ms[1] : 0.0;
+    std::printf("  attention fused vs chain: %.2fx, bitwise identical:"
+                " %s (chain materialized %.2f MB of intermediates, "
+                "fused %.2f MB)\n",
+                att_speedup, att_equal ? "yes" : "NO",
+                att_scratch[0] / 1e6, att_scratch[1] / 1e6);
+
+    // GraphSAGE layer: mean-aggregate -> dense update.
+    NDArray sage_x =
+        NDArray::fromFloat(randomVector(mask.cols * feat, 320));
+    NDArray sage_w =
+        NDArray::fromFloat(randomVector(feat * feat, 321));
+    NDArray sage_fused({mask.rows * feat}, ir::DataType::float32());
+    NDArray sage_chain({mask.rows * feat}, ir::DataType::float32());
+    double sage_ms[2] = {0.0, 0.0};
+    for (int which = 0; which < 2; ++which) {
+        bool fuse = which == 1;
+        NDArray *out = fuse ? &sage_fused : &sage_chain;
+        model::graphSageLayer(dfg_eng, dfg_pattern, feat, feat,
+                              &sage_x, &sage_w, out, fuse);  // warm
+        sage_ms[which] = benchutil::timedRoundsMs(dfg_rounds, [&] {
+            model::graphSageLayer(dfg_eng, dfg_pattern, feat, feat,
+                                  &sage_x, &sage_w, out, fuse);
+        });
+        std::printf("  graphsage %-6s %8.2f ms/request  (%.1f "
+                    "req/s)\n",
+                    fuse ? "fused:" : "chain:", sage_ms[which],
+                    sage_ms[which] > 0.0 ? 1000.0 / sage_ms[which]
+                                         : 0.0);
+    }
+    bool sage_equal = bitwiseEqual(sage_chain, sage_fused);
+    double sage_chain_rps =
+        sage_ms[0] > 0.0 ? 1000.0 / sage_ms[0] : 0.0;
+    double sage_fused_rps =
+        sage_ms[1] > 0.0 ? 1000.0 / sage_ms[1] : 0.0;
+    double sage_speedup =
+        sage_ms[1] > 0.0 ? sage_ms[0] / sage_ms[1] : 0.0;
+    std::printf("  graphsage fused vs chain: %.2fx, bitwise identical:"
+                " %s\n",
+                sage_speedup, sage_equal ? "yes" : "NO");
+
     if (const char *json_path = std::getenv("BENCH_JSON")) {
         std::FILE *json = std::fopen(json_path, "w");
         if (json == nullptr) {
@@ -622,7 +723,17 @@ main()
             "  \"fused_req_per_s\": %.2f,\n"
             "  \"fused_speedup\": %.4f,\n"
             "  \"fused_bitwise_identical\": %s,\n"
-            "  \"fused_scratch_peak_bytes\": %lld,\n",
+            "  \"fused_scratch_peak_bytes\": %lld,\n"
+            "  \"graph_attention_chain_req_per_s\": %.2f,\n"
+            "  \"graph_attention_fused_req_per_s\": %.2f,\n"
+            "  \"graph_attention_speedup\": %.4f,\n"
+            "  \"graph_attention_bitwise_identical\": %s,\n"
+            "  \"graph_attention_chain_scratch_bytes\": %lld,\n"
+            "  \"graph_attention_fused_scratch_bytes\": %lld,\n"
+            "  \"graph_graphsage_chain_req_per_s\": %.2f,\n"
+            "  \"graph_graphsage_fused_req_per_s\": %.2f,\n"
+            "  \"graph_graphsage_speedup\": %.4f,\n"
+            "  \"graph_graphsage_bitwise_identical\": %s,\n",
             benchutil::fastMode() ? "true" : "false",
             static_cast<long long>(g.rows),
             static_cast<long long>(g.nnz()),
@@ -635,7 +746,11 @@ main()
             naive_bytes,
             static_cast<long long>(rg_scratch.peakLeasedBytes),
             rg_naive_bytes, barriered_rps, fused_rps, fused_speedup,
-            fused_equal ? "true" : "false", fused_scratch_peak);
+            fused_equal ? "true" : "false", fused_scratch_peak,
+            att_chain_rps, att_fused_rps, att_speedup,
+            att_equal ? "true" : "false", att_scratch[0],
+            att_scratch[1], sage_chain_rps, sage_fused_rps,
+            sage_speedup, sage_equal ? "true" : "false");
         // Build-time verify cost of the warm-latency engine's
         // artifacts (csr + hyb buckets + bsr). Zero kernels means
         // verification was off for this build/env; the perf gate
@@ -688,5 +803,8 @@ main()
         }
         std::printf("%s", recorder.textSummary().c_str());
     }
-    return backend_equal && batch_equal && fused_equal ? 0 : 1;
+    return backend_equal && batch_equal && fused_equal && att_equal &&
+                   sage_equal
+               ? 0
+               : 1;
 }

@@ -110,6 +110,33 @@ def main() -> int:
             f"bitwise_identical="
             f"{data.get('fused_bitwise_identical', 'n/a')}"
         )
+    # Graph-compilation trajectory (experiment [10], informational —
+    # fused whole-model pipelines vs per-node chains). Malformed
+    # fields are still bad input, not a tripped gate.
+    for model in ("attention", "graphsage"):
+        key = f"graph_{model}_fused_req_per_s"
+        if key not in data:
+            continue
+        try:
+            chain_rps = float(
+                data.get(f"graph_{model}_chain_req_per_s", 0.0)
+            )
+            graph_fused_rps = float(data[key])
+            graph_speedup = float(
+                data.get(f"graph_{model}_speedup", 0.0)
+            )
+        except (TypeError, ValueError) as err:
+            return fail_input(
+                f"{path} holds a non-numeric graph field: {err}"
+            )
+        print(
+            f"graph compilation [{model}]: "
+            f"{chain_rps:.1f} req/s chain -> "
+            f"{graph_fused_rps:.1f} req/s fused "
+            f"({graph_speedup:.2f}x), "
+            f"bitwise_identical="
+            f"{data.get(f'graph_{model}_bitwise_identical', 'n/a')}"
+        )
     # Privatization-scratch high-water marks (informational, not
     # gated): span-sized leases vs the naive units x output figure.
     for prefix, label in (

@@ -119,6 +119,44 @@ buildBsrSpmm(int block_size)
 }
 
 PrimFunc
+buildBsrSddmm(int block_size)
+{
+    SparseTirBuilder b("bsr_sddmm");
+    Var mb = b.scalarParam("mb");    // block rows
+    Var nb = b.scalarParam("nb");    // block cols
+    Var nnzb = b.scalarParam("nnzb");
+    Var feat = b.scalarParam("feat_size");
+    Axis io = b.addDenseFixed("IO", mb);
+    Axis jo = b.addSparseVariable("JO", io, nb, nnzb);
+    Axis ii = b.addDenseFixed("II", intImm(block_size));
+    Axis ji = b.addDenseFixed("JI", intImm(block_size));
+    Axis id = b.addDenseFixed("I_", mul(mb, intImm(block_size)));
+    Axis jd = b.addDenseFixed("J_", mul(nb, intImm(block_size)));
+    Axis k_axis = b.addDenseFixed("K", feat);
+    Buffer x = b.addSparseBuffer("X", {id, k_axis});
+    Buffer y = b.addSparseBuffer("Y", {k_axis, jd});
+    Buffer out = b.addSparseBuffer("B", {io, jo, ii, ji});
+    Expr bs = intImm(block_size);
+    b.spIter(
+        {io, jo, ii, ji, k_axis}, "SSSSR", "bsr_sddmm",
+        [&](const std::vector<Var> &v) {
+            // v = [io, jo, ii, ji, k]
+            Expr row = add(mul(v[0], bs), v[2]);
+            Expr col = add(mul(v[1], bs), v[3]);
+            return bufferStore(
+                out, {v[0], v[1], v[2], v[3]},
+                add(bufferLoad(out, {v[0], v[1], v[2], v[3]}),
+                    mul(bufferLoad(x, {row, v[4]}),
+                        bufferLoad(y, {v[4], col}))));
+        },
+        [&](const std::vector<Var> &v) {
+            return bufferStore(out, {v[0], v[1], v[2], v[3]},
+                               floatImm(0.0f));
+        });
+    return b.finish();
+}
+
+PrimFunc
 buildSrbcrsSpmm(int tile_height, int group_size)
 {
     SparseTirBuilder b("srbcrs_spmm");

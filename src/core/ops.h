@@ -35,6 +35,13 @@ ir::PrimFunc buildSddmm(bool fuse_ij);
 ir::PrimFunc buildBsrSpmm(int block_size);
 
 /**
+ * BSR SDDMM Stage I program with a constant block size:
+ * B_out[block] = (X @ Y) sampled at A's present blocks — the
+ * row-panel kernel of the sparse-attention pipeline (Figure 16).
+ */
+ir::PrimFunc buildBsrSddmm(int block_size);
+
+/**
  * SR-BCRS(t, g) SpMM Stage I program (paper Figure 18): stripes of t
  * rows store g-grouped 1-wide tiles.
  * Structure constants (stripes, groups) are baked in as parameters.

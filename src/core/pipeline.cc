@@ -185,6 +185,7 @@ declareFormatFacts(const PrimFunc &func, verify::VerifyContext *ctx)
         fact.hi = total;
         fact.first = intImm(0);
         fact.last = total;
+        fact.sorted = true;
         ctx->facts[arr] = fact;
     };
     // index arrays: element values are valid ids in [0, count - 1].
@@ -458,6 +459,46 @@ compileBsrSpmm(const format::Bsr &a, int64_t feat,
     shared->own("JO_indptr", NDArray::fromInt32(a.indptr));
     shared->own("JO_indices", NDArray::fromInt32(a.indices));
     shared->own("A_data", NDArray::fromFloat(a.values));
+    return std::make_shared<BoundKernel>(stage3, shared);
+}
+
+// ---------------------------------------------------------------------
+// BSR SDDMM
+// ---------------------------------------------------------------------
+
+PrimFunc
+compileBsrSddmmFunc(int32_t block_size, int64_t feat,
+                    bool tensor_cores)
+{
+    PrimFunc stage2 = lowerToStage2(buildBsrSddmm(block_size));
+    schedule::Schedule sch(stage2);
+    auto loops = sch.getLoops("bsr_sddmm");  // io, jo, ii, ji, k
+    // One thread block per block row (the row-panel shape): the X
+    // panel is loaded once per row and reused across every non-zero
+    // block, unlike Triton's per-block reload.
+    sch.bind(loops[0], "blockIdx.x");
+    sch.bind(loops[3], "threadIdx.x");
+    if (tensor_cores) {
+        sch.tensorize("bsr_sddmm", "m16n16k16");
+    }
+    (void)feat;
+    return selfVerified(lowerToStage3(sch), "bsr_sddmm");
+}
+
+std::shared_ptr<BoundKernel>
+compileBsrSddmm(const format::Bsr &a, int64_t feat,
+                const std::shared_ptr<BindingSet> &shared,
+                bool tensor_cores)
+{
+    PrimFunc stage3 =
+        compileBsrSddmmFunc(a.blockSize, feat, tensor_cores);
+
+    shared->scalar("mb", a.blockRows);
+    shared->scalar("nb", a.blockCols);
+    shared->scalar("nnzb", a.nnzBlocks());
+    shared->scalar("feat_size", feat);
+    shared->own("JO_indptr", NDArray::fromInt32(a.indptr));
+    shared->own("JO_indices", NDArray::fromInt32(a.indices));
     return std::make_shared<BoundKernel>(stage3, shared);
 }
 

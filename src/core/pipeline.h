@@ -179,6 +179,14 @@ ir::PrimFunc compileSddmmFunc(int64_t feat,
 ir::PrimFunc compileBsrSpmmFunc(int32_t block_size, int64_t feat,
                                 bool tensor_cores);
 
+/**
+ * Stage III BSR SDDMM kernel: one thread block per block row, the
+ * X panel staged and reused across the row's non-zero blocks;
+ * `tensor_cores` routes the per-block MMA to the TC pipe (fp16).
+ */
+ir::PrimFunc compileBsrSddmmFunc(int32_t block_size, int64_t feat,
+                                 bool tensor_cores);
+
 /** Stage III SR-BCRS(t, g) SpMM kernel (structure-independent). */
 ir::PrimFunc compileSrbcrsSpmmFunc(int32_t tile_height,
                                    int32_t group_size, int64_t feat);
@@ -229,6 +237,16 @@ std::shared_ptr<BoundKernel> compileSddmm(
 std::shared_ptr<BoundKernel> compileBsrSpmm(
     const format::Bsr &a, int64_t feat,
     const std::shared_ptr<BindingSet> &shared, bool tensor_cores);
+
+/**
+ * BSR SDDMM (sparse-attention row-panel kernel): samples X @ Y at
+ * the present blocks of `a`. Binds the block structure and leaves
+ * "X_data"/"Y_data"/"B_data" for the caller.
+ */
+std::shared_ptr<BoundKernel> compileBsrSddmm(
+    const format::Bsr &a, int64_t feat,
+    const std::shared_ptr<BindingSet> &shared,
+    bool tensor_cores = false);
 
 /** SR-BCRS(t, g) SpMM with Tensor-Core MMA (m8n32k16). */
 std::shared_ptr<BoundKernel> compileSrbcrsSpmm(

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lowering from OpGraph to executable Stage III kernels.
+ *
+ * Every node lowers to one canonical row-parallel kernel: an outer
+ * blockIdx.x loop over the shared row space, guarded padded inner
+ * loops over `maxRowNnz` positions (`if r < J_indptr[i+1] -
+ * J_indptr[i]`), and per-row scalar accumulators allocated inside the
+ * row loop. That shape is chosen for the verifier — the guard is the
+ * exact conjunct the affine prover subtracts to discharge edge-space
+ * bounds, and the `J_indptr[i] + r` store index is what the
+ * monotone-window race rule recognizes.
+ *
+ * `lowerGraph` produces one of two artifacts over those kernels:
+ *
+ *  - fused: all nodes share one sparsity pattern, so the bodies fuse
+ *    into a single PrimFunc (transform::fuseRowRegions) and every
+ *    interior tensor becomes a per-row local — the intermediate edge
+ *    tensor of SDDMM -> softmax -> SpMM is never materialized.
+ *
+ *  - chain: one kernel per node, dispatched sequentially, interior
+ *    tensors materialized in scratch ("t_<id>" temps). This is the
+ *    bitwise oracle for the fused path and the fallback when fusion
+ *    bails (`reason` says why).
+ *
+ * Shapes and structure extents are baked into the IR as constants
+ * (they are part of the graph's cache key anyway), so lowered kernels
+ * have no scalar parameters and warm dispatch never probes.
+ */
+
+#ifndef SPARSETIR_DFG_LOWER_H_
+#define SPARSETIR_DFG_LOWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/op_graph.h"
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace dfg {
+
+/** A chain-mode intermediate tensor to materialize at dispatch. */
+struct LoweredTemp
+{
+    std::string name;
+    int64_t numel = 0;
+};
+
+/** Structure arrays one pattern contributes to kernel bindings. */
+struct StructureBinding
+{
+    std::string indptrName;
+    std::string indicesName;
+    PatternRef pattern;
+};
+
+struct GraphLowering
+{
+    /** One fused kernel (true) or a per-node chain (false). */
+    bool fused = false;
+    /** Why fusion bailed to the chain; empty when fused. */
+    std::string reason;
+    /** Kernels in dispatch order (size 1 when fused). */
+    std::vector<ir::PrimFunc> funcs;
+    /** Chain-mode intermediates; empty when fused. */
+    std::vector<LoweredTemp> temps;
+    /** Distinct patterns, in first-use order. */
+    std::vector<StructureBinding> structures;
+    /** Shared blockIdx.x extent of every kernel. */
+    int64_t rows = 0;
+};
+
+/**
+ * Check whether `graph` fuses into one kernel. Returns true and
+ * clears `*reason`, or returns false with the bail cause: more than
+ * one distinct sparsity pattern among nodes (share the PatternRef —
+ * identity, not content, defines an iteration space), or an interior
+ * value that is also marked as a graph output (it must materialize).
+ */
+bool fusible(const OpGraph &graph, std::string *reason);
+
+/**
+ * Lower `graph`. With `fuse` set, fuses when `fusible` allows and
+ * falls back to the chain otherwise; with `fuse` clear, always
+ * produces the per-node chain.
+ */
+GraphLowering lowerGraph(const OpGraph &graph, bool fuse);
+
+} // namespace dfg
+} // namespace sparsetir
+
+#endif // SPARSETIR_DFG_LOWER_H_

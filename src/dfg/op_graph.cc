@@ -1,0 +1,356 @@
+#include "dfg/op_graph.h"
+
+#include <algorithm>
+
+#include "engine/fingerprint.h"
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace dfg {
+
+int32_t
+SparsityPattern::maxRowNnz() const
+{
+    int32_t widest = 0;
+    for (size_t i = 0; i + 1 < indptr.size(); ++i) {
+        widest = std::max(widest, indptr[i + 1] - indptr[i]);
+    }
+    return widest;
+}
+
+uint64_t
+SparsityPattern::structureHash() const
+{
+    return engine::Fingerprint()
+        .i64(rows)
+        .i64(cols)
+        .i32s(indptr)
+        .i32s(indices)
+        .digest();
+}
+
+std::shared_ptr<const SparsityPattern>
+SparsityPattern::fromCsr(const format::Csr &a)
+{
+    auto pattern = std::make_shared<SparsityPattern>();
+    pattern->rows = a.rows;
+    pattern->cols = a.cols;
+    pattern->indptr = a.indptr;
+    pattern->indices = a.indices;
+    USER_CHECK(pattern->indptr.size() ==
+               static_cast<size_t>(a.rows) + 1)
+        << "CSR indptr has " << pattern->indptr.size()
+        << " entries for " << a.rows << " rows";
+    return pattern;
+}
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::kSddmm:
+        return "sddmm";
+      case OpType::kMaskedSoftmax:
+        return "masked_softmax";
+      case OpType::kSpmm:
+        return "spmm";
+      case OpType::kElementwise:
+        return "elementwise";
+      case OpType::kAggregate:
+        return "aggregate";
+      case OpType::kUpdate:
+        return "update";
+      case OpType::kAdd:
+        return "add";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Binding names must be usable as buffer/param identifiers. */
+void
+checkName(const std::string &name)
+{
+    USER_CHECK(!name.empty()) << "graph value names must be non-empty";
+    USER_CHECK(name[0] != 'J' && name.rfind("t_", 0) != 0 &&
+               name.rfind("acc", 0) != 0)
+        << "graph value name '" << name
+        << "' collides with reserved kernel buffer names "
+           "(J* structure arrays, t_* intermediates, acc* locals)";
+}
+
+} // namespace
+
+int
+OpGraph::addValue(ValueDesc desc)
+{
+    values_.push_back(std::move(desc));
+    return static_cast<int>(values_.size()) - 1;
+}
+
+int
+OpGraph::addNode(Node node, ValueDesc out)
+{
+    out.producer = static_cast<int>(nodes_.size());
+    int id = addValue(std::move(out));
+    node.output = id;
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
+const ValueDesc &
+OpGraph::checkValue(int id, const char *what) const
+{
+    USER_CHECK(id >= 0 && id < static_cast<int>(values_.size()))
+        << what << ": value id " << id << " is not in this graph";
+    return values_[static_cast<size_t>(id)];
+}
+
+void
+OpGraph::meetRows(int64_t rows)
+{
+    if (rows_ == 0) {
+        rows_ = rows;
+        return;
+    }
+    USER_CHECK(rows_ == rows)
+        << "graph nodes must share one row iteration space: have "
+        << rows_ << " rows, new node iterates " << rows;
+}
+
+int
+OpGraph::denseInput(const std::string &name, int64_t rows, int64_t cols)
+{
+    checkName(name);
+    USER_CHECK(rows > 0 && cols > 0)
+        << "dense input '" << name << "' needs positive shape, got "
+        << rows << " x " << cols;
+    ValueDesc desc;
+    desc.rows = rows;
+    desc.cols = cols;
+    desc.name = name;
+    int id = addValue(std::move(desc));
+    inputs_.push_back(id);
+    return id;
+}
+
+int
+OpGraph::edgeInput(const std::string &name, const PatternRef &pattern)
+{
+    checkName(name);
+    USER_CHECK(pattern != nullptr) << "edge input needs a pattern";
+    ValueDesc desc;
+    desc.edge = true;
+    desc.rows = pattern->rows;
+    desc.pattern = pattern;
+    desc.name = name;
+    int id = addValue(std::move(desc));
+    inputs_.push_back(id);
+    return id;
+}
+
+int
+OpGraph::sddmm(const PatternRef &pattern, int x, int y)
+{
+    USER_CHECK(pattern != nullptr) << "sddmm needs a pattern";
+    const ValueDesc &vx = checkValue(x, "sddmm lhs");
+    const ValueDesc &vy = checkValue(y, "sddmm rhs");
+    USER_CHECK(!vx.edge && !vy.edge) << "sddmm operands must be dense";
+    USER_CHECK(vx.rows == pattern->rows)
+        << "sddmm lhs has " << vx.rows << " rows, pattern has "
+        << pattern->rows;
+    USER_CHECK(vy.cols == pattern->cols)
+        << "sddmm rhs has " << vy.cols << " cols, pattern has "
+        << pattern->cols;
+    USER_CHECK(vx.cols == vy.rows)
+        << "sddmm inner dims disagree: " << vx.cols << " vs " << vy.rows;
+    meetRows(pattern->rows);
+    Node node;
+    node.type = OpType::kSddmm;
+    node.inputs = {x, y};
+    node.pattern = pattern;
+    ValueDesc out;
+    out.edge = true;
+    out.rows = pattern->rows;
+    out.pattern = pattern;
+    return addNode(std::move(node), std::move(out));
+}
+
+int
+OpGraph::maskedSoftmax(int e)
+{
+    const ValueDesc &ve = checkValue(e, "masked_softmax input");
+    USER_CHECK(ve.edge) << "masked_softmax input must be an edge tensor";
+    meetRows(ve.pattern->rows);
+    Node node;
+    node.type = OpType::kMaskedSoftmax;
+    node.inputs = {e};
+    node.pattern = ve.pattern;
+    ValueDesc out;
+    out.edge = true;
+    out.rows = ve.rows;
+    out.pattern = ve.pattern;
+    return addNode(std::move(node), std::move(out));
+}
+
+int
+OpGraph::spmm(int e, int b)
+{
+    const ValueDesc &ve = checkValue(e, "spmm values");
+    const ValueDesc &vb = checkValue(b, "spmm dense rhs");
+    USER_CHECK(ve.edge) << "spmm values must be an edge tensor";
+    USER_CHECK(!vb.edge) << "spmm rhs must be dense";
+    USER_CHECK(vb.rows == ve.pattern->cols)
+        << "spmm rhs has " << vb.rows << " rows, pattern has "
+        << ve.pattern->cols << " cols";
+    meetRows(ve.pattern->rows);
+    Node node;
+    node.type = OpType::kSpmm;
+    node.inputs = {e, b};
+    node.pattern = ve.pattern;
+    ValueDesc out;
+    out.rows = ve.pattern->rows;
+    out.cols = vb.cols;
+    return addNode(std::move(node), std::move(out));
+}
+
+int
+OpGraph::elementwise(int e, EwiseFn fn, double scale)
+{
+    const ValueDesc &ve = checkValue(e, "elementwise input");
+    USER_CHECK(ve.edge) << "elementwise input must be an edge tensor";
+    meetRows(ve.pattern->rows);
+    Node node;
+    node.type = OpType::kElementwise;
+    node.inputs = {e};
+    node.pattern = ve.pattern;
+    node.fn = fn;
+    node.scale = scale;
+    ValueDesc out;
+    out.edge = true;
+    out.rows = ve.rows;
+    out.pattern = ve.pattern;
+    return addNode(std::move(node), std::move(out));
+}
+
+int
+OpGraph::aggregate(const PatternRef &pattern, int x, bool mean)
+{
+    USER_CHECK(pattern != nullptr) << "aggregate needs a pattern";
+    const ValueDesc &vx = checkValue(x, "aggregate input");
+    USER_CHECK(!vx.edge) << "aggregate input must be dense";
+    USER_CHECK(vx.rows == pattern->cols)
+        << "aggregate input has " << vx.rows << " rows, pattern has "
+        << pattern->cols << " cols";
+    meetRows(pattern->rows);
+    Node node;
+    node.type = OpType::kAggregate;
+    node.inputs = {x};
+    node.pattern = pattern;
+    node.mean = mean;
+    ValueDesc out;
+    out.rows = pattern->rows;
+    out.cols = vx.cols;
+    return addNode(std::move(node), std::move(out));
+}
+
+int
+OpGraph::update(int h, int w)
+{
+    const ValueDesc &vh = checkValue(h, "update input");
+    const ValueDesc &vw = checkValue(w, "update weight");
+    USER_CHECK(!vh.edge && !vw.edge) << "update operands must be dense";
+    USER_CHECK(vh.cols == vw.rows)
+        << "update inner dims disagree: " << vh.cols << " vs "
+        << vw.rows;
+    meetRows(vh.rows);
+    Node node;
+    node.type = OpType::kUpdate;
+    node.inputs = {h, w};
+    ValueDesc out;
+    out.rows = vh.rows;
+    out.cols = vw.cols;
+    return addNode(std::move(node), std::move(out));
+}
+
+int
+OpGraph::add(int a, int b)
+{
+    const ValueDesc &va = checkValue(a, "add lhs");
+    const ValueDesc &vb = checkValue(b, "add rhs");
+    USER_CHECK(!va.edge && !vb.edge) << "add operands must be dense";
+    USER_CHECK(va.rows == vb.rows && va.cols == vb.cols)
+        << "add operands disagree: " << va.rows << "x" << va.cols
+        << " vs " << vb.rows << "x" << vb.cols;
+    meetRows(va.rows);
+    Node node;
+    node.type = OpType::kAdd;
+    node.inputs = {a, b};
+    ValueDesc out;
+    out.rows = va.rows;
+    out.cols = va.cols;
+    return addNode(std::move(node), std::move(out));
+}
+
+void
+OpGraph::markOutput(int value, const std::string &name)
+{
+    checkName(name);
+    checkValue(value, "markOutput");
+    ValueDesc &desc = values_[static_cast<size_t>(value)];
+    USER_CHECK(desc.producer >= 0)
+        << "graph output '" << name << "' must be produced by a node";
+    USER_CHECK(desc.name.empty())
+        << "value already named '" << desc.name << "'";
+    desc.name = name;
+    outputs_.push_back(value);
+}
+
+int64_t
+OpGraph::totalNnz() const
+{
+    int64_t total = 0;
+    for (const Node &node : nodes_) {
+        if (node.pattern != nullptr) {
+            total += node.pattern->nnz();
+        }
+    }
+    return total;
+}
+
+uint64_t
+OpGraph::topologyFingerprint() const
+{
+    engine::Fingerprint fp;
+    fp.i64(static_cast<int64_t>(values_.size()));
+    for (const ValueDesc &desc : values_) {
+        fp.i64(desc.edge ? 1 : 0)
+            .i64(desc.rows)
+            .i64(desc.cols)
+            .i64(desc.producer)
+            .str(desc.name);
+        fp.i64(desc.pattern != nullptr
+                   ? static_cast<int64_t>(desc.pattern->structureHash())
+                   : 0);
+    }
+    fp.i64(static_cast<int64_t>(nodes_.size()));
+    for (const Node &node : nodes_) {
+        fp.i64(static_cast<int64_t>(node.type));
+        fp.i64(static_cast<int64_t>(node.inputs.size()));
+        for (int input : node.inputs) {
+            fp.i64(input);
+        }
+        fp.i64(node.output);
+        fp.i64(node.pattern != nullptr
+                   ? static_cast<int64_t>(node.pattern->structureHash())
+                   : 0);
+        fp.i64(static_cast<int64_t>(node.fn));
+        fp.bytes(&node.scale, sizeof(node.scale));
+        fp.i64(node.mean ? 1 : 0);
+    }
+    return fp.digest();
+}
+
+} // namespace dfg
+} // namespace sparsetir

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Dataflow graphs over sparse operators — the layer that turns the
+ * engine from a kernel server into a model server.
+ *
+ * An OpGraph describes a whole pipeline (the fig16 sparse-attention
+ * chain SDDMM -> masked-softmax -> SpMM, a GraphSAGE aggregate ->
+ * update layer, an RGCN relation sum) as ops on nodes and values on
+ * edges. Values are either dense row-major matrices or *edge tensors*:
+ * one float per structural non-zero of a SparsityPattern, laid out in
+ * CSR position order. Feature shapes and sparsity structures ride on
+ * the edges; the ops themselves are shape-free.
+ *
+ * The graph is the unit of compilation: `dfg::lowerGraph` lowers it to
+ * either one fused PrimFunc (all ops share the row iteration space and
+ * one pattern — intermediates become per-row locals and are never
+ * materialized) or a per-kernel chain (the oracle, and the fallback
+ * when fusion bails), and `engine::Engine::dispatchGraph` caches the
+ * result keyed on the graph's topology fingerprint.
+ */
+
+#ifndef SPARSETIR_DFG_OP_GRAPH_H_
+#define SPARSETIR_DFG_OP_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "format/csr.h"
+
+namespace sparsetir {
+namespace dfg {
+
+/**
+ * Shared sparsity structure of edge tensors: the CSR position space
+ * (indptr/indices) without values. Nodes that iterate the same
+ * pattern (by pointer identity) share an iteration space, which is
+ * what licenses fusing them into one program.
+ */
+struct SparsityPattern
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<int32_t> indptr;   // rows + 1
+    std::vector<int32_t> indices;  // nnz, sorted per row
+
+    int64_t
+    nnz() const
+    {
+        return static_cast<int64_t>(indices.size());
+    }
+
+    /** Widest row; the padded inner-loop extent of lowered kernels. */
+    int32_t maxRowNnz() const;
+
+    /** Hash of the structure (never of values). */
+    uint64_t structureHash() const;
+
+    /** Borrow the structure of a CSR matrix (values dropped). */
+    static std::shared_ptr<const SparsityPattern>
+    fromCsr(const format::Csr &a);
+};
+
+using PatternRef = std::shared_ptr<const SparsityPattern>;
+
+/** Operator vocabulary of the graph layer. */
+enum class OpType : uint8_t {
+    /** E[p] = sum_k X[i,k] * Y[k, col(p)] over pattern rows. */
+    kSddmm = 0,
+    /** Row-wise numerically-stable softmax over edge values. */
+    kMaskedSoftmax = 1,
+    /** C[i,k] = sum_{p in row i} E[p] * B[col(p), k]. */
+    kSpmm = 2,
+    /** Pointwise edge map (scale / relu). */
+    kElementwise = 3,
+    /** H[i,k] = sum_{p in row i} X[col(p), k] (mean optional). */
+    kAggregate = 4,
+    /** Y[i,j] = sum_k H[i,k] * W[k,j] — dense per-row update. */
+    kUpdate = 5,
+    /** C[i,k] = A[i,k] + B[i,k] — dense elementwise sum. */
+    kAdd = 6,
+};
+
+const char *opTypeName(OpType type);
+
+/** Pointwise functions of kElementwise. */
+enum class EwiseFn : uint8_t {
+    kScale = 0,
+    kRelu = 1,
+};
+
+/**
+ * A value flowing along graph edges: a graph input, or the output of
+ * exactly one node. Dense values are row-major rows x cols; edge
+ * values hold pattern->nnz() floats in CSR position order.
+ */
+struct ValueDesc
+{
+    /** Edge tensor (true) or dense matrix (false). */
+    bool edge = false;
+    int64_t rows = 0;
+    int64_t cols = 0;  // 0 for edge values
+    /** Structure of an edge value; null for dense. */
+    PatternRef pattern;
+    /** Producing node id; -1 for graph inputs. */
+    int producer = -1;
+    /** Binding name: set for inputs and marked outputs. */
+    std::string name;
+};
+
+struct Node
+{
+    OpType type = OpType::kSddmm;
+    /** Input value ids, in operator order. */
+    std::vector<int> inputs;
+    int output = -1;
+    /** Row iteration pattern; null for pure dense ops. */
+    PatternRef pattern;
+    /** kElementwise function. */
+    EwiseFn fn = EwiseFn::kScale;
+    /** kElementwise kScale factor. */
+    double scale = 1.0;
+    /** kAggregate: divide each row sum by its degree. */
+    bool mean = false;
+};
+
+/**
+ * Builder + storage for one dataflow graph. Methods return value ids;
+ * shape conformance is checked at construction (USER_CHECK), so a
+ * graph that exists is dispatchable.
+ */
+class OpGraph
+{
+  public:
+    /** Declare a dense rows x cols input bound by `name` at dispatch. */
+    int denseInput(const std::string &name, int64_t rows, int64_t cols);
+    /** Declare an edge-tensor input over `pattern` (e.g. A values). */
+    int edgeInput(const std::string &name, const PatternRef &pattern);
+
+    /** E = SDDMM(pattern; X: m x f, Y: f x n). */
+    int sddmm(const PatternRef &pattern, int x, int y);
+    /** S = row-softmax(E) over E's pattern. */
+    int maskedSoftmax(int e);
+    /** C = SpMM(E over its pattern, B: n x f). */
+    int spmm(int e, int b);
+    /** S = fn(E) pointwise. */
+    int elementwise(int e, EwiseFn fn, double scale = 1.0);
+    /** H = neighbor sum/mean over `pattern` of X: n x f. */
+    int aggregate(const PatternRef &pattern, int x, bool mean);
+    /** Y = H (m x k) @ W (k x j). */
+    int update(int h, int w);
+    /** C = A + B, both m x f dense. */
+    int add(int a, int b);
+
+    /** Expose a value as a dispatch output bound by `name`. */
+    void markOutput(int value, const std::string &name);
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const std::vector<ValueDesc> &values() const { return values_; }
+    const std::vector<int> &outputs() const { return outputs_; }
+    const std::vector<int> &inputs() const { return inputs_; }
+
+    const ValueDesc &
+    value(int id) const
+    {
+        return values_[static_cast<size_t>(id)];
+    }
+
+    /** Rows of the shared row iteration space (0 until a node exists). */
+    int64_t rows() const { return rows_; }
+
+    /** Sum of pattern nnz across nodes (cache-key shape fact). */
+    int64_t totalNnz() const;
+
+    /**
+     * Fingerprint of the whole topology: op kinds and options, edge
+     * wiring, dense shapes, and per-edge sparsity-structure hashes.
+     * Never hashes values — two graphs over identical structures with
+     * different data share one artifact; any structural change (one
+     * extra non-zero, a different op option) forces a recompile.
+     */
+    uint64_t topologyFingerprint() const;
+
+  private:
+    int addValue(ValueDesc desc);
+    int addNode(Node node, ValueDesc out);
+    /** Check `id` is a valid value id and return its descriptor. */
+    const ValueDesc &checkValue(int id, const char *what) const;
+    /** Enforce the shared row space across nodes. */
+    void meetRows(int64_t rows);
+
+    std::vector<Node> nodes_;
+    std::vector<ValueDesc> values_;
+    std::vector<int> inputs_;
+    std::vector<int> outputs_;
+    int64_t rows_ = 0;
+};
+
+} // namespace dfg
+} // namespace sparsetir
+
+#endif // SPARSETIR_DFG_OP_GRAPH_H_

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "dfg/lower.h"
 #include "format/hyb.h"
 #include "model/rgcn.h"
 #include "observe/trace.h"
@@ -227,6 +228,31 @@ struct RgcnArtifact : Artifact
     std::vector<RgcnUnit> units;
 };
 
+/** A chain-mode intermediate the dispatch leases scratch for. */
+struct GraphTemp
+{
+    std::string name;
+    int64_t numel = 0;
+};
+
+/**
+ * A whole OpGraph's compiled program: one fused kernel (interior
+ * tensors live in per-row locals) or the per-node chain plus its
+ * intermediate-materialization plan. Structure arrays are keyed by
+ * the lowering's binding names ("J<p>_indptr"/"J<p>_indices").
+ */
+struct GraphArtifact : Artifact
+{
+    bool fused = false;
+    /** Why fusion bailed to the chain; empty when fused. */
+    std::string modeReason;
+    std::vector<CompiledKernel> kernels;
+    std::map<std::string, NDArray> structures;
+    std::vector<GraphTemp> temps;
+    /** Bytes of scratch a chain dispatch leases (0 when fused). */
+    int64_t tempBytes = 0;
+};
+
 // ---------------------------------------------------------------------
 // Builders (miss path)
 // ---------------------------------------------------------------------
@@ -429,6 +455,49 @@ buildRgcnArtifact(const format::RelationalCsr &graph, int64_t feat_in,
     return artifact;
 }
 
+std::shared_ptr<Artifact>
+buildGraphArtifact(const dfg::OpGraph &graph, bool fuse,
+                   bool bytecode, bool verify)
+{
+    auto artifact = std::make_shared<GraphArtifact>();
+    dfg::GraphLowering lowering;
+    {
+        SPARSETIR_TRACE_SCOPE("dfg", fuse ? "dfg.fuse" : "dfg.lower");
+        lowering = dfg::lowerGraph(graph, fuse);
+    }
+    artifact->fused = lowering.fused;
+    artifact->modeReason = lowering.reason;
+    artifact->kernels.reserve(lowering.funcs.size());
+    for (const ir::PrimFunc &func : lowering.funcs) {
+        artifact->kernels.push_back(compileKernel(func, bytecode));
+    }
+    if (verify) {
+        verify::VerifyContext base;
+        for (const dfg::StructureBinding &s : lowering.structures) {
+            base.int32Array(s.indptrName, s.pattern->indptr);
+            base.int32Array(s.indicesName, s.pattern->indices);
+        }
+        for (const CompiledKernel &kernel : artifact->kernels) {
+            verify::VerifyContext ctx = base;
+            declareAccumSpec(&ctx, kernel, "", nullptr, 0);
+            verifyKernelInto(artifact.get(), kernel, ctx,
+                             kernel.func->name);
+        }
+    }
+    for (const dfg::StructureBinding &s : lowering.structures) {
+        artifact->structures.emplace(
+            s.indptrName, NDArray::fromInt32(s.pattern->indptr));
+        artifact->structures.emplace(
+            s.indicesName, NDArray::fromInt32(s.pattern->indices));
+    }
+    for (const dfg::LoweredTemp &temp : lowering.temps) {
+        artifact->temps.push_back(GraphTemp{temp.name, temp.numel});
+        artifact->tempBytes +=
+            temp.numel * static_cast<int64_t>(sizeof(float));
+    }
+    return artifact;
+}
+
 // ---------------------------------------------------------------------
 // Cache keys
 // ---------------------------------------------------------------------
@@ -519,6 +588,21 @@ spmmBsrKey(const format::Bsr &a, int64_t feat,
     key.rows = a.rows;
     key.nnz = a.nnzBlocks();
     key.blockSize = a.blockSize;
+    return key;
+}
+
+CacheKey
+graphKey(const dfg::OpGraph &graph, bool fuse)
+{
+    CacheKey key;
+    key.op = OpKind::kGraph;
+    // The structure field carries the whole topology: op kinds,
+    // dataflow edges, feature shapes, and every pattern's structure
+    // hash — two graphs differing only in edge sparsity miss.
+    key.structure = graph.topologyFingerprint();
+    key.schedule = Fingerprint().i64(fuse ? 1 : 0).digest();
+    key.rows = graph.rows();
+    key.nnz = graph.totalNnz();
     return key;
 }
 
@@ -660,7 +744,8 @@ Engine::Engine(EngineOptions options)
     launchProbes_ = metrics_->counter("runtime.launch_probes");
     for (OpKind op :
          {OpKind::kSpmmCsr, OpKind::kSpmmHyb, OpKind::kSddmm,
-          OpKind::kRgcnHyb, OpKind::kSpmmBsr, OpKind::kSpmmSrbcrs}) {
+          OpKind::kRgcnHyb, OpKind::kSpmmBsr, OpKind::kSpmmSrbcrs,
+          OpKind::kGraph}) {
         for (bool warm : {true, false}) {
             std::string name =
                 std::string(warm ? "engine.warm_dispatch_ms."
@@ -890,6 +975,87 @@ Engine::spmmHyb(const Csr &a, int64_t feat, NDArray *b, NDArray *c,
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(kernels.size());
     finishDispatch(info, OpKind::kSpmmHyb);
+    return info;
+}
+
+DispatchInfo
+Engine::dispatchGraph(const dfg::OpGraph &graph,
+                      const std::map<std::string, NDArray *> &io,
+                      const GraphDispatchOptions &options)
+{
+    SPARSETIR_TRACE_SCOPE("engine", "dispatch.graph");
+    DispatchInfo info;
+    auto artifact = std::static_pointer_cast<GraphArtifact>(
+        resolve(graphKey(graph, options.fuse),
+                [&] {
+                    return buildGraphArtifact(
+                        graph, options.fuse, usesBytecode(),
+                        options_.verifyArtifacts);
+                },
+                &info));
+
+    auto bind_start = std::chrono::steady_clock::now();
+    // Every named value (graph input or marked output) needs an array
+    // of the exact element count; unknown names are request bugs.
+    size_t named = 0;
+    for (const dfg::ValueDesc &desc : graph.values()) {
+        if (desc.name.empty()) {
+            continue;
+        }
+        named += 1;
+        auto it = io.find(desc.name);
+        USER_CHECK(it != io.end() && it->second != nullptr)
+            << "graph dispatch is missing an array for value '"
+            << desc.name << "'";
+        int64_t numel = desc.edge ? desc.pattern->nnz()
+                                  : desc.rows * desc.cols;
+        USER_CHECK(it->second->numel() == numel)
+            << "array for graph value '" << desc.name << "' has "
+            << it->second->numel() << " elements, graph expects "
+            << numel;
+    }
+    USER_CHECK(io.size() == named)
+        << "graph dispatch got " << io.size() << " arrays for "
+        << named << " named values — unknown names in the io map";
+
+    BindingSet bindings;
+    for (auto &kv : artifact->structures) {
+        bindings.external(kv.first, &kv.second);
+    }
+    for (const auto &kv : io) {
+        bindings.external(kv.first, kv.second);
+    }
+    // Chain mode materializes interior tensors in pooled scratch; the
+    // fused kernel has none (per-row locals), so its dispatch leases
+    // nothing and the scratch peak stays at zero. No zeroing needed:
+    // every element a chain kernel reads was written by its producer.
+    std::vector<NDArray *> leased;
+    leased.reserve(artifact->temps.size());
+    for (const GraphTemp &temp : artifact->temps) {
+        ScratchPool::Lease lease = executor_.leaseScratch(
+            temp.numel, ir::DataType::float32());
+        leased.push_back(lease.array);
+        bindings.external(temp.name, lease.array);
+    }
+    info.bindMs = msSince(bind_start);
+    auto kernel_start = std::chrono::steady_clock::now();
+    {
+        SPARSETIR_TRACE_SCOPE("engine", "engine.exec");
+        // Chain kernels run in dataflow order, each internally
+        // parallel over rows — the barriered oracle the fused program
+        // is bitwise-checked against.
+        for (const CompiledKernel &kernel : artifact->kernels) {
+            executor_.runKernel(kernel, bindings.view(),
+                                execOptions());
+        }
+    }
+    for (NDArray *array : leased) {
+        executor_.releaseScratch(array);
+    }
+    info.kernelMs = msSince(kernel_start);
+    info.execMs = info.bindMs + info.kernelMs;
+    info.numKernels = static_cast<int>(artifact->kernels.size());
+    finishDispatch(info, OpKind::kGraph);
     return info;
 }
 

@@ -34,11 +34,14 @@
 #define SPARSETIR_ENGINE_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "dfg/op_graph.h"
 #include "engine/compile_cache.h"
 #include "engine/executor.h"
 #include "engine/fingerprint.h"
@@ -178,6 +181,18 @@ struct RgcnConfig
     bool tensorCores = false;
 };
 
+/** Mode selection for whole-graph dispatch. */
+struct GraphDispatchOptions
+{
+    /**
+     * Fuse the graph into one kernel when dfg::fusible allows; clear
+     * to force the per-node chain (the differential oracle). Both
+     * modes are cached under distinct keys and produce bitwise
+     * identical outputs.
+     */
+    bool fuse = true;
+};
+
 /** Schedule selection for BSR SpMM dispatch. */
 struct BsrConfig
 {
@@ -271,6 +286,23 @@ class Engine
                       runtime::NDArray *x, runtime::NDArray *w,
                       runtime::NDArray *y,
                       const RgcnConfig &config = RgcnConfig());
+
+    /**
+     * Execute a whole dfg::OpGraph as ONE dispatch. The graph-level
+     * artifact (keyed by the graph's node/edge topology fingerprint,
+     * OpKind::kGraph) caches either a single fused kernel — interior
+     * tensors demoted to per-row locals, never materialized — or the
+     * per-node chain with a scratch-leasing plan for the
+     * intermediates. `io` maps every named value (graph inputs and
+     * marked outputs) to its array; element counts are validated
+     * against the graph's shapes. DispatchInfo::numKernels tells the
+     * two modes apart (1 fused, N chain).
+     */
+    DispatchInfo dispatchGraph(const dfg::OpGraph &graph,
+                               const std::map<std::string,
+                                              runtime::NDArray *> &io,
+                               const GraphDispatchOptions &options =
+                                   GraphDispatchOptions());
 
     /**
      * C = A @ B over the tiled BSR kernel (structured-pruned

@@ -490,6 +490,27 @@ class ParallelExecutor
         scratch_.poisonFree(byte);
     }
 
+    /**
+     * Lease request-lifetime scratch from the privatization pool.
+     * The graph dispatcher's per-kernel fallback chain materializes
+     * its intermediate tensors here so ScratchStats accounts for them
+     * (the fused path's headline: peak scratch below the chain's
+     * intermediate footprint). Pair every lease with releaseScratch;
+     * contents are unspecified (see ScratchPool).
+     */
+    ScratchPool::Lease
+    leaseScratch(int64_t numel, ir::DataType dtype) const
+    {
+        return scratch_.acquire(numel, dtype);
+    }
+
+    /** Return a leaseScratch array to the pool. */
+    void
+    releaseScratch(runtime::NDArray *array) const
+    {
+        scratch_.release(array);
+    }
+
   private:
     /** A privatized accumulator leased for one parallel unit. */
     struct Private

@@ -77,6 +77,8 @@ opKindName(OpKind op)
         return "spmm_bsr";
       case OpKind::kSpmmSrbcrs:
         return "spmm_srbcrs";
+      case OpKind::kGraph:
+        return "graph";
     }
     return "unknown";
 }

@@ -79,6 +79,8 @@ enum class OpKind : uint8_t {
     kRgcnHyb = 4,
     kSpmmBsr = 5,
     kSpmmSrbcrs = 6,
+    /** Whole dataflow graph served by Engine::dispatchGraph. */
+    kGraph = 7,
 };
 
 const char *opKindName(OpKind op);
@@ -100,8 +102,13 @@ const char *opKindName(OpKind op);
  *       and a packed OffsetView window (span-extent-sized
  *       privatization leases); an empty span list now means "touches
  *       nothing", no longer the whole-array sentinel.
+ *  v5 — graph-level artifacts (OpKind::kGraph): the structure field
+ *       fingerprints a whole OpGraph's node/edge topology (op kinds,
+ *       per-edge sparsity-structure hashes, feature shapes), and the
+ *       artifact carries either one fused kernel or the per-kernel
+ *       chain plus its intermediate-buffer plan.
  */
-constexpr uint32_t kArtifactVersion = 4;
+constexpr uint32_t kArtifactVersion = 5;
 
 /** Key of one compile-cache entry. */
 struct CacheKey

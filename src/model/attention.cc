@@ -1,9 +1,12 @@
 #include "model/attention.h"
 
+#include <cmath>
+
 #include "baselines/triton.h"
 #include "baselines/vendor_constants.h"
 #include "core/pipeline.h"
 #include "format/bsr.h"
+#include "observe/trace.h"
 
 namespace sparsetir {
 namespace model {
@@ -97,66 +100,60 @@ attentionSddmm(const format::Csr &mask, const AttentionConfig &config,
         device.launch(csr_kernel->simKernel(), oursOpts()).timeMs *
         config.heads;
 
-    // SparseTIR BSR SDDMM: one thread block per block row; the X tile
-    // is staged once (cache_read to shared) and reused across every
-    // non-zero block of the row, unlike Triton's per-block reload.
-    class RowPanelBsddmm : public gpusim::Kernel
-    {
-      public:
-        RowPanelBsddmm(const format::Bsr &a, int64_t feat)
-            : a_(a), feat_(feat)
-        {
-            baselines::AddrAllocator alloc;
-            xBase_ = alloc.alloc(a.rows * feat * 2);
-            yBase_ = alloc.alloc(a.cols * feat * 2);
-            outBase_ = alloc.alloc(
-                static_cast<int64_t>(a.values.size()) * 4);
-        }
-
-        std::string name() const override
-        {
-            return "sparsetir_bsddmm";
-        }
-        int64_t numBlocks() const override { return a_.blockRows; }
-
-        void
-        blockWork(int64_t br, gpusim::BlockWork *work) const override
-        {
-            int64_t bs = a_.blockSize;
-            int32_t lo = a_.indptr[br];
-            int32_t hi = a_.indptr[br + 1];
-            if (lo == hi) {
-                return;
-            }
-            // Stage the X panel once per block row.
-            work->accesses.push_back(gpusim::MemAccess{
-                xBase_ + static_cast<uint64_t>(br * bs * feat_ * 2),
-                static_cast<uint32_t>(bs * feat_ * 2), 0, false});
-            work->sharedBytes += static_cast<double>(bs * feat_ * 2);
-            for (int32_t p = lo; p < hi; ++p) {
-                int64_t bc = a_.indices[p];
-                work->accesses.push_back(gpusim::MemAccess{
-                    yBase_ + static_cast<uint64_t>(bc * bs * feat_ * 2),
-                    static_cast<uint32_t>(bs * feat_ * 2), 0, false});
-                work->tensorFlops += 2.0 * static_cast<double>(bs) *
-                                     static_cast<double>(bs) *
-                                     static_cast<double>(feat_);
-                work->accesses.push_back(gpusim::MemAccess{
-                    outBase_ + static_cast<uint64_t>(p) * bs * bs * 4,
-                    static_cast<uint32_t>(bs * bs * 4), 0, true});
-            }
-        }
-
-      private:
-        const format::Bsr &a_;
-        int64_t feat_;
-        uint64_t xBase_, yBase_, outBase_;
-    };
-
-    RowPanelBsddmm ours(bsr, config.headDim);
+    // SparseTIR BSR SDDMM: one thread block per block row, the X
+    // panel reused across the row's non-zero blocks — a compiled IR
+    // kernel like every other entry, not a hand-rolled sim model.
+    auto bsr_shared = std::make_shared<core::BindingSet>();
+    auto bsr_kernel = core::compileBsrSddmm(bsr, config.headDim,
+                                            bsr_shared, true);
+    runtime::NDArray x2(
+        {bsr.blockRows * config.blockSize * config.headDim},
+        ir::DataType::float32());
+    runtime::NDArray y2(
+        {config.headDim * bsr.blockCols * config.blockSize},
+        ir::DataType::float32());
+    runtime::NDArray out2(
+        {static_cast<int64_t>(bsr.values.size())},
+        ir::DataType::float32());
+    bsr_shared->external("X_data", &x2);
+    bsr_shared->external("Y_data", &y2);
+    bsr_shared->external("B_data", &out2);
     times.sparsetirBsrMs =
-        device.launch(ours, oursOpts()).timeMs * config.heads;
+        device.launch(bsr_kernel->simKernel(), oursOpts()).timeMs *
+        config.heads;
     return times;
+}
+
+dfg::OpGraph
+buildAttentionGraph(const dfg::PatternRef &mask, int64_t head_dim)
+{
+    SPARSETIR_TRACE_SCOPE("dfg", "dfg.graph_build");
+    dfg::OpGraph graph;
+    int q = graph.denseInput("q", mask->rows, head_dim);
+    int kt = graph.denseInput("kt", head_dim, mask->cols);
+    int v = graph.denseInput("v", mask->cols, head_dim);
+    int scores = graph.sddmm(mask, q, kt);
+    int scaled = graph.elementwise(
+        scores, dfg::EwiseFn::kScale,
+        1.0 / std::sqrt(static_cast<double>(head_dim)));
+    int weights = graph.maskedSoftmax(scaled);
+    int out = graph.spmm(weights, v);
+    graph.markOutput(out, "out");
+    return graph;
+}
+
+engine::DispatchInfo
+attentionPipeline(engine::Engine &engine, const dfg::PatternRef &mask,
+                  int64_t head_dim, runtime::NDArray *q,
+                  runtime::NDArray *kt, runtime::NDArray *v,
+                  runtime::NDArray *out, bool fuse)
+{
+    dfg::OpGraph graph = buildAttentionGraph(mask, head_dim);
+    engine::GraphDispatchOptions options;
+    options.fuse = fuse;
+    return engine.dispatchGraph(
+        graph, {{"q", q}, {"kt", kt}, {"v", v}, {"out", out}},
+        options);
 }
 
 } // namespace model

@@ -1,8 +1,23 @@
 /**
  * @file
- * Sparse attention operators (paper §4.3.1, Figure 16): batched
- * multi-head SpMM and SDDMM on band (Longformer) and butterfly
- * (Pixelated Butterfly) masks, in CSR and BSR variants.
+ * Sparse attention (paper §4.3.1, Figure 16).
+ *
+ * Two layers:
+ *
+ *  - The simulator path (`attentionSpmm` / `attentionSddmm`) times
+ *    the multi-head SpMM and SDDMM operators on band (Longformer)
+ *    and butterfly (Pixelated Butterfly) masks against Triton's
+ *    block-sparse kernels. Every SparseTIR entry — including the BSR
+ *    SDDMM row-panel kernel — is a compiled IR kernel adapted through
+ *    core::BoundKernel::simKernel(); nothing constructs raw
+ *    gpusim::Kernel objects.
+ *
+ *  - The serving path (`buildAttentionGraph` / `attentionPipeline`)
+ *    expresses the whole per-head pipeline
+ *    (SDDMM -> masked softmax -> SpMM) as a dfg::OpGraph and routes
+ *    it through engine::Engine::dispatchGraph, where it compiles to
+ *    ONE fused kernel that never materializes the intermediate edge
+ *    tensors.
  */
 
 #ifndef SPARSETIR_MODEL_ATTENTION_H_
@@ -10,6 +25,8 @@
 
 #include <cstdint>
 
+#include "dfg/op_graph.h"
+#include "engine/engine.h"
 #include "format/csr.h"
 #include "gpusim/simulator.h"
 
@@ -40,6 +57,27 @@ AttentionTimes attentionSpmm(const format::Csr &mask,
 AttentionTimes attentionSddmm(const format::Csr &mask,
                               const AttentionConfig &config,
                               gpusim::Device &device);
+
+/**
+ * One head's sparse-attention pipeline as a dataflow graph:
+ * scores = SDDMM(mask, Q, K^T) scaled by 1/sqrt(headDim), attention
+ * weights by masked softmax over each row's present entries, output
+ * "out" = SpMM(weights, V). Inputs: "q" (seqLen x headDim), "kt"
+ * (headDim x seqLen), "v" (seqLen x headDim). All four nodes share
+ * the mask's pattern, so the graph fuses into a single kernel.
+ */
+dfg::OpGraph buildAttentionGraph(const dfg::PatternRef &mask,
+                                 int64_t head_dim);
+
+/**
+ * Serve one head through the engine: builds the graph (cached by its
+ * topology fingerprint after the first call) and dispatches it.
+ */
+engine::DispatchInfo
+attentionPipeline(engine::Engine &engine, const dfg::PatternRef &mask,
+                  int64_t head_dim, runtime::NDArray *q,
+                  runtime::NDArray *kt, runtime::NDArray *v,
+                  runtime::NDArray *out, bool fuse = true);
 
 } // namespace model
 } // namespace sparsetir

@@ -4,6 +4,7 @@
 #include "baselines/frameworks.h"
 #include "baselines/vendor_constants.h"
 #include "core/pipeline.h"
+#include "observe/trace.h"
 
 namespace sparsetir {
 namespace model {
@@ -75,6 +76,33 @@ graphSageEpoch(const format::Csr &graph, const GraphSageConfig &config,
         result.sparsetirMs += st_ms + 2.0 * gemm_ms;
     }
     return result;
+}
+
+dfg::OpGraph
+buildGraphSageLayerGraph(const dfg::PatternRef &adj, int64_t feat_in,
+                         int64_t feat_out)
+{
+    SPARSETIR_TRACE_SCOPE("dfg", "dfg.graph_build");
+    dfg::OpGraph graph;
+    int x = graph.denseInput("x", adj->cols, feat_in);
+    int w = graph.denseInput("w", feat_in, feat_out);
+    int h = graph.aggregate(adj, x, /*mean=*/true);
+    int out = graph.update(h, w);
+    graph.markOutput(out, "out");
+    return graph;
+}
+
+engine::DispatchInfo
+graphSageLayer(engine::Engine &engine, const dfg::PatternRef &adj,
+               int64_t feat_in, int64_t feat_out, runtime::NDArray *x,
+               runtime::NDArray *w, runtime::NDArray *out, bool fuse)
+{
+    dfg::OpGraph graph =
+        buildGraphSageLayerGraph(adj, feat_in, feat_out);
+    engine::GraphDispatchOptions options;
+    options.fuse = fuse;
+    return engine.dispatchGraph(
+        graph, {{"x", x}, {"w", w}, {"out", out}}, options);
 }
 
 } // namespace model

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "dfg/op_graph.h"
+#include "engine/engine.h"
 #include "format/csr.h"
 #include "gpusim/simulator.h"
 
@@ -38,6 +40,24 @@ GraphSageResult graphSageEpoch(const format::Csr &graph,
                                const GraphSageConfig &config,
                                gpusim::Device &device,
                                int hyb_partitions);
+
+/**
+ * One GraphSAGE layer as a dataflow graph: h = mean-aggregate of
+ * neighbour features "x" (rows x featIn via the adjacency pattern),
+ * "out" = h @ "w" (featIn x featOut dense update). Both nodes share
+ * the adjacency's row space, so the layer fuses into a single kernel
+ * that never materializes the aggregated features.
+ */
+dfg::OpGraph buildGraphSageLayerGraph(const dfg::PatternRef &adj,
+                                      int64_t feat_in,
+                                      int64_t feat_out);
+
+/** Serve one aggregate -> update layer through the engine. */
+engine::DispatchInfo
+graphSageLayer(engine::Engine &engine, const dfg::PatternRef &adj,
+               int64_t feat_in, int64_t feat_out,
+               runtime::NDArray *x, runtime::NDArray *w,
+               runtime::NDArray *out, bool fuse = true);
 
 } // namespace model
 } // namespace sparsetir

@@ -5,6 +5,8 @@
 #include "baselines/vendor_constants.h"
 #include "core/pipeline.h"
 #include "format/hyb.h"
+#include "observe/trace.h"
+#include "support/logging.h"
 
 namespace sparsetir {
 namespace model {
@@ -116,6 +118,43 @@ rgcnSparseTirHyb(const format::RelationalCsr &graph, int64_t feat,
     result.timeMs = device.launchFused(sims, opts).timeMs;
     result.footprintBytes = footprint;
     return result;
+}
+
+dfg::OpGraph
+buildRgcnGraph(const std::vector<dfg::PatternRef> &relations,
+               int64_t feat_in, int64_t feat_out)
+{
+    SPARSETIR_TRACE_SCOPE("dfg", "dfg.graph_build");
+    USER_CHECK(!relations.empty())
+        << "RGCN graph needs at least one relation";
+    dfg::OpGraph graph;
+    int x = graph.denseInput("x", relations[0]->cols, feat_in);
+    int w = graph.denseInput("w", feat_in, feat_out);
+    int combined = -1;
+    for (const dfg::PatternRef &rel : relations) {
+        if (rel->nnz() == 0) {
+            continue;
+        }
+        int h = graph.aggregate(rel, x, /*mean=*/false);
+        combined = combined < 0 ? h : graph.add(combined, h);
+    }
+    USER_CHECK(combined >= 0)
+        << "RGCN graph has no edges in any relation";
+    int out = graph.update(combined, w);
+    graph.markOutput(out, "out");
+    return graph;
+}
+
+engine::DispatchInfo
+rgcnLayer(engine::Engine &engine,
+          const std::vector<dfg::PatternRef> &relations,
+          int64_t feat_in, int64_t feat_out, runtime::NDArray *x,
+          runtime::NDArray *w, runtime::NDArray *out)
+{
+    dfg::OpGraph graph = buildRgcnGraph(relations, feat_in, feat_out);
+    return engine.dispatchGraph(
+        graph, {{"x", x}, {"w", w}, {"out", out}},
+        engine::GraphDispatchOptions());
 }
 
 } // namespace model

@@ -10,7 +10,10 @@
 #define SPARSETIR_MODEL_RGCN_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "dfg/op_graph.h"
+#include "engine/engine.h"
 #include "format/relational.h"
 #include "gpusim/simulator.h"
 
@@ -39,6 +42,26 @@ RgcnResult rgcnSparseTirHyb(const format::RelationalCsr &graph,
  * identically for tuning numbers to describe the served kernels, so
  * both derive their plans from these.
  */
+
+/**
+ * An RGCN layer as a dataflow graph: per-relation sum-aggregates of
+ * "x" combined by add nodes, then the dense update against the shared
+ * weight "w" — out = (sum_r A_r @ x) @ w. The relations iterate
+ * DISTINCT sparsity structures, so dfg fusion bails and the graph
+ * dispatches as the per-node chain (the documented multi-pattern
+ * fallback); it still resolves ONE cached graph artifact and one
+ * engine dispatch. Relations with no edges are skipped.
+ */
+dfg::OpGraph buildRgcnGraph(
+    const std::vector<dfg::PatternRef> &relations, int64_t feat_in,
+    int64_t feat_out);
+
+/** Serve one RGCN layer (chain-dispatched) through the engine. */
+engine::DispatchInfo
+rgcnLayer(engine::Engine &engine,
+          const std::vector<dfg::PatternRef> &relations,
+          int64_t feat_in, int64_t feat_out, runtime::NDArray *x,
+          runtime::NDArray *w, runtime::NDArray *out);
 
 /** Effective hyb bucket cap for one relation. */
 int32_t rgcnBucketCap(const format::Csr &rel, int bucket_cap_log2);

@@ -1,0 +1,229 @@
+#include "transform/fuse_regions.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "ir/functor.h"
+#include "ir/structural_equal.h"
+#include "support/logging.h"
+
+namespace sparsetir {
+namespace transform {
+
+using namespace ir;
+
+namespace {
+
+/** Redirect every buffer reference to its canonical (by name) copy. */
+class CanonicalizeBuffers : public StmtMutator
+{
+  public:
+    explicit CanonicalizeBuffers(
+        const std::map<std::string, Buffer> &canonical)
+        : canonical_(canonical)
+    {
+    }
+
+    Buffer
+    mutateBuffer(const Buffer &buffer) override
+    {
+        auto it = canonical_.find(buffer->name);
+        return it != canonical_.end() ? it->second : buffer;
+    }
+
+  private:
+    const std::map<std::string, Buffer> &canonical_;
+};
+
+/** `idx - base`, folded when idx is structurally base (+ rest). */
+Expr
+rebase(const Expr &idx, const Expr &base)
+{
+    if (structuralEqual(idx, base)) {
+        return intImm(0);
+    }
+    if (idx->kind == ExprKind::kAdd) {
+        const auto *node = static_cast<const BinaryNode *>(idx.get());
+        if (structuralEqual(node->a, base)) {
+            return node->b;
+        }
+        if (structuralEqual(node->b, base)) {
+            return node->a;
+        }
+    }
+    return sub(idx, base);
+}
+
+/** Rewrite accesses of localized buffers to their per-row locals. */
+class Localize : public StmtMutator
+{
+  public:
+    struct Target
+    {
+        Buffer local;
+        Expr rowBase;
+    };
+
+    explicit Localize(const std::map<std::string, Target> &targets)
+        : targets_(targets)
+    {
+    }
+
+    Expr
+    mutateBufferLoad(const BufferLoadNode *op, const Expr &e) override
+    {
+        auto it = targets_.find(op->buffer->name);
+        if (it == targets_.end()) {
+            return StmtMutator::mutateBufferLoad(op, e);
+        }
+        ICHECK(op->indices.size() == 1)
+            << "localized buffers are flat";
+        Expr idx = mutateExpr(op->indices[0]);
+        return bufferLoad(it->second.local,
+                          {rebase(idx, it->second.rowBase)});
+    }
+
+    Stmt
+    mutateBufferStore(const BufferStoreNode *op, const Stmt &s) override
+    {
+        auto it = targets_.find(op->buffer->name);
+        if (it == targets_.end()) {
+            return StmtMutator::mutateBufferStore(op, s);
+        }
+        ICHECK(op->indices.size() == 1)
+            << "localized buffers are flat";
+        Expr idx = mutateExpr(op->indices[0]);
+        Expr value = mutateExpr(op->value);
+        return bufferStore(it->second.local,
+                           {rebase(idx, it->second.rowBase)},
+                           std::move(value));
+    }
+
+  private:
+    const std::map<std::string, Target> &targets_;
+};
+
+} // namespace
+
+PrimFunc
+fuseRowRegions(const std::vector<PrimFunc> &funcs,
+               const std::string &name,
+               const std::vector<LocalizeSpec> &locals)
+{
+    USER_CHECK(!funcs.empty()) << "nothing to fuse";
+
+    // The shared row loop comes from the first member.
+    USER_CHECK(funcs[0]->body->kind == StmtKind::kFor)
+        << "kernel '" << funcs[0]->name
+        << "' must start with a blockIdx.x loop";
+    const auto *head =
+        static_cast<const ForNode *>(funcs[0]->body.get());
+    USER_CHECK(head->forKind == ForKind::kThreadBinding &&
+               head->threadTag == "blockIdx.x")
+        << "kernel '" << funcs[0]->name
+        << "' must start with a blockIdx.x loop";
+    Var row = head->loopVar;
+
+    std::map<std::string, Buffer> canonical;
+    std::map<std::string, Localize::Target> targets;
+    for (const LocalizeSpec &spec : locals) {
+        USER_CHECK(spec.extent > 0)
+            << "localized buffer '" << spec.buffer
+            << "' needs a positive per-row extent";
+        Localize::Target target;
+        auto local = std::make_shared<BufferNode>();
+        local->data = var(spec.buffer + "_local", DataType::handle());
+        local->name = spec.buffer + "_local";
+        local->dtype = DataType::float32();
+        local->shape = {intImm(spec.extent)};
+        local->scope = MemScope::kLocal;
+        target.local = local;
+        target.rowBase = spec.rowBase;
+        targets.emplace(spec.buffer, std::move(target));
+    }
+
+    PrimFunc out = primFunc(name);
+    out->stage = IrStage::kStage3;
+    std::vector<Stmt> fragments;
+
+    for (const auto &func : funcs) {
+        USER_CHECK(func->stage == IrStage::kStage3)
+            << "region fusion expects Stage III kernels";
+        USER_CHECK(func->body->kind == StmtKind::kFor)
+            << "kernel '" << func->name
+            << "' must start with a blockIdx.x loop";
+        const auto *loop =
+            static_cast<const ForNode *>(func->body.get());
+        USER_CHECK(loop->forKind == ForKind::kThreadBinding &&
+                   loop->threadTag == "blockIdx.x")
+            << "kernel '" << func->name
+            << "' must start with a blockIdx.x loop";
+        USER_CHECK(structuralEqual(loop->extent, head->extent))
+            << "kernel '" << func->name
+            << "' iterates a different row space than '"
+            << funcs[0]->name << "' — regions must share one "
+            << "iteration space to fuse";
+
+        // Rebase this member's rows onto the shared loop variable.
+        Stmt body = loop->body;
+        if (loop->loopVar.get() != row.get()) {
+            std::map<const VarNode *, Expr> subst{
+                {loop->loopVar.get(), row}};
+            body = substitute(body, subst);
+        }
+        fragments.push_back(std::move(body));
+
+        // Dedup the signature by buffer name; the first occurrence is
+        // canonical and later members' references are redirected.
+        for (const auto &[param, buffer] : func->bufferMap) {
+            if (targets.count(buffer->name) != 0) {
+                continue; // demoted to a per-row local below
+            }
+            auto [it, inserted] =
+                canonical.emplace(buffer->name, buffer);
+            if (inserted) {
+                out->params.push_back(buffer->data);
+                out->bufferMap.emplace_back(buffer->data, buffer);
+            }
+            (void)param;
+            (void)it;
+        }
+        for (const auto &param : func->params) {
+            if (func->bufferOf(param) != nullptr) {
+                continue; // handled via bufferMap above
+            }
+            bool present = false;
+            for (const auto &existing : out->params) {
+                if (existing->name == param->name) {
+                    present = true;
+                    break;
+                }
+            }
+            if (!present) {
+                out->params.push_back(param);
+            }
+        }
+    }
+
+    Stmt body = seq(std::move(fragments));
+    CanonicalizeBuffers canon(canonical);
+    body = canon.mutateStmt(body);
+    if (!targets.empty()) {
+        Localize localize(targets);
+        body = localize.mutateStmt(body);
+        // Allocation sites go INSIDE the row loop: each row owns a
+        // private copy, which is also what exempts the locals from
+        // the verifier's cross-block race obligations.
+        for (const auto &[global_name, target] : targets) {
+            (void)global_name;
+            body = allocate(target.local, body);
+        }
+    }
+    out->body = forLoop(row, head->minValue, head->extent, body,
+                        ForKind::kThreadBinding, "blockIdx.x");
+    return out;
+}
+
+} // namespace transform
+} // namespace sparsetir

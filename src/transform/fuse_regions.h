@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Vertical fusion of row-parallel Stage III regions.
+ *
+ * Where horizontal_fusion concatenates independent kernels along the
+ * grid axis, this pass stitches a *pipeline*: kernels that iterate the
+ * SAME outer blockIdx.x row space are stripped of their outer loops
+ * and their bodies concatenated under one shared row loop, so the
+ * whole chain runs per row with no barrier and no materialized
+ * intermediate. Producer/consumer tensors named in `locals` are
+ * demoted from global parameters to per-row local allocations inside
+ * the row loop (the allocation site is what classifies them as
+ * private to the verifier's race check), with every access rebased
+ * from its flat global offset to a row-relative one.
+ *
+ * Per-row arithmetic is untouched — only addressing changes — so the
+ * fused program is bitwise identical to running the member kernels
+ * sequentially, which the dfg differential suite holds as the oracle.
+ */
+
+#ifndef SPARSETIR_TRANSFORM_FUSE_REGIONS_H_
+#define SPARSETIR_TRANSFORM_FUSE_REGIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace transform {
+
+/**
+ * One intermediate tensor to demote into a per-row local. `rowBase`
+ * is the flat global offset of row i's first element — written in
+ * terms of the FIRST kernel's outer loop variable (every member's
+ * loop var is substituted to it) and of buffer objects that appear in
+ * the member kernels, e.g. `J_indptr[i]` for an edge tensor or
+ * `i * feat` for a dense one. Accesses `T[idx]` become
+ * `T_local[idx - rowBase]`; when `idx` is structurally
+ * `rowBase + rest` the subtraction folds away.
+ */
+struct LocalizeSpec
+{
+    /** Global buffer name to localize. */
+    std::string buffer;
+    /** Flat offset of the current row's first element. */
+    ir::Expr rowBase;
+    /** Per-row element count of the local. */
+    int64_t extent = 0;
+};
+
+/**
+ * Fuse `funcs` — each a Stage III kernel whose body is a single
+ * blockIdx.x-bound loop of identical extent — into one kernel named
+ * `name`. Bodies are concatenated in list order under the first
+ * func's loop variable; parameters and buffers are deduplicated by
+ * name; buffers named in `locals` are removed from the signature and
+ * allocated per row instead.
+ */
+ir::PrimFunc fuseRowRegions(const std::vector<ir::PrimFunc> &funcs,
+                            const std::string &name,
+                            const std::vector<LocalizeSpec> &locals);
+
+} // namespace transform
+} // namespace sparsetir
+
+#endif // SPARSETIR_TRANSFORM_FUSE_REGIONS_H_

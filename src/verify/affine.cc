@@ -1079,6 +1079,14 @@ bool
 AffineAnalyzer::proveBlockDisjoint(const LinExpr &index,
                                    const ir::Var &block_var)
 {
+    return proveBlockStride(index, block_var) ||
+           proveBlockMonotone(index, block_var);
+}
+
+bool
+AffineAnalyzer::proveBlockStride(const LinExpr &index,
+                                 const ir::Var &block_var)
+{
     int blockId = findAtom(block_var);
     if (blockId < 0) {
         // The block var does not appear in the index at all: distinct
@@ -1122,6 +1130,51 @@ AffineAnalyzer::proveBlockDisjoint(const LinExpr &index,
     // ids are separated by at least the span the inner loops can cover.
     return proveNonNeg(rest) &&
            proveNonNeg(stride - rest - LinExpr::constant_(1));
+}
+
+bool
+AffineAnalyzer::proveBlockMonotone(const LinExpr &index,
+                                   const ir::Var &block_var)
+{
+    // Rule B: index = P[block_var] + rest with P sorted. Distinct
+    // block ids then address disjoint windows, because b' > b implies
+    // P[b'] >= P[b + 1], so confining the index to
+    // [P[block_var], P[block_var + 1]) is enough. The upper-bound
+    // obligation is discharged by the loop guard
+    // `r < P[block_var + 1] - P[block_var]` every padded-row kernel
+    // carries.
+    for (const auto &kv : index.terms) {
+        if (kv.first.size() != 1 || kv.second != 1) {
+            continue;
+        }
+        int id = kv.first[0];
+        const ir::Expr &expr = atoms_[static_cast<size_t>(id)].expr;
+        if (expr->kind != ir::ExprKind::kBufferLoad) {
+            continue;
+        }
+        const auto *load =
+            static_cast<const ir::BufferLoadNode *>(expr.get());
+        if (load->indices.size() != 1 ||
+            !ir::structuralEqual(load->indices[0], block_var)) {
+            continue;
+        }
+        const ValueFact *fact = factForBuffer(load->buffer);
+        if (fact == nullptr || !fact->sorted) {
+            continue;
+        }
+        LinExpr rest = index - atomExpr(id);
+        if (!proveNonNeg(rest)) {
+            continue;
+        }
+        ir::Expr next = ir::bufferLoad(
+            load->buffer, {ir::add(block_var, ir::intImm(1))});
+        LinExpr upper = atomExpr(internAtom(next)) - index;
+        upper -= LinExpr::constant_(1);
+        if (proveNonNeg(upper)) {
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace verify

@@ -104,6 +104,12 @@ struct ValueFact
     ir::Expr hi;
     ir::Expr first;
     ir::Expr last;
+    /**
+     * Elements are non-decreasing (indptr arrays). Licenses the
+     * monotone-window race rule: for a sorted array P, the half-open
+     * windows [P[b], P[b+1]) of distinct b are pairwise disjoint.
+     */
+    bool sorted = false;
 };
 
 class AffineAnalyzer
@@ -153,12 +159,21 @@ class AffineAnalyzer
     bool proveLE(const ir::Expr &a, const ir::Expr &b);
 
     /**
-     * Race-disjointness decomposition: split `index` as
-     * stride * block_var + rest, where stride is invariant in every
-     * loop variable. Proves distinct block_var values address
-     * disjoint elements, i.e. 0 <= rest <= stride - 1. False when the
-     * index is non-linear in block_var, the stride is not invariant,
-     * or the rest range cannot be confined.
+     * Race-disjointness: prove distinct block_var values address
+     * disjoint elements. Two rules are tried in order:
+     *
+     *  A. Stride decomposition — split `index` as
+     *     stride * block_var + rest with stride invariant in every
+     *     loop variable, then confine 0 <= rest <= stride - 1.
+     *
+     *  B. Monotone windows — `index` contains a unit-coefficient
+     *     P[block_var] atom with P declared sorted, and
+     *     P[block_var] <= index < P[block_var + 1] holds. Sorted P
+     *     makes those per-block windows pairwise disjoint (the CSR
+     *     edge-space write pattern `E[J_indptr[i] + r]`).
+     *
+     * False when neither rule applies or its obligations cannot be
+     * proven.
      */
     bool proveBlockDisjoint(const LinExpr &index, const ir::Var &block_var);
 
@@ -204,6 +219,12 @@ class AffineAnalyzer
     bool constBounds(const LinExpr &e, int64_t *lo, int64_t *hi, int depth);
 
     const ValueFact *factForBuffer(const ir::Buffer &buffer) const;
+
+    /** Rule A of proveBlockDisjoint (stride decomposition). */
+    bool proveBlockStride(const LinExpr &index, const ir::Var &block_var);
+    /** Rule B of proveBlockDisjoint (monotone windows). */
+    bool proveBlockMonotone(const LinExpr &index,
+                            const ir::Var &block_var);
 
     bool proveNonNegImpl(const LinExpr &e, int depth,
                          std::set<std::string> *visited);

@@ -800,6 +800,7 @@ VerifyContext::int32Array(const std::string &name,
         fact.hi = ir::intImm(*hi, ir::DataType::int64());
         fact.first = ir::intImm(values.front(), ir::DataType::int64());
         fact.last = ir::intImm(values.back(), ir::DataType::int64());
+        fact.sorted = std::is_sorted(values.begin(), values.end());
     } else {
         // No elements: every loop over the array has extent zero, so
         // any load of its values is dynamically unreachable. The

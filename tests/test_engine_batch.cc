@@ -10,11 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "dfg/op_graph.h"
 #include "engine/engine.h"
 #include "format/bsr.h"
 #include "format/srbcrs.h"
@@ -572,6 +574,132 @@ TEST(EngineBatch, RectangularRgcnSwappedFeatsAreDistinctArtifacts)
         ASSERT_NEAR(expected2[i], y2.floatAt(i), 1e-2) << "at " << i;
     }
     EXPECT_EQ(eng.cacheStats().misses, 2u);
+}
+
+// ---------------------------------------------------------------------
+// CacheKey v5: graph artifacts must never alias per-kernel artifacts
+// ---------------------------------------------------------------------
+
+TEST(EngineCacheKeyV5, GraphAndPerKernelSddmmDoNotAlias)
+{
+    // A single-node sddmm GRAPH and the per-kernel sddmm entry point
+    // over the SAME structure, rows, and nnz. Before the v5 op split
+    // these could collide on (structure, rows, nnz); both must miss.
+    Csr a = randomCsr(32, 32, 0.2, 211);
+    // Unit values: the per-kernel entry scales by A's values, the
+    // graph node samples the pattern only.
+    std::fill(a.values.begin(), a.values.end(), 1.0f);
+    int64_t feat = 8;
+
+    dfg::OpGraph graph;
+    dfg::PatternRef pattern = dfg::SparsityPattern::fromCsr(a);
+    int q = graph.denseInput("q", a.rows, feat);
+    int kt = graph.denseInput("kt", feat, a.cols);
+    graph.markOutput(graph.sddmm(pattern, q, kt), "out");
+
+    NDArray q_arr = NDArray::fromFloat(randomVector(a.rows * feat, 1));
+    NDArray kt_arr = NDArray::fromFloat(randomVector(feat * a.cols, 2));
+    NDArray graph_out({a.nnz()}, ir::DataType::float32());
+
+    Engine eng(EngineOptions{});
+    eng.dispatchGraph(graph,
+                      {{"q", &q_arr}, {"kt", &kt_arr},
+                       {"out", &graph_out}});
+    EXPECT_EQ(eng.cacheStats().misses, 1u);
+
+    // Per-kernel sddmm takes X (rows x feat) and Y (feat x cols) —
+    // the same layouts the graph node uses for q / kt.
+    NDArray kernel_out({a.nnz()}, ir::DataType::float32());
+    auto second = eng.sddmm(a, feat, &q_arr, &kt_arr, &kernel_out);
+    EXPECT_FALSE(second.cacheHit);
+    EXPECT_EQ(eng.cacheStats().misses, 2u);
+    EXPECT_EQ(eng.cacheStats().hits, 0u);
+
+    // Same math either way.
+    for (int64_t i = 0; i < a.nnz(); ++i) {
+        EXPECT_NEAR(graph_out.floatAt(i), kernel_out.floatAt(i), 1e-4)
+            << "at nnz position " << i;
+    }
+}
+
+TEST(EngineCacheKeyV5, GraphsDifferingOnlyInEdgeStructureBothMiss)
+{
+    // Two topologically identical graphs whose patterns have EQUAL
+    // rows/cols/nnz but different edge positions: one diagonal, one
+    // shifted diagonal. Everything the pre-v5 key hashed (op, rows,
+    // nnz, schedule) matches; only the structure content differs.
+    int64_t n = 16;
+    Csr diag, shifted;
+    diag.rows = diag.cols = shifted.rows = shifted.cols = n;
+    diag.indptr.push_back(0);
+    shifted.indptr.push_back(0);
+    for (int64_t i = 0; i < n; ++i) {
+        diag.indices.push_back(static_cast<int32_t>(i));
+        diag.values.push_back(1.0f);
+        diag.indptr.push_back(static_cast<int32_t>(i + 1));
+        shifted.indices.push_back(static_cast<int32_t>((i + 1) % n));
+        shifted.values.push_back(1.0f);
+        shifted.indptr.push_back(static_cast<int32_t>(i + 1));
+    }
+
+    int64_t feat = 4;
+    auto build = [&](const Csr &structure) {
+        dfg::OpGraph graph;
+        dfg::PatternRef pattern =
+            dfg::SparsityPattern::fromCsr(structure);
+        int x = graph.denseInput("x", n, feat);
+        int h = graph.aggregate(pattern, x, /*mean=*/false);
+        graph.markOutput(h, "out");
+        return graph;
+    };
+
+    std::vector<float> x_host = randomVector(n * feat, 3);
+    NDArray x_arr = NDArray::fromFloat(x_host);
+    NDArray out1({n * feat}, ir::DataType::float32());
+    NDArray out2({n * feat}, ir::DataType::float32());
+
+    Engine eng(EngineOptions{});
+    eng.dispatchGraph(build(diag), {{"x", &x_arr}, {"out", &out1}});
+    eng.dispatchGraph(build(shifted), {{"x", &x_arr}, {"out", &out2}});
+    EXPECT_EQ(eng.cacheStats().misses, 2u);
+    EXPECT_EQ(eng.cacheStats().hits, 0u);
+
+    // Diagonal aggregate is the identity; shifted is a row rotation.
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t k = 0; k < feat; ++k) {
+            EXPECT_EQ(out1.floatAt(i * feat + k),
+                      x_host[i * feat + k]);
+            EXPECT_EQ(out2.floatAt(i * feat + k),
+                      x_host[((i + 1) % n) * feat + k]);
+        }
+    }
+}
+
+TEST(EngineCacheKeyV5, FusedAndChainGraphArtifactsAreDistinct)
+{
+    // fuse on/off is part of the schedule fingerprint: dispatching the
+    // same graph both ways compiles two artifacts, then both rehit.
+    Csr a = randomCsr(24, 24, 0.2, 223);
+    dfg::PatternRef pattern = dfg::SparsityPattern::fromCsr(a);
+    int64_t feat = 4;
+    dfg::OpGraph graph;
+    int x = graph.denseInput("x", a.cols, feat);
+    int h = graph.aggregate(pattern, x, /*mean=*/true);
+    graph.markOutput(h, "out");
+
+    NDArray x_arr = NDArray::fromFloat(randomVector(a.cols * feat, 5));
+    NDArray out({a.rows * feat}, ir::DataType::float32());
+    Engine eng(EngineOptions{});
+    engine::GraphDispatchOptions fused, chain;
+    fused.fuse = true;
+    chain.fuse = false;
+    eng.dispatchGraph(graph, {{"x", &x_arr}, {"out", &out}}, fused);
+    eng.dispatchGraph(graph, {{"x", &x_arr}, {"out", &out}}, chain);
+    EXPECT_EQ(eng.cacheStats().misses, 2u);
+    eng.dispatchGraph(graph, {{"x", &x_arr}, {"out", &out}}, fused);
+    eng.dispatchGraph(graph, {{"x", &x_arr}, {"out", &out}}, chain);
+    EXPECT_EQ(eng.cacheStats().misses, 2u);
+    EXPECT_EQ(eng.cacheStats().hits, 2u);
 }
 
 } // namespace

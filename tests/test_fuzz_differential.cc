@@ -12,6 +12,10 @@
  *   backend axis:   interpreter vs bytecode VM
  *   schedule axis:  serial vs barriered parallel vs fused task graph
  *
+ * Periodic cases additionally build a random 2-3-op dataflow graph
+ * over the same structure (sddmm-rooted edge chains, aggregate ->
+ * update) and assert fused == per-kernel chain == both backends.
+ *
  * Knobs (environment):
  *   FUZZ_CASES  number of cases (default 200 — the tier-1 budget;
  *               CI's fuzz-long job runs 2000)
@@ -36,6 +40,7 @@
 #include <tuple>
 #include <vector>
 
+#include "dfg/op_graph.h"
 #include "engine/engine.h"
 #include "format/bsr.h"
 #include "graph/generator.h"
@@ -388,6 +393,106 @@ runBsrCase(EnginePool *pool, const Csr &a, const CaseParams &params,
     }
 }
 
+/**
+ * Random 2-3-op dataflow-graph chain: fused vs per-kernel chain vs
+ * both backends, all bitwise against the serial-interpreter chain.
+ * Chains either start at sddmm and walk edge-space ops (scale, relu,
+ * masked softmax) with an optional closing spmm, or run
+ * aggregate -> update. Every engine in the pool verifies artifacts,
+ * so the random structures also soak the graph-program prover.
+ */
+void
+runGraphCase(EnginePool *pool, const Csr &a, const CaseParams &params,
+             Rng *rng, const std::string &what)
+{
+    dfg::PatternRef pattern = dfg::SparsityPattern::fromCsr(a);
+    int64_t feat = params.feat;
+    std::map<std::string, NDArray> inputs;
+    dfg::OpGraph graph;
+    std::ostringstream shape;
+    int64_t out_numel = 0;
+
+    if (rng->uniformInt(2) == 0) {
+        inputs.emplace("q", NDArray::fromFloat(
+                                randomValues(rng, a.rows * feat)));
+        inputs.emplace("kt", NDArray::fromFloat(
+                                 randomValues(rng, feat * a.cols)));
+        int q = graph.denseInput("q", a.rows, feat);
+        int kt = graph.denseInput("kt", feat, a.cols);
+        int e = graph.sddmm(pattern, q, kt);
+        shape << "sddmm";
+        int extra = static_cast<int>(rng->uniformRange(0, 2));
+        for (int j = 0; j < extra; ++j) {
+            switch (rng->uniformInt(3)) {
+              case 0:
+                e = graph.elementwise(e, dfg::EwiseFn::kScale,
+                                      0.5 + rng->uniformReal());
+                shape << "+scale";
+                break;
+              case 1:
+                e = graph.elementwise(e, dfg::EwiseFn::kRelu);
+                shape << "+relu";
+                break;
+              default:
+                e = graph.maskedSoftmax(e);
+                shape << "+softmax";
+                break;
+            }
+        }
+        if (rng->uniformInt(2) == 0) {
+            inputs.emplace("v", NDArray::fromFloat(
+                                    randomValues(rng,
+                                                 a.cols * feat)));
+            int v = graph.denseInput("v", a.cols, feat);
+            e = graph.spmm(e, v);
+            out_numel = a.rows * feat;
+            shape << "+spmm";
+        } else {
+            out_numel = a.nnz();
+        }
+        graph.markOutput(e, "out");
+    } else {
+        int64_t fout = rng->uniformRange(1, 8);
+        inputs.emplace("x", NDArray::fromFloat(
+                                randomValues(rng, a.cols * feat)));
+        inputs.emplace("w", NDArray::fromFloat(
+                                randomValues(rng, feat * fout)));
+        int x = graph.denseInput("x", a.cols, feat);
+        int w = graph.denseInput("w", feat, fout);
+        bool mean = rng->uniformInt(2) == 0;
+        int h = graph.aggregate(pattern, x, mean);
+        graph.markOutput(graph.update(h, w), "out");
+        out_numel = a.rows * fout;
+        shape << (mean ? "mean-aggregate" : "aggregate") << "+update";
+    }
+
+    std::map<std::string, NDArray *> io;
+    for (auto &[name, array] : inputs) {
+        io[name] = &array;
+    }
+    NDArray expected({out_numel}, ir::DataType::float32());
+    io["out"] = &expected;
+    engine::GraphDispatchOptions chain_opts;
+    chain_opts.fuse = false;
+    pool->get(kReference, params.workers, params.minChunk)
+        .dispatchGraph(graph, io, chain_opts);
+
+    for (const Config &variant : kVariants) {
+        Engine &eng =
+            pool->get(variant, params.workers, params.minChunk);
+        for (bool fuse : {false, true}) {
+            NDArray c({out_numel}, ir::DataType::float32());
+            io["out"] = &c;
+            engine::GraphDispatchOptions options;
+            options.fuse = fuse;
+            eng.dispatchGraph(graph, io, options);
+            ASSERT_TRUE(bitwiseEqual(expected, c))
+                << variant.name << (fuse ? " fused" : " chain")
+                << " diverged on dfg " << shape.str() << " " << what;
+        }
+    }
+}
+
 TEST(FuzzDifferential, ThreeWayBitwiseEquality)
 {
     uint64_t seed = envU64("FUZZ_SEED", kDefaultSeed);
@@ -424,6 +529,9 @@ TEST(FuzzDifferential, ThreeWayBitwiseEquality)
             }
             if (!::testing::Test::HasFatalFailure() && i % 5 == 4) {
                 runBsrCase(&pool, a, params, &rng, what);
+            }
+            if (!::testing::Test::HasFatalFailure() && i % 3 == 1) {
+                runGraphCase(&pool, a, params, &rng, what);
             }
         } catch (const std::exception &e) {
             FAIL() << "exception escaped " << what << "\n  "
