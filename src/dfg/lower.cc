@@ -427,6 +427,40 @@ nodeFunc(LowerCtx *ctx, int nid)
 
 } // namespace
 
+namespace {
+
+/**
+ * Operand slots a node gathers by column id, i.e. reads operand rows
+ * other than the fused row (spmm's dense rhs at B[col(p),k],
+ * aggregate's input at X[col(p),k], sddmm's rhs at Y[k,col(p)];
+ * sddmm's lhs is row-local today but held to the same rule so both
+ * sddmm operands obey one contract). Fusion demotes interior values
+ * to per-row locals covering only the fused row's window, and rows
+ * run in parallel over blockIdx.x — so a gather over an interior
+ * value would read local memory the row never wrote and race with
+ * the producer in other rows. Only graph inputs may be gathered.
+ */
+size_t
+gatheredOperands(OpType type, size_t slots[2])
+{
+    switch (type) {
+      case OpType::kSddmm:
+        slots[0] = 0;
+        slots[1] = 1;
+        return 2;
+      case OpType::kSpmm:
+        slots[0] = 1;
+        return 1;
+      case OpType::kAggregate:
+        slots[0] = 0;
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
 bool
 fusible(const OpGraph &graph, std::string *reason)
 {
@@ -441,6 +475,21 @@ fusible(const OpGraph &graph, std::string *reason)
             *reason = "nodes iterate distinct sparsity structures "
                       "(share one PatternRef to fuse)";
             return false;
+        }
+    }
+    for (const Node &node : graph.nodes()) {
+        size_t slots[2];
+        size_t count = gatheredOperands(node.type, slots);
+        for (size_t g = 0; g < count; ++g) {
+            int vid = node.inputs[slots[g]];
+            if (graph.value(vid).producer >= 0) {
+                *reason = std::string(opTypeName(node.type)) +
+                          " gathers rows of interior value '" +
+                          valueBufferName(graph.value(vid), vid) +
+                          "' across the row space; fusion cannot "
+                          "localize a gathered operand";
+                return false;
+            }
         }
     }
     std::vector<int> consumers(graph.values().size(), 0);

@@ -21,12 +21,16 @@ SparsityPattern::maxRowNnz() const
 uint64_t
 SparsityPattern::structureHash() const
 {
-    return engine::Fingerprint()
-        .i64(rows)
-        .i64(cols)
-        .i32s(indptr)
-        .i32s(indices)
-        .digest();
+    if (!hashed_) {
+        structure_hash_ = engine::Fingerprint()
+                              .i64(rows)
+                              .i64(cols)
+                              .i32s(indptr)
+                              .i32s(indices)
+                              .digest();
+        hashed_ = true;
+    }
+    return structure_hash_;
 }
 
 std::shared_ptr<const SparsityPattern>
@@ -41,6 +45,9 @@ SparsityPattern::fromCsr(const format::Csr &a)
                static_cast<size_t>(a.rows) + 1)
         << "CSR indptr has " << pattern->indptr.size()
         << " entries for " << a.rows << " rows";
+    // Prime the hash cache while the pattern is still exclusively
+    // owned; concurrent dispatches then only ever read it.
+    pattern->structureHash();
     return pattern;
 }
 
@@ -82,6 +89,20 @@ checkName(const std::string &name)
 
 } // namespace
 
+void
+OpGraph::checkNewName(const std::string &name) const
+{
+    checkName(name);
+    // Lowering keys buffers by name: two values sharing one name
+    // would silently alias into one buffer, and the dispatch io map
+    // could never address them separately.
+    for (const ValueDesc &desc : values_) {
+        USER_CHECK(desc.name != name)
+            << "graph value name '" << name
+            << "' is already bound to another value in this graph";
+    }
+}
+
 int
 OpGraph::addValue(ValueDesc desc)
 {
@@ -122,7 +143,7 @@ OpGraph::meetRows(int64_t rows)
 int
 OpGraph::denseInput(const std::string &name, int64_t rows, int64_t cols)
 {
-    checkName(name);
+    checkNewName(name);
     USER_CHECK(rows > 0 && cols > 0)
         << "dense input '" << name << "' needs positive shape, got "
         << rows << " x " << cols;
@@ -138,7 +159,7 @@ OpGraph::denseInput(const std::string &name, int64_t rows, int64_t cols)
 int
 OpGraph::edgeInput(const std::string &name, const PatternRef &pattern)
 {
-    checkName(name);
+    checkNewName(name);
     USER_CHECK(pattern != nullptr) << "edge input needs a pattern";
     ValueDesc desc;
     desc.edge = true;
@@ -296,7 +317,7 @@ OpGraph::add(int a, int b)
 void
 OpGraph::markOutput(int value, const std::string &name)
 {
-    checkName(name);
+    checkNewName(name);
     checkValue(value, "markOutput");
     ValueDesc &desc = values_[static_cast<size_t>(value)];
     USER_CHECK(desc.producer >= 0)

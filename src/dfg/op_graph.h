@@ -54,12 +54,21 @@ struct SparsityPattern
     /** Widest row; the padded inner-loop extent of lowered kernels. */
     int32_t maxRowNnz() const;
 
-    /** Hash of the structure (never of values). */
+    /**
+     * Hash of the structure (never of values). Memoized: the O(nnz)
+     * digest is computed once and cached, so fingerprinting a graph
+     * on every dispatch never re-hashes the index arrays.
+     */
     uint64_t structureHash() const;
 
     /** Borrow the structure of a CSR matrix (values dropped). */
     static std::shared_ptr<const SparsityPattern>
     fromCsr(const format::Csr &a);
+
+  private:
+    /** structureHash() cache; primed by fromCsr, else filled lazily. */
+    mutable uint64_t structure_hash_ = 0;
+    mutable bool hashed_ = false;
 };
 
 using PatternRef = std::shared_ptr<const SparsityPattern>;
@@ -185,6 +194,8 @@ class OpGraph
   private:
     int addValue(ValueDesc desc);
     int addNode(Node node, ValueDesc out);
+    /** Check `name` is well-formed and unused by any other value. */
+    void checkNewName(const std::string &name) const;
     /** Check `id` is a valid value id and return its descriptor. */
     const ValueDesc &checkValue(int id, const char *what) const;
     /** Enforce the shared row space across nodes. */

@@ -253,6 +253,42 @@ struct GraphArtifact : Artifact
     int64_t tempBytes = 0;
 };
 
+/**
+ * Returns every added scratch lease to the pool on scope exit, so a
+ * kernel that throws mid-chain (a binding USER_CHECK, a verifier
+ * rejection) cannot leak leased arrays out of the ScratchPool.
+ */
+class ScratchLeaseGuard
+{
+  public:
+    explicit ScratchLeaseGuard(const ParallelExecutor *executor)
+        : executor_(executor)
+    {
+    }
+    ScratchLeaseGuard(const ScratchLeaseGuard &) = delete;
+    ScratchLeaseGuard &operator=(const ScratchLeaseGuard &) = delete;
+    ~ScratchLeaseGuard() { releaseAll(); }
+
+    void
+    add(NDArray *array)
+    {
+        arrays_.push_back(array);
+    }
+
+    void
+    releaseAll()
+    {
+        for (NDArray *array : arrays_) {
+            executor_->releaseScratch(array);
+        }
+        arrays_.clear();
+    }
+
+  private:
+    const ParallelExecutor *executor_;
+    std::vector<NDArray *> arrays_;
+};
+
 // ---------------------------------------------------------------------
 // Builders (miss path)
 // ---------------------------------------------------------------------
@@ -1029,12 +1065,11 @@ Engine::dispatchGraph(const dfg::OpGraph &graph,
     // fused kernel has none (per-row locals), so its dispatch leases
     // nothing and the scratch peak stays at zero. No zeroing needed:
     // every element a chain kernel reads was written by its producer.
-    std::vector<NDArray *> leased;
-    leased.reserve(artifact->temps.size());
+    ScratchLeaseGuard leased(&executor_);
     for (const GraphTemp &temp : artifact->temps) {
         ScratchPool::Lease lease = executor_.leaseScratch(
             temp.numel, ir::DataType::float32());
-        leased.push_back(lease.array);
+        leased.add(lease.array);
         bindings.external(temp.name, lease.array);
     }
     info.bindMs = msSince(bind_start);
@@ -1049,9 +1084,7 @@ Engine::dispatchGraph(const dfg::OpGraph &graph,
                                 execOptions());
         }
     }
-    for (NDArray *array : leased) {
-        executor_.releaseScratch(array);
-    }
+    leased.releaseAll();
     info.kernelMs = msSince(kernel_start);
     info.execMs = info.bindMs + info.kernelMs;
     info.numKernels = static_cast<int>(artifact->kernels.size());

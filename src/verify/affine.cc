@@ -1136,15 +1136,17 @@ bool
 AffineAnalyzer::proveBlockMonotone(const LinExpr &index,
                                    const ir::Var &block_var)
 {
-    // Rule B: index = P[block_var] + rest with P sorted. Distinct
-    // block ids then address disjoint windows, because b' > b implies
-    // P[b'] >= P[b + 1], so confining the index to
-    // [P[block_var], P[block_var + 1]) is enough. The upper-bound
-    // obligation is discharged by the loop guard
-    // `r < P[block_var + 1] - P[block_var]` every padded-row kernel
-    // carries.
+    // Rule B: index = c * P[block_var] + rest with P sorted and
+    // c a positive constant. Distinct block ids then address disjoint
+    // windows, because b' > b implies P[b'] >= P[b + 1] and hence
+    // c*P[b'] >= c*P[b + 1], so confining the index to
+    // [c*P[block_var], c*P[block_var + 1]) is enough. c = 1 is the
+    // CSR edge-space pattern `E[J_indptr[i] + r]` (upper bound from
+    // the padded-row guard `r < P[i + 1] - P[i]`); c = blockArea is
+    // the BSR pattern `B[(JO_indptr[io] + jo) * area + t]` whose
+    // inner offset t spans one block.
     for (const auto &kv : index.terms) {
-        if (kv.first.size() != 1 || kv.second != 1) {
+        if (kv.first.size() != 1 || kv.second < 1) {
             continue;
         }
         int id = kv.first[0];
@@ -1162,13 +1164,17 @@ AffineAnalyzer::proveBlockMonotone(const LinExpr &index,
         if (fact == nullptr || !fact->sorted) {
             continue;
         }
-        LinExpr rest = index - atomExpr(id);
+        LinExpr scaled = atomExpr(id);
+        scaled *= kv.second;
+        LinExpr rest = index - scaled;
         if (!proveNonNeg(rest)) {
             continue;
         }
         ir::Expr next = ir::bufferLoad(
             load->buffer, {ir::add(block_var, ir::intImm(1))});
-        LinExpr upper = atomExpr(internAtom(next)) - index;
+        LinExpr upper = atomExpr(internAtom(next));
+        upper *= kv.second;
+        upper -= index;
         upper -= LinExpr::constant_(1);
         if (proveNonNeg(upper)) {
             return true;

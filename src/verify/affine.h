@@ -166,11 +166,13 @@ class AffineAnalyzer
      *     stride * block_var + rest with stride invariant in every
      *     loop variable, then confine 0 <= rest <= stride - 1.
      *
-     *  B. Monotone windows — `index` contains a unit-coefficient
-     *     P[block_var] atom with P declared sorted, and
-     *     P[block_var] <= index < P[block_var + 1] holds. Sorted P
-     *     makes those per-block windows pairwise disjoint (the CSR
-     *     edge-space write pattern `E[J_indptr[i] + r]`).
+     *  B. Monotone windows — `index` contains a c * P[block_var]
+     *     term (c a positive constant) with P declared sorted, and
+     *     c*P[block_var] <= index < c*P[block_var + 1] holds. Sorted
+     *     P makes those per-block windows pairwise disjoint: the CSR
+     *     edge-space write pattern `E[J_indptr[i] + r]` at c = 1, the
+     *     BSR block-space pattern `B[(JO_indptr[io] + jo) * area + t]`
+     *     at c = blockArea.
      *
      * False when neither rule applies or its obligations cannot be
      * proven.

@@ -329,6 +329,107 @@ TEST(DfgServing, SharedPatternObjectIsWhatFuses)
     EXPECT_FALSE(dfg::fusible(split, &reason));
 }
 
+TEST(DfgServing, GatheredInteriorValueBailsToChain)
+{
+    // aggregate's dense output feeds spmm's gathered rhs: spmm reads
+    // rows col(p) != i of it, which fusion's per-row locals cannot
+    // represent. The graph must bail to the chain — and stay bitwise
+    // equal to the explicit chain dispatch and close to dense math.
+    Csr adj = randomCsr(24, 24, 0.25, 120);
+    PatternRef pattern = SparsityPattern::fromCsr(adj);
+    int64_t feat = 6;
+    OpGraph graph;
+    int e = graph.edgeInput("e", pattern);
+    int x = graph.denseInput("x", 24, feat);
+    int h = graph.aggregate(pattern, x, false);
+    graph.markOutput(graph.spmm(e, h), "out");
+
+    std::string reason;
+    EXPECT_FALSE(dfg::fusible(graph, &reason));
+    EXPECT_FALSE(reason.empty());
+    dfg::GraphLowering lowering = dfg::lowerGraph(graph, true);
+    EXPECT_FALSE(lowering.fused);
+    EXPECT_EQ(lowering.funcs.size(), 2u);
+
+    std::vector<float> es = randomVector(adj.nnz(), 121);
+    std::vector<float> xs = randomVector(24 * feat, 122);
+    NDArray ea = NDArray::fromFloat(es);
+    NDArray xa = NDArray::fromFloat(xs);
+    NDArray fused_out({24 * feat}, ir::DataType::float32());
+    NDArray chain_out({24 * feat}, ir::DataType::float32());
+    Engine engine(verifyingOptions());
+    auto info = engine.dispatchGraph(
+        graph, {{"e", &ea}, {"x", &xa}, {"out", &fused_out}});
+    EXPECT_EQ(info.numKernels, 2); // chain, despite fuse=true
+    GraphDispatchOptions chain_opts;
+    chain_opts.fuse = false;
+    engine.dispatchGraph(
+        graph, {{"e", &ea}, {"x", &xa}, {"out", &chain_out}},
+        chain_opts);
+    EXPECT_TRUE(bitwiseEqual(fused_out, chain_out));
+
+    std::vector<float> hs(24 * feat, 0.0f);
+    for (int64_t i = 0; i < 24; ++i) {
+        for (int32_t p = adj.indptr[i]; p < adj.indptr[i + 1]; ++p) {
+            for (int64_t k = 0; k < feat; ++k) {
+                hs[i * feat + k] += xs[adj.indices[p] * feat + k];
+            }
+        }
+    }
+    std::vector<float> expected(24 * feat, 0.0f);
+    for (int64_t i = 0; i < 24; ++i) {
+        for (int32_t p = adj.indptr[i]; p < adj.indptr[i + 1]; ++p) {
+            for (int64_t k = 0; k < feat; ++k) {
+                expected[i * feat + k] +=
+                    es[p] * hs[adj.indices[p] * feat + k];
+            }
+        }
+    }
+    NDArray ref = NDArray::fromFloat(expected);
+    EXPECT_LT(runtime::maxAbsDiff(chain_out, ref), 1e-4);
+}
+
+TEST(DfgServing, TwoLayerGraphSageGathersInteriorAndBailsToChain)
+{
+    // The 2-layer GraphSAGE stack shares one pattern and exposes no
+    // interior output, but layer 2's aggregate gathers layer 1's
+    // result across rows — exactly the shape that must not fuse.
+    Csr adj = randomCsr(20, 20, 0.3, 123);
+    PatternRef pattern = SparsityPattern::fromCsr(adj);
+    OpGraph graph;
+    int x = graph.denseInput("x", 20, 4);
+    int w1 = graph.denseInput("w1", 4, 4);
+    int w2 = graph.denseInput("w2", 4, 4);
+    int y1 = graph.update(graph.aggregate(pattern, x, true), w1);
+    int y2 = graph.update(graph.aggregate(pattern, y1, true), w2);
+    graph.markOutput(y2, "out");
+
+    std::string reason;
+    EXPECT_FALSE(dfg::fusible(graph, &reason));
+    EXPECT_FALSE(reason.empty());
+
+    NDArray xa = NDArray::fromFloat(randomVector(20 * 4, 124));
+    NDArray w1a = NDArray::fromFloat(randomVector(4 * 4, 125));
+    NDArray w2a = NDArray::fromFloat(randomVector(4 * 4, 126));
+    NDArray fused_out({20 * 4}, ir::DataType::float32());
+    NDArray chain_out({20 * 4}, ir::DataType::float32());
+    Engine engine(verifyingOptions());
+    auto info = engine.dispatchGraph(graph, {{"x", &xa},
+                                             {"w1", &w1a},
+                                             {"w2", &w2a},
+                                             {"out", &fused_out}});
+    EXPECT_EQ(info.numKernels, 4); // chain, despite fuse=true
+    GraphDispatchOptions chain_opts;
+    chain_opts.fuse = false;
+    engine.dispatchGraph(graph,
+                         {{"x", &xa},
+                          {"w1", &w1a},
+                          {"w2", &w2a},
+                          {"out", &chain_out}},
+                         chain_opts);
+    EXPECT_TRUE(bitwiseEqual(fused_out, chain_out));
+}
+
 TEST(DfgServing, InteriorOutputBailsToChain)
 {
     Csr mask = randomCsr(20, 20, 0.25, 84);
@@ -467,6 +568,23 @@ TEST(DfgLowering, FusedProgramHasNoInteriorParams)
     for (const auto &temp : chain.temps) {
         EXPECT_EQ(temp.numel, mask.nnz());
     }
+}
+
+TEST(DfgGraph, DuplicateValueNamesRejected)
+{
+    // Lowering keys buffers by binding name; two values sharing one
+    // name would silently alias, so the builder must refuse it.
+    PatternRef pattern =
+        SparsityPattern::fromCsr(randomCsr(8, 8, 0.4, 92));
+    OpGraph graph;
+    int x = graph.denseInput("x", 8, 4);
+    EXPECT_THROW(graph.denseInput("x", 8, 4), UserError);
+    EXPECT_THROW(graph.edgeInput("x", pattern), UserError);
+    int h = graph.aggregate(pattern, x, false);
+    EXPECT_THROW(graph.markOutput(h, "x"), UserError);
+    graph.markOutput(h, "out");
+    int h2 = graph.aggregate(pattern, x, true);
+    EXPECT_THROW(graph.markOutput(h2, "out"), UserError);
 }
 
 TEST(DfgGraph, BuildTimeShapeAndNameChecks)

@@ -12,9 +12,10 @@
  *   backend axis:   interpreter vs bytecode VM
  *   schedule axis:  serial vs barriered parallel vs fused task graph
  *
- * Periodic cases additionally build a random 2-3-op dataflow graph
+ * Periodic cases additionally build a random 2-4-op dataflow graph
  * over the same structure (sddmm-rooted edge chains, aggregate ->
- * update) and assert fused == per-kernel chain == both backends.
+ * update, 2-layer interior-gather stacks that must bail to the
+ * chain) and assert fused == per-kernel chain == both backends.
  *
  * Knobs (environment):
  *   FUZZ_CASES  number of cases (default 200 — the tier-1 budget;
@@ -394,12 +395,15 @@ runBsrCase(EnginePool *pool, const Csr &a, const CaseParams &params,
 }
 
 /**
- * Random 2-3-op dataflow-graph chain: fused vs per-kernel chain vs
+ * Random 2-4-op dataflow-graph chain: fused vs per-kernel chain vs
  * both backends, all bitwise against the serial-interpreter chain.
  * Chains either start at sddmm and walk edge-space ops (scale, relu,
- * masked softmax) with an optional closing spmm, or run
- * aggregate -> update. Every engine in the pool verifies artifacts,
- * so the random structures also soak the graph-program prover.
+ * masked softmax) with an optional closing spmm, run
+ * aggregate -> update, or (on square patterns) stack TWO aggregate ->
+ * update layers so a gather op consumes an interior value — the shape
+ * fusion must refuse, exercising the silent bail-to-chain path under
+ * fuse=true. Every engine in the pool verifies artifacts, so the
+ * random structures also soak the graph-program prover.
  */
 void
 runGraphCase(EnginePool *pool, const Csr &a, const CaseParams &params,
@@ -411,8 +415,33 @@ runGraphCase(EnginePool *pool, const Csr &a, const CaseParams &params,
     dfg::OpGraph graph;
     std::ostringstream shape;
     int64_t out_numel = 0;
+    int expect_chain_kernels = 0;
 
-    if (rng->uniformInt(2) == 0) {
+    uint64_t kind = rng->uniformInt(a.rows == a.cols ? 3 : 2);
+    if (kind == 2) {
+        // Layer 2's aggregate gathers layer 1's interior result
+        // across rows; dfg::fusible must bail and both fuse modes
+        // must dispatch the identical 4-kernel chain.
+        int64_t fmid = rng->uniformRange(1, 6);
+        int64_t fout = rng->uniformRange(1, 6);
+        inputs.emplace("x", NDArray::fromFloat(
+                                randomValues(rng, a.cols * feat)));
+        inputs.emplace("w1", NDArray::fromFloat(
+                                 randomValues(rng, feat * fmid)));
+        inputs.emplace("w2", NDArray::fromFloat(
+                                 randomValues(rng, fmid * fout)));
+        int x = graph.denseInput("x", a.cols, feat);
+        int w1 = graph.denseInput("w1", feat, fmid);
+        int w2 = graph.denseInput("w2", fmid, fout);
+        bool mean = rng->uniformInt(2) == 0;
+        int y1 = graph.update(graph.aggregate(pattern, x, mean), w1);
+        int y2 = graph.update(graph.aggregate(pattern, y1, mean), w2);
+        graph.markOutput(y2, "out");
+        out_numel = a.rows * fout;
+        expect_chain_kernels = 4;
+        shape << "2-layer-" << (mean ? "mean-" : "")
+              << "sage(interior-gather)";
+    } else if (kind == 0) {
         inputs.emplace("q", NDArray::fromFloat(
                                 randomValues(rng, a.rows * feat)));
         inputs.emplace("kt", NDArray::fromFloat(
@@ -466,6 +495,11 @@ runGraphCase(EnginePool *pool, const Csr &a, const CaseParams &params,
         shape << (mean ? "mean-aggregate" : "aggregate") << "+update";
     }
 
+    if (envU64("FUZZ_VERBOSE", 0) != 0) {
+        std::fprintf(stderr, "[fuzz]   dfg %s\n",
+                     shape.str().c_str());
+    }
+
     std::map<std::string, NDArray *> io;
     for (auto &[name, array] : inputs) {
         io[name] = &array;
@@ -485,7 +519,13 @@ runGraphCase(EnginePool *pool, const Csr &a, const CaseParams &params,
             io["out"] = &c;
             engine::GraphDispatchOptions options;
             options.fuse = fuse;
-            eng.dispatchGraph(graph, io, options);
+            auto info = eng.dispatchGraph(graph, io, options);
+            if (fuse && expect_chain_kernels > 0) {
+                ASSERT_EQ(info.numKernels, expect_chain_kernels)
+                    << variant.name
+                    << " fused an interior-gather dfg "
+                    << shape.str() << " " << what;
+            }
             ASSERT_TRUE(bitwiseEqual(expected, c))
                 << variant.name << (fuse ? " fused" : " chain")
                 << " diverged on dfg " << shape.str() << " " << what;

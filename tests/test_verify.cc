@@ -58,6 +58,7 @@ indptrFact(verify::VerifyContext *ctx, const std::string &name,
     fact.hi = total;
     fact.first = ir::intImm(0);
     fact.last = total;
+    fact.sorted = true;
     ctx->facts[name] = fact;
 }
 
@@ -174,6 +175,19 @@ TEST(Verify, SddmmProvesCleanSymbolically)
 TEST(Verify, BsrSpmmProvesCleanSymbolically)
 {
     ir::PrimFunc func = core::compileBsrSpmmFunc(4, 48, false);
+    verify::VerifyContext ctx;
+    indptrFact(&ctx, "JO_indptr", param(func, "nnzb"));
+    idxFact(&ctx, "JO_indices", param(func, "nb"));
+    auto result = verify::verifyFunc(func, ctx);
+    EXPECT_TRUE(result.ok) << verify::formatDiagnostics(result);
+}
+
+TEST(Verify, BsrSddmmProvesCleanSymbolically)
+{
+    // The edge-space write B[(JO_indptr[io] + jo) * area + t] needs
+    // the scaled monotone-window race rule: the sorted-indptr atom
+    // carries coefficient blockSize^2, not 1.
+    ir::PrimFunc func = core::compileBsrSddmmFunc(32, 64, false);
     verify::VerifyContext ctx;
     indptrFact(&ctx, "JO_indptr", param(func, "nnzb"));
     idxFact(&ctx, "JO_indices", param(func, "nb"));
