@@ -66,6 +66,15 @@
  *     intermediate). Req/s both ways ride in BENCH_JSON for
  *     trajectory tracking (informational — no gate).
  *
+ * 11. Tiered execution — warm dispatch requests/s per op family
+ *     (spmm_csr, spmm_hyb, spmm_bsr) across all three tiers:
+ *     tree-walking interpreter, bytecode VM, and the native C tier
+ *     (cc-compiled .so, promoted synchronously before measurement).
+ *     All three tiers bitwise-checked against each other; the native
+ *     tier's compile count / disk hits / total compile ms ride along
+ *     in BENCH_JSON as "tiers" for trajectory tracking
+ *     (informational — the hard gate stays on [4]).
+ *
  * FAST=1 shrinks the graph for smoke runs. BENCH_JSON=<path> writes
  * the backend-comparison numbers as JSON for the CI perf gate and
  * trajectory tracking. TRACE_JSON=<path> (or SPARSETIR_TRACE=1)
@@ -688,6 +697,97 @@ main()
                 " %s\n",
                 sage_speedup, sage_equal ? "yes" : "NO");
 
+    // ------------------------------------------------------------------
+    // 11. Tiered execution: interpreter vs bytecode vs native, warm
+    // ------------------------------------------------------------------
+    int tier_rounds = benchutil::fastMode() ? 3 : 5;
+    std::printf("\n[11] warm dispatch by execution tier (%d rounds "
+                "per op family; native promotes synchronously)\n",
+                tier_rounds);
+    struct TierFamily
+    {
+        const char *op;
+        int64_t outNumel;
+        std::function<void(engine::Engine &, NDArray *)> dispatch;
+    };
+    const TierFamily tier_families[3] = {
+        {"spmm_csr", g.rows * feat,
+         [&](engine::Engine &e, NDArray *out) {
+             e.spmmCsr(g, feat, &b, out);
+         }},
+        {"spmm_hyb", g.rows * feat,
+         [&](engine::Engine &e, NDArray *out) {
+             e.spmmHyb(g, feat, &b, out, config);
+         }},
+        {"spmm_bsr", lat_bsr.blockRows * lat_bsr.blockSize * feat,
+         [&](engine::Engine &e, NDArray *out) {
+             e.spmmBsr(lat_bsr, feat, &lat_bsr_b, out);
+         }}};
+    const char *tier_names[3] = {"interpreter", "bytecode", "native"};
+    const runtime::Backend tier_backends[3] = {
+        runtime::Backend::kInterpreter, runtime::Backend::kBytecode,
+        runtime::Backend::kNative};
+    double tier_rps[3][3] = {};
+    std::vector<NDArray> tier_out[3];
+    uint64_t native_compiles = 0;
+    uint64_t native_disk_hits = 0;
+    uint64_t native_fallbacks = 0;
+    double native_compile_ms = 0.0;
+    for (int t = 0; t < 3; ++t) {
+        engine::EngineOptions options;
+        options.backend = tier_backends[t];
+        // Promote inside the priming dispatch, so the measured warm
+        // rounds run the dlopen'd kernels from round one.
+        options.nativePromoteAfter = 0;
+        engine::Engine tier_eng(options);
+        tier_out[t].reserve(3);
+        for (int f = 0; f < 3; ++f) {
+            tier_out[t].emplace_back(
+                std::vector<int64_t>{tier_families[f].outNumel},
+                ir::DataType::float32());
+            NDArray *out = &tier_out[t].back();
+            tier_families[f].dispatch(tier_eng, out);  // prime
+            double ms = benchutil::timedRoundsMs(
+                tier_rounds,
+                [&] { tier_families[f].dispatch(tier_eng, out); });
+            tier_rps[t][f] = ms > 0.0 ? 1000.0 / ms : 0.0;
+        }
+        if (tier_backends[t] == runtime::Backend::kNative) {
+            engine::NativeStats nstats = tier_eng.nativeStats();
+            native_compiles = nstats.compiles;
+            native_disk_hits = nstats.diskHits;
+            native_fallbacks = nstats.fallbacks;
+            observe::MetricsSnapshot nsnap =
+                tier_eng.metricsSnapshot();
+            auto hist = nsnap.histograms.find("native.compile_ms");
+            if (hist != nsnap.histograms.end()) {
+                native_compile_ms = hist->second.sumMs;
+            }
+        }
+    }
+    bool tier_equal = true;
+    for (int f = 0; f < 3; ++f) {
+        bool equal = bitwiseEqual(tier_out[0][f], tier_out[1][f]) &&
+                     bitwiseEqual(tier_out[0][f], tier_out[2][f]);
+        tier_equal = tier_equal && equal;
+        std::printf("  %-10s %8.1f req/s interpreter  %8.1f req/s "
+                    "bytecode  %8.1f req/s native  (native vs "
+                    "interpreter %.2fx), 3-tier bitwise identical: "
+                    "%s\n",
+                    tier_families[f].op, tier_rps[0][f],
+                    tier_rps[1][f], tier_rps[2][f],
+                    tier_rps[0][f] > 0.0
+                        ? tier_rps[2][f] / tier_rps[0][f]
+                        : 0.0,
+                    equal ? "yes" : "NO");
+    }
+    std::printf("  native tier: %llu kernel compile(s) in %.1f ms, "
+                "%llu disk hit(s), %llu fallback(s)\n",
+                static_cast<unsigned long long>(native_compiles),
+                native_compile_ms,
+                static_cast<unsigned long long>(native_disk_hits),
+                static_cast<unsigned long long>(native_fallbacks));
+
     if (const char *json_path = std::getenv("BENCH_JSON")) {
         std::FILE *json = std::fopen(json_path, "w");
         if (json == nullptr) {
@@ -765,6 +865,32 @@ main()
             static_cast<unsigned long long>(
                 verify_stats.verifyFailures),
             verify_stats.verifyMs);
+        // Tiered-execution trajectory: warm req/s per op family for
+        // each execution tier, plus the native tier's compile cost.
+        std::fprintf(
+            json,
+            "  \"native_compiles\": %llu,\n"
+            "  \"native_disk_hits\": %llu,\n"
+            "  \"native_compile_ms\": %.4f,\n"
+            "  \"tiers\": {\n",
+            static_cast<unsigned long long>(native_compiles),
+            static_cast<unsigned long long>(native_disk_hits),
+            native_compile_ms);
+        for (int f = 0; f < 3; ++f) {
+            bool equal =
+                bitwiseEqual(tier_out[0][f], tier_out[1][f]) &&
+                bitwiseEqual(tier_out[0][f], tier_out[2][f]);
+            std::fprintf(
+                json,
+                "    \"%s\": {\"interpreter_req_per_s\": %.2f, "
+                "\"bytecode_req_per_s\": %.2f, "
+                "\"native_req_per_s\": %.2f, "
+                "\"bitwise_identical\": %s}%s\n",
+                tier_families[f].op, tier_rps[0][f], tier_rps[1][f],
+                tier_rps[2][f], equal ? "true" : "false",
+                f + 1 < 3 ? "," : "");
+        }
+        std::fprintf(json, "  },\n");
         std::fprintf(json, "  \"warm_latency\": {\n");
         for (size_t i = 0; i < warm_latency.size(); ++i) {
             const WarmLatency &w = warm_latency[i];
@@ -804,7 +930,7 @@ main()
         std::printf("%s", recorder.textSummary().c_str());
     }
     return backend_equal && batch_equal && fused_equal && att_equal &&
-                   sage_equal
+                   sage_equal && tier_equal
                ? 0
                : 1;
 }

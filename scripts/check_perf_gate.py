@@ -13,7 +13,9 @@ never ran" (2). The JSON itself is uploaded as a workflow artifact so
 the speedup trajectory (and the batched-throughput numbers, when
 present) is trackable across commits. The "warm_latency" object
 (experiment [9]) is printed as an informational per-op p50/p95/p99
-trajectory — malformed histogram fields exit 2 like any other bad
+trajectory, and the "tiers" object (experiment [11]) as an
+informational interpreter -> bytecode -> native req/s trajectory per
+op family — malformed fields in either exit 2 like any other bad
 input.
 """
 
@@ -190,6 +192,63 @@ def main() -> int:
                 "static verification: off for this build "
                 "(0 kernels verified)"
             )
+    # Tiered-execution trajectory (experiment [11], informational —
+    # no hard gate until the three-tier numbers have a trajectory;
+    # the gated speedup stays bytecode-vs-interpreter above). Prints
+    # warm req/s per op family for interpreter -> bytecode -> native,
+    # plus the native tier's one-time compile cost. Malformed fields
+    # are still bad input, not a tripped gate.
+    if "tiers" in data:
+        tiers = data["tiers"]
+        if not isinstance(tiers, dict):
+            return fail_input(f"{path} tiers is not a JSON object")
+        for op in sorted(tiers):
+            row = tiers[op]
+            try:
+                interp_rps = float(row["interpreter_req_per_s"])
+                bytecode_rps = float(row["bytecode_req_per_s"])
+                native_rps = float(row["native_req_per_s"])
+            except (TypeError, KeyError, ValueError) as err:
+                return fail_input(
+                    f"{path} tiers[{op!r}] is malformed: {err}"
+                )
+            if min(interp_rps, bytecode_rps, native_rps) <= 0.0:
+                return fail_input(
+                    f"{path} tiers[{op!r}] holds a non-positive "
+                    f"rate (interpreter {interp_rps}, bytecode "
+                    f"{bytecode_rps}, native {native_rps})"
+                )
+            native_x = (
+                f" ({native_rps / interp_rps:.2f}x interpreter)"
+                if interp_rps > 0
+                else ""
+            )
+            print(
+                f"tiered execution [{op}]: "
+                f"{interp_rps:.1f} req/s interpreter -> "
+                f"{bytecode_rps:.1f} req/s bytecode -> "
+                f"{native_rps:.1f} req/s native{native_x}, "
+                f"bitwise_identical="
+                f"{row.get('bitwise_identical', 'n/a')}"
+            )
+        try:
+            compiles = int(data.get("native_compiles", 0))
+            disk_hits = int(data.get("native_disk_hits", 0))
+            compile_ms = float(data.get("native_compile_ms", 0.0))
+        except (TypeError, ValueError) as err:
+            return fail_input(
+                f"{path} holds a malformed native counter: {err}"
+            )
+        if compiles < 0 or disk_hits < 0 or compile_ms < 0.0:
+            return fail_input(
+                f"{path} holds negative native counters "
+                f"({compiles} compiles, {disk_hits} disk hits, "
+                f"{compile_ms} ms)"
+            )
+        print(
+            f"native tier: {compiles} kernel compile(s) in "
+            f"{compile_ms:.1f} ms, {disk_hits} disk hit(s)"
+        )
     # Warm-dispatch latency percentiles per op kind (experiment [9],
     # informational — the p50/p99 trajectory is tracked across
     # commits, no gate). Malformed histogram fields are still bad

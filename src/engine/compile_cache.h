@@ -33,6 +33,8 @@
 namespace sparsetir {
 namespace engine {
 
+struct CompiledKernel;
+
 /**
  * Verdict of the static artifact verifier (verify/verifier.h) over
  * every kernel of one artifact. Filled by the miss-path builder when
@@ -54,11 +56,26 @@ struct VerifyReport
     std::vector<verify::Diagnostic> diagnostics;
 };
 
-/** Base of all cached compile results (immutable after build). */
+/** Base of all cached compile results (immutable after build —
+ *  except the atomic native-kernel boxes, see nativeKernels()). */
 class Artifact
 {
   public:
     virtual ~Artifact() = default;
+
+    /**
+     * The artifact's compiled kernels, for the engine's native-tier
+     * promotion: each kernel's NativeBox is the one mutable cell of
+     * an artifact, swapped from empty to a dlopen'd kernel when a
+     * background native build completes. Artifact types that hold no
+     * CompiledKernels (or predate the native tier) report none and
+     * are simply never promoted.
+     */
+    virtual std::vector<CompiledKernel *>
+    nativeKernels()
+    {
+        return {};
+    }
 
     /** Cached static-verification verdict (see VerifyReport). */
     VerifyReport verify;

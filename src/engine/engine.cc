@@ -11,6 +11,7 @@
 #include "model/rgcn.h"
 #include "observe/trace.h"
 #include "runtime/interpreter.h"
+#include "runtime/native/native_compiler.h"
 #include "support/logging.h"
 
 namespace sparsetir {
@@ -28,6 +29,31 @@ msSince(const std::chrono::steady_clock::time_point &start)
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Identification tag of one kernel's persisted native artifact: the
+ * full cache key plus the kernel's index inside the artifact and the
+ * artifact/ABI versions. Baked into the .so's meta string, so a
+ * restarted process can validate an on-disk file against exactly the
+ * key it would build for.
+ */
+std::string
+nativeKeyTag(const CacheKey &key, int kernel_index)
+{
+    std::string tag = "v" + std::to_string(key.version);
+    tag += ".op" + std::to_string(static_cast<int>(key.op));
+    tag += ".s" + std::to_string(key.structure);
+    tag += ".h" + std::to_string(key.schedule);
+    tag += ".fi" + std::to_string(key.featIn);
+    tag += ".fo" + std::to_string(key.featOut);
+    tag += ".r" + std::to_string(key.rows);
+    tag += ".z" + std::to_string(key.nnz);
+    tag += ".b" + std::to_string(key.blockSize);
+    tag += ".t" + std::to_string(key.tileHeight);
+    tag += ".g" + std::to_string(key.groupSize);
+    tag += ".k" + std::to_string(kernel_index);
+    return tag;
 }
 
 /**
@@ -170,6 +196,12 @@ struct SpmmCsrArtifact : Artifact
     CompiledKernel kernel;
     NDArray indptr;
     NDArray indices;
+
+    std::vector<CompiledKernel *>
+    nativeKernels() override
+    {
+        return {&kernel};
+    }
 };
 
 struct SddmmArtifact : Artifact
@@ -177,6 +209,12 @@ struct SddmmArtifact : Artifact
     CompiledKernel kernel;
     NDArray indptr;
     NDArray indices;
+
+    std::vector<CompiledKernel *>
+    nativeKernels() override
+    {
+        return {&kernel};
+    }
 };
 
 struct BsrArtifact : Artifact
@@ -184,6 +222,12 @@ struct BsrArtifact : Artifact
     CompiledKernel kernel;
     NDArray indptr;
     NDArray indices;
+
+    std::vector<CompiledKernel *>
+    nativeKernels() override
+    {
+        return {&kernel};
+    }
 };
 
 struct SrbcrsArtifact : Artifact
@@ -191,6 +235,12 @@ struct SrbcrsArtifact : Artifact
     CompiledKernel kernel;
     NDArray groupIndptr;
     NDArray tileCols;
+
+    std::vector<CompiledKernel *>
+    nativeKernels() override
+    {
+        return {&kernel};
+    }
 };
 
 /** One non-empty (partition, bucket) of a cached hyb decomposition. */
@@ -210,6 +260,16 @@ struct SpmmHybArtifact : Artifact
     NDArray indptr;
     NDArray indices;
     std::vector<HybBucketData> buckets;
+
+    std::vector<CompiledKernel *>
+    nativeKernels() override
+    {
+        std::vector<CompiledKernel *> kernels;
+        for (HybBucketData &bucket : buckets) {
+            kernels.push_back(&bucket.kernel);
+        }
+        return kernels;
+    }
 };
 
 /** One (relation, bucket) RGMS kernel of a cached RGCN layer. */
@@ -226,6 +286,16 @@ struct RgcnUnit
 struct RgcnArtifact : Artifact
 {
     std::vector<RgcnUnit> units;
+
+    std::vector<CompiledKernel *>
+    nativeKernels() override
+    {
+        std::vector<CompiledKernel *> kernels;
+        for (RgcnUnit &unit : units) {
+            kernels.push_back(&unit.kernel);
+        }
+        return kernels;
+    }
 };
 
 /** A chain-mode intermediate the dispatch leases scratch for. */
@@ -251,6 +321,16 @@ struct GraphArtifact : Artifact
     std::vector<GraphTemp> temps;
     /** Bytes of scratch a chain dispatch leases (0 when fused). */
     int64_t tempBytes = 0;
+
+    std::vector<CompiledKernel *>
+    nativeKernels() override
+    {
+        std::vector<CompiledKernel *> out;
+        for (CompiledKernel &kernel : kernels) {
+            out.push_back(&kernel);
+        }
+        return out;
+    }
 };
 
 /**
@@ -772,12 +852,23 @@ Engine::Engine(EngineOptions options)
     if (options.trace || observe::traceRequestedByEnv()) {
         observe::TraceRecorder::global().setEnabled(true);
     }
+    // SPARSETIR_NATIVE=1 upgrades the default serving backend to the
+    // tiered native path; an explicit interpreter selection wins.
+    if (options_.backend == runtime::Backend::kBytecode &&
+        runtime::native::nativeEnabledByEnv()) {
+        options_.backend = runtime::Backend::kNative;
+    }
     requests_ = metrics_->counter("engine.requests");
     cacheHits_ = metrics_->counter("engine.cache_hits");
     cacheMisses_ = metrics_->counter("engine.cache_misses");
     compileMs_ = metrics_->histogram("engine.compile_ms");
     execMs_ = metrics_->histogram("engine.exec_ms");
     launchProbes_ = metrics_->counter("runtime.launch_probes");
+    nativePromotions_ = metrics_->counter("native.promotions");
+    nativeCompiles_ = metrics_->counter("native.compiles");
+    nativeDiskHits_ = metrics_->counter("native.disk_hits");
+    nativeFallbacks_ = metrics_->counter("native.fallbacks");
+    nativeCompileMs_ = metrics_->histogram("native.compile_ms");
     for (OpKind op :
          {OpKind::kSpmmCsr, OpKind::kSpmmHyb, OpKind::kSddmm,
           OpKind::kRgcnHyb, OpKind::kSpmmBsr, OpKind::kSpmmSrbcrs,
@@ -789,6 +880,26 @@ Engine::Engine(EngineOptions options)
                 opKindName(op);
             opLatency_[warm ? 0 : 1][static_cast<int>(op)] =
                 metrics_->histogram(name);
+        }
+    }
+}
+
+Engine::~Engine()
+{
+    // Background promotion tasks capture `this` and record into the
+    // session registry; members destruct in reverse declaration
+    // order, so the registry would be gone before pool_ joins its
+    // workers. Wait for every launched promotion first. No dispatch
+    // runs concurrently with destruction (usual dtor contract), so
+    // the future list cannot grow under us after the swap.
+    std::vector<std::future<void>> pending;
+    {
+        std::lock_guard<std::mutex> lock(promoMu_);
+        pending.swap(promoFutures_);
+    }
+    for (std::future<void> &done : pending) {
+        if (done.valid()) {
+            done.wait();
         }
     }
 }
@@ -878,7 +989,93 @@ Engine::resolve(const CacheKey &key,
     }
     info->cacheHit = hit;
     info->compileMs = msSince(start);
+    if (options_.backend == runtime::Backend::kNative) {
+        maybePromote(key, artifact);
+    }
     return artifact;
+}
+
+void
+Engine::maybePromote(const CacheKey &key,
+                     const std::shared_ptr<Artifact> &artifact)
+{
+    if (options_.nativePromoteAfter < 0) {
+        return;
+    }
+    bool launch = false;
+    {
+        std::lock_guard<std::mutex> lock(promoMu_);
+        PromoState &state = promo_[key];
+        if (state.launched) {
+            return;
+        }
+        if (++state.warmHits > options_.nativePromoteAfter) {
+            state.launched = true;
+            launch = true;
+        }
+    }
+    if (!launch) {
+        return;
+    }
+    if (options_.nativePromoteAfter == 0) {
+        // Synchronous promotion: deterministic for tests — the first
+        // resolve already serves native.
+        promoteNow(key, artifact);
+        return;
+    }
+    std::shared_ptr<Artifact> keep = artifact;
+    CacheKey promoted_key = key;
+    std::future<void> done =
+        pool_->submit([this, promoted_key, keep] {
+            // promoteNow never submits to or waits on the pool, so a
+            // promotion task cannot deadlock behind dispatch work.
+            promoteNow(promoted_key, keep);
+        });
+    std::lock_guard<std::mutex> lock(promoMu_);
+    promoFutures_.push_back(std::move(done));
+}
+
+void
+Engine::promoteNow(const CacheKey &key,
+                   const std::shared_ptr<Artifact> &artifact)
+{
+    SPARSETIR_TRACE_SCOPE1("native", "native.promote", "op",
+                           static_cast<int64_t>(key.op));
+    std::vector<CompiledKernel *> kernels = artifact->nativeKernels();
+    int index = 0;
+    for (CompiledKernel *kernel : kernels) {
+        int kernel_index = index++;
+        if (kernel->native == nullptr ||
+            kernel->native->get() != nullptr) {
+            continue;
+        }
+        std::string tag = nativeKeyTag(key, kernel_index);
+        auto start = std::chrono::steady_clock::now();
+        try {
+            auto native =
+                runtime::native::compileNative(kernel->func, tag);
+            nativeCompileMs_->record(msSince(start));
+            (native->diskHit ? nativeDiskHits_ : nativeCompiles_)
+                ->add(1);
+            kernel->native->set(std::move(native));
+        } catch (const UserError &) {
+            // Outside the native subset, or cc missing/failed: the
+            // kernel keeps serving bytecode.
+            nativeFallbacks_->add(1);
+        }
+    }
+    nativePromotions_->add(1);
+}
+
+NativeStats
+Engine::nativeStats() const
+{
+    NativeStats stats;
+    stats.promotions = nativePromotions_->value();
+    stats.compiles = nativeCompiles_->value();
+    stats.diskHits = nativeDiskHits_->value();
+    stats.fallbacks = nativeFallbacks_->value();
+    return stats;
 }
 
 void

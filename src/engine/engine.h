@@ -74,6 +74,19 @@ struct EngineOptions
      */
     runtime::Backend backend = runtime::Backend::kBytecode;
     /**
+     * Native-tier promotion threshold (meaningful when `backend` is
+     * kNative, which SPARSETIR_NATIVE=1 selects by default): an
+     * artifact is promoted — its kernels emitted as C, compiled
+     * out-of-process and atomically swapped in — after its
+     * warm-dispatch count exceeds this many resolves. Until then (and
+     * whenever emission or the C compiler bails) kNative dispatches
+     * serve on bytecode, so the request path never waits on `cc`.
+     * 0 promotes synchronously inside the first resolve — the
+     * deterministic-test configuration; negative disables promotion
+     * entirely.
+     */
+    int nativePromoteAfter = 3;
+    /**
      * Launch multi-kernel dispatches (hyb buckets, RGCN units) and
      * batched requests as ONE fused task graph instead of the
      * barriered per-bucket schedule. Results are bitwise identical
@@ -164,6 +177,23 @@ struct EngineStats
     double totalExecMs = 0.0;
 };
 
+/**
+ * Native-tier counters — a view over `native.promotions` /
+ * `native.compiles` / `native.disk_hits` / `native.fallbacks` in the
+ * session registry (Engine::nativeStats()).
+ */
+struct NativeStats
+{
+    /** Artifacts the promotion policy processed. */
+    uint64_t promotions = 0;
+    /** Kernels built by invoking the C compiler. */
+    uint64_t compiles = 0;
+    /** Kernels served from a persisted .so (zero compiler runs). */
+    uint64_t diskHits = 0;
+    /** Kernels that stayed on bytecode (emitter/cc bailed). */
+    uint64_t fallbacks = 0;
+};
+
 /** Format/schedule selection for hyb SpMM dispatch. */
 struct HybConfig
 {
@@ -240,6 +270,11 @@ class Engine
 {
   public:
     explicit Engine(EngineOptions options = EngineOptions());
+
+    /** Joins any in-flight background native promotions: their tasks
+     *  capture `this` and record into the session registry, so they
+     *  must finish before members start destructing. */
+    ~Engine();
 
     /** C = A @ B over the single-format CSR kernel. */
     DispatchInfo spmmCsr(const format::Csr &a, int64_t feat,
@@ -370,6 +405,8 @@ class Engine
 
     EngineStats stats() const;
     CacheStats cacheStats() const { return cache_.stats(); }
+    /** Native-tier promotion/compile counters (see NativeStats). */
+    NativeStats nativeStats() const;
     /**
      * Everything this session's registry holds — request/hit/miss
      * counters, per-op-kind warm and cold dispatch latency
@@ -431,12 +468,34 @@ class Engine
         const std::vector<const CompiledKernel *> &kernels,
         const std::vector<runtime::Bindings> &requests);
 
-    /** Whether artifacts should carry compiled bytecode programs. */
+    /** Whether artifacts should carry compiled bytecode programs
+     *  (the native tier serves on bytecode until promoted). */
     bool
     usesBytecode() const
     {
-        return options_.backend == runtime::Backend::kBytecode;
+        return options_.backend != runtime::Backend::kInterpreter;
     }
+
+    /**
+     * Promotion policy hook, called on every resolve when the session
+     * backend is kNative: counts warm resolves of `key` and, when the
+     * count crosses EngineOptions::nativePromoteAfter, promotes the
+     * artifact — inline for threshold 0, as a background pool task
+     * otherwise (the artifact is kept alive by the captured
+     * shared_ptr; dispatches keep serving bytecode meanwhile).
+     */
+    void maybePromote(const CacheKey &key,
+                      const std::shared_ptr<Artifact> &artifact);
+
+    /**
+     * Compile every kernel of `artifact` to the native tier and swap
+     * each result into its kernel's NativeBox. Emitter/compiler
+     * bails (UserError) count as fallbacks and leave the kernel on
+     * bytecode permanently — transparent degradation, never an error
+     * on the request path.
+     */
+    void promoteNow(const CacheKey &key,
+                    const std::shared_ptr<Artifact> &artifact);
 
     EngineOptions options_;
     std::shared_ptr<ThreadPool> pool_;
@@ -458,6 +517,22 @@ class Engine
     observe::Counter *launchProbes_;
     /** Indexed by OpKind; [0] = warm, [1] = cold. */
     observe::LatencyHistogram *opLatency_[2][8] = {};
+
+    // Native-tier promotion state and instruments.
+    struct PromoState
+    {
+        int warmHits = 0;
+        bool launched = false;
+    };
+    std::mutex promoMu_;
+    std::unordered_map<CacheKey, PromoState, CacheKeyHash> promo_;
+    /** Futures of background promotion tasks, joined by ~Engine. */
+    std::vector<std::future<void>> promoFutures_;
+    observe::Counter *nativePromotions_;
+    observe::Counter *nativeCompiles_;
+    observe::Counter *nativeDiskHits_;
+    observe::Counter *nativeFallbacks_;
+    observe::LatencyHistogram *nativeCompileMs_;
 };
 
 } // namespace engine

@@ -13,6 +13,7 @@
 #include "observe/trace.h"
 #include "runtime/bytecode/compiler.h"
 #include "runtime/bytecode/vm.h"
+#include "runtime/native/native_compiler.h"
 #include "support/logging.h"
 
 namespace sparsetir {
@@ -208,7 +209,18 @@ execOne(const CompiledKernel &kernel, const Bindings &bindings,
 {
     runtime::RunOptions run = window;
     run.backend = options.backend;
-    if (options.backend == runtime::Backend::kBytecode &&
+    // Tier chain: native when promoted, bytecode otherwise, with the
+    // interpreter as the final authority. A kNative dispatch whose
+    // kernel has no swapped-in artifact yet (promotion pending, or
+    // emission/cc bailed) is indistinguishable from kBytecode.
+    if (options.backend == runtime::Backend::kNative &&
+        kernel.native != nullptr) {
+        if (auto native = kernel.native->get()) {
+            runtime::native::execute(*native, bindings, run);
+            return;
+        }
+    }
+    if (options.backend != runtime::Backend::kInterpreter &&
         kernel.program != nullptr) {
         runtime::bytecode::execute(*kernel.program, bindings, run);
         return;
@@ -232,6 +244,9 @@ compileKernel(const ir::PrimFunc &func, bool with_program,
     SPARSETIR_TRACE_SCOPE("compile", "compile.kernel");
     CompiledKernel kernel;
     kernel.func = func;
+    // Every kernel gets an (empty) native box so the promotion path
+    // can swap an artifact into copies already handed out.
+    kernel.native = std::make_shared<NativeBox>();
     if (with_program) {
         kernel.program = runtime::bytecode::programFor(func);
     }
@@ -1210,7 +1225,7 @@ transientKernel(const PrimFunc &func, const ExecOptions &options,
                 const std::vector<std::string> *accum)
 {
     CompiledKernel kernel = compileKernel(
-        func, options.backend == runtime::Backend::kBytecode,
+        func, options.backend != runtime::Backend::kInterpreter,
         /*analyze_accums=*/accum == nullptr);
     if (accum != nullptr) {
         for (const std::string &name : *accum) {

@@ -87,6 +87,13 @@
 #include "runtime/ndarray.h"
 
 namespace sparsetir {
+
+namespace runtime {
+namespace native {
+struct NativeKernel;
+} // namespace native
+} // namespace runtime
+
 namespace engine {
 
 /** Per-call execution controls. */
@@ -148,6 +155,37 @@ struct AccumOutput
 };
 
 /**
+ * Atomically swappable native-kernel attachment of a CompiledKernel.
+ *
+ * The box is created empty at compile time and shared by every copy
+ * of the kernel (artifacts hand kernels around by value); when the
+ * engine's background promotion finishes a native build it set()s the
+ * pointer, and in-flight dispatches pick it up on their next get() —
+ * the "atomic artifact swap" of the tiered-execution design. Loads
+ * and stores use the C++17 atomic shared_ptr free functions, so
+ * readers never see a torn pointer and the .so stays alive (its
+ * refcounted dlopen handle) for as long as any dispatch uses it.
+ */
+class NativeBox
+{
+  public:
+    std::shared_ptr<const runtime::native::NativeKernel>
+    get() const
+    {
+        return std::atomic_load(&ptr_);
+    }
+
+    void
+    set(std::shared_ptr<const runtime::native::NativeKernel> kernel)
+    {
+        std::atomic_store(&ptr_, std::move(kernel));
+    }
+
+  private:
+    std::shared_ptr<const runtime::native::NativeKernel> ptr_;
+};
+
+/**
  * A kernel in executable form: Stage III IR plus the compiled
  * bytecode program and the cached write-set analysis. This is the
  * unit engine artifacts cache — warm dispatches reuse the program
@@ -174,6 +212,12 @@ struct CompiledKernel
      * runtime::launchInfo probe never runs on the warm path.
      */
     ir::Expr blockExtent;
+    /**
+     * Native-tier attachment, shared by every copy of this kernel
+     * (see NativeBox). Empty until the engine promotes the kernel;
+     * kNative dispatches that find it empty execute on bytecode.
+     */
+    std::shared_ptr<NativeBox> native;
 };
 
 /**

@@ -107,8 +107,12 @@ const char *opKindName(OpKind op);
  *       per-edge sparsity-structure hashes, feature shapes), and the
  *       artifact carries either one fused kernel or the per-kernel
  *       chain plus its intermediate-buffer plan.
+ *  v6 — kernels carry a NativeBox for the tiered native (.so)
+ *       backend; the version is also folded into every persisted
+ *       native artifact's key tag, so on-disk .so files built by
+ *       older code are rejected and rebuilt rather than loaded.
  */
-constexpr uint32_t kArtifactVersion = 5;
+constexpr uint32_t kArtifactVersion = 6;
 
 /** Key of one compile-cache entry. */
 struct CacheKey

@@ -602,10 +602,13 @@ void
 run(const ir::PrimFunc &func, const Bindings &bindings,
     const RunOptions &options)
 {
-    if (options.backend == Backend::kBytecode) {
+    if (options.backend != Backend::kInterpreter) {
         // Compile once (memoized); functions outside the bytecode
         // subset fall through to the interpreter, whose diagnostics
-        // are authoritative for them.
+        // are authoritative for them. kNative lands here too: bare
+        // run() has no compiled artifact attached, so it serves the
+        // bytecode tier — native dispatch is the engine executor's
+        // job (CompiledKernel::native).
         std::shared_ptr<const bytecode::Program> program =
             bytecode::programFor(func);
         if (program != nullptr) {

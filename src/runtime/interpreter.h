@@ -122,10 +122,19 @@ struct BufferView
  * faster on warm dispatches. Functions the bytecode compiler cannot
  * lower (Stage I sparse iterations, vector IR) silently fall back to
  * the interpreter, whose diagnostics are authoritative.
+ *
+ * kNative is the third tier: the same Stage III subset emitted as C,
+ * compiled out-of-process and dlopen'd (runtime/native/). Results are
+ * bitwise identical to both other backends. Native artifacts are
+ * attached per compiled kernel by the engine's promotion policy;
+ * until one is ready — or when emission/compilation bails — kNative
+ * dispatches execute on bytecode (and from there the interpreter),
+ * so the request path never blocks on a C compiler.
  */
 enum class Backend : uint8_t {
     kInterpreter,
     kBytecode,
+    kNative,
 };
 
 /**

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Stage III TIR -> C translation.
+ *
+ * The emitter walks the same IR subset the bytecode compiler consumes
+ * (flat loops, guards, buffer loads/stores over one flat index or a
+ * row-major dense linearization, floordiv/mod index math, the
+ * blockIdx.x grid-window contract) and produces one self-contained C
+ * translation unit per kernel. The emitted code reproduces the
+ * interpreter's semantics exactly — int64/double arithmetic, the
+ * float-promotion rules of isFloatExpr, short-circuit And/Or,
+ * one-armed Select, value-before-indices store order, storage-width
+ * rounding on float stores — so a native kernel's results are bitwise
+ * identical to the interpreter and the bytecode VM.
+ *
+ * Functions outside the subset (Stage I sparse iterations, vector IR,
+ * extern calls) raise UserError, exactly like bytecode::compile;
+ * callers treat that as "stay on the bytecode tier".
+ */
+
+#ifndef SPARSETIR_RUNTIME_NATIVE_C_EMITTER_H_
+#define SPARSETIR_RUNTIME_NATIVE_C_EMITTER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/prim_func.h"
+
+namespace sparsetir {
+namespace runtime {
+namespace native {
+
+/** One emitted kernel: the C source plus its binding metadata. */
+struct EmitResult
+{
+    /** Complete C translation unit (preamble + entry function). */
+    std::string source;
+    /** Kernel (function) name, for diagnostics. */
+    std::string name;
+    /**
+     * Binding names of every buffer slot: parameter slots first
+     * (bound by name from Bindings::arrays), then scratch slots the
+     * kernel allocates itself.
+     */
+    std::vector<std::string> slotNames;
+    int numParamSlots = 0;
+    /**
+     * Scalar params the emitted code reads, in signature order; the
+     * host packs ctx->scalars in exactly this order. Unused scalars
+     * are dropped — lazy-binding parity with the other backends.
+     */
+    std::vector<std::string> scalarNames;
+    /** Kernel has an outermost blockIdx.x-bound loop (windowable). */
+    bool hasWindow = false;
+};
+
+/**
+ * Emit `func` as a C translation unit. `key_tag` identifies the
+ * artifact (cache key + kernel index + artifact/ABI versions) and is
+ * baked into the exported meta string, so a persisted .so can be
+ * validated against the key it was built for. Throws UserError when
+ * the function is outside the native-compilable subset (the
+ * stage3ExecDiagnostic gate plus the emitter's own kind checks).
+ */
+EmitResult emitC(const ir::PrimFunc &func, const std::string &key_tag);
+
+} // namespace native
+} // namespace runtime
+} // namespace sparsetir
+
+#endif // SPARSETIR_RUNTIME_NATIVE_C_EMITTER_H_

@@ -6,11 +6,17 @@
  * decompositions with random partition/bucket-cap sets — empty rows,
  * singleton shapes, dense rows forcing widest-bucket splits — plus
  * periodic BSR re-blockings and multi-request batches), random feat
- * sizes and worker counts, then asserts THREE-WAY bitwise equality
- * against the serial tree-walking interpreter:
+ * sizes and worker counts, then asserts bitwise equality against the
+ * serial tree-walking interpreter across the full execution matrix:
  *
- *   backend axis:   interpreter vs bytecode VM
+ *   backend axis:   interpreter vs bytecode VM vs native (.so) tier
  *   schedule axis:  serial vs barriered parallel vs fused task graph
+ *
+ * Native engines promote synchronously (nativePromoteAfter = 0), so
+ * every native-variant dispatch really runs the dlopen'd kernels; the
+ * end-of-run assertions require promotions > 0 and fallbacks == 0 —
+ * a native-ineligible kernel shows up as a counted fallback, never a
+ * silent skip of the native axis.
  *
  * Periodic cases additionally build a random 2-4-op dataflow graph
  * over the same structure (sddmm-rooted edge chains, aggregate ->
@@ -105,6 +111,22 @@ struct Config
     bool fused;
 };
 
+/** Point every native engine of the run at ONE fresh scratch cache
+ *  dir: the fuzzer must never load .so artifacts persisted by other
+ *  processes (or leave its own behind at a shared default path). */
+void
+isolateNativeCacheDir()
+{
+    static const bool done = [] {
+        static char tmpl[] = "/tmp/sparsetir-fuzz-native-XXXXXX";
+        if (::mkdtemp(tmpl) != nullptr) {
+            ::setenv("SPARSETIR_NATIVE_CACHE_DIR", tmpl, 1);
+        }
+        return true;
+    }();
+    (void)done;
+}
+
 class EnginePool
 {
   public:
@@ -119,8 +141,8 @@ class EnginePool
             workers = 1;
             min_chunk = 0;
         }
-        Key key{config.backend == runtime::Backend::kBytecode,
-                config.parallel, config.fused, workers, min_chunk};
+        Key key{config.backend, config.parallel, config.fused,
+                workers, min_chunk};
         auto it = engines_.find(key);
         if (it == engines_.end()) {
             EngineOptions options;
@@ -133,6 +155,15 @@ class EnginePool
             // static verifier regardless of build type: the random
             // structures double as a soak test for the prover.
             options.verifyArtifacts = true;
+            if (config.backend == runtime::Backend::kNative) {
+                // Promote inside the first resolve, so every native
+                // dispatch of the matrix actually runs the .so tier
+                // (no warm-up hysteresis to fuzz through). Engines
+                // share one artifact dir, so each kernel is compiled
+                // once and disk-hit by the other native configs.
+                isolateNativeCacheDir();
+                options.nativePromoteAfter = 0;
+            }
             it = engines_
                      .emplace(key,
                               std::make_unique<Engine>(options))
@@ -141,8 +172,22 @@ class EnginePool
         return *it->second;
     }
 
+    /** Every live native-backend engine (for end-of-run stats). */
+    std::vector<Engine *>
+    nativeEngines()
+    {
+        std::vector<Engine *> out;
+        for (auto &[key, engine] : engines_) {
+            if (std::get<0>(key) == runtime::Backend::kNative) {
+                out.push_back(engine.get());
+            }
+        }
+        return out;
+    }
+
   private:
-    using Key = std::tuple<bool, bool, bool, int, int64_t>;
+    using Key =
+        std::tuple<runtime::Backend, bool, bool, int, int64_t>;
     std::map<Key, std::unique_ptr<Engine>> engines_;
 };
 
@@ -151,8 +196,8 @@ constexpr Config kReference = {"serial interpreter",
                                runtime::Backend::kInterpreter, false,
                                false};
 
-/** The differential matrix: both backends x both parallel schedules
- * + the bytecode serial point (backend axis without parallelism). */
+/** The differential matrix: all three backends x the three schedule
+ * shapes (serial / barriered parallel / fused task graph). */
 constexpr Config kVariants[] = {
     {"serial bytecode", runtime::Backend::kBytecode, false, false},
     {"barriered interpreter", runtime::Backend::kInterpreter, true,
@@ -160,6 +205,9 @@ constexpr Config kVariants[] = {
     {"fused interpreter", runtime::Backend::kInterpreter, true, true},
     {"barriered bytecode", runtime::Backend::kBytecode, true, false},
     {"fused bytecode", runtime::Backend::kBytecode, true, true},
+    {"serial native", runtime::Backend::kNative, false, false},
+    {"barriered native", runtime::Backend::kNative, true, false},
+    {"fused native", runtime::Backend::kNative, true, true},
 };
 
 /** Random structure with deliberate corner-shape injection. */
@@ -580,6 +628,21 @@ TEST(FuzzDifferential, ThreeWayBitwiseEquality)
         if (::testing::Test::HasFatalFailure()) {
             return;
         }
+    }
+
+    // The native axis must have actually run on the .so tier: every
+    // native engine promoted its artifacts, nothing fell back to
+    // bytecode (an ineligible kernel is a counted fallback — the
+    // matrix would pass bitwise on the bytecode fallback path, so a
+    // silent skip of the native backend has to be unrepresentable).
+    for (Engine *eng : pool.nativeEngines()) {
+        engine::NativeStats stats = eng->nativeStats();
+        EXPECT_GT(stats.promotions, 0u)
+            << "a native-variant engine never promoted";
+        EXPECT_EQ(stats.fallbacks, 0u)
+            << "a fuzz-generated kernel was native-ineligible";
+        EXPECT_GT(stats.compiles + stats.diskHits, 0u)
+            << "a native-variant engine served zero native kernels";
     }
 }
 

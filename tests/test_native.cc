@@ -1,0 +1,806 @@
+/**
+ * @file
+ * Native (C -> .so) tier tests: emitter golden-source checks over the
+ * six kernel families, differential runs asserting the dlopen'd
+ * kernels are bitwise identical to the interpreter (block windows and
+ * offset views included), the persistent artifact cache (warm start
+ * across engine restarts with zero recompiles, corrupted and stale
+ * artifacts rejected and rebuilt), the engine's promotion policy
+ * (threshold crossing, one compile under 8-thread contention, atomic
+ * swap) and graceful degradation to bytecode when the C compiler is
+ * missing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ops.h"
+#include "core/pipeline.h"
+#include "engine/engine.h"
+#include "format/hyb.h"
+#include "graph/generator.h"
+#include "ir/stmt.h"
+#include "runtime/interpreter.h"
+#include "runtime/native/c_emitter.h"
+#include "runtime/native/native_compiler.h"
+#include "test_util.h"
+#include "transform/lower_sparse_buffer.h"
+#include "transform/lower_sparse_iter.h"
+
+namespace sparsetir {
+namespace {
+
+using format::Csr;
+using runtime::Backend;
+using runtime::Bindings;
+using runtime::NDArray;
+using testutil::bitwiseEqual;
+using testutil::randomVector;
+namespace native = runtime::native;
+
+/** Scoped environment override, restoring the prior value on exit. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        if (had_) {
+            old_ = old;
+        }
+        if (value != nullptr) {
+            ::setenv(name, value, 1);
+        } else {
+            ::unsetenv(name);
+        }
+    }
+
+    ~EnvGuard()
+    {
+        if (had_) {
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        } else {
+            ::unsetenv(name_.c_str());
+        }
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool had_ = false;
+};
+
+/** Fresh cache dir + SPARSETIR_NATIVE_CACHE_DIR override for one test:
+ *  every test starts cold, so compile counts are deterministic. */
+class CacheDirGuard
+{
+  public:
+    CacheDirGuard()
+    {
+        char tmpl[] = "/tmp/sparsetir-native-test-XXXXXX";
+        char *dir = ::mkdtemp(tmpl);
+        EXPECT_NE(dir, nullptr);
+        dir_ = dir != nullptr ? dir : "/tmp";
+        env_ = std::make_unique<EnvGuard>("SPARSETIR_NATIVE_CACHE_DIR",
+                                          dir_.c_str());
+    }
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string dir_;
+    std::unique_ptr<EnvGuard> env_;
+};
+
+template <typename Pred>
+bool
+waitFor(Pred pred, int timeout_ms = 30000)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred()) {
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+/** SpMM-CSR bindings over one structure (the shared fixture shape). */
+struct SpmmFixture
+{
+    Csr a;
+    int64_t feat;
+    NDArray indptr, indices, values, b;
+
+    SpmmFixture(int64_t rows, int64_t nnz, uint64_t seed,
+                int64_t feat_size = 16)
+        : a(graph::powerLawGraph(rows, nnz, 1.8, seed)),
+          feat(feat_size),
+          indptr(NDArray::fromInt32(a.indptr)),
+          indices(NDArray::fromInt32(a.indices)),
+          values(NDArray::fromFloat(a.values)),
+          b(NDArray::fromFloat(randomVector(a.cols * feat_size,
+                                            seed + 1)))
+    {
+    }
+
+    Bindings
+    bindings(NDArray *c) const
+    {
+        Bindings bound;
+        bound.scalars = {{"m", a.rows},
+                         {"n", a.cols},
+                         {"nnz", a.nnz()},
+                         {"feat_size", feat}};
+        bound.arrays = {{"J_indptr", const_cast<NDArray *>(&indptr)},
+                        {"J_indices", const_cast<NDArray *>(&indices)},
+                        {"A_data", const_cast<NDArray *>(&values)},
+                        {"B_data", const_cast<NDArray *>(&b)},
+                        {"C_data", c}};
+        return bound;
+    }
+
+    NDArray
+    interpreterReference() const
+    {
+        auto func = core::compileSpmmCsrFunc(feat, core::SpmmSchedule());
+        NDArray c({a.rows * feat}, ir::DataType::float32());
+        runtime::runInterpreted(func, bindings(&c));
+        return c;
+    }
+};
+
+/** Interpreter-engine reference for one engine-level spmmCsr dispatch. */
+NDArray
+engineSpmmReference(const Csr &a, int64_t feat,
+                    const std::vector<float> &b_host)
+{
+    engine::EngineOptions options;
+    options.backend = Backend::kInterpreter;
+    engine::Engine eng(options);
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    eng.spmmCsr(a, feat, &b, &c);
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// Emitter golden-source checks
+// ---------------------------------------------------------------------
+
+TEST(NativeEmitter, GoldenSourceAcrossSixKernelFamilies)
+{
+    struct Family
+    {
+        const char *tag;
+        ir::PrimFunc func;
+    };
+    std::vector<Family> families;
+    families.push_back(
+        {"golden-spmm-csr",
+         core::compileSpmmCsrFunc(16, core::SpmmSchedule())});
+    families.push_back(
+        {"golden-sddmm",
+         core::compileSddmmFunc(16, core::SddmmSchedule())});
+    families.push_back({"golden-spmm-bsr",
+                        core::compileBsrSpmmFunc(2, 8, false)});
+    families.push_back({"golden-sddmm-bsr",
+                        core::compileBsrSddmmFunc(2, 8, false)});
+    families.push_back({"golden-spmm-srbcrs",
+                        core::compileSrbcrsSpmmFunc(2, 2, 8)});
+    families.push_back(
+        {"golden-rgms-ell",
+         core::compileEllRgmsFunc(8, 4, 8, 8, "p0", false)});
+
+    for (const Family &family : families) {
+        SCOPED_TRACE(family.tag);
+        native::EmitResult emitted =
+            native::emitC(family.func, family.tag);
+
+        // A self-contained translation unit with the fixed entry and
+        // meta symbols, identified by the caller's key tag.
+        EXPECT_NE(emitted.source.find(
+                      "int32_t sparsetir_kernel_run(StCtx *ctx)"),
+                  std::string::npos);
+        EXPECT_NE(emitted.source.find("sparsetir_kernel_meta"),
+                  std::string::npos);
+        EXPECT_NE(emitted.source.find(std::string("tag=") +
+                                      family.tag),
+                  std::string::npos);
+
+        // Every family writes a float output through the checked
+        // store helper, and every buffer access goes through the
+        // faultable resolve path.
+        EXPECT_NE(emitted.source.find("st_st_f"), std::string::npos);
+        EXPECT_NE(emitted.source.find("st_resolve"),
+                  std::string::npos);
+
+        // All six kernels carry a blockIdx.x grid, so the emitted
+        // outer loop must honor the kBlockWindow contract.
+        EXPECT_TRUE(emitted.hasWindow);
+        EXPECT_NE(emitted.source.find("ctx->block_end"),
+                  std::string::npos);
+
+        EXPECT_GT(emitted.numParamSlots, 0);
+        EXPECT_GE(static_cast<int>(emitted.slotNames.size()),
+                  emitted.numParamSlots);
+    }
+
+    // Family-specific binding metadata: the spmm kernel's parameter
+    // slots are exactly the engine's binding names.
+    native::EmitResult spmm = native::emitC(
+        core::compileSpmmCsrFunc(16, core::SpmmSchedule()), "golden");
+    std::vector<std::string> params(
+        spmm.slotNames.begin(),
+        spmm.slotNames.begin() + spmm.numParamSlots);
+    for (const char *name :
+         {"J_indptr", "J_indices", "A_data", "B_data", "C_data"}) {
+        EXPECT_NE(std::find(params.begin(), params.end(), name),
+                  params.end())
+            << "missing param slot " << name;
+    }
+}
+
+TEST(NativeEmitter, RejectsStageOneViaDiagnostic)
+{
+    ir::PrimFunc stage1 = core::buildSddmm(true);
+    EXPECT_THROW(native::emitC(stage1, "reject"), UserError);
+
+    ir::PrimFunc stage3 = transform::lowerSparseBuffers(
+        transform::lowerSparseIterations(stage1));
+    native::EmitResult emitted = native::emitC(stage3, "accept");
+    EXPECT_FALSE(emitted.source.empty());
+}
+
+// ---------------------------------------------------------------------
+// Differential: native kernel vs interpreter, bitwise
+// ---------------------------------------------------------------------
+
+TEST(NativeKernel, SpmmCsrBitwiseMatchesInterpreter)
+{
+    CacheDirGuard cache;
+    SpmmFixture fx(400, 5000, 71);
+    auto func = core::compileSpmmCsrFunc(fx.feat, core::SpmmSchedule());
+
+    uint64_t before = native::nativeCompileCount();
+    auto kernel = native::compileNative(func, "diff-spmm");
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_FALSE(kernel->diskHit);
+    EXPECT_EQ(native::nativeCompileCount(), before + 1);
+
+    NDArray c_native({fx.a.rows * fx.feat}, ir::DataType::float32());
+    native::execute(*kernel, fx.bindings(&c_native),
+                    runtime::RunOptions());
+    EXPECT_TRUE(bitwiseEqual(fx.interpreterReference(), c_native));
+}
+
+TEST(NativeKernel, BlockWindowsComposeToFullRun)
+{
+    CacheDirGuard cache;
+    SpmmFixture fx(300, 3500, 72, 8);
+    auto func = core::compileSpmmCsrFunc(fx.feat, core::SpmmSchedule());
+    auto kernel = native::compileNative(func, "win-spmm");
+    ASSERT_NE(kernel, nullptr);
+    ASSERT_TRUE(kernel->hasWindow);
+
+    NDArray c_windows({fx.a.rows * fx.feat}, ir::DataType::float32());
+    Bindings bindings = fx.bindings(&c_windows);
+    runtime::LaunchInfo info = runtime::launchInfo(func, bindings);
+    ASSERT_TRUE(info.hasBlockIdx);
+    ASSERT_GE(info.blockExtent, 3);
+    int64_t third = info.blockExtent / 3;
+    std::vector<std::pair<int64_t, int64_t>> windows = {
+        {0, third},
+        {third, 2 * third},
+        {2 * third, info.blockExtent}};
+    for (const auto &[begin, end] : windows) {
+        runtime::RunOptions options;
+        options.blockBegin = begin;
+        options.blockEnd = end;
+        native::execute(*kernel, bindings, options);
+    }
+    EXPECT_TRUE(bitwiseEqual(fx.interpreterReference(), c_windows));
+
+    // Windowing a kernel with no blockIdx loop is a user error, like
+    // the other two backends.
+    auto flat = ir::primFunc("flat");
+    ir::Buffer out_buf = ir::denseBuffer("out", {ir::intImm(1)},
+                                         ir::DataType::float32());
+    flat->params = {out_buf->data};
+    flat->bufferMap.emplace_back(out_buf->data, out_buf);
+    flat->body = ir::bufferStore(out_buf, {ir::intImm(0)},
+                                 ir::floatImm(7.0));
+    flat->stage = ir::IrStage::kStage3;
+    auto flat_kernel = native::compileNative(flat, "win-flat");
+    ASSERT_FALSE(flat_kernel->hasWindow);
+    NDArray out({1}, ir::DataType::float32());
+    Bindings flat_bindings;
+    flat_bindings.arrays = {{"out_data", &out}};
+    runtime::RunOptions window;
+    window.blockEnd = 1;
+    EXPECT_THROW(
+        native::execute(*flat_kernel, flat_bindings, window),
+        UserError);
+}
+
+TEST(NativeKernel, OffsetViewRebasedRunMatchesInterpreterBitwise)
+{
+    CacheDirGuard cache;
+    // f(base, n, out, v): for i in [0, n): out[base+i] += v[i],
+    // against a PACKED `out` (window [4,8) u [12,14)) — the grid-chunk
+    // privatization contract the engine's fused dispatch relies on.
+    auto func = ir::primFunc("rebased");
+    ir::Var base = ir::var("base");
+    ir::Var n = ir::var("n");
+    ir::Var i = ir::var("i");
+    ir::Buffer out = ir::denseBuffer("out", {ir::intImm(64)},
+                                     ir::DataType::float32());
+    ir::Buffer v = ir::denseBuffer("v", {ir::intImm(64)},
+                                   ir::DataType::float32());
+    func->params = {base, n, out->data, v->data};
+    func->bufferMap.emplace_back(out->data, out);
+    func->bufferMap.emplace_back(v->data, v);
+    ir::Expr idx = ir::add(base, i);
+    func->body = ir::forLoop(
+        i, ir::intImm(0), n,
+        ir::bufferStore(out, {idx},
+                        ir::add(ir::bufferLoad(out, {idx}),
+                                ir::bufferLoad(v, {i}))));
+    func->stage = ir::IrStage::kStage3;
+    auto kernel = native::compileNative(func, "rebased");
+    ASSERT_NE(kernel, nullptr);
+
+    auto view = runtime::OffsetView::fromSpans({{4, 8}, {12, 14}});
+    NDArray packed_interp =
+        NDArray::fromFloat({10, 20, 30, 40, 50, 60});
+    NDArray packed_native =
+        NDArray::fromFloat({10, 20, 30, 40, 50, 60});
+    NDArray vals = NDArray::fromFloat({1, 2, 3, 4});
+
+    runtime::RunOptions options;
+    options.offsetViews.push_back(
+        runtime::BufferView{"out_data", &view});
+    Bindings bindings;
+    bindings.scalars = {{"base", 4}, {"n", 4}};
+    bindings.arrays = {{"out_data", &packed_interp},
+                       {"v_data", &vals}};
+    runtime::runInterpreted(func, bindings, options);
+    bindings.arrays["out_data"] = &packed_native;
+    native::execute(*kernel, bindings, options);
+    EXPECT_TRUE(bitwiseEqual(packed_interp, packed_native));
+
+    // The second span: absolute [12,14) lands in packed [4,6).
+    bindings.scalars["base"] = 12;
+    bindings.scalars["n"] = 2;
+    native::execute(*kernel, bindings, options);
+    EXPECT_EQ(packed_native.floatAt(4), 51.0);
+    EXPECT_EQ(packed_native.floatAt(5), 62.0);
+
+    // Accesses outside the window fault, exactly like the VM.
+    bindings.scalars["base"] = 8;
+    EXPECT_THROW(native::execute(*kernel, bindings, options),
+                 InternalError);
+
+    // Without the view the same offsets address the full array.
+    NDArray full({64}, ir::DataType::float32());
+    bindings.arrays["out_data"] = &full;
+    bindings.scalars["base"] = 4;
+    bindings.scalars["n"] = 4;
+    native::execute(*kernel, bindings, runtime::RunOptions());
+    EXPECT_EQ(full.floatAt(4), 1.0);
+    EXPECT_EQ(full.floatAt(7), 4.0);
+}
+
+// ---------------------------------------------------------------------
+// Persistent artifact cache
+// ---------------------------------------------------------------------
+
+TEST(NativeCompiler, PersistedArtifactServesWarmStart)
+{
+    CacheDirGuard cache;
+    SpmmFixture fx(200, 2200, 73, 8);
+    auto func = core::compileSpmmCsrFunc(fx.feat, core::SpmmSchedule());
+
+    uint64_t before = native::nativeCompileCount();
+    auto first = native::compileNative(func, "warm");
+    ASSERT_NE(first, nullptr);
+    EXPECT_FALSE(first->diskHit);
+    EXPECT_EQ(native::nativeCompileCount(), before + 1);
+
+    // A second load of the same (source, tag) — the restarted-process
+    // shape — finds the persisted .so and never invokes the compiler.
+    auto second = native::compileNative(func, "warm");
+    ASSERT_NE(second, nullptr);
+    EXPECT_TRUE(second->diskHit);
+    EXPECT_EQ(second->soPath, first->soPath);
+    EXPECT_EQ(native::nativeCompileCount(), before + 1);
+
+    NDArray c_native({fx.a.rows * fx.feat}, ir::DataType::float32());
+    native::execute(*second, fx.bindings(&c_native),
+                    runtime::RunOptions());
+    EXPECT_TRUE(bitwiseEqual(fx.interpreterReference(), c_native));
+}
+
+TEST(NativeCompiler, CorruptedArtifactRejectedAndRebuilt)
+{
+    CacheDirGuard cache;
+    SpmmFixture fx(150, 1500, 74, 8);
+    auto func = core::compileSpmmCsrFunc(fx.feat, core::SpmmSchedule());
+    auto first = native::compileNative(func, "corrupt");
+    ASSERT_NE(first, nullptr);
+    std::string so_path = first->soPath;
+    // Drop the dlopen handle before scribbling over its backing file
+    // (truncating a mapped object is a SIGBUS, not a test).
+    first.reset();
+
+    // Truncate the persisted artifact to garbage: dlopen fails, the
+    // loader must rebuild rather than serve the corpse.
+    {
+        std::ofstream trash(so_path,
+                            std::ios::binary | std::ios::trunc);
+        trash << "not an ELF object";
+    }
+    uint64_t before = native::nativeCompileCount();
+    auto rebuilt = native::compileNative(func, "corrupt");
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_FALSE(rebuilt->diskHit);
+    EXPECT_EQ(native::nativeCompileCount(), before + 1);
+
+    NDArray c_native({fx.a.rows * fx.feat}, ir::DataType::float32());
+    native::execute(*rebuilt, fx.bindings(&c_native),
+                    runtime::RunOptions());
+    EXPECT_TRUE(bitwiseEqual(fx.interpreterReference(), c_native));
+}
+
+TEST(NativeCompiler, StaleArtifactRejectedByMetaCheck)
+{
+    CacheDirGuard cache;
+    auto func = core::compileSpmmCsrFunc(8, core::SpmmSchedule());
+    // Two tags bake two distinct meta strings (and hashes). Copying
+    // artifact A over B's path simulates a stale/foreign file at a
+    // colliding name: B's load must reject A's meta and rebuild.
+    auto a = native::compileNative(func, "stale-a");
+    auto b = native::compileNative(func, "stale-b");
+    ASSERT_NE(a->soPath, b->soPath);
+    std::string a_path = a->soPath;
+    std::string b_path = b->soPath;
+    // Release the mapped handles before rewriting b's backing file.
+    a.reset();
+    b.reset();
+    {
+        std::ifstream src(a_path, std::ios::binary);
+        std::ofstream dst(b_path, std::ios::binary | std::ios::trunc);
+        dst << src.rdbuf();
+    }
+    uint64_t before = native::nativeCompileCount();
+    auto rebuilt = native::compileNative(func, "stale-b");
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_FALSE(rebuilt->diskHit);
+    EXPECT_EQ(native::nativeCompileCount(), before + 1);
+}
+
+TEST(NativeCompiler, ExactlyOneCompileUnderContention)
+{
+    CacheDirGuard cache;
+    auto func = core::compileSpmmCsrFunc(16, core::SpmmSchedule());
+    uint64_t before = native::nativeCompileCount();
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const native::NativeKernel>> kernels(
+        kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            kernels[t] = native::compileNative(func, "race");
+        });
+    }
+    for (std::thread &thread : threads) {
+        thread.join();
+    }
+
+    // The process-wide cache lock serializes probe-or-build: one
+    // thread compiles, the other seven load its installed artifact.
+    EXPECT_EQ(native::nativeCompileCount(), before + 1);
+    int misses = 0;
+    for (const auto &kernel : kernels) {
+        ASSERT_NE(kernel, nullptr);
+        ASSERT_NE(kernel->entry, nullptr);
+        misses += kernel->diskHit ? 0 : 1;
+    }
+    EXPECT_EQ(misses, 1);
+}
+
+TEST(NativeCompiler, MissingCompilerFailsAsUserError)
+{
+    CacheDirGuard cache;
+    EnvGuard cc("SPARSETIR_NATIVE_CC",
+                "/nonexistent/sparsetir-test-cc");
+    auto func = core::compileSpmmCsrFunc(8, core::SpmmSchedule());
+    uint64_t before = native::nativeCompileCount();
+    EXPECT_THROW(native::compileNative(func, "no-cc"), UserError);
+    EXPECT_EQ(native::nativeCompileCount(), before);
+}
+
+// ---------------------------------------------------------------------
+// Engine promotion policy
+// ---------------------------------------------------------------------
+
+TEST(NativeEngine, SynchronousPromotionSwapsArtifactTransparently)
+{
+    CacheDirGuard cache;
+    Csr a = graph::powerLawGraph(350, 4200, 1.9, 81);
+    int64_t feat = 16;
+    auto b_host = randomVector(a.cols * feat, 82);
+    NDArray reference = engineSpmmReference(a, feat, b_host);
+
+    engine::EngineOptions options;
+    options.backend = Backend::kNative;
+    options.nativePromoteAfter = 0;  // promote inside the first resolve
+    engine::Engine eng(options);
+
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    eng.spmmCsr(a, feat, &b, &c);
+    EXPECT_TRUE(bitwiseEqual(reference, c));
+
+    engine::NativeStats stats = eng.nativeStats();
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_EQ(stats.compiles, 1u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+
+    // Warm dispatch runs the swapped-in native kernel; still bitwise.
+    NDArray c_warm({a.rows * feat}, ir::DataType::float32());
+    eng.spmmCsr(a, feat, &b, &c_warm);
+    EXPECT_TRUE(bitwiseEqual(reference, c_warm));
+    EXPECT_EQ(eng.nativeStats().promotions, 1u);
+}
+
+TEST(NativeEngine, WarmStartedEngineServesPersistedArtifact)
+{
+    CacheDirGuard cache;
+    Csr a = graph::powerLawGraph(250, 3000, 1.7, 83);
+    int64_t feat = 16;
+    auto b_host = randomVector(a.cols * feat, 84);
+    NDArray reference = engineSpmmReference(a, feat, b_host);
+
+    engine::EngineOptions options;
+    options.backend = Backend::kNative;
+    options.nativePromoteAfter = 0;
+
+    {
+        engine::Engine cold(options);
+        NDArray b = NDArray::fromFloat(b_host);
+        NDArray c({a.rows * feat}, ir::DataType::float32());
+        cold.spmmCsr(a, feat, &b, &c);
+        EXPECT_TRUE(bitwiseEqual(reference, c));
+        EXPECT_GE(cold.nativeStats().compiles, 1u);
+    }
+
+    // A second engine (the restarted-server shape) finds the
+    // persisted .so: zero compiler invocations, pure disk hits.
+    uint64_t cc_before = native::nativeCompileCount();
+    engine::Engine warm(options);
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    warm.spmmCsr(a, feat, &b, &c);
+    EXPECT_TRUE(bitwiseEqual(reference, c));
+
+    engine::NativeStats stats = warm.nativeStats();
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_EQ(stats.compiles, 0u);
+    EXPECT_GE(stats.diskHits, 1u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+    EXPECT_EQ(native::nativeCompileCount(), cc_before);
+
+    // The warm engine's own compile cache still records its (one)
+    // artifact build — native promotion rides on the regular miss.
+    engine::CacheStats cache_stats = warm.cacheStats();
+    EXPECT_EQ(cache_stats.misses, 1u);
+    NDArray c2({a.rows * feat}, ir::DataType::float32());
+    warm.spmmCsr(a, feat, &b, &c2);
+    EXPECT_EQ(warm.cacheStats().hits, 1u);
+    EXPECT_TRUE(bitwiseEqual(reference, c2));
+}
+
+TEST(NativeEngine, BackgroundPromotionOnceUnderContention)
+{
+    CacheDirGuard cache;
+    Csr a = graph::powerLawGraph(300, 3600, 1.8, 85);
+    int64_t feat = 16;
+    auto b_host = randomVector(a.cols * feat, 86);
+    NDArray reference = engineSpmmReference(a, feat, b_host);
+
+    engine::EngineOptions options;
+    options.backend = Backend::kNative;
+    options.nativePromoteAfter = 2;  // background, third resolve
+    engine::Engine eng(options);
+
+    uint64_t cc_before = native::nativeCompileCount();
+    constexpr int kThreads = 8;
+    std::vector<NDArray> outputs;
+    outputs.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        outputs.emplace_back(
+            NDArray({a.rows * feat}, ir::DataType::float32()));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            NDArray b = NDArray::fromFloat(b_host);
+            eng.spmmCsr(a, feat, &b, &outputs[t]);
+        });
+    }
+    for (std::thread &thread : threads) {
+        thread.join();
+    }
+    // Pre-promotion dispatches served on bytecode; all bitwise.
+    for (const NDArray &c : outputs) {
+        EXPECT_TRUE(bitwiseEqual(reference, c));
+    }
+
+    // The threshold crossed during the contention burst; exactly one
+    // background promotion (and one compiler run) results.
+    ASSERT_TRUE(waitFor(
+        [&] { return eng.nativeStats().promotions >= 1; }))
+        << "background promotion never completed";
+    EXPECT_EQ(eng.nativeStats().promotions, 1u);
+    EXPECT_EQ(eng.nativeStats().compiles, 1u);
+    EXPECT_EQ(native::nativeCompileCount(), cc_before + 1);
+
+    // Post-swap dispatch runs the native artifact; still bitwise.
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c_after({a.rows * feat}, ir::DataType::float32());
+    eng.spmmCsr(a, feat, &b, &c_after);
+    EXPECT_TRUE(bitwiseEqual(reference, c_after));
+}
+
+// Destroying an engine with a background promotion still in flight
+// must join the promotion task first: the task captures the engine
+// and records into its registry, so letting it outlive the engine is
+// a use-after-free (caught by ASan before ~Engine waited on the
+// promotion futures).
+TEST(NativeEngine, DestructionJoinsInFlightPromotion)
+{
+    CacheDirGuard cache;
+    Csr a = graph::powerLawGraph(250, 3000, 1.8, 93);
+    int64_t feat = 16;
+    auto b_host = randomVector(a.cols * feat, 94);
+
+    uint64_t cc_before = native::nativeCompileCount();
+    {
+        engine::EngineOptions options;
+        options.backend = Backend::kNative;
+        options.nativePromoteAfter = 1;  // background, second resolve
+        engine::Engine eng(options);
+        NDArray b = NDArray::fromFloat(b_host);
+        NDArray c({a.rows * feat}, ir::DataType::float32());
+        eng.spmmCsr(a, feat, &b, &c);
+        eng.spmmCsr(a, feat, &b, &c);  // crosses the threshold
+        // Engine destructs here, racing the promotion task's cc run.
+    }
+    // The destructor waited: the compile finished (and nothing it
+    // touched was freed — this test exists for the sanitizer jobs).
+    EXPECT_EQ(native::nativeCompileCount(), cc_before + 1);
+}
+
+TEST(NativeEngine, HybBucketsPromoteEveryKernel)
+{
+    CacheDirGuard cache;
+    Csr a = graph::powerLawGraph(200, 2400, 1.9, 87);
+    int64_t feat = 8;
+    auto b_host = randomVector(a.cols * feat, 88);
+    engine::HybConfig config;
+    config.partitions = 2;
+
+    NDArray reference({a.rows * feat}, ir::DataType::float32());
+    {
+        engine::EngineOptions options;
+        options.backend = Backend::kInterpreter;
+        engine::Engine eng(options);
+        NDArray b = NDArray::fromFloat(b_host);
+        eng.spmmHyb(a, feat, &b, &reference, config);
+    }
+
+    engine::EngineOptions options;
+    options.backend = Backend::kNative;
+    options.nativePromoteAfter = 0;
+    engine::Engine eng(options);
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    eng.spmmHyb(a, feat, &b, &c, config);
+    EXPECT_TRUE(bitwiseEqual(reference, c));
+
+    // One promotion covers every bucket kernel of the artifact.
+    engine::NativeStats stats = eng.nativeStats();
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_GE(stats.compiles, 2u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+
+    NDArray c_warm({a.rows * feat}, ir::DataType::float32());
+    eng.spmmHyb(a, feat, &b, &c_warm, config);
+    EXPECT_TRUE(bitwiseEqual(reference, c_warm));
+}
+
+TEST(NativeEngine, MissingCompilerDegradesToBytecode)
+{
+    CacheDirGuard cache;
+    EnvGuard cc("SPARSETIR_NATIVE_CC",
+                "/nonexistent/sparsetir-test-cc");
+    Csr a = graph::powerLawGraph(220, 2600, 1.8, 89);
+    int64_t feat = 16;
+    auto b_host = randomVector(a.cols * feat, 90);
+    NDArray reference = engineSpmmReference(a, feat, b_host);
+
+    engine::EngineOptions options;
+    options.backend = Backend::kNative;
+    options.nativePromoteAfter = 0;
+    engine::Engine eng(options);
+
+    uint64_t cc_before = native::nativeCompileCount();
+    NDArray b = NDArray::fromFloat(b_host);
+    NDArray c({a.rows * feat}, ir::DataType::float32());
+    eng.spmmCsr(a, feat, &b, &c);
+    EXPECT_TRUE(bitwiseEqual(reference, c));
+
+    // The promotion ran, the compiler bailed, the dispatch fell back
+    // to bytecode — never an error on the request path.
+    engine::NativeStats stats = eng.nativeStats();
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_EQ(stats.compiles, 0u);
+    EXPECT_GE(stats.fallbacks, 1u);
+    EXPECT_EQ(native::nativeCompileCount(), cc_before);
+
+    NDArray c_warm({a.rows * feat}, ir::DataType::float32());
+    eng.spmmCsr(a, feat, &b, &c_warm);
+    EXPECT_TRUE(bitwiseEqual(reference, c_warm));
+}
+
+TEST(NativeEngine, EnvVarSelectsNativeTier)
+{
+    CacheDirGuard cache;
+    Csr a = graph::powerLawGraph(150, 1600, 1.7, 91);
+    int64_t feat = 8;
+    auto b_host = randomVector(a.cols * feat, 92);
+
+    {
+        EnvGuard enable("SPARSETIR_NATIVE", "1");
+        engine::EngineOptions options;  // default backend: bytecode
+        options.nativePromoteAfter = 0;
+        engine::Engine eng(options);
+        NDArray b = NDArray::fromFloat(b_host);
+        NDArray c({a.rows * feat}, ir::DataType::float32());
+        eng.spmmCsr(a, feat, &b, &c);
+        EXPECT_EQ(eng.nativeStats().promotions, 1u)
+            << "SPARSETIR_NATIVE=1 must upgrade bytecode to native";
+        EXPECT_TRUE(
+            bitwiseEqual(engineSpmmReference(a, feat, b_host), c));
+    }
+    {
+        EnvGuard disable("SPARSETIR_NATIVE", "0");
+        engine::EngineOptions options;
+        options.nativePromoteAfter = 0;
+        engine::Engine eng(options);
+        NDArray b = NDArray::fromFloat(b_host);
+        NDArray c({a.rows * feat}, ir::DataType::float32());
+        eng.spmmCsr(a, feat, &b, &c);
+        EXPECT_EQ(eng.nativeStats().promotions, 0u);
+    }
+}
+
+} // namespace
+} // namespace sparsetir
